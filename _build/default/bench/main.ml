@@ -1,0 +1,82 @@
+(* The benchmark harness regenerates every experiment table from the
+   index in DESIGN.md Section 5 (the paper's propositions and theorems,
+   measured), then times each experiment's fixed-size kernel with Bechamel.
+
+   The tables are the scientific payload — rounds and edge traversals are
+   deterministic counts, reproducible bit-for-bit.  The Bechamel section
+   reports wall-clock per kernel, which tracks simulator performance. *)
+
+open Bechamel
+
+let print_tables () =
+  print_endline "==================================================================";
+  print_endline " Experiment tables (deterministic round/traversal measurements)";
+  print_endline "==================================================================";
+  print_newline ();
+  List.iter
+    (fun (id, table) ->
+      ignore id;
+      Rv_util.Table.print table)
+    (Rv_experiments.Report.all ())
+
+(* Simulator throughput: one full Fast rendezvous per run, across ring
+   sizes — tracks the cost of a simulated round as the system evolves. *)
+let throughput_tests () =
+  List.map
+    (fun n ->
+      let g = Rv_graph.Ring.oriented n in
+      let explorer ~start:_ = Rv_explore.Ring_walk.clockwise ~n in
+      let kernel () =
+        let out =
+          Rv_core.Rendezvous.run ~g ~explorer ~algorithm:Rv_core.Rendezvous.Fast
+            ~space:16
+            { Rv_core.Rendezvous.label = 3; start = 0; delay = 0 }
+            { Rv_core.Rendezvous.label = 11; start = n / 2; delay = n / 4 }
+        in
+        assert out.Rv_sim.Sim.met
+      in
+      Test.make ~name:(Printf.sprintf "fast-ring-n%d" n) (Staged.stage kernel))
+    [ 16; 64; 256 ]
+
+let benchmark_kernels () =
+  let tests =
+    List.map
+      (fun (id, kernel) -> Test.make ~name:id (Staged.stage kernel))
+      Rv_experiments.Report.kernels
+  in
+  let test =
+    Test.make_grouped ~name:"experiments" (tests @ throughput_tests ())
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> Printf.sprintf "%.0f" e
+        | Some [] | None -> "-"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      rows := [ name; estimate; r2 ] :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  Rv_util.Table.print
+    (Rv_util.Table.make ~title:"Bechamel: wall-clock per experiment kernel"
+       ~headers:[ "kernel"; "ns/run (OLS)"; "r^2" ]
+       ~notes:[ "Fixed-size kernels (smaller than the tables above); monotonic clock." ]
+       rows)
+
+let () =
+  print_tables ();
+  print_newline ();
+  benchmark_kernels ()

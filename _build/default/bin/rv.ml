@@ -1,0 +1,488 @@
+(* rv — command-line front end.
+
+   Subcommands:
+     run      simulate one rendezvous and print the outcome (optionally a trace)
+     sweep    worst-case time/cost over starts, delays and label pairs
+     explore  verify an exploration procedure and report measured bounds
+     lb       run the Section-3 lower-bound pipelines and print their reports
+     exp      print experiment tables from the DESIGN.md index
+     async    adversarial-scheduler analysis (asynchronous model)
+     gather   k-agent gathering with merge-on-meet semantics
+     dot      emit a Graphviz rendering of a graph spec *)
+
+open Cmdliner
+module R = Rv_core.Rendezvous
+module Spec = Rv_experiments.Spec
+module Table = Rv_util.Table
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("rv: " ^ msg);
+      exit 1
+
+(* Shared argument definitions. *)
+
+let graph_arg =
+  let doc =
+    "Graph specification. Accepted forms: " ^ String.concat ", " Spec.graph_forms ^ "."
+  in
+  Arg.(value & opt string "ring:16" & info [ "g"; "graph" ] ~docv:"SPEC" ~doc)
+
+let explorer_arg =
+  let doc =
+    "Exploration procedure. Accepted forms: "
+    ^ String.concat ", " Spec.explorer_forms
+    ^ "."
+  in
+  Arg.(value & opt string "auto" & info [ "e"; "explorer" ] ~docv:"SPEC" ~doc)
+
+let algo_arg =
+  let doc =
+    "Rendezvous algorithm. Accepted forms: "
+    ^ String.concat ", " Spec.algorithm_forms
+    ^ "."
+  in
+  Arg.(value & opt string "fast" & info [ "a"; "algo" ] ~docv:"ALGO" ~doc)
+
+let space_arg =
+  Arg.(value & opt int 16 & info [ "L"; "space" ] ~docv:"L" ~doc:"Label space size.")
+
+let parse_common ~graph ~explorer ~algo =
+  let g = or_die (Spec.parse_graph graph) in
+  let ex = or_die (Spec.parse_explorer g explorer) in
+  let a = or_die (Spec.parse_algorithm algo) in
+  (g, ex, a)
+
+(* run *)
+
+let run_cmd =
+  let run graph explorer algo space la lb sa sb da db trace parachute =
+    let gs, ex, algorithm = parse_common ~graph ~explorer ~algo in
+    let model = if parachute then Rv_sim.Sim.Parachute else Rv_sim.Sim.Waiting in
+    let out =
+      R.run ~model ~record:trace ~g:gs.Spec.g ~explorer:ex ~algorithm ~space
+        { R.label = la; start = sa; delay = da }
+        { R.label = lb; start = sb; delay = db }
+    in
+    let e = Rv_experiments.Workload.e_of ex in
+    Printf.printf "graph       : %s (n=%d, E=%d)\n" gs.Spec.spec
+      (Rv_graph.Port_graph.n gs.Spec.g) e;
+    Printf.printf "algorithm   : %s, label space L=%d\n" (R.name algorithm) space;
+    Printf.printf "agents      : A(label %d, start %d, delay %d)  B(label %d, start %d, delay %d)\n"
+      la sa da lb sb db;
+    (match out.Rv_sim.Sim.meeting_round with
+    | Some r ->
+        Printf.printf "rendezvous  : node %d in round %d (time %d = %.2f E)\n"
+          (Option.get out.Rv_sim.Sim.meeting_node)
+          r r
+          (float_of_int r /. float_of_int e)
+    | None -> Printf.printf "rendezvous  : NOT REACHED within %d rounds\n" out.Rv_sim.Sim.rounds_run);
+    Printf.printf "cost        : %d traversals (A %d + B %d = %.2f E)\n" out.Rv_sim.Sim.cost
+      out.Rv_sim.Sim.cost_a out.Rv_sim.Sim.cost_b
+      (float_of_int out.Rv_sim.Sim.cost /. float_of_int e);
+    Printf.printf "crossings   : %d (unnoticed, per the model)\n" out.Rv_sim.Sim.crossings;
+    Printf.printf "proven      : time <= %d, cost <= %d\n"
+      (R.proven_time_bound algorithm ~e ~space)
+      (R.proven_cost_bound algorithm ~e ~space);
+    match out.Rv_sim.Sim.trace with
+    | Some t when trace -> Format.printf "%a" Rv_sim.Trace.pp t
+    | Some _ | None -> ()
+  in
+  let la = Arg.(value & opt int 3 & info [ "la" ] ~doc:"Label of agent A.") in
+  let lb = Arg.(value & opt int 11 & info [ "lb" ] ~doc:"Label of agent B.") in
+  let sa = Arg.(value & opt int 0 & info [ "start-a" ] ~doc:"Start node of A.") in
+  let sb = Arg.(value & opt int (-1) & info [ "start-b" ] ~doc:"Start node of B (default: antipode).") in
+  let da = Arg.(value & opt int 0 & info [ "delay-a" ] ~doc:"Wake-up delay of A.") in
+  let db = Arg.(value & opt int 0 & info [ "delay-b" ] ~doc:"Wake-up delay of B.") in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the full round-by-round trace.") in
+  let parachute =
+    Arg.(value & flag & info [ "parachute" ] ~doc:"Use the parachute placement model.")
+  in
+  let wrap graph explorer algo space la lb sa sb da db trace parachute =
+    let gs = or_die (Spec.parse_graph graph) in
+    let n = Rv_graph.Port_graph.n gs.Spec.g in
+    let sb = if sb < 0 then (sa + (n / 2)) mod n else sb in
+    run graph explorer algo space la lb sa sb da db trace parachute
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate one rendezvous execution")
+    Term.(
+      const wrap $ graph_arg $ explorer_arg $ algo_arg $ space_arg $ la $ lb $ sa $ sb $ da
+      $ db $ trace $ parachute)
+
+(* sweep *)
+
+let sweep_cmd =
+  let sweep graph explorer algo space max_pairs max_delay =
+    let gs, ex, algorithm = parse_common ~graph ~explorer ~algo in
+    let e = Rv_experiments.Workload.e_of ex in
+    let delays =
+      if R.delay_tolerant algorithm then
+        List.sort_uniq compare [ (0, 0); (0, 1); (0, max_delay); (1, 0); (max_delay, 0) ]
+      else [ (0, 0) ]
+    in
+    let pairs = Rv_experiments.Workload.sample_pairs ~space ~max_pairs in
+    match
+      Rv_experiments.Workload.worst_for ~g:gs.Spec.g ~algorithm ~space ~explorer:ex ~pairs
+        ~positions:`Fixed_first ~delays ()
+    with
+    | Error msg ->
+        prerr_endline ("rv: rendezvous failure during sweep: " ^ msg);
+        exit 1
+    | Ok (t, c) ->
+        Table.print
+          (Table.make
+             ~title:(Printf.sprintf "worst case over %d label pairs" (List.length pairs))
+             ~headers:[ "metric"; "measured"; "proven bound"; "ratio" ]
+             [
+               [
+                 "time";
+                 string_of_int t;
+                 string_of_int (R.proven_time_bound algorithm ~e ~space);
+                 Table.cell_ratio (float_of_int t)
+                   (float_of_int (R.proven_time_bound algorithm ~e ~space));
+               ];
+               [
+                 "cost";
+                 string_of_int c;
+                 string_of_int (R.proven_cost_bound algorithm ~e ~space);
+                 Table.cell_ratio (float_of_int c)
+                   (float_of_int (R.proven_cost_bound algorithm ~e ~space));
+               ];
+             ])
+  in
+  let max_pairs =
+    Arg.(value & opt int 8 & info [ "pairs" ] ~doc:"Maximum number of label pairs to sweep.")
+  in
+  let max_delay = Arg.(value & opt int 8 & info [ "max-delay" ] ~doc:"Largest wake-up delay.") in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Worst-case time/cost over starts, delays and labels")
+    Term.(const sweep $ graph_arg $ explorer_arg $ algo_arg $ space_arg $ max_pairs $ max_delay)
+
+(* explore *)
+
+let explore_cmd =
+  let explore graph explorer =
+    let gs = or_die (Spec.parse_graph graph) in
+    let ex = or_die (Spec.parse_explorer gs explorer) in
+    let g = gs.Spec.g in
+    let declared = Rv_experiments.Workload.e_of ex in
+    (match Rv_explore.Bounds.verify g ~make:ex with
+    | Ok () -> ()
+    | Error msg ->
+        prerr_endline ("rv: exploration contract violated: " ^ msg);
+        exit 1);
+    (match Rv_explore.Bounds.verify_repeated g ~make:ex ~executions:3 with
+    | Ok () -> ()
+    | Error msg ->
+        prerr_endline ("rv: repeated-execution contract violated: " ^ msg);
+        exit 1);
+    let worst = or_die (Rv_explore.Bounds.worst g ~make:ex) in
+    Printf.printf "graph          : %s (n=%d, e=%d edges)\n" gs.Spec.spec
+      (Rv_graph.Port_graph.n g) (Rv_graph.Port_graph.num_edges g);
+    Printf.printf "explorer       : %s\n" (ex ~start:0).Rv_explore.Explorer.name;
+    Printf.printf "declared E     : %d rounds\n" declared;
+    Printf.printf "measured worst : %d rounds to cover all nodes (tightest valid E)\n" worst;
+    Printf.printf "contract       : verified from every start, including repeated executions\n"
+  in
+  Cmd.v
+    (Cmd.info "explore" ~doc:"Verify an exploration procedure and measure its exact bound")
+    Term.(const explore $ graph_arg $ explorer_arg)
+
+(* lb *)
+
+let lb_cmd =
+  let lb n space which algo =
+    let vectors =
+      match algo with
+      | "" -> None
+      | spec ->
+          let a = or_die (Spec.parse_algorithm spec) in
+          Some (Rv_lowerbound.Theorem_cheap.vectors_of ~n ~space a)
+    in
+    match which with
+    | "cheap" -> (
+        let vectors =
+          match vectors with
+          | Some v -> v
+          | None -> Rv_lowerbound.Theorem_cheap.cheap_sim_vectors ~n ~space
+        in
+        match Rv_lowerbound.Theorem_cheap.analyze ~n ~vectors with
+        | Error msg ->
+            prerr_endline ("rv: " ^ msg);
+            exit 1
+        | Ok r ->
+            Printf.printf
+              "Theorem 3.1 pipeline on cheap-sim (n=%d, L=%d):\n\
+              \  phi (cost slack)      : %d\n\
+              \  Fact 3.5 violations   : %d\n\
+              \  chain length          : %d\n\
+              \  strictly increasing   : %b\n\
+              \  slope (rounds/step)   : %.1f (predicted >= %.1f)\n\
+              \  last |alpha|          : %d rounds (Omega(EL) expected)\n"
+              n space r.Rv_lowerbound.Theorem_cheap.phi r.fact_3_5_violations
+              (List.length r.chain) r.chain_monotone r.slope r.predicted_slope
+              r.last_duration;
+            List.iter
+              (fun (s : Rv_lowerbound.Tournament.chain_step) ->
+                Printf.printf "    alpha_%d: labels (%d,%d) meet at round %d\n" s.index
+                  s.first s.second s.duration)
+              r.chain)
+    | "fast" -> (
+        let vectors =
+          match vectors with
+          | Some v -> v
+          | None -> Rv_lowerbound.Theorem_cheap.fast_sim_vectors ~n ~space
+        in
+        match Rv_lowerbound.Theorem_fast.analyze ~n ~vectors with
+        | Error msg ->
+            prerr_endline ("rv: " ^ msg);
+            exit 1
+        | Ok r ->
+            Printf.printf
+              "Theorem 3.2 pipeline on fast-sim (n=%d, L=%d):\n\
+              \  largest pigeonhole group : block %d (%d agents)\n\
+              \  progress vectors distinct: %b\n\
+              \  max non-zero entries     : %d\n\
+              \  implied cost (k*E/6)     : %d\n" n space
+              r.Rv_lowerbound.Theorem_fast.group_block (List.length r.group)
+              r.distinct_progress r.max_nonzero r.min_implied_cost_of_max;
+            List.iter
+              (fun (a : Rv_lowerbound.Theorem_fast.agent_report) ->
+                Printf.printf
+                  "    label %3d: m_x=%5d block=%3d nonzero=%3d implied>=%4d solo cost=%5d\n"
+                  a.label a.m_x a.block a.nonzero a.implied_cost a.solo_cost)
+              r.agents)
+    | other ->
+        prerr_endline ("rv: unknown pipeline " ^ other ^ " (use cheap | fast)");
+        exit 1
+  in
+  let n = Arg.(value & opt int 24 & info [ "n" ] ~doc:"Ring size (6 | n for fast).") in
+  let which =
+    Arg.(value & pos 0 string "cheap" & info [] ~docv:"PIPELINE" ~doc:"cheap | fast")
+  in
+  let algo =
+    Arg.(value & opt string ""
+         & info [ "a"; "algo" ]
+             ~doc:"Run the pipeline on this algorithm's behaviour vectors instead of the default subject (e.g. fwr-sim:2).")
+  in
+  Cmd.v
+    (Cmd.info "lb" ~doc:"Run the Section-3 lower-bound pipelines")
+    Term.(const lb $ n $ space_arg $ which $ algo)
+
+(* exp *)
+
+let exp_cmd =
+  let exp ids all markdown =
+    let emit t =
+      if markdown then print_string (Table.render_markdown t ^ "\n") else Table.print t
+    in
+    if all then List.iter (fun (_, t) -> emit t) (Rv_experiments.Report.all ())
+    else if ids = [] then begin
+      Printf.printf "available experiments: %s\n"
+        (String.concat ", " Rv_experiments.Report.ids);
+      Printf.printf "use 'rv exp A B ...' or 'rv exp --all'\n"
+    end
+    else
+      List.iter
+        (fun id ->
+          match Rv_experiments.Report.by_id id with
+          | Some f -> emit (f ())
+          | None ->
+              prerr_endline ("rv: unknown experiment " ^ id);
+              exit 1)
+        ids
+  in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (A..H, G2).") in
+  let all = Arg.(value & flag & info [ "all" ] ~doc:"Print every experiment table.") in
+  let markdown =
+    Arg.(value & flag & info [ "md"; "markdown" ] ~doc:"Emit GitHub-flavoured markdown.")
+  in
+  Cmd.v (Cmd.info "exp" ~doc:"Print experiment tables from the DESIGN.md index")
+    Term.(const exp $ ids $ all $ markdown)
+
+(* selftest *)
+
+let selftest_cmd =
+  let selftest () =
+    (* Verify the EXPLORE contract for every (family, explorer) pairing the
+       Spec layer supports, then check the proven rendezvous bounds on a
+       quick Fast sweep per family. *)
+    let cases =
+      [
+        ("ring:12", "ring");
+        ("ring:12", "dfs");
+        ("scrambled-ring:10", "dfs");
+        ("grid:3x4", "dfs");
+        ("grid:3x4", "dfs-nr");
+        ("grid:3x3", "unmarked");
+        ("torus:3x4", "euler");
+        ("torus:3x4", "ham");
+        ("hypercube:3", "ham");
+        ("complete:7", "ham");
+        ("tree:10", "dfs");
+        ("binary:2", "dfs-nr");
+        ("petersen", "dfs");
+        ("lollipop:4:3", "dfs");
+        ("random:10:4", "dfs");
+        ("wheel:7", "dfs");
+      ]
+    in
+    let failures = ref 0 in
+    List.iter
+      (fun (gspec, espec) ->
+        match Spec.parse_graph gspec with
+        | Error e ->
+            incr failures;
+            Printf.printf "FAIL %-20s %-10s parse: %s\n" gspec espec e
+        | Ok gs -> (
+            match Spec.parse_explorer gs espec with
+            | Error e ->
+                incr failures;
+                Printf.printf "FAIL %-20s %-10s explorer: %s\n" gspec espec e
+            | Ok ex -> (
+                match
+                  ( Rv_explore.Bounds.verify gs.Spec.g ~make:ex,
+                    Rv_explore.Bounds.verify_repeated gs.Spec.g ~make:ex ~executions:2 )
+                with
+                | Ok (), Ok () -> (
+                    let e = Rv_experiments.Workload.e_of ex in
+                    match
+                      Rv_experiments.Workload.worst_for ~g:gs.Spec.g
+                        ~algorithm:R.Fast ~space:8 ~explorer:ex ~pairs:[ (3, 5) ]
+                        ~positions:
+                          (`Pairs [ (0, Rv_graph.Port_graph.n gs.Spec.g - 1) ])
+                        ~delays:[ (0, 0); (0, 1) ] ()
+                    with
+                    | Ok (t, c) ->
+                        let tb = R.proven_time_bound R.Fast ~e ~space:8 in
+                        let cb = R.proven_cost_bound R.Fast ~e ~space:8 in
+                        if t <= tb && c <= cb then
+                          Printf.printf "ok   %-20s %-10s E=%-5d time %d/%d cost %d/%d\n"
+                            gspec espec e t tb c cb
+                        else begin
+                          incr failures;
+                          Printf.printf "FAIL %-20s %-10s bound exceeded\n" gspec espec
+                        end
+                    | Error msg ->
+                        incr failures;
+                        Printf.printf "FAIL %-20s %-10s rendezvous: %s\n" gspec espec msg)
+                | Error msg, _ | _, Error msg ->
+                    incr failures;
+                    Printf.printf "FAIL %-20s %-10s contract: %s\n" gspec espec msg)))
+      cases;
+    if !failures = 0 then print_endline "selftest: all checks passed"
+    else begin
+      Printf.printf "selftest: %d failures\n" !failures;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "selftest"
+       ~doc:"Verify exploration contracts and rendezvous bounds across all builtin families")
+    Term.(const selftest $ const ())
+
+(* async *)
+
+let async_cmd =
+  let async n la lb gap algo =
+    let gs = or_die (Spec.parse_graph (Printf.sprintf "ring:%d" n)) in
+    let g = gs.Spec.g in
+    let explorer = Rv_explore.Ring_walk.clockwise ~n in
+    let show = function
+      | Rv_async.Async_model.Forced k -> Printf.sprintf "FORCED (after %d events)" k
+      | Rv_async.Async_model.Evadable { final_a; final_b } ->
+          Printf.sprintf "EVADABLE (adversary parks the agents at %d and %d)" final_a final_b
+    in
+    let report =
+      match algo with
+      | "async-ring" -> Rv_async.Async_ring.analyze ~n ~label_a:la ~start_a:0 ~label_b:lb ~start_b:gap
+      | name ->
+          let a = or_die (Spec.parse_algorithm name) in
+          let route label start =
+            Rv_async.Async_model.route_of_schedule g ~start
+              (R.schedule a ~space:(max la lb) ~label ~explorer:explorer)
+          in
+          Rv_async.Async_model.analyze g ~route_a:(route la 0) ~route_b:(route lb gap)
+    in
+    Printf.printf "oriented ring n=%d, labels %d vs %d, gap %d, algorithm %s\n" n la lb gap algo;
+    Printf.printf "  node meeting : %s\n" (show report.Rv_async.Async_model.node_meeting);
+    Printf.printf "  edge meeting : %s\n" (show report.Rv_async.Async_model.edge_meeting);
+    Printf.printf "  route lengths: %d and %d edges\n"
+      (List.length report.Rv_async.Async_model.route_a - 1)
+      (List.length report.Rv_async.Async_model.route_b - 1)
+  in
+  let n = Arg.(value & opt int 8 & info [ "n" ] ~doc:"Ring size.") in
+  let la = Arg.(value & opt int 2 & info [ "la" ] ~doc:"Label of agent A.") in
+  let lb = Arg.(value & opt int 5 & info [ "lb" ] ~doc:"Label of agent B.") in
+  let gap = Arg.(value & opt int 3 & info [ "gap" ] ~doc:"Clockwise distance from A to B.") in
+  let algo =
+    Arg.(value & opt string "cheap"
+         & info [ "a"; "algo" ] ~doc:"cheap | fast | fwr:W | async-ring")
+  in
+  Cmd.v
+    (Cmd.info "async" ~doc:"Adversarial-scheduler analysis (asynchronous model)")
+    Term.(const async $ n $ la $ lb $ gap $ algo)
+
+(* gather *)
+
+let gather_cmd =
+  let gather graph explorer count =
+    let gs = or_die (Spec.parse_graph graph) in
+    let ex = or_die (Spec.parse_explorer gs explorer) in
+    let g = gs.Spec.g in
+    let n = Rv_graph.Port_graph.n g in
+    if count < 2 || count > n then begin
+      prerr_endline "rv: agent count must be between 2 and n";
+      exit 1
+    end;
+    let agents =
+      List.init count (fun i ->
+          let label = i + 1 in
+          let start = i * n / count in
+          {
+            Rv_sim.Gather.name = Printf.sprintf "agent%d" label;
+            label;
+            start;
+            step =
+              Rv_core.Schedule.to_instance
+                (Rv_core.Cheap.schedule_simultaneous ~label ~explorer:(ex ~start));
+          })
+    in
+    let e = Rv_experiments.Workload.e_of ex in
+    let out = Rv_sim.Gather.run ~g ~max_rounds:(4 * count * e) agents in
+    List.iter
+      (fun (m : Rv_sim.Gather.merge_event) ->
+        Printf.printf "round %4d: merged {%s}\n" m.Rv_sim.Gather.round
+          (String.concat ", " m.Rv_sim.Gather.members))
+      out.Rv_sim.Gather.merges;
+    match out.Rv_sim.Gather.gathered_round with
+    | Some r ->
+        Printf.printf "gathered %d agents in round %d (E = %d) at total cost %d\n" count r e
+          out.Rv_sim.Gather.total_cost
+    | None -> Printf.printf "no gathering within %d rounds\n" out.Rv_sim.Gather.rounds_run
+  in
+  let count = Arg.(value & opt int 4 & info [ "k"; "agents" ] ~doc:"Number of agents.") in
+  Cmd.v
+    (Cmd.info "gather" ~doc:"Gather k agents with merge-on-meet cheap-sim schedules")
+    Term.(const gather $ graph_arg $ explorer_arg $ count)
+
+(* dot *)
+
+let dot_cmd =
+  let dot graph =
+    let gs = or_die (Spec.parse_graph graph) in
+    print_string (Rv_graph.Dot.to_dot gs.Spec.g)
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"Emit Graphviz for a graph spec") Term.(const dot $ graph_arg)
+
+let () =
+  (* RV_DEBUG=1 surfaces per-meeting simulator events on stderr. *)
+  if Sys.getenv_opt "RV_DEBUG" <> None then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  let doc = "deterministic rendezvous in networks (Miller & Pelc, PODC 2014)" in
+  let info = Cmd.info "rv" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; explore_cmd; lb_cmd; exp_cmd; selftest_cmd; async_cmd; gather_cmd; dot_cmd ]))

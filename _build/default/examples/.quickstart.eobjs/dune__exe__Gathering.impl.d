@@ -1,0 +1,1 @@
+examples/gathering.ml: List Printf Rv_core Rv_explore Rv_graph Rv_sim String

@@ -1,0 +1,1 @@
+examples/mine_robots.ml: List Option Printf Rv_core Rv_explore Rv_graph Rv_sim

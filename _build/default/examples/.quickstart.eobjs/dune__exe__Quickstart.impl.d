@@ -1,0 +1,1 @@
+examples/quickstart.ml: Option Printf Rv_core Rv_explore Rv_graph Rv_sim

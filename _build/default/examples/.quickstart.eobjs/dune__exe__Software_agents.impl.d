@@ -1,0 +1,1 @@
+examples/software_agents.ml: Array List Printf Rv_core Rv_explore Rv_graph Rv_sim Rv_util

@@ -1,0 +1,1 @@
+examples/tradeoff_explorer.ml: Array Char List Printf Rv_core Rv_experiments Rv_explore Rv_graph String Sys

@@ -1,0 +1,55 @@
+(* Gathering: many agents, one meeting point.
+
+   Run with:  dune exec examples/gathering.exe
+
+   The paper studies two agents; gathering k > 2 agents is the natural
+   generalization it cites as related work (Section 1.4).  With the
+   merge-on-meet semantics of Rv_sim.Gather — agents that meet compare
+   labels and follow the smallest from then on — the simultaneous-start
+   Cheap schedule gathers everyone within the smallest label's single
+   exploration: agent l explores during rounds ((l-1)E, lE], so the
+   smallest label l_min sweeps the whole ring while every other agent is
+   still waiting, collecting the crew by round l_min * E. *)
+
+module Gather = Rv_sim.Gather
+module Sched = Rv_core.Schedule
+
+let () =
+  let n = 24 in
+  let g = Rv_graph.Ring.oriented n in
+  let e = n - 1 in
+  let explorer = Rv_explore.Ring_walk.clockwise ~n in
+  let crew = [ ("ant", 3, 0); ("bee", 7, 6); ("cat", 12, 11); ("dog", 19, 15); ("elk", 24, 21) ] in
+  Printf.printf "Oriented ring, n = %d (E = %d).  Crew of %d agents on cheap-sim:\n\n" n e
+    (List.length crew);
+  List.iter
+    (fun (name, label, start) ->
+      Printf.printf "  %-4s label %2d  starting at node %2d\n" name label start)
+    crew;
+  let agents =
+    List.map
+      (fun (name, label, start) ->
+        {
+          Gather.name;
+          label;
+          start;
+          step = Sched.to_instance (Rv_core.Cheap.schedule_simultaneous ~label ~explorer);
+        })
+      crew
+  in
+  let out = Gather.run ~g ~max_rounds:(10 * n) agents in
+  print_newline ();
+  List.iter
+    (fun (m : Gather.merge_event) ->
+      Printf.printf "  round %2d: merged {%s}\n" m.Gather.round
+        (String.concat ", " m.Gather.members))
+    out.Gather.merges;
+  print_newline ();
+  let l_min = List.fold_left (fun acc (_, l, _) -> min acc l) max_int crew in
+  (match out.Gather.gathered_round with
+  | Some r ->
+      Printf.printf "Gathered in round %d (within l_min * E = %d * %d = %d), cost %d traversals.\n"
+        r l_min e (l_min * e) out.Gather.total_cost
+  | None -> print_endline "BUG: no gathering");
+  print_endline "The smallest label pays the walking; everyone it picks up rides along,";
+  print_endline "so the cost is bounded by (1 + 2 + ... + k) partial sweeps — O(kE)."

@@ -1,0 +1,73 @@
+(* Mine robots: the introduction's motivating scenario.
+
+   Run with:  dune exec examples/mine_robots.exe
+
+   Two maintenance robots navigate a mine whose corridors form a 5x6 grid.
+   Corridor crossings carry no signs the robots can read (anonymous nodes),
+   but at each crossing one corridor is marked as "port 0" and the rest are
+   numbered clockwise (local port numbers).  Each robot has a map of the
+   mine with its own docking bay marked, so it can run a depth-first sweep
+   from any position: E = 2n - 2.
+
+   The robots' serial numbers (labels) break the symmetry.  We compare the
+   two ends of the paper's tradeoff on the same instance:
+     - Cheap: minimal battery use (cost <= 3E) but slow for large serials;
+     - Fast: meets within O(E log L) rounds at O(E log L) battery. *)
+
+module R = Rv_core.Rendezvous
+
+let rows = 5
+
+let cols = 6
+
+let describe g node =
+  Printf.sprintf "crossing (%d,%d)" (node / cols) (node mod cols)
+  ^ Printf.sprintf " [degree %d]" (Rv_graph.Port_graph.degree g node)
+
+let report g e name (outcome : Rv_sim.Sim.outcome) =
+  match outcome.Rv_sim.Sim.meeting_round with
+  | Some round ->
+      Printf.printf "  %-6s met at %-22s time %4d rounds (%.1f E)   battery %4d moves (%.1f E)\n"
+        name
+        (describe g (Option.get outcome.Rv_sim.Sim.meeting_node))
+        round
+        (float_of_int round /. float_of_int e)
+        outcome.Rv_sim.Sim.cost
+        (float_of_int outcome.Rv_sim.Sim.cost /. float_of_int e)
+  | None -> Printf.printf "  %-6s FAILED to meet — impossible per Propositions 2.1/2.2\n" name
+
+let () =
+  let g = Rv_graph.Grid.make ~rows ~cols in
+  let n = rows * cols in
+  let e = Rv_explore.Map_dfs.bound_returning ~n in
+  let explorer ~start = Rv_explore.Map_dfs.returning g ~start in
+  let space = 1024 in
+  (* serial-number space *)
+  let robot_a = { R.label = 458; start = Rv_graph.Grid.node ~cols 0 0; delay = 0 } in
+  let robot_b = { R.label = 871; start = Rv_graph.Grid.node ~cols 4 5; delay = 7 } in
+  Printf.printf "Mine: %dx%d corridor grid (n=%d crossings), DFS exploration E=%d.\n" rows
+    cols n e;
+  Printf.printf "Robot A: serial %d, docked at %s, wakes in round 1.\n" robot_a.R.label
+    (describe g robot_a.R.start);
+  Printf.printf "Robot B: serial %d, docked at %s, wakes in round %d.\n\n" robot_b.R.label
+    (describe g robot_b.R.start) (robot_b.R.delay + 1);
+  Printf.printf "Rendezvous (serial space L=%d):\n" space;
+  let cheap = R.run ~g ~explorer ~algorithm:R.Cheap ~space robot_a robot_b in
+  report g e "Cheap" cheap;
+  let fast = R.run ~g ~explorer ~algorithm:R.Fast ~space robot_a robot_b in
+  report g e "Fast" fast;
+  let fwr = R.run ~g ~explorer ~algorithm:(R.Fwr 2) ~space robot_a robot_b in
+  report g e "FWR(2)" fwr;
+  print_newline ();
+  Printf.printf "Proven worst-case bounds at L=%d, E=%d:\n" space e;
+  List.iter
+    (fun algo ->
+      Printf.printf "  %-10s time <= %7d   cost <= %6d\n" (R.name algo)
+        (R.proven_time_bound algo ~e ~space)
+        (R.proven_cost_bound algo ~e ~space))
+    [ R.Cheap; R.Fast; R.Fwr 2 ];
+  print_newline ();
+  print_endline "Note how Cheap's battery use stays near 3E while its time bound scales";
+  print_endline "with the serial space, and Fast trades battery for speed — Theorems 3.1";
+  print_endline "and 3.2 show neither side of that trade can be improved by more than a";
+  print_endline "constant factor."

@@ -1,0 +1,36 @@
+(* Quickstart: two agents meet on an oriented ring.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   The three ingredients of the paper's model:
+     1. an anonymous, port-labeled graph      (here: oriented ring, n = 16)
+     2. an exploration procedure with bound E (here: walk clockwise, E = n-1)
+     3. distinct labels from a space {1..L}   (here: 5 and 9 from L = 16)
+
+   Algorithm Fast then guarantees rendezvous in O(E log L) time and cost. *)
+
+module R = Rv_core.Rendezvous
+
+let () =
+  let n = 16 in
+  let g = Rv_graph.Ring.oriented n in
+  let explorer ~start =
+    ignore start;
+    (* the clockwise walk needs no map *)
+    Rv_explore.Ring_walk.clockwise ~n
+  in
+  let space = 16 in
+  let alice = { R.label = 5; start = 0; delay = 0 } in
+  let bob = { R.label = 9; start = 11; delay = 3 } in
+  let outcome = R.run ~g ~explorer ~algorithm:R.Fast ~space alice bob in
+  let e = n - 1 in
+  match outcome.Rv_sim.Sim.meeting_round with
+  | Some round ->
+      Printf.printf "Alice (label %d) and Bob (label %d) met at node %d.\n" alice.R.label
+        bob.R.label
+        (Option.get outcome.Rv_sim.Sim.meeting_node);
+      Printf.printf "  time: %d rounds   (proven bound: %d)\n" round
+        (R.proven_time_bound R.Fast ~e ~space);
+      Printf.printf "  cost: %d traversals (proven bound: %d)\n" outcome.Rv_sim.Sim.cost
+        (R.proven_cost_bound R.Fast ~e ~space)
+  | None -> print_endline "BUG: no rendezvous — this contradicts Proposition 2.2"

@@ -1,0 +1,94 @@
+(* Tradeoff explorer: walk the time/cost curve of Corollary 2.1.
+
+   Run with:  dune exec examples/tradeoff_explorer.exe [L]
+
+   For a chosen label space L, FastWithRelabeling(w) interpolates between
+   the two extremes the paper proves optimal:
+     w = 1        -> the Cheap end: cost Theta(E), time Theta(EL)
+     w = log2 L   -> the Fast end:  cost and time Theta(E log L)
+   Intermediate constant w gives cost O(E) with time O(L^(1/w) E) — the
+   separation result of Section 1.3 (beating Cheap's time at Cheap-like
+   cost, which Theorem 3.1 shows is impossible at cost E + o(E)).
+
+   The table below is measured on an oriented ring with simultaneous start;
+   an ASCII scatter sketches the curve. *)
+
+module R = Rv_core.Rendezvous
+
+let measure ~g ~n ~space algorithm =
+  let explorer ~start =
+    ignore start;
+    Rv_explore.Ring_walk.clockwise ~n
+  in
+  let pairs = Rv_experiments.Workload.sample_pairs ~space ~max_pairs:8 in
+  match
+    Rv_experiments.Workload.worst_for ~g ~algorithm ~space ~explorer ~pairs
+      ~positions:`Fixed_first ~delays:[ (0, 0) ] ()
+  with
+  | Ok tc -> tc
+  | Error msg -> failwith msg
+
+let () =
+  let space = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 128 in
+  let n = 16 in
+  let g = Rv_graph.Ring.oriented n in
+  let e = n - 1 in
+  let log2_space = int_of_float (ceil (log (float_of_int space) /. log 2.0)) in
+  Printf.printf "Time/cost tradeoff on the oriented ring (n=%d, E=%d), L=%d:\n\n" n e space;
+  Printf.printf "  %-22s %10s %10s %10s %10s\n" "algorithm" "time" "time/E" "cost" "cost/E";
+  let points =
+    List.map
+      (fun (name, algo) ->
+        let t, c = measure ~g ~n ~space algo in
+        Printf.printf "  %-22s %10d %10.1f %10d %10.1f\n" name t
+          (float_of_int t /. float_of_int e)
+          c
+          (float_of_int c /. float_of_int e);
+        (name, t, c))
+      ([ ("cheap-sim", R.Cheap_simultaneous) ]
+      @ List.init log2_space (fun i ->
+            (Printf.sprintf "fwr-sim w=%d" (i + 1), R.Fwr_simultaneous (i + 1)))
+      @ [ ("fast-sim", R.Fast_simultaneous) ])
+  in
+  (* ASCII scatter: x = log10 time, y = cost/E. *)
+  let width = 64 and height = 14 in
+  let canvas = Array.make_matrix height width ' ' in
+  let tmin, tmax =
+    List.fold_left
+      (fun (lo, hi) (_, t, _) -> (min lo (float_of_int t), max hi (float_of_int t)))
+      (infinity, neg_infinity) points
+  in
+  let cmin, cmax =
+    List.fold_left
+      (fun (lo, hi) (_, _, c) -> (min lo (float_of_int c), max hi (float_of_int c)))
+      (infinity, neg_infinity) points
+  in
+  let lt x = log10 x in
+  List.iteri
+    (fun i (_, t, c) ->
+      let x =
+        int_of_float
+          ((lt (float_of_int t) -. lt tmin) /. (lt tmax -. lt tmin +. 1e-9)
+          *. float_of_int (width - 1))
+      in
+      let y =
+        int_of_float
+          ((float_of_int c -. cmin) /. (cmax -. cmin +. 1e-9) *. float_of_int (height - 1))
+      in
+      let mark =
+        if i = 0 then 'C' (* cheap *)
+        else if i = List.length points - 1 then 'F' (* fast *)
+        else Char.chr (Char.code '1' + (i - 1) mod 9)
+      in
+      canvas.(height - 1 - y).(x) <- mark)
+    points;
+  Printf.printf "\n  cost\n";
+  Array.iter
+    (fun row ->
+      print_string "  |";
+      print_string (String.init width (fun i -> row.(i)));
+      print_newline ())
+    canvas;
+  Printf.printf "  +%s-> time (log scale)\n" (String.make width '-');
+  Printf.printf "\n  C = cheap-sim, digits = fwr-sim w, F = fast-sim.\n";
+  Printf.printf "  The knee of the curve is where constant-w relabeling beats both endpoints.\n"

@@ -1,0 +1,1 @@
+lib/async/async_model.ml: Array List Printf Rv_core Rv_explore Rv_graph

@@ -1,0 +1,1 @@
+lib/async/async_model.mli: Rv_core Rv_graph

@@ -1,0 +1,1 @@
+lib/async/async_ring.ml: Async_model List Rv_graph

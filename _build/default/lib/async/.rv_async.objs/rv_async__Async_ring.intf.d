@@ -1,0 +1,1 @@
+lib/async/async_ring.mli: Async_model

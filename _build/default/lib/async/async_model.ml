@@ -1,0 +1,94 @@
+module Pg = Rv_graph.Port_graph
+
+type verdict =
+  | Forced of int
+  | Evadable of { final_a : int; final_b : int }
+
+type report = {
+  node_meeting : verdict;
+  edge_meeting : verdict;
+  route_a : int list;
+  route_b : int list;
+}
+
+let route_of_schedule g ~start sched =
+  let rounds = Rv_core.Schedule.duration sched in
+  let step = Rv_core.Schedule.to_instance sched in
+  let pos = ref start and entry = ref None in
+  let nodes = ref [ start ] in
+  for _ = 1 to rounds do
+    let obs = { Rv_explore.Explorer.degree = Pg.degree g !pos; entry = !entry } in
+    match step obs with
+    | Rv_explore.Explorer.Wait -> entry := None
+    | Rv_explore.Explorer.Move p ->
+        let v, q = Pg.follow g !pos p in
+        pos := v;
+        entry := Some q;
+        nodes := v :: !nodes
+  done;
+  List.rev !nodes
+
+let adjacent g u v =
+  let d = Pg.degree g u in
+  let rec scan p = p < d && (Pg.neighbor g u p = v || scan (p + 1)) in
+  scan 0
+
+let check_route g route =
+  let rec walk = function
+    | u :: (v :: _ as rest) ->
+        if not (adjacent g u v) then
+          invalid_arg (Printf.sprintf "Async_model: %d -- %d is not an edge" u v);
+        walk rest
+    | [ _ ] -> ()
+    | [] -> invalid_arg "Async_model: empty route"
+  in
+  walk route
+
+(* Adversary-optimal meeting delay, as a game value on the (i, j) DAG.
+   [swap_escapes] distinguishes the strict node model (a simultaneous swap
+   of one edge avoids a meeting) from the relaxed edge model (the swap IS a
+   meeting). *)
+let game ~swap_escapes ra rb =
+  let la = Array.length ra - 1 and lb = Array.length rb - 1 in
+  let infinity_v = max_int in
+  let memo = Array.make_matrix (la + 1) (lb + 1) (-1) in
+  let rec value i j =
+    if memo.(i).(j) >= 0 then memo.(i).(j)
+    else begin
+      let best = ref 0 in
+      let consider v = if v > !best then best := v in
+      let plus1 v = if v = infinity_v then infinity_v else v + 1 in
+      if i = la && j = lb then best := infinity_v
+      else begin
+        (* Advance A alone. *)
+        if i < la then
+          consider (if ra.(i + 1) = rb.(j) then 1 else plus1 (value (i + 1) j));
+        (* Advance B alone. *)
+        if j < lb then
+          consider (if rb.(j + 1) = ra.(i) then 1 else plus1 (value i (j + 1)));
+        (* Simultaneous swap through a shared edge: never forced upon the
+           adversary, but in the node model it is an escape hatch. *)
+        if
+          swap_escapes && i < la && j < lb
+          && ra.(i) = rb.(j + 1)
+          && ra.(i + 1) = rb.(j)
+        then consider (plus1 (value (i + 1) (j + 1)))
+      end;
+      memo.(i).(j) <- !best;
+      !best
+    end
+  in
+  let v = value 0 0 in
+  if v = max_int then Evadable { final_a = ra.(la); final_b = rb.(lb) } else Forced v
+
+let analyze g ~route_a ~route_b =
+  check_route g route_a;
+  check_route g route_b;
+  let ra = Array.of_list route_a and rb = Array.of_list route_b in
+  if ra.(0) = rb.(0) then invalid_arg "Async_model.analyze: routes start at the same node";
+  {
+    node_meeting = game ~swap_escapes:true ra rb;
+    edge_meeting = game ~swap_escapes:false ra rb;
+    route_a;
+    route_b;
+  }

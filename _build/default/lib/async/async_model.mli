@@ -1,0 +1,53 @@
+(** The asynchronous execution model (paper, Section 1.4: "the agent
+    chooses the edge to traverse, but the adversary controls the speed of
+    the agent.  Under this assumption, rendezvous at a node cannot be
+    guaranteed even in very simple graphs.  Hence the rendezvous
+    requirement is relaxed to permit the agents to meet inside an edge.").
+
+    We use the standard event-based abstraction: each agent contributes a
+    {e route} (the sequence of edges its algorithm traverses — waiting is
+    meaningless when the adversary owns the clock, so waits are elided),
+    and the adversary chooses the interleaving of edge-completion events,
+    subject to fairness (an unfinished route eventually advances).  In this
+    abstraction:
+
+    - a {e node meeting} happens when an agent completes an edge into the
+      node currently occupied by the other agent;
+    - an {e edge meeting} (the relaxed kind) additionally happens when the
+      two agents' pending moves traverse the same edge in opposite
+      directions — whatever the speeds, they must cross inside it.
+
+    {!analyze} decides, by exhaustive search over interleavings, whether an
+    adversary can avoid each kind of meeting: if some interleaving reaches
+    the end of both routes (the agents then sit at their final nodes
+    forever, so terminal positions must also differ) without a meeting, the
+    algorithm fails in the asynchronous model.  Running it on [Cheap] and
+    [Fast] reproduces the paper's observation that the synchronous
+    algorithms' guarantees do not transfer. *)
+
+type verdict =
+  | Forced of int
+      (** every fair interleaving meets; the payload is the smallest number
+          of edge-completions after which a meeting is unavoidable along
+          the adversary's best play *)
+  | Evadable of { final_a : int; final_b : int }
+      (** some interleaving avoids all meetings; final parking nodes *)
+
+type report = {
+  node_meeting : verdict;  (** strict rendezvous-at-a-node *)
+  edge_meeting : verdict;  (** relaxed: crossings inside an edge count *)
+  route_a : int list;  (** the analyzed routes, as node sequences *)
+  route_b : int list;
+}
+
+val route_of_schedule :
+  Rv_graph.Port_graph.t -> start:int -> Rv_core.Schedule.t -> int list
+(** The node sequence (including the start) an agent's schedule traverses,
+    with waiting rounds elided. *)
+
+val analyze :
+  Rv_graph.Port_graph.t -> route_a:int list -> route_b:int list -> report
+(** Exhaustive interleaving search (memoized; O(|route_a| * |route_b|)
+    states).  Routes are node sequences whose consecutive nodes must be
+    adjacent; raises [Invalid_argument] otherwise, or if the starting nodes
+    coincide. *)

@@ -1,0 +1,14 @@
+let route ~n ~label ~start =
+  if n < 3 then invalid_arg "Async_ring.route: need n >= 3";
+  if label < 1 then invalid_arg "Async_ring.route: labels are >= 1";
+  if start < 0 || start >= n then invalid_arg "Async_ring.route: start out of range";
+  List.init ((label * n) + 1) (fun i -> (start + i) mod n)
+
+let analyze ~n ~label_a ~start_a ~label_b ~start_b =
+  if label_a = label_b then invalid_arg "Async_ring.analyze: labels must be distinct";
+  let g = Rv_graph.Ring.oriented n in
+  Async_model.analyze g
+    ~route_a:(route ~n ~label:label_a ~start:start_a)
+    ~route_b:(route ~n ~label:label_b ~start:start_b)
+
+let cost_bound ~n ~space = 2 * space * n

@@ -1,0 +1,33 @@
+(** A correct asynchronous rendezvous algorithm for oriented rings of known
+    size — the constructive counterpart to {!Async_model}'s negative results
+    (paper, Section 1.4: asynchronous rendezvous is the regime of [24, 29]).
+
+    Agent with label [l] walks [l * n] steps clockwise ([l] full loops) and
+    stops.  Claim: a {e node} meeting is forced under every adversarial
+    speed schedule.
+
+    Proof sketch (the invariant our event model makes exact): in the
+    interleaving game, after [i] moves of agent A and [j] moves of B their
+    clockwise offset is [(gap + j - i) mod n]; each event changes [i - j]
+    by exactly one, and over the whole run [i - j] travels from [0] to
+    [l_A * n - l_B * n], whose magnitude is at least [n] for distinct
+    labels.  A quantity moving by unit steps across a window of width [n]
+    visits every residue class mod [n], including [gap] — and
+    [i - j ≡ gap (mod n)] is precisely co-location.  Hence every maximal
+    adversary play contains a meeting state; evasion is impossible.
+
+    Cost is at most [(l_A + l_B) n <= 2 L n] edge traversals — within the
+    polynomial-cost regime of [29], with none of its generality (this is a
+    ring algorithm; the general-graph construction is far deeper). *)
+
+val route : n:int -> label:int -> start:int -> int list
+(** The node route ([label * n] clockwise steps from [start]).  Raises
+    [Invalid_argument] if [n < 3], [label < 1] or [start] out of range. *)
+
+val analyze :
+  n:int -> label_a:int -> start_a:int -> label_b:int -> start_b:int -> Async_model.report
+(** Run the evasion search on the two routes (distinct labels and starts
+    required; raises [Invalid_argument] otherwise). *)
+
+val cost_bound : n:int -> space:int -> int
+(** [2 * space * n]. *)

@@ -1,0 +1,1 @@
+lib/baselines/dlog.ml: Array List Printf Rv_core Rv_explore

@@ -1,0 +1,1 @@
+lib/baselines/dlog.mli: Rv_core

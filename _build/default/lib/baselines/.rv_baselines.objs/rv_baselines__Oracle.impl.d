@@ -1,0 +1,1 @@
+lib/baselines/oracle.ml: Rv_core

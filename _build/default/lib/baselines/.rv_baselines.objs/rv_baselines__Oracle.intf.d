@@ -1,0 +1,1 @@
+lib/baselines/oracle.mli: Rv_core Rv_explore

@@ -1,0 +1,1 @@
+lib/baselines/random_walk.ml: Printf Rv_explore Rv_sim Rv_util

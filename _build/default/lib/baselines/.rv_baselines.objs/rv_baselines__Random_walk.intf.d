@@ -1,0 +1,1 @@
+lib/baselines/random_walk.mli: Rv_explore Rv_graph Rv_util

@@ -1,0 +1,1 @@
+lib/baselines/token_ring.mli:

@@ -1,0 +1,45 @@
+module Ex = Rv_explore.Explorer
+module Sched = Rv_core.Schedule
+
+(* Sweep of the given radius: out clockwise, across to the far side, and
+   home — covers every node within ring-distance [radius] of the start and
+   ends where it began, in exactly [4 * radius] rounds. *)
+let sweep_explorer ~radius =
+  let walk =
+    List.init radius (fun _ -> 0)
+    @ List.init (2 * radius) (fun _ -> 1)
+    @ List.init radius (fun _ -> 0)
+  in
+  Ex.of_walk_factory
+    ~name:(Printf.sprintf "sweep%d" radius)
+    ~bound:(4 * radius)
+    (fun () -> walk)
+
+let padded_bits ~space ~label =
+  let bits = Rv_core.Label.transform label in
+  let m_max = Rv_core.Label.max_transformed_length ~space in
+  Array.append bits (Array.make (m_max - Array.length bits) false)
+
+let schedule ~n ~space ~label =
+  if n < 3 then invalid_arg "Dlog.schedule: need n >= 3";
+  Rv_core.Label.check ~space label;
+  let bits = padded_bits ~space ~label in
+  let rec phases i acc =
+    let radius = 1 lsl i in
+    let slot_rounds = 4 * radius in
+    let phase =
+      List.concat_map
+        (fun bit ->
+          if bit then [ Sched.Explore (sweep_explorer ~radius) ]
+          else [ Sched.Pause slot_rounds ])
+        (Array.to_list bits)
+    in
+    let acc = acc @ phase in
+    if radius >= (n + 1) / 2 then acc else phases (i + 1) acc
+  in
+  phases 0 []
+
+let time_bound ~n ~space ~distance =
+  ignore n;
+  let m_max = Rv_core.Label.max_transformed_length ~space in
+  16 * m_max * max 1 distance

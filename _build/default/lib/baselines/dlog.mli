@@ -1,0 +1,37 @@
+(** Distance-sensitive rendezvous on oriented rings, in the style of
+    Dessmark, Fraigniaud, Kowalski and Pelc [26] (paper, Section 1.4:
+    "tight upper and lower bounds of Theta(D log l) on the time of
+    rendezvous when agents start simultaneously, where D is the initial
+    distance").
+
+    The paper's own algorithms are distance-oblivious — [Cheap] and [Fast]
+    pay in units of [E ~ n] even when the agents start next to each other.
+    This baseline recovers [D]-sensitivity on oriented rings of known size
+    with simultaneous start, by doubling a sweep radius around the
+    transformed label:
+
+    phase [i = 0, 1, ..., ceil(log2 (n/2))]: for each position [b] of the
+    (padded) transformed label: if bit [b] is 1, sweep [2^i] clockwise,
+    [2^(i+1)] counterclockwise and [2^i] clockwise back (covering every
+    node within ring-distance [2^i] and returning home, [4 * 2^i] rounds);
+    otherwise wait [4 * 2^i] rounds.
+
+    All labels are padded to the same transformed length, so the two
+    agents' (phase, bit) slots stay aligned.  At the first differing bit,
+    one agent sweeps while the other waits at home; as soon as [2^i]
+    reaches the initial ring distance [D], that sweep covers the waiting
+    agent.  Time and cost are [O(D log L)] — the [D]-sensitive shape of
+    [26], traded against [Fast]'s generality (this construction needs the
+    orientation, the size, and simultaneous start). *)
+
+val schedule : n:int -> space:int -> label:int -> Rv_core.Schedule.t
+(** Raises [Invalid_argument] if [n < 3] or the label is outside
+    [{1..space}]. *)
+
+val time_bound : n:int -> space:int -> distance:int -> int
+(** The analysis bound: the meeting happens within the slot of the first
+    differing bit of the first phase with [2^i >= distance]; everything up
+    to and including that slot totals at most
+    [8 * 2^ceil(log2 distance) * (m_max + 1) * 4]... conservatively
+    [64 * distance * m_max] rounds, where [m_max] is the padded label
+    length.  Exposed for tests. *)

@@ -1,0 +1,7 @@
+let schedule ~my_label ~other_label ~explorer =
+  if my_label = other_label then invalid_arg "Oracle.schedule: labels must be distinct";
+  if my_label > other_label then [ Rv_core.Schedule.Explore explorer ] else []
+
+let proven_time ~e = e
+
+let proven_cost ~e = e

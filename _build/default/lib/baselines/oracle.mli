@@ -1,0 +1,24 @@
+(** The identity-oracle reduction (paper, Section 1.2): "if agents knew each
+    other's identities, then the smaller-labelled agent could stay idle,
+    while the other agent would try to find it.  In this case rendezvous
+    reduces to graph exploration."
+
+    This is the unreachable ideal the deterministic algorithms are measured
+    against: time and cost both at most [E] (plus the wake-up delay).  The
+    paper argues the oracle is unrealistic — agents are created independently
+    and know nothing about each other — which is exactly why the [L]-dependent
+    tradeoffs exist. *)
+
+val schedule :
+  my_label:Rv_core.Label.t ->
+  other_label:Rv_core.Label.t ->
+  explorer:Rv_explore.Explorer.t ->
+  Rv_core.Schedule.t
+(** The smaller label waits forever (empty schedule); the larger explores
+    once.  Raises [Invalid_argument] on equal labels. *)
+
+val proven_time : e:int -> int
+(** [e] (simultaneous start). *)
+
+val proven_cost : e:int -> int
+(** [e]. *)

@@ -1,0 +1,28 @@
+module Rng = Rv_util.Rng
+module Ex = Rv_explore.Explorer
+
+let instance ~seed =
+  let rng = Rng.create ~seed in
+  fun (obs : Ex.observation) -> Ex.Move (Rng.int rng obs.Ex.degree)
+
+let measure ~g ~start_a ~start_b ~trials ~seed ~max_rounds =
+  let times = ref [] and costs = ref [] in
+  let failure = ref None in
+  for trial = 0 to trials - 1 do
+    if !failure = None then begin
+      let out =
+        Rv_sim.Sim.run ~g ~max_rounds
+          { Rv_sim.Sim.start = start_a; delay = 0; step = instance ~seed:(seed + (2 * trial)) }
+          { Rv_sim.Sim.start = start_b; delay = 0; step = instance ~seed:(seed + (2 * trial) + 1) }
+      in
+      match out.Rv_sim.Sim.meeting_round with
+      | Some t ->
+          times := t :: !times;
+          costs := out.Rv_sim.Sim.cost :: !costs
+      | None ->
+          failure := Some (Printf.sprintf "trial %d exceeded %d rounds" trial max_rounds)
+    end
+  done;
+  match !failure with
+  | Some e -> Error e
+  | None -> Ok (Rv_util.Stats.summarize !times, Rv_util.Stats.summarize !costs)

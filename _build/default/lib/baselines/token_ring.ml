@@ -1,0 +1,66 @@
+type outcome =
+  | Met of { round : int; node : int; cost : int }
+  | Symmetric_tie
+
+type phase = Seek | Return | Stay
+
+type agent = {
+  start : int;
+  mutable pos : int;
+  mutable phase : phase;
+  mutable walked : int;  (* steps in the current phase *)
+  mutable d : int;  (* measured distance, once known *)
+  mutable moves : int;
+}
+
+let proven_time ~n = 2 * (n - 1)
+
+let proven_cost ~n = 3 * n
+
+let run ~n ~start_a ~start_b =
+  if n < 3 then invalid_arg "Token_ring.run: need n >= 3";
+  if start_a = start_b then invalid_arg "Token_ring.run: distinct starts required";
+  if start_a < 0 || start_a >= n || start_b < 0 || start_b >= n then
+    invalid_arg "Token_ring.run: start out of range";
+  let token_at pos = pos = start_a || pos = start_b in
+  let fresh start = { start; pos = start; phase = Seek; walked = 0; d = 0; moves = 0 } in
+  let a = fresh start_a and b = fresh start_b in
+  let step ag =
+    match ag.phase with
+    | Stay -> ()
+    | Seek ->
+        ag.pos <- (ag.pos + 1) mod n;
+        ag.moves <- ag.moves + 1;
+        ag.walked <- ag.walked + 1;
+        if token_at ag.pos then begin
+          (* The first token on the clockwise walk is the other agent's
+             start; its own token sits n steps away. *)
+          ag.d <- ag.walked;
+          ag.walked <- 0;
+          if ag.d < n - ag.d then ag.phase <- Stay else ag.phase <- Return
+        end
+    | Return ->
+        ag.pos <- ((ag.pos - 1) mod n + n) mod n;
+        ag.moves <- ag.moves + 1;
+        ag.walked <- ag.walked + 1;
+        if ag.walked = ag.d then ag.phase <- Stay
+  in
+  let result = ref None in
+  let horizon = 6 * n in
+  (try
+     for round = 1 to horizon do
+       step a;
+       step b;
+       if a.pos = b.pos then begin
+         result := Some (Met { round; node = a.pos; cost = a.moves + b.moves });
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  match !result with
+  | Some outcome -> outcome
+  | None ->
+      (* The only way the algorithm fails within the generous horizon is the
+         symmetric (antipodal) placement. *)
+      assert (n mod 2 = 0 && (start_b - start_a + n) mod n = n / 2);
+      Symmetric_tie

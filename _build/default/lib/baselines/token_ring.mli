@@ -1,0 +1,36 @@
+(** The token (pebble) model on oriented rings — the marking-capability
+    baseline (paper, Section 1.4, citing Kranakis, Krizanc, Santoro and
+    Sawchuk, "Mobile agent rendezvous in a ring", ICDCS 2003).
+
+    The paper's main model forbids marking nodes, and distinct labels are
+    then the {e only} symmetry breaker.  This module implements the classic
+    contrast: two {e anonymous, identical} agents that may each drop one
+    stationary token at their starting node.  On an oriented ring of known
+    size [n]:
+
+    + drop the token and walk clockwise until a token is found — the [d]
+      steps walked equal the clockwise distance to the other agent's start;
+    + if [d < n - d], stay put (at the other agent's start);
+    + if [d > n - d], walk back to the own start and stay;
+    + if [d = n - d], the placement is symmetric: both agents observe the
+      same [d], behave identically forever, and never meet — the classic
+      impossibility that labels (or randomization) are needed for.
+
+    Meeting happens by round [2 * max(d, n - d) <= 2(n - 1)] at total cost
+    [< 3n], with no labels at all: marking trades the paper's [L]-dependent
+    terms for a capability the main model rules out. *)
+
+type outcome =
+  | Met of { round : int; node : int; cost : int }
+  | Symmetric_tie  (** [n] even and the agents are antipodal *)
+
+val run : n:int -> start_a:int -> start_b:int -> outcome
+(** Simulates the token algorithm (simultaneous start).  Raises
+    [Invalid_argument] if [n < 3], the starts coincide, or a start is out
+    of range. *)
+
+val proven_time : n:int -> int
+(** [2 * (n - 1)]. *)
+
+val proven_cost : n:int -> int
+(** [3 * n]: at most [d + 2 * max(d, n - d)] combined. *)

@@ -1,0 +1,1 @@
+lib/core/bounds.mli: Relabel Rv_util

@@ -1,0 +1,1 @@
+lib/core/cheap.ml: Rv_explore Schedule

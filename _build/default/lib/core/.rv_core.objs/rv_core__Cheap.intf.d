@@ -1,0 +1,1 @@
+lib/core/cheap.mli: Label Rv_explore Schedule

@@ -1,0 +1,1 @@
+lib/core/fast.ml: Array Label List Rv_util Schedule

@@ -1,0 +1,1 @@
+lib/core/fast.mli: Label Rv_explore Rv_util Schedule

@@ -1,0 +1,1 @@
+lib/core/fwr.ml: Array Fast Relabel Schedule

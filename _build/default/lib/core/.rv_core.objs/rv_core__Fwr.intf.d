@@ -1,0 +1,1 @@
+lib/core/fwr.mli: Label Relabel Rv_explore Schedule

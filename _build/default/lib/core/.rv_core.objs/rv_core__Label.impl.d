@@ -1,0 +1,1 @@
+lib/core/label.ml: Printf Rv_util

@@ -1,0 +1,1 @@
+lib/core/relabel.ml: Label Rv_util

@@ -1,0 +1,1 @@
+lib/core/relabel.mli: Label Rv_util

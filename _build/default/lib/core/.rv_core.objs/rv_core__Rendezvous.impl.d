@@ -1,0 +1,1 @@
+lib/core/rendezvous.ml: Bounds Cheap Fast Fwr Label Printf Relabel Rv_explore Rv_sim Schedule

@@ -1,0 +1,1 @@
+lib/core/rendezvous.mli: Label Rv_explore Rv_graph Rv_sim Schedule

@@ -1,0 +1,1 @@
+lib/core/unknown_e.ml: Cheap Fast Label List Printf Rv_explore Schedule

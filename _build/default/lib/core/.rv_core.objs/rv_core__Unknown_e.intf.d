@@ -1,0 +1,1 @@
+lib/core/unknown_e.mli: Rv_explore Schedule

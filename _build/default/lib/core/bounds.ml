@@ -1,0 +1,58 @@
+module Bitseq = Rv_util.Bitseq
+
+let floor_log2 n =
+  if n < 1 then invalid_arg "Bounds.floor_log2: n must be >= 1";
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n / 2) in
+  go 0 n
+
+let cheap_cost e = 3 * e
+
+let cheap_time_pair ~e ~smaller_label = ((2 * smaller_label) + 3) * e
+
+let cheap_time ~e ~space = ((2 * space) + 1) * e
+
+let cheap_sim_cost e = e
+
+let cheap_sim_time_pair ~e ~smaller_label = smaller_label * e
+
+let fast_time ~e ~space =
+  if space < 2 then invalid_arg "Bounds.fast_time: need space >= 2";
+  ((4 * floor_log2 (max 1 (space - 1))) + 9) * e
+
+let fast_cost ~e ~space =
+  if space < 2 then invalid_arg "Bounds.fast_cost: need space >= 2";
+  ((8 * floor_log2 (max 1 (space - 1))) + 18) * e
+
+let first_difference a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la && i >= lb then invalid_arg "Bounds.first_difference: equal strings"
+    else if i >= la || i >= lb then i + 1
+    else if a.(i) <> b.(i) then i + 1
+    else go (i + 1)
+  in
+  go 0
+
+let fast_time_pair ~e ~label_a ~label_b =
+  let j = first_difference (Label.transform label_a) (Label.transform label_b) in
+  ((2 * j) + 1) * e
+
+let fast_sim_time_pair ~e ~label_a ~label_b =
+  let j = first_difference (Label.transform label_a) (Label.transform label_b) in
+  j * e
+
+let fwr_time ~e ~(scheme : Relabel.scheme) = ((4 * scheme.t) + 5) * e
+
+let fwr_cost_general ~e ~(scheme : Relabel.scheme) = 2 * ((2 * scheme.weight) + 1) * e
+
+let fwr_sim_cost ~e ~(scheme : Relabel.scheme) = 2 * scheme.weight * e
+
+let fwr_sim_time_pair ~e ~scheme ~label_a ~label_b =
+  let j =
+    first_difference (Relabel.apply scheme label_a) (Relabel.apply scheme label_b)
+  in
+  j * e
+
+let corollary_time_constant_w ~e ~space ~w =
+  let t_bound = float_of_int w *. (float_of_int space ** (1.0 /. float_of_int w)) in
+  (((4 * int_of_float (ceil t_bound)) + 5) * e)

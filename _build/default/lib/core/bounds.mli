@@ -1,0 +1,65 @@
+(** Closed-form performance bounds proven in the paper — the oracles that
+    the test-suite and the experiment harness check measurements against.
+
+    All formulas take the exploration bound [e] ([E] in the paper) and
+    return round or traversal counts. *)
+
+(** {1 Proposition 2.1 — Algorithm Cheap} *)
+
+val cheap_cost : int -> int
+(** [cheap_cost e = 3e]. *)
+
+val cheap_time_pair : e:int -> smaller_label:int -> int
+(** [(2l + 3) e] for smaller label [l]. *)
+
+val cheap_time : e:int -> space:int -> int
+(** Worst case over the space: [(2L + 1) e]. *)
+
+val cheap_sim_cost : int -> int
+(** Simultaneous start: exactly [e] in the worst case (upper bound). *)
+
+val cheap_sim_time_pair : e:int -> smaller_label:int -> int
+(** [l * e]. *)
+
+(** {1 Proposition 2.2 — Algorithm Fast} *)
+
+val fast_time : e:int -> space:int -> int
+(** [(4 * floor (log2 (L - 1)) + 9) e] for [L >= 2]. *)
+
+val fast_cost : e:int -> space:int -> int
+(** [(8 * floor (log2 (L - 1)) + 18) e]. *)
+
+val fast_time_pair : e:int -> label_a:int -> label_b:int -> int
+(** The per-pair bound from the proof: [(2j + 1) e], where [j] is the first
+    (1-based) index at which the transformed labels differ. *)
+
+val fast_sim_time_pair : e:int -> label_a:int -> label_b:int -> int
+(** Simultaneous variant: [j * e]. *)
+
+(** {1 Proposition 2.3 / Corollary 2.1 — FastWithRelabeling} *)
+
+val fwr_time : e:int -> scheme:Relabel.scheme -> int
+(** [(4t + 5) e]. *)
+
+val fwr_cost_general : e:int -> scheme:Relabel.scheme -> int
+(** Delay-tolerant variant: each agent explores at most [2w + 1] times, so
+    [2 (2w + 1) e] combined. *)
+
+val fwr_sim_cost : e:int -> scheme:Relabel.scheme -> int
+(** Simultaneous variant: [2 w e] combined (the paper's accounting). *)
+
+val fwr_sim_time_pair : e:int -> scheme:Relabel.scheme -> label_a:int -> label_b:int -> int
+(** [j * e] with [j] the first differing index of the relabeled strings. *)
+
+val corollary_time_constant_w : e:int -> space:int -> w:int -> int
+(** Corollary 2.1: [(4 w L^(1/w) + 5) e], the [O(L^(1/w) E)] time bound. *)
+
+(** {1 Helpers} *)
+
+val first_difference : Rv_util.Bitseq.t -> Rv_util.Bitseq.t -> int
+(** 1-based index of the first differing position of two bit strings (a
+    shorter string is padded conceptually by "absent", which differs from
+    any bit).  Raises [Invalid_argument] if the strings are equal. *)
+
+val floor_log2 : int -> int
+(** [floor (log2 n)] for [n >= 1]. *)

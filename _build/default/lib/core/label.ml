@@ -1,0 +1,26 @@
+module Bitseq = Rv_util.Bitseq
+
+type t = int
+
+let check ~space l =
+  if l < 1 || l > space then
+    invalid_arg (Printf.sprintf "Label.check: label %d outside {1..%d}" l space)
+
+let binary l =
+  if l < 1 then invalid_arg "Label.binary: labels are >= 1";
+  Bitseq.of_int l
+
+let transform l =
+  Bitseq.append_bits (Bitseq.double_each (binary l)) [ false; true ]
+
+let bitlength l =
+  let rec go acc n = if n = 0 then acc else go (acc + 1) (n lsr 1) in
+  go 0 l
+
+let transformed_length l =
+  if l < 1 then invalid_arg "Label.transformed_length: labels are >= 1";
+  (2 * bitlength l) + 2
+
+let max_transformed_length ~space =
+  if space < 1 then invalid_arg "Label.max_transformed_length: empty space";
+  transformed_length space

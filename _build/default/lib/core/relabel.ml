@@ -1,0 +1,15 @@
+module Combinat = Rv_util.Combinat
+
+type scheme = { space : int; weight : int; t : int }
+
+let scheme ~space ~weight =
+  if weight < 1 then invalid_arg "Relabel.scheme: weight must be >= 1";
+  if space < 1 then invalid_arg "Relabel.scheme: space must be >= 1";
+  { space; weight; t = Combinat.min_t_for ~w:weight ~count:space }
+
+let apply s l =
+  Label.check ~space:s.space l;
+  Combinat.subset_of_rank ~t:s.t ~w:s.weight ~rank:(l - 1)
+
+let t_upper_bound_constant_w ~space ~w =
+  int_of_float (ceil (float_of_int w *. (float_of_int space ** (1.0 /. float_of_int w))))

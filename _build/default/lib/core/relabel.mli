@@ -1,0 +1,25 @@
+(** The relabeling of [FastWithRelabeling(w)] (paper, Section 2).
+
+    For a weight function [w], let [t] be the smallest integer with
+    [C(t, w) >= L].  Agent [X] is assigned the lexicographically
+    [l_X]-th smallest [w]-subset of [{1..t}]; its new label is the [t]-bit
+    characteristic string of that subset.  Distinct old labels map to
+    distinct fixed-length, fixed-weight strings. *)
+
+type scheme = {
+  space : int;  (** the original label space [L] *)
+  weight : int;  (** [w(L)] *)
+  t : int;  (** string length: minimal with [C(t, weight) >= space] *)
+}
+
+val scheme : space:int -> weight:int -> scheme
+(** Raises [Invalid_argument] if [weight < 1] or [space < 1]. *)
+
+val apply : scheme -> Label.t -> Rv_util.Bitseq.t
+(** New label of the agent with the given old label; length [t], weight
+    [weight].  Raises [Invalid_argument] if the label is outside
+    [{1..space}]. *)
+
+val t_upper_bound_constant_w : space:int -> w:int -> int
+(** The paper's estimate [t <= w * L^(1/w)] (proof of Corollary 2.1),
+    rounded up; tests check [scheme.t] against it. *)

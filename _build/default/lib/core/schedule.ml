@@ -1,0 +1,69 @@
+module Ex = Rv_explore.Explorer
+
+type step = Explore of Ex.t | Pause of int
+
+type t = step list
+
+let duration t =
+  List.fold_left
+    (fun acc -> function Explore e -> acc + e.Ex.bound | Pause k -> acc + k)
+    0 t
+
+let traversal_budget t =
+  List.fold_left
+    (fun acc -> function Explore e -> acc + e.Ex.bound | Pause _ -> acc)
+    0 t
+
+let explorations t =
+  List.fold_left (fun acc -> function Explore _ -> acc + 1 | Pause _ -> acc) 0 t
+
+type cursor =
+  | Idle
+  | Pausing of int  (* rounds left to wait *)
+  | Exploring of Ex.instance * int  (* live instance, rounds left *)
+
+let to_instance t =
+  let remaining = ref t in
+  let cursor = ref Idle in
+  let rec step obs =
+    match !cursor with
+    | Exploring (inst, left) when left > 0 ->
+        cursor := Exploring (inst, left - 1);
+        inst obs
+    | Pausing left when left > 0 ->
+        cursor := Pausing (left - 1);
+        Ex.Wait
+    | Idle | Exploring (_, _) | Pausing _ -> (
+        (* Current step exhausted (or none yet): advance. *)
+        match !remaining with
+        | [] -> Ex.Wait
+        | Pause k :: rest ->
+            remaining := rest;
+            cursor := Pausing k;
+            step obs
+        | Explore e :: rest ->
+            remaining := rest;
+            if e.Ex.bound = 0 then step obs
+            else begin
+              cursor := Exploring (e.Ex.fresh (), e.Ex.bound);
+              step obs
+            end)
+  in
+  step
+
+let repeat k t =
+  if k < 1 then invalid_arg "Schedule.repeat: k must be >= 1";
+  List.concat (List.init k (fun _ -> t))
+
+let blocks ~explorer pattern =
+  List.map
+    (fun active ->
+      if active then Explore explorer else Pause explorer.Ex.bound)
+    pattern
+
+let pp fmt t =
+  List.iter
+    (function
+      | Explore e -> Format.fprintf fmt "explore[%s,%d] " e.Ex.name e.Ex.bound
+      | Pause k -> Format.fprintf fmt "pause[%d] " k)
+    t

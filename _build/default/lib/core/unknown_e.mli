@@ -1,0 +1,49 @@
+(** Rendezvous without a known exploration bound (paper, Conclusion).
+
+    When no upper bound on the graph size is known, each algorithm is
+    iterated with [EXPLORE = EXPLORE_i] and [E = E_i] in iteration [i],
+    where [EXPLORE_i] explores any graph of size at most [2^i].  Iterations
+    proceed until rendezvous, which is guaranteed once [2^i] reaches the
+    actual graph size; because the [E_i] grow geometrically, the total time
+    and cost telescope to within a constant factor of the final iteration's.
+
+    The schedule produced here is the finite concatenation of the first
+    [iterations] iterations — callers choose enough iterations for the
+    graphs they run on (the simulator flags non-meeting as an error, so an
+    insufficient choice is loud, not silent). *)
+
+val schedule :
+  make:(explorer:Rv_explore.Explorer.t -> Schedule.t) ->
+  pad:(Rv_explore.Explorer.t -> int) option ->
+  explorers:Rv_explore.Explorer.t list ->
+  Schedule.t
+(** [schedule ~make ~pad ~explorers] concatenates [make ~explorer:e_i] for
+    each iteration explorer, in order.  [pad e_i] (when given) is a target
+    duration for iteration [i]; shorter iterations get a trailing wait.
+    Padding to a label-independent duration keeps the two agents'
+    iterations aligned — without it, label-dependent iteration lengths
+    desynchronize the agents in ways the single-iteration proofs do not
+    cover (see DESIGN.md). *)
+
+val cheap : space:int -> label:int -> explorers:Rv_explore.Explorer.t list -> Schedule.t
+(** Iterated Algorithm [Cheap], padded per iteration to [(2 * space + 2) * E_i]
+    (the worst duration over the label space). *)
+
+val fast : space:int -> label:int -> explorers:Rv_explore.Explorer.t list -> Schedule.t
+(** Iterated Algorithm [Fast], padded per iteration to
+    [(2 * max_transformed_length + 1) * E_i]. *)
+
+val ring_explorer_family : iterations:int -> Rv_explore.Explorer.t list
+(** The family for rings when only size is unknown: iteration [i] walks
+    clockwise for [E_i = 2^i - 1] rounds (the exploration procedure for
+    rings of size [<= 2^i]; on a larger ring it covers only a segment,
+    exactly like a size-limited UXS). *)
+
+val uxs_explorer_family :
+  seed:int -> iterations:int -> (Rv_explore.Explorer.t list, string) result
+(** The general family: iteration [i] replays a corpus-verified UXS for
+    graphs of size [<= 2^i] (see {!Rv_explore.Uxs}); [E_i] is the sequence
+    length.  Construction can fail (seed search exhaustion). *)
+
+val iterations_needed : n:int -> int
+(** Smallest [i] with [2^i >= n]. *)

@@ -1,0 +1,1 @@
+lib/experiments/exp_a.mli: Rv_util

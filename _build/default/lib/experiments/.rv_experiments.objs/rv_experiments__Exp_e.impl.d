@@ -1,0 +1,1 @@
+lib/experiments/exp_e.ml: List Printf Rv_core Rv_explore Rv_graph Rv_util Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_g.ml: List Printf Rv_lowerbound Rv_util

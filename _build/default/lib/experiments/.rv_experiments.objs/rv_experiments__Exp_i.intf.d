@@ -1,0 +1,1 @@
+lib/experiments/exp_i.mli: Rv_util

@@ -1,0 +1,1 @@
+lib/experiments/exp_j.mli: Rv_util

@@ -1,0 +1,1 @@
+lib/experiments/exp_k.ml: List Printf Rv_async Rv_core Rv_explore Rv_graph Rv_util

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Exp_a Exp_b Exp_c Exp_d Exp_e Exp_f Exp_g Exp_h Exp_i Exp_j Exp_k Exp_l Exp_m List Rv_util String

@@ -1,0 +1,1 @@
+lib/experiments/spec.ml: Printf Result Rv_core Rv_explore Rv_graph Rv_util String

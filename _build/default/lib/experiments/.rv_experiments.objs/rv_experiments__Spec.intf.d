@@ -1,0 +1,1 @@
+lib/experiments/spec.mli: Rv_core Rv_explore Rv_graph

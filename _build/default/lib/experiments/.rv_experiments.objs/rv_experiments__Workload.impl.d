@@ -1,0 +1,1 @@
+lib/experiments/workload.ml: List Printf Rv_core Rv_explore Rv_graph Rv_sim Rv_util

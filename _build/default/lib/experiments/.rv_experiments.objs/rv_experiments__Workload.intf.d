@@ -1,0 +1,1 @@
+lib/experiments/workload.mli: Rv_core Rv_explore Rv_graph Rv_sim

@@ -1,0 +1,12 @@
+(** EXP-A — the headline table (Propositions 2.1–2.3).
+
+    Worst-case time and cost of [Cheap], [Fast], [FWR(2)], [FWR(3)] on the
+    oriented ring, over adversarial starting positions, wake-up delays and
+    label pairs, against the proven bounds.  Expected shape: [Cheap]'s cost
+    stays within [3E] while its time scales with [L]; [Fast]'s time and
+    cost both scale with [log L]; [FWR] sits in between. *)
+
+val table : ?n:int -> ?spaces:int list -> unit -> Rv_util.Table.t
+
+val bench_kernel : unit -> unit
+(** A small, fixed-size run of the same computation, timed by Bechamel. *)

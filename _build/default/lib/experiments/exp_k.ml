@@ -1,0 +1,91 @@
+module Table = Rv_util.Table
+module Async = Rv_async.Async_model
+
+let verdict_cell = function
+  | Async.Forced k -> Printf.sprintf "forced (%d events)" k
+  | Async.Evadable _ -> "EVADED"
+
+let row ~g ~n name make (la, lb, gap) =
+  let route label start = Async.route_of_schedule g ~start (make label) in
+  let rep = Async.analyze g ~route_a:(route la 0) ~route_b:(route lb gap) in
+  ignore n;
+  [
+    name;
+    Printf.sprintf "%d vs %d, gap %d" la lb gap;
+    verdict_cell rep.Async.node_meeting;
+    verdict_cell rep.Async.edge_meeting;
+  ]
+
+let table ?(n = 8) () =
+  let g = Rv_graph.Ring.oriented n in
+  let explorer = Rv_explore.Ring_walk.clockwise ~n in
+  let cheap label = Rv_core.Cheap.schedule ~label ~explorer in
+  let fast label = Rv_core.Fast.schedule ~label ~explorer in
+  let configs = [ (1, 2, n / 2); (2, 5, 3); (3, 4, 1); (1, 6, n - 1) ] in
+  let head_on _label = [ Rv_core.Schedule.Explore explorer ] in
+  let head_on_ccw _label =
+    [ Rv_core.Schedule.Explore (Rv_explore.Ring_walk.counterclockwise ~n) ]
+  in
+  let special =
+    (* One clockwise, one counterclockwise explorer: the canonical pair that
+       can always dodge at nodes but must cross inside an edge. *)
+    let route_a = Async.route_of_schedule g ~start:0 (head_on 0) in
+    let route_b = Async.route_of_schedule g ~start:(n / 2) (head_on_ccw 0) in
+    let rep = Async.analyze g ~route_a ~route_b in
+    [
+      "head-on sweeps";
+      Printf.sprintf "cw vs ccw, gap %d" (n / 2);
+      verdict_cell rep.Async.node_meeting;
+      verdict_cell rep.Async.edge_meeting;
+    ]
+  in
+  let async_ring =
+    (* The constructive counterpart: label * n clockwise loops force a node
+       meeting under every schedule (Rv_async.Async_ring); verified here for
+       a sweep of pairs and the worst gap. *)
+    let forced = ref 0 and total = ref 0 and worst_events = ref 0 in
+    List.iter
+      (fun (la, lb, gap) ->
+        let rep = Rv_async.Async_ring.analyze ~n ~label_a:la ~start_a:0 ~label_b:lb ~start_b:gap in
+        incr total;
+        match rep.Async.node_meeting with
+        | Async.Forced k ->
+            incr forced;
+            worst_events := max !worst_events k
+        | Async.Evadable _ -> ())
+      configs;
+    [
+      "async-ring (l*n loops)";
+      Printf.sprintf "%d/%d configs forced" !forced !total;
+      Printf.sprintf "forced (worst %d events)" !worst_events;
+      "forced (node implies edge)";
+    ]
+  in
+  let rows =
+    List.map (row ~g ~n "cheap" cheap) configs
+    @ List.map (row ~g ~n "fast" fast) configs
+    @ [ special; async_ring ]
+  in
+  Table.make
+    ~title:
+      (Printf.sprintf
+         "EXP-K: synchronous algorithms under the asynchronous adversary (ring n=%d)" n)
+    ~headers:[ "algorithm"; "configuration"; "node meeting"; "edge meeting" ]
+    ~notes:
+      [
+        "EVADED = some speed schedule avoids the meeting; forced = unavoidable.";
+        "The head-on row shows the separation motivating the relaxed definition:";
+        "node meetings dodge-able, the edge crossing is not.  The async-ring row";
+        "is the constructive answer: l*n clockwise loops force a node meeting";
+        "under EVERY schedule (unit-step offset must sweep all residues mod n).";
+      ]
+    rows
+
+let bench_kernel () =
+  let n = 8 in
+  let g = Rv_graph.Ring.oriented n in
+  let explorer = Rv_explore.Ring_walk.clockwise ~n in
+  let route label start =
+    Async.route_of_schedule g ~start (Rv_core.Cheap.schedule ~label ~explorer)
+  in
+  ignore (Async.analyze g ~route_a:(route 1 0) ~route_b:(route 2 4))

@@ -1,0 +1,44 @@
+let catalog :
+    (string * (unit -> Rv_util.Table.t)) list =
+  [
+    ("EXP-A", fun () -> Exp_a.table ());
+    ("EXP-B", fun () -> Exp_b.table ());
+    ("EXP-C", fun () -> Exp_c.table ());
+    ("EXP-D", fun () -> Exp_d.table ());
+    ("EXP-E", fun () -> Exp_e.table ());
+    ("EXP-F", fun () -> Exp_f.table ());
+    ("EXP-G", fun () -> Exp_g.table_progress ());
+    ("EXP-G2", fun () -> Exp_g.table_chain ());
+    ("EXP-H", fun () -> Exp_h.table ());
+    ("EXP-I", fun () -> Exp_i.table ());
+    ("EXP-J", fun () -> Exp_j.table ());
+    ("EXP-K", fun () -> Exp_k.table ());
+    ("EXP-L", fun () -> Exp_l.table ());
+    ("EXP-M", fun () -> Exp_m.table ());
+  ]
+
+let all () = List.map (fun (id, f) -> (id, f ())) catalog
+
+let ids = List.map fst catalog
+
+let by_id id =
+  let target = String.uppercase_ascii id in
+  let target = if String.length target <= 2 then "EXP-" ^ target else target in
+  List.assoc_opt target catalog
+
+let kernels =
+  [
+    ("EXP-A", Exp_a.bench_kernel);
+    ("EXP-B", Exp_b.bench_kernel);
+    ("EXP-C", Exp_c.bench_kernel);
+    ("EXP-D", Exp_d.bench_kernel);
+    ("EXP-E", Exp_e.bench_kernel);
+    ("EXP-F", Exp_f.bench_kernel);
+    ("EXP-G", Exp_g.bench_kernel);
+    ("EXP-H", Exp_h.bench_kernel);
+    ("EXP-I", Exp_i.bench_kernel);
+    ("EXP-J", Exp_j.bench_kernel);
+    ("EXP-K", Exp_k.bench_kernel);
+    ("EXP-L", Exp_l.bench_kernel);
+    ("EXP-M", Exp_m.bench_kernel);
+  ]

@@ -1,0 +1,16 @@
+(** The full experiment suite: every table from the index in DESIGN.md,
+    in order.  [bench/main.exe] prints all of them and additionally times
+    each experiment's kernel with Bechamel; [bin/rv exp] prints selected
+    ones. *)
+
+val all : unit -> (string * Rv_util.Table.t) list
+(** [(experiment id, table)] pairs, full-size parameters. *)
+
+val by_id : string -> (unit -> Rv_util.Table.t) option
+(** Look up one experiment by id ("A".."H", case-insensitive; "G" yields
+    part (i), "G2" part (ii)). *)
+
+val ids : string list
+
+val kernels : (string * (unit -> unit)) list
+(** Small fixed-size kernels for wall-clock benchmarking. *)

@@ -1,0 +1,209 @@
+module Pg = Rv_graph.Port_graph
+module Rng = Rv_util.Rng
+
+type graph = {
+  spec : string;
+  g : Pg.t;
+  hamiltonian : int list option;
+  oriented_ring : bool;
+}
+
+let graph_forms =
+  [
+    "ring:N";
+    "scrambled-ring:N[:SEED]";
+    "path:N";
+    "star:N";
+    "tree:N[:SEED]";
+    "binary:DEPTH";
+    "grid:RxC";
+    "torus:RxC";
+    "hypercube:D";
+    "complete:N";
+    "wheel:N";
+    "petersen";
+    "lollipop:CLIQUE:TAIL";
+    "barbell:CLIQUE:BRIDGE";
+    "theta:LEN";
+    "random:N:EXTRA[:SEED]";
+    "file:PATH";
+  ]
+
+let explorer_forms = [ "auto"; "ring"; "dfs"; "dfs-nr"; "unmarked"; "euler"; "ham"; "uxs[:SEED]" ]
+
+let algorithm_forms = [ "cheap"; "cheap-sim"; "fast"; "fast-sim"; "fwr:W"; "fwr-sim:W" ]
+
+let int_of name s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: expected an integer, got %S" name s)
+
+let ( let* ) = Result.bind
+
+let dims s =
+  match String.split_on_char 'x' s with
+  | [ r; c ] ->
+      let* r = int_of "rows" r in
+      let* c = int_of "cols" c in
+      Ok (r, c)
+  | _ -> Error (Printf.sprintf "expected RxC, got %S" s)
+
+let plain g = Ok { spec = ""; g; hamiltonian = None; oriented_ring = false }
+
+let parse_graph spec =
+  let parts = String.split_on_char ':' spec in
+  let result =
+    try
+      match parts with
+      | [ "ring"; n ] ->
+          let* n = int_of "n" n in
+          Ok
+            {
+              spec;
+              g = Rv_graph.Ring.oriented n;
+              hamiltonian = Some (Rv_graph.Ring.clockwise_cycle n);
+              oriented_ring = true;
+            }
+      | "scrambled-ring" :: n :: rest ->
+          let* n = int_of "n" n in
+          let* seed = match rest with [] -> Ok 1 | [ s ] -> int_of "seed" s | _ -> Error "too many fields" in
+          plain (Rv_graph.Ring.scrambled (Rng.create ~seed) n)
+      | [ "path"; n ] ->
+          let* n = int_of "n" n in
+          plain (Rv_graph.Tree.path n)
+      | [ "star"; n ] ->
+          let* n = int_of "n" n in
+          plain (Rv_graph.Tree.star n)
+      | "tree" :: n :: rest ->
+          let* n = int_of "n" n in
+          let* seed = match rest with [] -> Ok 1 | [ s ] -> int_of "seed" s | _ -> Error "too many fields" in
+          plain (Rv_graph.Tree.random (Rng.create ~seed) n)
+      | [ "binary"; d ] ->
+          let* depth = int_of "depth" d in
+          plain (Rv_graph.Tree.full_binary ~depth)
+      | [ "grid"; d ] ->
+          let* rows, cols = dims d in
+          plain (Rv_graph.Grid.make ~rows ~cols)
+      | [ "torus"; d ] ->
+          let* rows, cols = dims d in
+          Ok
+            {
+              spec;
+              g = Rv_graph.Torus.make ~rows ~cols;
+              hamiltonian = Some (Rv_graph.Torus.hamiltonian_cycle ~rows ~cols);
+              oriented_ring = false;
+            }
+      | [ "hypercube"; d ] ->
+          let* dim = int_of "dim" d in
+          Ok
+            {
+              spec;
+              g = Rv_graph.Hypercube.make ~dim;
+              hamiltonian = Some (Rv_graph.Hypercube.hamiltonian_cycle ~dim);
+              oriented_ring = false;
+            }
+      | [ "complete"; n ] ->
+          let* n = int_of "n" n in
+          Ok
+            {
+              spec;
+              g = Rv_graph.Complete_graph.make n;
+              hamiltonian = Some (Rv_graph.Complete_graph.hamiltonian_cycle n);
+              oriented_ring = false;
+            }
+      | [ "wheel"; n ] ->
+          let* n = int_of "n" n in
+          plain (Rv_graph.Special.wheel n)
+      | [ "petersen" ] -> plain (Rv_graph.Special.petersen ())
+      | [ "lollipop"; c; t ] ->
+          let* clique = int_of "clique" c in
+          let* tail = int_of "tail" t in
+          plain (Rv_graph.Special.lollipop ~clique ~tail)
+      | [ "barbell"; c; b ] ->
+          let* clique = int_of "clique" c in
+          let* bridge = int_of "bridge" b in
+          plain (Rv_graph.Special.barbell ~clique ~bridge)
+      | [ "theta"; l ] ->
+          let* len = int_of "len" l in
+          plain (Rv_graph.Special.theta ~len)
+      | "file" :: path_parts ->
+          let path = String.concat ":" path_parts in
+          Result.bind (Rv_graph.Serial.read_file ~path) plain
+      | "random" :: n :: extra :: rest ->
+          let* n = int_of "n" n in
+          let* extra = int_of "extra" extra in
+          let* seed = match rest with [] -> Ok 1 | [ s ] -> int_of "seed" s | _ -> Error "too many fields" in
+          plain (Rv_graph.Random_graph.connected (Rng.create ~seed) ~n ~extra_edges:extra)
+      | _ ->
+          Error
+            (Printf.sprintf "unknown graph spec %S; accepted forms: %s" spec
+               (String.concat ", " graph_forms))
+    with Invalid_argument msg -> Error msg
+  in
+  Result.map (fun g -> { g with spec }) result
+
+let parse_explorer graph spec =
+  let g = graph.g in
+  let parts = String.split_on_char ':' spec in
+  try
+    match parts with
+    | [ "auto" ] ->
+        if graph.oriented_ring then
+          Ok (fun ~start -> ignore start; Rv_explore.Ring_walk.clockwise ~n:(Pg.n g))
+        else (
+          match graph.hamiltonian with
+          | Some cycle -> Ok (fun ~start -> Rv_explore.Ham_walk.make g ~cycle ~start)
+          | None ->
+              if Rv_graph.Euler.is_eulerian g then
+                Ok (fun ~start -> Rv_explore.Euler_walk.closed g ~start)
+              else Ok (fun ~start -> Rv_explore.Map_dfs.returning g ~start))
+    | [ "ring" ] ->
+        if graph.oriented_ring then
+          Ok (fun ~start -> ignore start; Rv_explore.Ring_walk.clockwise ~n:(Pg.n g))
+        else Error "explorer 'ring' needs an oriented ring"
+    | [ "dfs" ] -> Ok (fun ~start -> Rv_explore.Map_dfs.returning g ~start)
+    | [ "dfs-nr" ] -> Ok (fun ~start -> Rv_explore.Map_dfs.non_returning g ~start)
+    | [ "unmarked" ] -> Ok (fun ~start -> ignore start; Rv_explore.Unmarked_dfs.make g)
+    | [ "euler" ] ->
+        if Rv_graph.Euler.is_eulerian g then
+          Ok (fun ~start -> Rv_explore.Euler_walk.closed g ~start)
+        else Error "explorer 'euler' needs an Eulerian graph"
+    | [ "ham" ] -> (
+        match graph.hamiltonian with
+        | Some cycle -> Ok (fun ~start -> Rv_explore.Ham_walk.make g ~cycle ~start)
+        | None -> Error "explorer 'ham' needs a family with a Hamiltonian certificate")
+    | "uxs" :: rest -> (
+        let seed = match rest with [ s ] -> int_of_string_opt s | _ -> Some 42 in
+        match seed with
+        | None -> Error "uxs: bad seed"
+        | Some seed ->
+            let m = Pg.n g in
+            let corpus = g :: Rv_explore.Uxs.default_corpus ~size_bound:m in
+            Result.map
+              (fun u -> fun ~start -> ignore start; Rv_explore.Uxs_walk.make u)
+              (Rv_explore.Uxs.construct ~corpus ~size_bound:m ~seed ()))
+    | _ ->
+        Error
+          (Printf.sprintf "unknown explorer spec %S; accepted forms: %s" spec
+             (String.concat ", " explorer_forms))
+  with Invalid_argument msg -> Error msg
+
+let parse_algorithm spec =
+  let parts = String.split_on_char ':' spec in
+  match parts with
+  | [ "cheap" ] -> Ok Rv_core.Rendezvous.Cheap
+  | [ "cheap-sim" ] -> Ok Rv_core.Rendezvous.Cheap_simultaneous
+  | [ "fast" ] -> Ok Rv_core.Rendezvous.Fast
+  | [ "fast-sim" ] -> Ok Rv_core.Rendezvous.Fast_simultaneous
+  | [ "fwr"; w ] -> (
+      match int_of_string_opt w with
+      | Some w when w >= 1 -> Ok (Rv_core.Rendezvous.Fwr w)
+      | Some _ | None -> Error "fwr: weight must be a positive integer")
+  | [ "fwr-sim"; w ] -> (
+      match int_of_string_opt w with
+      | Some w when w >= 1 -> Ok (Rv_core.Rendezvous.Fwr_simultaneous w)
+      | Some _ | None -> Error "fwr-sim: weight must be a positive integer")
+  | _ ->
+      Error
+        (Printf.sprintf "unknown algorithm %S; accepted forms: %s" spec
+           (String.concat ", " algorithm_forms))

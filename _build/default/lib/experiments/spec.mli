@@ -1,0 +1,45 @@
+(** Textual specifications of graphs and exploration procedures, shared by
+    the [rv] command-line tool and tests.
+
+    Graph specs:
+    - ["ring:N"] — oriented ring
+    - ["scrambled-ring:N[:SEED]"] — ring with random port labels
+    - ["path:N"], ["star:N"], ["tree:N[:SEED]"], ["binary:DEPTH"]
+    - ["grid:RxC"], ["torus:RxC"], ["hypercube:D"]
+    - ["complete:N"], ["wheel:N"], ["petersen"]
+    - ["lollipop:CLIQUE:TAIL"], ["barbell:CLIQUE:BRIDGE"], ["theta:LEN"]
+    - ["random:N:EXTRA[:SEED]"] — random connected graph
+    - ["file:PATH"] — load a {!Rv_graph.Serial} text file
+
+    Explorer specs:
+    - ["auto"] — the natural procedure for the graph (oriented ring walk,
+      Hamiltonian walk, Euler walk, else marked-map DFS)
+    - ["ring"] — clockwise walk (oriented rings only)
+    - ["dfs"] / ["dfs-nr"] — marked-map DFS, returning / non-returning
+    - ["unmarked"] — try-each-DFS without a marked start
+    - ["euler"] — Eulerian circuit (Eulerian graphs only)
+    - ["ham"] — Hamiltonian walk (families with a known cycle)
+    - ["uxs[:SEED]"] — corpus-verified universal exploration sequence *)
+
+type graph = {
+  spec : string;
+  g : Rv_graph.Port_graph.t;
+  hamiltonian : int list option;  (** certificate, when the family has one *)
+  oriented_ring : bool;
+}
+
+val parse_graph : string -> (graph, string) result
+
+val parse_explorer :
+  graph -> string -> (start:int -> Rv_explore.Explorer.t, string) result
+
+val parse_algorithm : string -> (Rv_core.Rendezvous.algorithm, string) result
+(** ["cheap"], ["cheap-sim"], ["fast"], ["fast-sim"], ["fwr:W"],
+    ["fwr-sim:W"]. *)
+
+val graph_forms : string list
+(** Human-readable list of accepted graph forms (for [--help]). *)
+
+val explorer_forms : string list
+
+val algorithm_forms : string list

@@ -1,0 +1,107 @@
+module R = Rv_core.Rendezvous
+module Adv = Rv_sim.Adversary
+module Rng = Rv_util.Rng
+
+let all_ones_label ~space =
+  let rec grow candidate =
+    let next = (candidate * 2) + 1 in
+    if next <= space then grow next else candidate
+  in
+  grow 1
+
+let sample_pairs ~space ~max_pairs =
+  let all =
+    List.concat_map
+      (fun a ->
+        List.filter_map (fun b -> if a < b then Some (a, b) else None)
+          (List.init space (fun b -> b + 1)))
+      (List.init space (fun a -> a + 1))
+  in
+  if List.length all <= max_pairs then all
+  else begin
+    let ones = all_ones_label ~space in
+    let seeds =
+      [
+        (1, 2);
+        (1, space);
+        (space - 1, space);
+        (min ones (space - 1), space);
+        (1, ones);
+        (2, 3);
+        (space / 2, (space / 2) + 1);
+      ]
+    in
+    let seeds =
+      List.filter (fun (a, b) -> a >= 1 && b <= space && a < b) seeds
+      |> List.sort_uniq compare
+    in
+    let rng = Rng.create ~seed:0xA11 in
+    let extra = ref [] and count = ref (List.length seeds) in
+    while !count < max_pairs do
+      let a = 1 + Rng.int rng space and b = 1 + Rng.int rng space in
+      if a < b && (not (List.mem (a, b) seeds)) && not (List.mem (a, b) !extra) then begin
+        extra := (a, b) :: !extra;
+        incr count
+      end
+    done;
+    seeds @ List.rev !extra
+  end
+
+let worst_for ?model ~g ~algorithm ~space ~explorer ~pairs ~positions ~delays () =
+  let run_pair (la, lb) =
+    (* Positions vary inside the sweep, and map-based explorers need the
+       true start, so expand the position space here instead of going
+       through [Adversary.sweep], whose factories are blind to starts. *)
+    let expand =
+      match positions with
+      | `Pairs l -> l
+      | `Fixed_first -> List.init (Rv_graph.Port_graph.n g - 1) (fun i -> (0, i + 1))
+      | `All_pairs ->
+          let n = Rv_graph.Port_graph.n g in
+          List.concat_map
+            (fun a ->
+              List.filter_map (fun b -> if a <> b then Some (a, b) else None)
+                (List.init n (fun b -> b)))
+            (List.init n (fun a -> a))
+    in
+    let worst_t = ref 0 and worst_c = ref 0 in
+    let failure = ref None in
+    List.iter
+      (fun (pa, pb) ->
+        List.iter
+          (fun (da, db) ->
+            if !failure = None then begin
+              let out =
+                R.run ?model ~g ~explorer ~algorithm ~space
+                  { R.label = la; start = pa; delay = da }
+                  { R.label = lb; start = pb; delay = db }
+              in
+              match out.Rv_sim.Sim.meeting_round with
+              | Some t ->
+                  worst_t := max !worst_t t;
+                  worst_c := max !worst_c out.Rv_sim.Sim.cost
+              | None ->
+                  failure :=
+                    Some
+                      (Printf.sprintf
+                         "%s: no rendezvous (labels %d/%d, starts %d/%d, delays %d/%d)"
+                         (R.name algorithm) la lb pa pb da db)
+            end)
+          delays)
+      expand;
+    match !failure with None -> Ok (!worst_t, !worst_c) | Some e -> Error e
+  in
+  let rec over_pairs acc_t acc_c = function
+    | [] -> Ok (acc_t, acc_c)
+    | pair :: rest -> (
+        match run_pair pair with
+        | Ok (t, c) -> over_pairs (max acc_t t) (max acc_c c) rest
+        | Error e -> Error e)
+  in
+  over_pairs 0 0 pairs
+
+let ring_delays ~e =
+  let ds = List.sort_uniq compare [ 0; 1; e / 2; e; e + 1 ] in
+  List.map (fun d -> (0, d)) ds @ List.filter_map (fun d -> if d > 0 then Some (d, 0) else None) ds
+
+let e_of explorer = (explorer ~start:0).Rv_explore.Explorer.bound

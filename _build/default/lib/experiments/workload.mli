@@ -1,0 +1,35 @@
+(** Shared workload machinery for the experiment harness (see the
+    experiment index in DESIGN.md Section 5 and the per-experiment
+    modules [Exp_a] … [Exp_h]). *)
+
+val all_ones_label : space:int -> int
+(** The label [<= space] whose binary representation has maximum weight —
+    the worst case for Algorithm [Fast]'s cost. *)
+
+val sample_pairs : space:int -> max_pairs:int -> (int * int) list
+(** Distinct label pairs to sweep: deterministic adversarial picks (small
+    labels, extreme labels, the all-ones label) plus seeded random pairs,
+    capped at [max_pairs].  All pairs are returned when the space is small
+    enough. *)
+
+val worst_for :
+  ?model:Rv_sim.Sim.model ->
+  g:Rv_graph.Port_graph.t ->
+  algorithm:Rv_core.Rendezvous.algorithm ->
+  space:int ->
+  explorer:(start:int -> Rv_explore.Explorer.t) ->
+  pairs:(int * int) list ->
+  positions:Rv_sim.Adversary.position_space ->
+  delays:(int * int) list ->
+  unit ->
+  (int * int, string) result
+(** Worst [(time, cost)] over the cross product of label pairs, starting
+    positions and delays.  [Error] on any failed rendezvous. *)
+
+val ring_delays : e:int -> (int * int) list
+(** The adversarial delay set used by the delay-tolerant experiments:
+    0, 1, [E/2], [E], [E+1] in both orders. *)
+
+val e_of : (start:int -> Rv_explore.Explorer.t) -> int
+(** The declared bound of the supplied explorer family (queried at
+    [start:0]). *)

@@ -1,0 +1,1 @@
+lib/explore/bounds.ml: Array Explorer Printf Rv_graph

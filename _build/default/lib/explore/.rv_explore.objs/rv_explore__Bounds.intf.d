@@ -1,0 +1,1 @@
+lib/explore/bounds.mli: Explorer Rv_graph

@@ -1,0 +1,1 @@
+lib/explore/euler_walk.ml: Explorer Rv_graph

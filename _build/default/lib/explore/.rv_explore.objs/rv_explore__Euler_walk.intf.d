@@ -1,0 +1,1 @@
+lib/explore/euler_walk.mli: Explorer Rv_graph

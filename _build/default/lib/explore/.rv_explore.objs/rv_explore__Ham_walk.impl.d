@@ -1,0 +1,1 @@
+lib/explore/ham_walk.ml: Explorer Rv_graph

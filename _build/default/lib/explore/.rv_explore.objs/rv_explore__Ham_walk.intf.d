@@ -1,0 +1,1 @@
+lib/explore/ham_walk.mli: Explorer Rv_graph

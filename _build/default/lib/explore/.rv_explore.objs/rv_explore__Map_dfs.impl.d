@@ -1,0 +1,1 @@
+lib/explore/map_dfs.ml: Explorer Rv_graph

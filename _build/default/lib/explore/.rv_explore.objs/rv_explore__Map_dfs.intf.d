@@ -1,0 +1,1 @@
+lib/explore/map_dfs.mli: Explorer Rv_graph

@@ -1,0 +1,1 @@
+lib/explore/ring_walk.ml: Explorer

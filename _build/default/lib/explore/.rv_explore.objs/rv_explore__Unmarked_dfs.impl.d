@@ -1,0 +1,1 @@
+lib/explore/unmarked_dfs.ml: Explorer List Rv_graph

@@ -1,0 +1,1 @@
+lib/explore/unmarked_dfs.mli: Explorer Rv_graph

@@ -1,0 +1,1 @@
+lib/explore/uxs.ml: Array List Printf Rv_graph Rv_util

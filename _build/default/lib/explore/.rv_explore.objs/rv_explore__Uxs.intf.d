@@ -1,0 +1,1 @@
+lib/explore/uxs.mli: Rv_graph

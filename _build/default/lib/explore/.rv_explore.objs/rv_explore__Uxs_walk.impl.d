@@ -1,0 +1,1 @@
+lib/explore/uxs_walk.ml: Array Explorer Printf Uxs

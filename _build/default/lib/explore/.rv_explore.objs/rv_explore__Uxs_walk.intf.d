@@ -1,0 +1,1 @@
+lib/explore/uxs_walk.mli: Explorer Uxs

@@ -1,0 +1,107 @@
+module Pg = Rv_graph.Port_graph
+
+type sandbox = {
+  g : Pg.t;
+  mutable pos : int;
+  mutable entry : int option;
+  seen : bool array;
+  mutable remaining : int;
+}
+
+let sandbox g ~start =
+  let n = Pg.n g in
+  let seen = Array.make n false in
+  seen.(start) <- true;
+  { g; pos = start; entry = None; seen; remaining = n - 1 }
+
+let mark sb v =
+  if not sb.seen.(v) then begin
+    sb.seen.(v) <- true;
+    sb.remaining <- sb.remaining - 1
+  end
+
+(* One execution of [bound] rounds; returns the first covering round. *)
+let run_execution sb instance ~bound =
+  let cover = ref (if sb.remaining = 0 then Some 0 else None) in
+  let error = ref None in
+  (try
+     for r = 1 to bound do
+       let obs = { Explorer.degree = Pg.degree sb.g sb.pos; entry = sb.entry } in
+       match instance obs with
+       | Explorer.Wait -> sb.entry <- None
+       | Explorer.Move p ->
+           if p < 0 || p >= obs.degree then begin
+             error := Some (Printf.sprintf "invalid port %d at node %d (degree %d) in round %d"
+                              p sb.pos obs.degree r);
+             raise Exit
+           end;
+           let v, q = Pg.follow sb.g sb.pos p in
+           sb.pos <- v;
+           sb.entry <- Some q;
+           mark sb v;
+           if sb.remaining = 0 && !cover = None then cover := Some r
+     done
+   with Exit -> ());
+  match !error with Some e -> Error e | None -> Ok !cover
+
+let rounds_to_cover g ~start (t : Explorer.t) =
+  let sb = sandbox g ~start in
+  match run_execution sb (t.fresh ()) ~bound:t.bound with
+  | Error e -> Error (Printf.sprintf "%s: %s" t.name e)
+  | Ok (Some r) -> Ok r
+  | Ok None ->
+      Error
+        (Printf.sprintf "%s: started at node %d, coverage incomplete after %d rounds"
+           t.name start t.bound)
+
+let verify g ~make =
+  let n = Pg.n g in
+  let rec from_start s =
+    if s >= n then Ok ()
+    else
+      match rounds_to_cover g ~start:s (make ~start:s) with
+      | Ok _ -> from_start (s + 1)
+      | Error e -> Error e
+  in
+  from_start 0
+
+let verify_repeated g ~make ~executions =
+  let n = Pg.n g in
+  let rec from_start s =
+    if s >= n then Ok ()
+    else begin
+      let t = make ~start:s in
+      let sb = sandbox g ~start:s in
+      let rec exec k =
+        if k > executions then Ok ()
+        else begin
+          (* Reset coverage for this execution: only the current node counts
+             as initially visited. *)
+          Array.fill sb.seen 0 n false;
+          sb.seen.(sb.pos) <- true;
+          sb.remaining <- n - 1;
+          match run_execution sb (t.Explorer.fresh ()) ~bound:t.Explorer.bound with
+          | Error e -> Error (Printf.sprintf "%s (execution %d): %s" t.Explorer.name k e)
+          | Ok (Some _) -> exec (k + 1)
+          | Ok None ->
+              Error
+                (Printf.sprintf
+                   "%s: execution %d from tracked position %d incomplete after %d rounds"
+                   t.Explorer.name k sb.pos t.Explorer.bound)
+        end
+      in
+      match exec 1 with Ok () -> from_start (s + 1) | Error e -> Error e
+    end
+  in
+  from_start 0
+
+let worst g ~make =
+  let n = Pg.n g in
+  let rec from_start s acc =
+    if s >= n then Ok acc
+    else
+      match rounds_to_cover g ~start:s (make ~start:s) with
+      | Ok r -> from_start (s + 1) (max acc r)
+      | Error e -> Error e
+  in
+  from_start 0 0

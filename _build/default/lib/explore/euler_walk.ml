@@ -1,0 +1,30 @@
+module Pg = Rv_graph.Port_graph
+module Walk = Rv_graph.Walk
+module Euler = Rv_graph.Euler
+
+let require_eulerian g =
+  if not (Euler.is_eulerian g) then invalid_arg "Euler_walk: graph is not Eulerian"
+
+let closed g ~start =
+  require_eulerian g;
+  let e = Pg.num_edges g in
+  let position = ref start in
+  Explorer.of_walk_factory ~name:"euler" ~bound:e (fun () ->
+      (* The circuit is closed, so the tracked position never changes; it is
+         still threaded through for uniformity with the other walkers. *)
+      let from = !position in
+      let walk = Euler.circuit g ~start:from in
+      position := Walk.final g ~start:from walk;
+      walk)
+
+let truncated g ~start =
+  require_eulerian g;
+  let e = Pg.num_edges g in
+  let n = Pg.n g in
+  let bound = if n = 1 then 0 else e - 1 in
+  let position = ref start in
+  Explorer.of_walk_factory ~name:"euler-truncated" ~bound (fun () ->
+      let from = !position in
+      let walk = Euler.circuit_no_return g ~start:from in
+      position := Walk.final g ~start:from walk;
+      walk)

@@ -1,0 +1,13 @@
+(** Exploration along an Eulerian circuit (paper, Section 1.2: "if the
+    graph has an Eulerian cycle, then E can be taken as e - 1").
+
+    Requires an Eulerian map with marked start.  {!closed} follows the full
+    circuit ([e] moves, returning to the start — bound [E = e]);
+    {!truncated} stops once every node has been seen ([<= e - 1] moves, the
+    paper's bound), advancing the tracked position. *)
+
+val closed : Rv_graph.Port_graph.t -> start:int -> Explorer.t
+(** Raises [Invalid_argument] if the graph is not Eulerian. *)
+
+val truncated : Rv_graph.Port_graph.t -> start:int -> Explorer.t
+(** Raises [Invalid_argument] if the graph is not Eulerian. *)

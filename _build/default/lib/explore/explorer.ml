@@ -1,0 +1,40 @@
+type observation = { degree : int; entry : int option }
+
+type action = Wait | Move of int
+
+type instance = observation -> action
+
+type t = { name : string; bound : int; fresh : unit -> instance }
+
+let make ~name ~bound ~fresh =
+  if bound < 0 then invalid_arg "Explorer.make: negative bound";
+  { name; bound; fresh }
+
+let of_walk_factory ~name ~bound factory =
+  let fresh () =
+    let remaining = ref None in
+    fun (_ : observation) ->
+      let ports =
+        match !remaining with
+        | Some ports -> ports
+        | None ->
+            let walk = factory () in
+            if List.length walk > bound then
+              invalid_arg
+                (Printf.sprintf "Explorer %s: walk of %d ports exceeds bound %d" name
+                   (List.length walk) bound);
+            walk
+      in
+      match ports with
+      | [] ->
+          remaining := Some [];
+          Wait
+      | p :: rest ->
+          remaining := Some rest;
+          Move p
+  in
+  make ~name ~bound ~fresh
+
+let idle ~bound = make ~name:"idle" ~bound ~fresh:(fun () _ -> Wait)
+
+let rename name t = { t with name }

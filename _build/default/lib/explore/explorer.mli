@@ -1,0 +1,57 @@
+(** Exploration procedures as online automata.
+
+    The paper (Section 1.2) assumes both agents know an upper bound [E] on
+    exploration time together with a procedure [EXPLORE] that, started at
+    {e any} node, visits all nodes of the graph within [E] rounds; if it
+    finishes early it waits until exactly [E] rounds have elapsed.  All
+    three rendezvous algorithms treat [EXPLORE] as a black box with this
+    contract.
+
+    Because the network is anonymous, a procedure can only be an automaton
+    over what an agent can legally observe: on waking it sees the degree of
+    its node; after moving through a port it learns the degree of the new
+    node and the entry port.  An {!instance} is a stateful step function
+    called once per round with the current observation; a {!t} bundles the
+    declared bound [E] with a factory producing fresh instances — one per
+    execution of [EXPLORE].  Factories may share state across executions
+    (e.g. a tracked map position for map-based procedures), which is legal
+    agent memory.
+
+    The contract, verified for every implementation by {!Bounds}:
+    an instance is stepped exactly [bound] times; by the end, every node of
+    the graph has been visited at some round; actions with out-of-range
+    ports are errors. *)
+
+type observation = {
+  degree : int;  (** degree of the current node *)
+  entry : int option;
+      (** port through which the agent entered on the previous round's move;
+          [None] if the previous round was a wait or this is the first step
+          of the execution *)
+}
+
+type action = Wait | Move of int  (** [Move p] exits through port [p] *)
+
+type instance = observation -> action
+(** Stateful step function; call once per round. *)
+
+type t = private {
+  name : string;
+  bound : int;  (** the declared [E]: rounds per execution *)
+  fresh : unit -> instance;
+}
+
+val make : name:string -> bound:int -> fresh:(unit -> instance) -> t
+(** Raises [Invalid_argument] if [bound < 0]. *)
+
+val of_walk_factory : name:string -> bound:int -> (unit -> int list) -> t
+(** An explorer that replays a precomputed port walk (recomputed by the
+    factory at the start of each execution, so it can depend on tracked
+    position), then waits out the remaining rounds.  Raises
+    [Invalid_argument] at run time if a walk is longer than [bound]. *)
+
+val idle : bound:int -> t
+(** Waits for [bound] rounds.  Not a valid exploration (covers nothing);
+    used as a building block in tests and adversarial constructions. *)
+
+val rename : string -> t -> t

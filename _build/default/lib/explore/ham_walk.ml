@@ -1,0 +1,14 @@
+module Pg = Rv_graph.Port_graph
+module Walk = Rv_graph.Walk
+module Hamilton = Rv_graph.Hamilton
+
+let make g ~cycle ~start =
+  if not (Hamilton.check g cycle) then
+    invalid_arg "Ham_walk.make: invalid Hamiltonian cycle certificate";
+  let n = Pg.n g in
+  let position = ref start in
+  Explorer.of_walk_factory ~name:"hamiltonian" ~bound:(n - 1) (fun () ->
+      let from = !position in
+      let walk = Walk.from_cycle g ~cycle ~start:from in
+      position := Walk.final g ~start:from walk;
+      walk)

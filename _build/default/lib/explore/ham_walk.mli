@@ -1,0 +1,12 @@
+(** Exploration along a known Hamiltonian cycle: [E = n - 1] (paper,
+    Section 1.2: "if the graph has a Hamiltonian cycle, then E can be taken
+    as n - 1").
+
+    Requires a map with marked start and a cycle certificate.  Each
+    execution follows [n - 1] cycle edges from the tracked position, which
+    therefore advances one node backwards around the cycle per
+    execution. *)
+
+val make : Rv_graph.Port_graph.t -> cycle:int list -> start:int -> Explorer.t
+(** Raises [Invalid_argument] if the certificate fails
+    [Rv_graph.Hamilton.check]. *)

@@ -1,0 +1,24 @@
+module Pg = Rv_graph.Port_graph
+module Walk = Rv_graph.Walk
+
+let bound_returning ~n = (2 * n) - 2
+
+let bound_non_returning ~n = max 1 ((2 * n) - 3)
+
+let with_tracked_position ~name ~bound g ~start walk_of =
+  let position = ref start in
+  Explorer.of_walk_factory ~name ~bound (fun () ->
+      let from = !position in
+      let walk = walk_of from in
+      position := Walk.final g ~start:from walk;
+      walk)
+
+let returning g ~start =
+  let n = Pg.n g in
+  with_tracked_position ~name:"map-dfs" ~bound:(bound_returning ~n) g ~start
+    (fun from -> Walk.dfs g ~start:from)
+
+let non_returning g ~start =
+  let n = Pg.n g in
+  with_tracked_position ~name:"map-dfs-nr" ~bound:(bound_non_returning ~n) g ~start
+    (fun from -> Walk.dfs_no_return g ~start:from)

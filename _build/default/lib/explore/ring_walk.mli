@@ -1,0 +1,8 @@
+(** Optimal exploration of the oriented ring: walk clockwise (always take
+    port 0) for [n - 1] rounds — the [E = n - 1] benchmark of Section 3. *)
+
+val clockwise : n:int -> Explorer.t
+(** Raises [Invalid_argument] if [n < 3]. *)
+
+val counterclockwise : n:int -> Explorer.t
+(** Always take port 1; used by symmetry tests. *)

@@ -1,0 +1,61 @@
+module Pg = Rv_graph.Port_graph
+module Walk = Rv_graph.Walk
+
+let safe_bound ~n = 2 * n * ((2 * n) - 2)
+
+type mode = Forward | Retrace | Done
+
+let make ?bound g =
+  let n = Pg.n g in
+  let bound = match bound with Some b -> b | None -> safe_bound ~n in
+  let candidates = List.init n (fun s -> Walk.dfs g ~start:s) in
+  let fresh () =
+    let pending = ref candidates in
+    let current = ref [] in
+    let back = ref [] in
+    let mode = ref Retrace in
+    (* Start in Retrace with an empty stack: the first step immediately pops
+       the first candidate. *)
+    let forward_move_pending = ref false in
+    let rec decide (obs : Explorer.observation) =
+      match !mode with
+      | Done -> Explorer.Wait
+      | Forward -> (
+          match !current with
+          | p :: rest when p < obs.degree ->
+              current := rest;
+              forward_move_pending := true;
+              Explorer.Move p
+          | _ ->
+              (* Prescribed port unavailable, or walk finished: head home. *)
+              mode := Retrace;
+              decide obs)
+      | Retrace -> (
+          match !back with
+          | q :: rest ->
+              back := rest;
+              Explorer.Move q
+          | [] -> (
+              (* Back at the node where this execution began. *)
+              match !pending with
+              | [] ->
+                  mode := Done;
+                  Explorer.Wait
+              | walk :: rest ->
+                  pending := rest;
+                  current := walk;
+                  mode := Forward;
+                  decide obs))
+    in
+    fun obs ->
+      (* A forward move made last round deposited us through [obs.entry];
+         record it so we can retrace. *)
+      if !forward_move_pending then begin
+        forward_move_pending := false;
+        match obs.Explorer.entry with
+        | Some q -> back := q :: !back
+        | None -> assert false
+      end;
+      decide obs
+  in
+  Explorer.make ~name:"unmarked-dfs" ~bound ~fresh

@@ -1,0 +1,30 @@
+(** "Try each DFS" exploration with a port-labeled map but {e no} marked
+    starting position (paper, Section 1.2).
+
+    The agent identifies on the map, for every possible starting node, the
+    DFS traversal starting and ending there (a sequence of exit ports).
+    From its actual position it tries each candidate in turn: it follows the
+    prescribed ports, aborts the attempt when a prescribed port is not
+    available at the current node (observable from the degree), and
+    retraces its steps (through the recorded entry ports) back to the node
+    where the execution began.  The candidate corresponding to the true
+    starting node is a genuine DFS and visits every node.
+
+    The paper charges [E = n(2n - 2)] for this procedure, counting only the
+    forward walks; a faithful implementation must also pay for the
+    retracing, so the safe declared bound here is [2n(2n - 2)].  (The
+    difference is recorded in DESIGN.md; {!Bounds.worst} measures the exact
+    per-graph value.)
+
+    Note that an attempt can fail to abort (every prescribed port happens to
+    exist) while still not covering the graph; the procedure is correct
+    regardless because {e all} [n] candidates are executed within a single
+    [EXPLORE]. *)
+
+val make : ?bound:int -> Rv_graph.Port_graph.t -> Explorer.t
+(** [make g] uses the safe bound [2n(2n - 2)]; [?bound] overrides it (e.g.
+    with a measured exact value).  Raises [Invalid_argument] if the
+    override is smaller than a lower bound check at run time would need. *)
+
+val safe_bound : n:int -> int
+(** [2n(2n - 2)]. *)

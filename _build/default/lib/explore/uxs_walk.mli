@@ -1,0 +1,7 @@
+(** The explorer reading off a {!Uxs.t}: upon entering through port [q] at a
+    node of degree [d], exit through [(q + a_i) mod d].  The declared bound
+    is the sequence length; this is the only explorer requiring no map and
+    no marked start, mirroring the paper's weakest-knowledge scenario where
+    only an upper bound [m] on the graph size is known. *)
+
+val make : Uxs.t -> Explorer.t

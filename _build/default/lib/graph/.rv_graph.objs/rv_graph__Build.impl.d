@@ -1,0 +1,1 @@
+lib/graph/build.ml: Array List Port_graph Printf

@@ -1,0 +1,1 @@
+lib/graph/build.mli: Port_graph

@@ -1,0 +1,1 @@
+lib/graph/complete_graph.ml: Build List

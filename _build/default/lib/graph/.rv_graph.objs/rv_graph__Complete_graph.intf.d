@@ -1,0 +1,1 @@
+lib/graph/complete_graph.mli: Port_graph

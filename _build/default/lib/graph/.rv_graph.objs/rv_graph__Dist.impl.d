@@ -1,0 +1,1 @@
+lib/graph/dist.ml: Array List Port_graph Queue

@@ -1,0 +1,1 @@
+lib/graph/euler.ml: Array List Port_graph

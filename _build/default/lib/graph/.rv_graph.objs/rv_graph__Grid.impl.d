@@ -1,0 +1,1 @@
+lib/graph/grid.ml: Build List

@@ -1,0 +1,1 @@
+lib/graph/grid.mli: Port_graph

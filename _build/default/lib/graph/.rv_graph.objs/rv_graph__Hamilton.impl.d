@@ -1,0 +1,1 @@
+lib/graph/hamilton.ml: Array Port_graph

@@ -1,0 +1,1 @@
+lib/graph/hamilton.mli: Port_graph

@@ -1,0 +1,1 @@
+lib/graph/hypercube.ml: Build List

@@ -1,0 +1,1 @@
+lib/graph/hypercube.mli: Port_graph

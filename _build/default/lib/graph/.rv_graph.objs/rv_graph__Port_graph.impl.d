@@ -1,0 +1,1 @@
+lib/graph/port_graph.ml: Array Format Hashtbl List Printf Queue Rv_util

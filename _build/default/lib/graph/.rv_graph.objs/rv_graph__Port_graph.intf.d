@@ -1,0 +1,1 @@
+lib/graph/port_graph.mli: Format Rv_util

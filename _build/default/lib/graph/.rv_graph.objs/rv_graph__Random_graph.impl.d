@@ -1,0 +1,1 @@
+lib/graph/random_graph.ml: Array Build List Port_graph Rv_util Set

@@ -1,0 +1,1 @@
+lib/graph/random_graph.mli: Port_graph Rv_util

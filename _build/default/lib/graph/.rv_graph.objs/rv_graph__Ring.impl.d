@@ -1,0 +1,1 @@
+lib/graph/ring.ml: Build List Port_graph

@@ -1,0 +1,1 @@
+lib/graph/ring.mli: Port_graph Rv_util

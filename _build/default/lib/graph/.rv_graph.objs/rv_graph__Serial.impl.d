@@ -1,0 +1,1 @@
+lib/graph/serial.ml: Buffer Build Fun List Port_graph Printf String

@@ -1,0 +1,1 @@
+lib/graph/serial.mli: Port_graph

@@ -1,0 +1,1 @@
+lib/graph/spanning.ml: Array List Port_graph Queue

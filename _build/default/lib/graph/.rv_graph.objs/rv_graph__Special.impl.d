@@ -1,0 +1,1 @@
+lib/graph/special.ml: Build List

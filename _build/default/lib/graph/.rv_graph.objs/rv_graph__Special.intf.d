@@ -1,0 +1,1 @@
+lib/graph/special.mli: Port_graph

@@ -1,0 +1,1 @@
+lib/graph/torus.ml: Build List

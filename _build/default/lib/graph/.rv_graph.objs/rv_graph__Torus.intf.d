@@ -1,0 +1,1 @@
+lib/graph/torus.mli: Port_graph

@@ -1,0 +1,1 @@
+lib/graph/tree.ml: Build List Rv_util

@@ -1,0 +1,1 @@
+lib/graph/tree.mli: Port_graph Rv_util

@@ -1,0 +1,1 @@
+lib/graph/walk.ml: Array List Port_graph Printf

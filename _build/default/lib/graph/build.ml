@@ -1,0 +1,56 @@
+let of_edges ~n edges =
+  if n <= 0 then invalid_arg "Build.of_edges: n must be positive";
+  let buckets = Array.make n [] in
+  let add_endpoint u v =
+    (* Returns the port assigned to this endpoint. *)
+    let p = List.length buckets.(u) in
+    buckets.(u) <- buckets.(u) @ [ (v, -1) ];
+    p
+  in
+  let placements =
+    List.map
+      (fun (u, v) ->
+        if u < 0 || u >= n || v < 0 || v >= n then
+          invalid_arg "Build.of_edges: endpoint out of range";
+        if u = v then invalid_arg "Build.of_edges: self-loop";
+        let pu = add_endpoint u v in
+        let pv = add_endpoint v u in
+        (u, pu, v, pv))
+      edges
+  in
+  let adj = Array.map (fun l -> Array.of_list l) buckets in
+  List.iter
+    (fun (u, pu, v, pv) ->
+      adj.(u).(pu) <- (v, pv);
+      adj.(v).(pv) <- (u, pu))
+    placements;
+  Port_graph.create ~n adj
+
+let of_ports ~n quads =
+  if n <= 0 then invalid_arg "Build.of_ports: n must be positive";
+  let degree = Array.make n 0 in
+  List.iter
+    (fun (u, pu, v, pv) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Build.of_ports: endpoint out of range";
+      degree.(u) <- max degree.(u) (pu + 1);
+      degree.(v) <- max degree.(v) (pv + 1))
+    quads;
+  let adj = Array.init n (fun v -> Array.make degree.(v) (-1, -1)) in
+  List.iter
+    (fun (u, pu, v, pv) ->
+      if adj.(u).(pu) <> (-1, -1) || adj.(v).(pv) <> (-1, -1) then
+        invalid_arg "Build.of_ports: duplicate port assignment";
+      adj.(u).(pu) <- (v, pv);
+      adj.(v).(pv) <- (u, pu))
+    quads;
+  Array.iteri
+    (fun v row ->
+      Array.iteri
+        (fun p e ->
+          if e = (-1, -1) then
+            invalid_arg
+              (Printf.sprintf "Build.of_ports: node %d port %d unassigned" v p))
+        row)
+    adj;
+  Port_graph.create ~n adj

@@ -1,0 +1,19 @@
+(** Low-level constructor shared by all graph family builders.
+
+    Builders describe a simple undirected graph as an edge list; ports are
+    assigned at each node in edge-insertion order, which gives every family a
+    deterministic canonical port labeling.  Families that need a *specific*
+    labeling (e.g. the oriented ring, hypercubes with dimension ports) build
+    the adjacency structure directly with {!of_ports}. *)
+
+val of_edges : n:int -> (int * int) list -> Port_graph.t
+(** [of_edges ~n edges] assigns port numbers in insertion order: the i-th
+    edge incident to node [v] (in list order) uses the next free port of
+    [v].  Raises [Invalid_argument] on duplicate edges, self-loops,
+    out-of-range endpoints, or a disconnected result. *)
+
+val of_ports : n:int -> (int * int * int * int) list -> Port_graph.t
+(** [of_ports ~n quads] builds from explicit [(u, pu, v, pv)] quadruples:
+    the edge joins port [pu] of [u] to port [pv] of [v].  Port numbers at
+    each node must form a contiguous range [0..d-1].  Raises
+    [Invalid_argument] otherwise. *)

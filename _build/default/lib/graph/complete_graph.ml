@@ -1,0 +1,12 @@
+let make n =
+  if n < 3 then invalid_arg "Complete_graph.make: need n >= 3";
+  let port_of u v = if v < u then v else v - 1 in
+  let quads = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      quads := (u, port_of u v, v, port_of v u) :: !quads
+    done
+  done;
+  Build.of_ports ~n !quads
+
+let hamiltonian_cycle n = List.init n (fun i -> i)

@@ -1,0 +1,10 @@
+(** Complete graphs.  [K_n] has a Hamiltonian cycle, so [E = n - 1] applies
+    when agents hold a map (paper, Section 1.2). *)
+
+val make : int -> Port_graph.t
+(** [make n] with [n >= 3]: node [u]'s ports number the other nodes in
+    increasing order ([port p] leads to node [p] when [p < u], to [p + 1]
+    otherwise). *)
+
+val hamiltonian_cycle : int -> int list
+(** The cycle [0; 1; ...; n-1]. *)

@@ -1,0 +1,40 @@
+let bfs g src =
+  let n = Port_graph.n g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    for p = 0 to Port_graph.degree g u - 1 do
+      let v = Port_graph.neighbor g u p in
+      if dist.(v) < 0 then begin
+        dist.(v) <- dist.(u) + 1;
+        Queue.add v queue
+      end
+    done
+  done;
+  dist
+
+let distance g u v = (bfs g u).(v)
+
+let eccentricity g v = Array.fold_left max 0 (bfs g v)
+
+let diameter g =
+  let n = Port_graph.n g in
+  let best = ref 0 in
+  for v = 0 to n - 1 do
+    best := max !best (eccentricity g v)
+  done;
+  !best
+
+let pairs_at_distance g d =
+  let n = Port_graph.n g in
+  let out = ref [] in
+  for u = 0 to n - 1 do
+    let dist = bfs g u in
+    for v = 0 to n - 1 do
+      if v <> u && dist.(v) = d then out := (u, v) :: !out
+    done
+  done;
+  List.rev !out

@@ -1,0 +1,16 @@
+(** Shortest-path distances (hop metric).  Used by workloads (to place
+    agents at prescribed initial distance [D], as in the related-work bounds
+    [Theta(D log l)]) and by tests. *)
+
+val bfs : Port_graph.t -> int -> int array
+(** [bfs g src] is the array of hop distances from [src]. *)
+
+val distance : Port_graph.t -> int -> int -> int
+
+val eccentricity : Port_graph.t -> int -> int
+
+val diameter : Port_graph.t -> int
+
+val pairs_at_distance : Port_graph.t -> int -> (int * int) list
+(** All ordered pairs [(u, v)], [u <> v], with [distance u v] equal to the
+    given value. *)

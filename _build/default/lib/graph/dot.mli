@@ -1,0 +1,6 @@
+(** Graphviz export for debugging and documentation.  Edge labels show the
+    port numbers at both endpoints ([pu:pv]). *)
+
+val to_dot : ?name:string -> Port_graph.t -> string
+
+val write_file : ?name:string -> path:string -> Port_graph.t -> unit

@@ -1,0 +1,67 @@
+let is_eulerian g =
+  Port_graph.is_connected g
+  &&
+  let n = Port_graph.n g in
+  let rec all_even v = v >= n || (Port_graph.degree g v mod 2 = 0 && all_even (v + 1)) in
+  all_even 0
+
+(* Hierholzer: walk greedily until stuck (necessarily back at the circuit's
+   start node), then splice in detours from nodes with unused ports. *)
+let circuit g ~start =
+  if not (is_eulerian g) then invalid_arg "Euler.circuit: graph is not Eulerian";
+  let used = Array.init (Port_graph.n g) (fun v -> Array.make (Port_graph.degree g v) false) in
+  let next_free u =
+    let d = Port_graph.degree g u in
+    let rec scan p = if p >= d then None else if used.(u).(p) then scan (p + 1) else Some p in
+    scan 0
+  in
+  let rec greedy u acc =
+    match next_free u with
+    | None -> acc
+    | Some p ->
+        let v, q = Port_graph.follow g u p in
+        used.(u).(p) <- true;
+        used.(v).(q) <- true;
+        greedy v ((u, p) :: acc)
+  in
+  (* [tour] holds (node, exit-port) pairs in order.  Repeatedly find a tour
+     node with an unused port and splice a sub-tour there. *)
+  let tour = ref (List.rev (greedy start [])) in
+  let rec augment () =
+    let rec find prefix = function
+      | [] -> None
+      | ((u, _) as step) :: rest -> (
+          match next_free u with
+          | Some _ -> Some (List.rev prefix, u, step :: rest)
+          | None -> find (step :: prefix) rest)
+    in
+    match find [] !tour with
+    | None -> ()
+    | Some (before, u, rest) ->
+        let detour = List.rev (greedy u []) in
+        tour := before @ detour @ rest;
+        augment ()
+  in
+  augment ();
+  List.map snd !tour
+
+let circuit_no_return g ~start =
+  let ports = circuit g ~start in
+  let n = Port_graph.n g in
+  let seen = Array.make n false in
+  seen.(start) <- true;
+  let remaining = ref (n - 1) in
+  let rec trim u acc = function
+    | [] -> List.rev acc
+    | p :: rest ->
+        if !remaining = 0 then List.rev acc
+        else begin
+          let v = Port_graph.neighbor g u p in
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            decr remaining
+          end;
+          trim v (p :: acc) rest
+        end
+  in
+  trim start [] ports

@@ -1,0 +1,15 @@
+(** Eulerian circuits.  When the map shows an Eulerian graph, the paper
+    takes [E = e - 1] (following the circuit visits every node before its
+    last edge).  The circuit is computed with Hierholzer's algorithm. *)
+
+val is_eulerian : Port_graph.t -> bool
+(** Connected with all degrees even. *)
+
+val circuit : Port_graph.t -> start:int -> Walk.t
+(** [circuit g ~start] is a closed walk of exactly [num_edges g] ports from
+    [start] traversing every edge exactly once.  Raises [Invalid_argument]
+    if [g] is not Eulerian. *)
+
+val circuit_no_return : Port_graph.t -> start:int -> Walk.t
+(** {!circuit} truncated after the last new node is first visited; length
+    [<= e - 1].  This realizes the paper's [E = e - 1] bound exactly. *)

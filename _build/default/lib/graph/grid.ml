@@ -1,0 +1,19 @@
+let node ~cols r c = (r * cols) + c
+
+let make ~rows ~cols =
+  if rows < 2 || cols < 2 then invalid_arg "Grid.make: need rows, cols >= 2";
+  let n = rows * cols in
+  let edges = ref [] in
+  (* North/south edges first, then west/east, so that ports at each node list
+     vertical neighbors before horizontal ones. *)
+  for r = 0 to rows - 2 do
+    for c = 0 to cols - 1 do
+      edges := (node ~cols r c, node ~cols (r + 1) c) :: !edges
+    done
+  done;
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 2 do
+      edges := (node ~cols r c, node ~cols r (c + 1)) :: !edges
+    done
+  done;
+  Build.of_edges ~n (List.rev !edges)

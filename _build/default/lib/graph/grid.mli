@@ -1,0 +1,10 @@
+(** Rectangular grids — the "network of corridors in a mine" scenario from
+    the paper's introduction.  Node [(r, c)] is numbered [r * cols + c]. *)
+
+val make : rows:int -> cols:int -> Port_graph.t
+(** [make ~rows ~cols] with [rows, cols >= 2]: the [rows x cols] grid with
+    canonical ports (at each node, ports number its existing neighbors in
+    the order north, south, west, east). *)
+
+val node : cols:int -> int -> int -> int
+(** [node ~cols r c] is the node number of grid position [(r, c)]. *)

@@ -1,0 +1,15 @@
+let make ~dim =
+  if dim < 2 then invalid_arg "Hypercube.make: need dim >= 2";
+  let n = 1 lsl dim in
+  let quads = ref [] in
+  for u = 0 to n - 1 do
+    for i = 0 to dim - 1 do
+      let v = u lxor (1 lsl i) in
+      if u < v then quads := (u, i, v, i) :: !quads
+    done
+  done;
+  Build.of_ports ~n !quads
+
+let hamiltonian_cycle ~dim =
+  let n = 1 lsl dim in
+  List.init n (fun i -> i lxor (i lsr 1))

@@ -1,0 +1,10 @@
+(** Hypercubes with dimension port labeling: at every node, port [i] flips
+    bit [i].  This labeling is port-preserving under translation, so the
+    family is fully symmetric — another class where only labels can break
+    symmetry. *)
+
+val make : dim:int -> Port_graph.t
+(** [make ~dim] with [dim >= 2] ([2^dim] nodes). *)
+
+val hamiltonian_cycle : dim:int -> int list
+(** Gray-code Hamiltonian cycle certificate. *)

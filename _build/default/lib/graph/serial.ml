@@ -1,0 +1,58 @@
+let to_string g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "portgraph %d\n" (Port_graph.n g));
+  List.iter
+    (fun ((a : Port_graph.endpoint), (b : Port_graph.endpoint)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %d %d\n" a.Port_graph.node a.Port_graph.port
+           b.Port_graph.node b.Port_graph.port))
+    (Port_graph.edges g);
+  Buffer.contents buf
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> Error "empty input"
+  | header :: rest -> (
+      match String.split_on_char ' ' header |> List.filter (fun s -> s <> "") with
+      | [ "portgraph"; n_str ] -> (
+          match int_of_string_opt n_str with
+          | None -> Error (Printf.sprintf "bad node count %S" n_str)
+          | Some n -> (
+              let parse_line idx line =
+                match
+                  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+                  |> List.map int_of_string_opt
+                with
+                | [ Some u; Some pu; Some v; Some pv ] -> Ok (u, pu, v, pv)
+                | _ -> Error (Printf.sprintf "line %d: expected 'u pu v pv', got %S" (idx + 2) line)
+              in
+              let rec parse_all idx acc = function
+                | [] -> Ok (List.rev acc)
+                | line :: more -> (
+                    match parse_line idx line with
+                    | Ok quad -> parse_all (idx + 1) (quad :: acc) more
+                    | Error e -> Error e)
+              in
+              match parse_all 0 [] rest with
+              | Error e -> Error e
+              | Ok quads -> (
+                  try Ok (Build.of_ports ~n quads)
+                  with Invalid_argument msg -> Error msg)))
+      | _ -> Error "expected header line 'portgraph <n>'")
+
+let write_file ~path g =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string g))
+
+let read_file ~path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,20 @@
+(** Plain-text serialization of port-labeled graphs.
+
+    Format (line-oriented, [#] comments and blank lines ignored):
+    {v
+    portgraph <n>
+    <u> <pu> <v> <pv>     # one line per edge: port pu of u joins port pv of v
+    v}
+    Port numbers at each node must form a contiguous range [0..d-1], as in
+    {!Build.of_ports}.  [to_string] emits each edge once, sorted; the format
+    round-trips exactly ([of_string (to_string g)] is structurally equal to
+    [g]). *)
+
+val to_string : Port_graph.t -> string
+
+val of_string : string -> (Port_graph.t, string) result
+
+val write_file : path:string -> Port_graph.t -> unit
+
+val read_file : path:string -> (Port_graph.t, string) result
+(** [Error] with the message also covers unreadable files. *)

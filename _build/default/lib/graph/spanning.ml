@@ -1,0 +1,95 @@
+type t = {
+  root : int;
+  parent : int array;
+  parent_port : int array;
+  child_port : int array;
+  order : int list;
+}
+
+let make_arrays n = (Array.make n (-1), Array.make n (-1), Array.make n (-1))
+
+let bfs g ~root =
+  let n = Port_graph.n g in
+  let parent, parent_port, child_port = make_arrays n in
+  let seen = Array.make n false in
+  let order = ref [ root ] in
+  let queue = Queue.create () in
+  seen.(root) <- true;
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    for p = 0 to Port_graph.degree g u - 1 do
+      let v, q = Port_graph.follow g u p in
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        parent.(v) <- u;
+        parent_port.(v) <- q;
+        child_port.(v) <- p;
+        order := v :: !order;
+        Queue.add v queue
+      end
+    done
+  done;
+  { root; parent; parent_port; child_port; order = List.rev !order }
+
+let dfs g ~root =
+  let n = Port_graph.n g in
+  let parent, parent_port, child_port = make_arrays n in
+  let seen = Array.make n false in
+  let order = ref [] in
+  let rec explore u =
+    seen.(u) <- true;
+    order := u :: !order;
+    for p = 0 to Port_graph.degree g u - 1 do
+      let v, q = Port_graph.follow g u p in
+      if not seen.(v) then begin
+        parent.(v) <- u;
+        parent_port.(v) <- q;
+        child_port.(v) <- p;
+        explore v
+      end
+    done
+  in
+  explore root;
+  { root; parent; parent_port; child_port; order = List.rev !order }
+
+let depth t =
+  let n = Array.length t.parent in
+  let d = Array.make n (-1) in
+  let rec depth_of v =
+    if d.(v) >= 0 then d.(v)
+    else begin
+      let dv = if v = t.root then 0 else 1 + depth_of t.parent.(v) in
+      d.(v) <- dv;
+      dv
+    end
+  in
+  for v = 0 to n - 1 do
+    ignore (depth_of v)
+  done;
+  d
+
+let is_spanning_tree g t =
+  let n = Port_graph.n g in
+  Array.length t.parent = n
+  && t.parent.(t.root) = -1
+  && List.length t.order = n
+  &&
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if v <> t.root then begin
+      let u = t.parent.(v) in
+      if u < 0 || u >= n then ok := false
+      else if Port_graph.follow g u t.child_port.(v) <> (v, t.parent_port.(v)) then
+        ok := false
+    end
+  done;
+  (* Acyclicity: walking to the root from every node terminates within n
+     steps. *)
+  for v = 0 to n - 1 do
+    let rec climb u steps =
+      if steps > n then false else if u = t.root then true else climb t.parent.(u) (steps + 1)
+    in
+    if not (climb v 0) then ok := false
+  done;
+  !ok

@@ -1,0 +1,21 @@
+(** Rooted spanning trees of a port-labeled graph, with the ports needed to
+    move along tree edges in both directions. *)
+
+type t = {
+  root : int;
+  parent : int array;  (** [parent.(root) = -1] *)
+  parent_port : int array;  (** port at [v] leading to [parent.(v)]; [-1] at root *)
+  child_port : int array;  (** port at [parent.(v)] leading to [v]; [-1] at root *)
+  order : int list;  (** visit order of the construction, starting at [root] *)
+}
+
+val bfs : Port_graph.t -> root:int -> t
+
+val dfs : Port_graph.t -> root:int -> t
+(** Depth-first, taking ports in increasing order (matches {!Walk.dfs}). *)
+
+val depth : t -> int array
+(** Node depths (root = 0). *)
+
+val is_spanning_tree : Port_graph.t -> t -> bool
+(** Validity of the parent structure against the graph. *)

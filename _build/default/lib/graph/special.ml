@@ -1,0 +1,64 @@
+let clique_edges ~offset k =
+  let edges = ref [] in
+  for u = 0 to k - 1 do
+    for v = u + 1 to k - 1 do
+      edges := (offset + u, offset + v) :: !edges
+    done
+  done;
+  List.rev !edges
+
+let lollipop ~clique ~tail =
+  if clique < 3 then invalid_arg "Special.lollipop: need clique >= 3";
+  if tail < 1 then invalid_arg "Special.lollipop: need tail >= 1";
+  let n = clique + tail in
+  let path_edges =
+    List.init tail (fun i ->
+        let node = clique + i in
+        ((if i = 0 then 0 else node - 1), node))
+  in
+  Build.of_edges ~n (clique_edges ~offset:0 clique @ path_edges)
+
+let barbell ~clique ~bridge =
+  if clique < 3 then invalid_arg "Special.barbell: need clique >= 3";
+  if bridge < 0 then invalid_arg "Special.barbell: negative bridge";
+  let n = (2 * clique) + bridge in
+  let left = clique_edges ~offset:0 clique in
+  let right = clique_edges ~offset:clique clique in
+  (* Bridge path from node 0 (left clique) to node [clique] (right clique),
+     through interior nodes [2*clique .. 2*clique + bridge - 1]. *)
+  let interior = List.init bridge (fun i -> (2 * clique) + i) in
+  let chain = (0 :: interior) @ [ clique ] in
+  let rec link = function
+    | a :: (b :: _ as rest) -> (a, b) :: link rest
+    | [ _ ] | [] -> []
+  in
+  Build.of_edges ~n (left @ right @ link chain)
+
+let wheel n =
+  if n < 5 then invalid_arg "Special.wheel: need n >= 5";
+  let rim = n - 1 in
+  let spokes = List.init rim (fun i -> (0, i + 1)) in
+  let cycle = List.init rim (fun i -> (1 + i, 1 + ((i + 1) mod rim))) in
+  Build.of_edges ~n (spokes @ cycle)
+
+let petersen () =
+  (* Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -- i+5. *)
+  let outer = List.init 5 (fun i -> (i, (i + 1) mod 5)) in
+  let inner = List.init 5 (fun i -> (5 + i, 5 + ((i + 2) mod 5))) in
+  let spokes = List.init 5 (fun i -> (i, i + 5)) in
+  Build.of_edges ~n:10 (outer @ inner @ spokes)
+
+let theta ~len =
+  if len < 1 then invalid_arg "Special.theta: need len >= 1";
+  let n = 2 + (3 * len) in
+  let hub_a = 0 and hub_b = 1 in
+  let edges = ref [] in
+  for branch = 0 to 2 do
+    let first = 2 + (branch * len) in
+    edges := (hub_a, first) :: !edges;
+    for i = 0 to len - 2 do
+      edges := (first + i, first + i + 1) :: !edges
+    done;
+    edges := (first + len - 1, hub_b) :: !edges
+  done;
+  Build.of_edges ~n (List.rev !edges)

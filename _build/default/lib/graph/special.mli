@@ -1,0 +1,23 @@
+(** Assorted named graphs used as stress workloads: graphs with bad
+    expansion (lollipop, barbell), small dense graphs (wheel), and the
+    Petersen graph (vertex-transitive, non-Hamiltonian — a useful negative
+    certificate for {!Hamilton.check}). *)
+
+val lollipop : clique:int -> tail:int -> Port_graph.t
+(** Clique [K_clique] ([clique >= 3]) with a pendant path of [tail >= 1]
+    extra nodes attached to clique node 0. *)
+
+val barbell : clique:int -> bridge:int -> Port_graph.t
+(** Two [K_clique]s joined by a path with [bridge >= 0] interior nodes. *)
+
+val wheel : int -> Port_graph.t
+(** Wheel: a cycle of [n - 1 >= 4] rim nodes (nodes [1..n-1]) plus a hub
+    (node 0) adjacent to every rim node. *)
+
+val petersen : unit -> Port_graph.t
+(** The Petersen graph (10 nodes, 3-regular, girth 5). *)
+
+val theta : len:int -> Port_graph.t
+(** Theta graph: two degree-3 hub nodes joined by three disjoint paths, each
+    with [len >= 1] interior nodes — a small non-regular multi-path
+    workload. *)

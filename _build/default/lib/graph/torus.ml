@@ -1,0 +1,49 @@
+let node ~cols r c = (r * cols) + c
+
+let make ~rows ~cols =
+  if rows < 3 || cols < 3 then invalid_arg "Torus.make: need rows, cols >= 3";
+  let n = rows * cols in
+  let quads = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let u = node ~cols r c in
+      let south = node ~cols ((r + 1) mod rows) c in
+      let east = node ~cols r ((c + 1) mod cols) in
+      (* Port 1 (south) of u meets port 0 (north) of the node below; port 3
+         (east) meets port 2 (west) of the node to the right. *)
+      quads := (u, 1, south, 0) :: (u, 3, east, 2) :: !quads
+    done
+  done;
+  Build.of_ports ~n !quads
+
+let hamiltonian_cycle ~rows ~cols =
+  (* Snake through each row, stepping down at alternating ends; the wrap
+     column returns to the start.  Standard boustrophedon: visit rows top to
+     bottom, row r left-to-right when even, right-to-left when odd, using
+     column 0 edges... For tori the simple row-major order
+     (r, 0), (r, 1), ..., (r, cols-1), then wrap east back to (r, 0)'s
+     column?  We instead use: traverse columns 1..cols-1 snake-wise and come
+     home along column 0. *)
+  let cells = ref [] in
+  for r = 0 to rows - 1 do
+    let cs =
+      if r mod 2 = 0 then List.init (cols - 1) (fun i -> 1 + i)
+      else List.init (cols - 1) (fun i -> cols - 1 - i)
+    in
+    List.iter (fun c -> cells := node ~cols r c :: !cells) cs
+  done;
+  for r = rows - 1 downto 0 do
+    cells := node ~cols r 0 :: !cells
+  done;
+  (* The list was built backwards; reverse to get the forward cycle starting
+     at (0,1)...; rotate so it starts at node 0 for neatness. *)
+  let cycle = List.rev !cells in
+  match cycle with
+  | [] -> []
+  | _ ->
+      let rec rotate acc = function
+        | [] -> List.rev acc
+        | x :: rest when x = 0 -> (x :: rest) @ List.rev acc
+        | x :: rest -> rotate (x :: acc) rest
+      in
+      rotate [] cycle

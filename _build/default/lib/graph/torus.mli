@@ -1,0 +1,13 @@
+(** Toroidal grids — a highly symmetric family (the paper notes that in such
+    networks distinct labels are the only way to break symmetry).  Node
+    [(r, c)] is numbered [r * cols + c]; ports are 0 = north, 1 = south,
+    2 = west, 3 = east at every node, giving a port-preserving automorphism
+    group that acts transitively. *)
+
+val make : rows:int -> cols:int -> Port_graph.t
+(** [make ~rows ~cols] with [rows, cols >= 3] (smaller sizes create parallel
+    edges, which the model excludes). *)
+
+val hamiltonian_cycle : rows:int -> cols:int -> int list
+(** A Hamiltonian cycle certificate: row-major boustrophedon using the wrap
+    edges. *)

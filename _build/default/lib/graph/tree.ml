@@ -1,0 +1,39 @@
+let path n =
+  if n < 2 then invalid_arg "Tree.path: need n >= 2";
+  Build.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let star n =
+  if n < 3 then invalid_arg "Tree.star: need n >= 3";
+  Build.of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let full_binary ~depth =
+  if depth < 1 then invalid_arg "Tree.full_binary: need depth >= 1";
+  let n = (1 lsl (depth + 1)) - 1 in
+  let edges = ref [] in
+  for i = n - 1 downto 1 do
+    edges := ((i - 1) / 2, i) :: !edges
+  done;
+  Build.of_edges ~n !edges
+
+let caterpillar ~spine ~legs =
+  if spine < 2 then invalid_arg "Tree.caterpillar: need spine >= 2";
+  if legs < 0 then invalid_arg "Tree.caterpillar: negative legs";
+  let n = spine + (spine * legs) in
+  let edges = ref [] in
+  for i = 0 to spine - 2 do
+    edges := (i, i + 1) :: !edges
+  done;
+  for s = 0 to spine - 1 do
+    for l = 0 to legs - 1 do
+      edges := (s, spine + (s * legs) + l) :: !edges
+    done
+  done;
+  Build.of_edges ~n (List.rev !edges)
+
+let random rng n =
+  if n < 2 then invalid_arg "Tree.random: need n >= 2";
+  let edges = List.init (n - 1) (fun i ->
+      let child = i + 1 in
+      (Rv_util.Rng.int rng child, child))
+  in
+  Build.of_edges ~n edges

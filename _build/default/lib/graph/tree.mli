@@ -1,0 +1,21 @@
+(** Tree families.  Trees are the worst case for the DFS exploration bound
+    [E = 2n - 2] and include the star, for which that bound is optimal
+    (paper, Section 1.2). *)
+
+val path : int -> Port_graph.t
+(** Path on [n >= 2] nodes, numbered along the path. *)
+
+val star : int -> Port_graph.t
+(** Star with center 0 and [n - 1 >= 2] leaves (a tree of diameter 2). *)
+
+val full_binary : depth:int -> Port_graph.t
+(** Complete binary tree of the given [depth >= 1] ([2^(depth+1) - 1]
+    nodes, root 0, children of [i] at [2i+1] and [2i+2]). *)
+
+val caterpillar : spine:int -> legs:int -> Port_graph.t
+(** A spine path of [spine >= 2] nodes, each spine node carrying [legs >= 0]
+    pendant leaves. *)
+
+val random : Rv_util.Rng.t -> int -> Port_graph.t
+(** Uniform-ish random tree on [n >= 2] nodes: node [i >= 1] attaches to a
+    uniformly random earlier node (random recursive tree). *)

@@ -1,0 +1,1 @@
+lib/lowerbound/aggregate.ml: Array Printf

@@ -1,0 +1,1 @@
+lib/lowerbound/behaviour.ml: Array Hashtbl List Printf Rv_core Rv_explore Rv_graph Rv_sim

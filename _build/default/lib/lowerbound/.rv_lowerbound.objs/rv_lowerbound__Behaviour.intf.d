@@ -1,0 +1,1 @@
+lib/lowerbound/behaviour.mli: Rv_core Rv_explore

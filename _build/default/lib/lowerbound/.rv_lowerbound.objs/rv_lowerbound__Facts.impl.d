@@ -1,0 +1,1 @@
+lib/lowerbound/facts.ml: Aggregate Array Behaviour Hashtbl List Progress Ring_model Rv_util

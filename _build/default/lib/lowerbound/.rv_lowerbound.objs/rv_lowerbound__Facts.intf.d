@@ -1,0 +1,1 @@
+lib/lowerbound/facts.mli: Behaviour Progress

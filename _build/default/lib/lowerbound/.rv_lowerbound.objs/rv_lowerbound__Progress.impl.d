@@ -1,0 +1,1 @@
+lib/lowerbound/progress.ml: Array List Printf

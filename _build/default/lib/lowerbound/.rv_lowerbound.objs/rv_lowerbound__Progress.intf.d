@@ -1,0 +1,1 @@
+lib/lowerbound/progress.mli: Aggregate

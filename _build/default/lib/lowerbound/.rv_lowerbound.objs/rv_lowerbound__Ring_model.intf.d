@@ -1,0 +1,1 @@
+lib/lowerbound/ring_model.mli: Behaviour

@@ -1,0 +1,1 @@
+lib/lowerbound/theorem_cheap.ml: Array Behaviour List Ring_model Rv_core Rv_explore Rv_util Tournament Trim

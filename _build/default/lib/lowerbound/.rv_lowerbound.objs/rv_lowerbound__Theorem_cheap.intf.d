@@ -1,0 +1,1 @@
+lib/lowerbound/theorem_cheap.mli: Behaviour Rv_core Tournament

@@ -1,0 +1,1 @@
+lib/lowerbound/theorem_fast.ml: Aggregate Array Behaviour Facts Hashtbl List Progress Trim

@@ -1,0 +1,1 @@
+lib/lowerbound/theorem_fast.mli: Behaviour

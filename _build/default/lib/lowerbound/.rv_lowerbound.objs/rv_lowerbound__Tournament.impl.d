@@ -1,0 +1,1 @@
+lib/lowerbound/tournament.ml: Array Behaviour List Printf Ring_model Trim

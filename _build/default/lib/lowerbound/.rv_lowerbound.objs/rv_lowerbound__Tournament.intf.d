@@ -1,0 +1,1 @@
+lib/lowerbound/tournament.mli: Behaviour Trim

@@ -1,0 +1,1 @@
+lib/lowerbound/trim.ml: Array Behaviour Printf Ring_model

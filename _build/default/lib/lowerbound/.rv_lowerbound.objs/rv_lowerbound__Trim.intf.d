@@ -1,0 +1,1 @@
+lib/lowerbound/trim.mli: Behaviour

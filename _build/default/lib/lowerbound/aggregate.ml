@@ -1,0 +1,50 @@
+type t = int array
+
+let check_divisible n =
+  if n mod 6 <> 0 then invalid_arg "Aggregate: ring size must be divisible by 6"
+
+let sector_of ~n node =
+  check_divisible n;
+  node / (n / 6)
+
+let of_behaviour ~n ~start ~blocks v =
+  check_divisible n;
+  let block_len = n / 6 in
+  (* Absolute position (not reduced mod n) at the end of each block; sector
+     displacement is computed on the circular sector index. *)
+  let agg = Array.make blocks 0 in
+  let pos = ref start in
+  for b = 0 to blocks - 1 do
+    let sector_before = ((!pos mod n) + n) mod n / block_len in
+    for r = b * block_len to ((b + 1) * block_len) - 1 do
+      if r < Array.length v then pos := !pos + v.(r)
+    done;
+    let sector_after = ((!pos mod n) + n) mod n / block_len in
+    let diff = (sector_after - sector_before + 6) mod 6 in
+    let z =
+      match diff with
+      | 0 -> 0
+      | 1 -> 1
+      | 5 -> -1
+      | _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Aggregate.of_behaviour: block %d displaces %d sectors (corrupt vector)"
+               (b + 1) diff)
+    in
+    agg.(b) <- z
+  done;
+  agg
+
+let surplus t = Array.fold_left ( + ) 0 t
+
+let surplus_range t ~lo ~hi =
+  let acc = ref 0 in
+  for i = lo to hi do
+    if i >= 1 && i <= Array.length t then acc := !acc + t.(i - 1)
+  done;
+  !acc
+
+let blocks_of_round ~n r =
+  check_divisible n;
+  ((r - 1) / (n / 6)) + 1

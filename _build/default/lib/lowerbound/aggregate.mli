@@ -1,0 +1,34 @@
+(** Aggregate behaviour vectors (paper, proof of Theorem 3.2).
+
+    The ring (size [n], divisible by 6) is cut into six sectors
+    [P_0..P_5] of [n/6] nodes; time is cut into blocks of [n/6] rounds.
+    Since a block has as many rounds as a sector has nodes, an agent moves
+    by at most one sector per block (Fact 3.9).  The aggregate behaviour
+    vector records, per block, the sector displacement in [{-1, 0, 1}].
+
+    Aggregate vectors depend on the start node only through
+    [start mod (n/6)] (Fact 3.10: [Agg_{y,0} = Agg_{y,n/2}]). *)
+
+type t = int array
+(** One entry per block, in [{-1, 0, 1}]. *)
+
+val sector_of : n:int -> int -> int
+(** [sector_of ~n node] in [0..5].  Raises [Invalid_argument] unless
+    [6 | n]. *)
+
+val of_behaviour : n:int -> start:int -> blocks:int -> Behaviour.t -> t
+(** [of_behaviour ~n ~start ~blocks v]: sector displacement per block of the
+    solo execution from [start] (the vector is padded with waiting if
+    shorter than [blocks * n/6] rounds).  Raises [Invalid_argument] if
+    [6] does not divide [n], or if some block displaces by two sectors
+    (impossible for genuine behaviour vectors; indicates corrupt input). *)
+
+val surplus : t -> int
+(** Sum of entries. *)
+
+val surplus_range : t -> lo:int -> hi:int -> int
+(** Sum of entries with 1-based indices in [lo..hi] (the paper's
+    [surplus(Agg[lo..hi])]); empty ranges sum to 0. *)
+
+val blocks_of_round : n:int -> int -> int
+(** 1-based index of the block containing a 1-based round. *)

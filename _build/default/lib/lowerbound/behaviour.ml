@@ -1,0 +1,74 @@
+type t = int array
+
+let check v =
+  Array.iter
+    (fun x ->
+      if x < -1 || x > 1 then invalid_arg "Behaviour.check: entries must be in {-1,0,1}")
+    v
+
+let of_instance ~n ~rounds step =
+  let g = Rv_graph.Ring.oriented n in
+  let _, actions = Rv_sim.Sim.solo ~g ~rounds ~start:0 step in
+  let v =
+    Array.of_list
+      (List.map
+         (function
+           | Rv_explore.Explorer.Wait -> 0
+           | Rv_explore.Explorer.Move 0 -> 1
+           | Rv_explore.Explorer.Move 1 -> -1
+           | Rv_explore.Explorer.Move p ->
+               invalid_arg (Printf.sprintf "Behaviour.of_instance: port %d on a ring" p))
+         actions)
+  in
+  v
+
+let of_schedule ~n sched =
+  of_instance ~n ~rounds:(Rv_core.Schedule.duration sched)
+    (Rv_core.Schedule.to_instance sched)
+
+let prefix_sums v =
+  let acc = ref 0 in
+  Array.map
+    (fun x ->
+      acc := !acc + x;
+      !acc)
+    v
+
+let displacement v ~upto =
+  let acc = ref 0 in
+  for i = 0 to min upto (Array.length v) - 1 do
+    acc := !acc + v.(i)
+  done;
+  !acc
+
+(* Edges are identified with their clockwise endpoints relative to the
+   start: moving from displacement d to d+1 explores edge d; moving from d
+   to d-1 explores edge d-1.  Side attribution follows the paper: the edge
+   belongs to seg1 when the agent is on its clockwise side at the move
+   (displacement after the move > 0, or >= 0 before), to seg-1 otherwise. *)
+let seg_sides v =
+  let cw = Hashtbl.create 16 and ccw = Hashtbl.create 16 in
+  let d = ref 0 in
+  Array.iter
+    (fun x ->
+      (if x = 1 then begin
+         let edge = !d in
+         if !d >= 0 then Hashtbl.replace cw edge () else Hashtbl.replace ccw edge ()
+       end
+       else if x = -1 then begin
+         let edge = !d - 1 in
+         if !d <= 0 then Hashtbl.replace ccw edge () else Hashtbl.replace cw edge ()
+       end);
+      d := !d + x)
+    v;
+  (Hashtbl.length cw, Hashtbl.length ccw)
+
+let forward v = Array.fold_left max 0 (prefix_sums v)
+
+let back v = -Array.fold_left min 0 (prefix_sums v)
+
+let clockwise_heavy v = back v <= forward v
+
+let mirror v = Array.map (fun x -> -x) v
+
+let weight v = Array.fold_left (fun acc x -> if x <> 0 then acc + 1 else acc) 0 v

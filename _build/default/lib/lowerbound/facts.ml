@@ -1,0 +1,158 @@
+let positions_within ~n v ~start ~rounds =
+  let set = Hashtbl.create 16 in
+  Hashtbl.replace set start ();
+  let pos = ref start in
+  for i = 0 to min rounds (Array.length v) - 1 do
+    pos := (((!pos + v.(i)) mod n) + n) mod n;
+    Hashtbl.replace set !pos ()
+  done;
+  set
+
+let fact_3_1 ~n va vb ~start_b =
+  let e = n - 1 in
+  let horizon = max (Array.length va) (Array.length vb) in
+  let rounds =
+    match Ring_model.meeting_round ~n va ~start_a:0 vb ~start_b with
+    | Some r -> r
+    | None -> horizon
+  in
+  let prefix_stats v =
+    let fwd = ref 0 and bck = ref 0 and acc = ref 0 in
+    for i = 0 to min rounds (Array.length v) - 1 do
+      acc := !acc + v.(i);
+      if !acc > !fwd then fwd := !acc;
+      if - !acc > !bck then bck := - !acc
+    done;
+    (!fwd, !bck)
+  in
+  let fa, ba = prefix_stats va and fb, bb = prefix_stats vb in
+  let seg_a = fa + ba and seg_b = fb + bb in
+  if seg_a + seg_b >= e then true
+  else begin
+    (* The fact's witness placement. *)
+    let p' = (fa + 1 + bb) mod n in
+    if p' = 0 then true (* degenerate tiny ring; premise cannot bite *)
+    else begin
+      let sa = positions_within ~n va ~start:0 ~rounds in
+      let sb = positions_within ~n vb ~start:p' ~rounds in
+      let overlap = Hashtbl.fold (fun k () acc -> acc || Hashtbl.mem sb k) sa false in
+      not overlap
+    end
+  end
+
+let fact_3_2 v =
+  if Behaviour.clockwise_heavy v then
+    Behaviour.weight v >= (2 * Behaviour.back v) + Behaviour.forward v
+  else true
+
+let fact_3_4 v =
+  let fwd = Behaviour.forward v and bck = Behaviour.back v in
+  Array.for_all (fun s -> -bck <= s && s <= fwd) (Behaviour.prefix_sums v)
+
+let fact_3_5 ~n va vb =
+  let f = (n - 1 + 1) / 2 in
+  let meeting =
+    match Ring_model.meeting_round ~n va ~start_a:0 vb ~start_b:f with
+    | Some r -> r
+    | None -> max (Array.length va) (Array.length vb)
+  in
+  let da = Behaviour.displacement va ~upto:meeting in
+  let db = Behaviour.displacement vb ~upto:meeting in
+  match (da >= db + f, db >= da + f) with
+  | true, false -> `One_eager `A
+  | false, true -> `One_eager `B
+  | true, true | false, false -> `Violated
+
+let fact_3_9 ~n ~start v =
+  let block_len = n / 6 in
+  let positions = Ring_model.positions ~n v ~start in
+  let total_blocks = (Array.length v + block_len - 1) / block_len in
+  let ok = ref true in
+  for b = 0 to total_blocks - 1 do
+    let start_pos = if b = 0 then start else positions.((b * block_len) - 1) in
+    let sector = Aggregate.sector_of ~n start_pos in
+    for r = b * block_len to min (((b + 1) * block_len) - 1) (Array.length v - 1) do
+      let s = Aggregate.sector_of ~n positions.(r) in
+      let diff = (s - sector + 6) mod 6 in
+      if diff <> 0 && diff <> 1 && diff <> 5 then ok := false
+    done
+  done;
+  !ok
+
+let fact_3_10 ~n ~blocks v =
+  Aggregate.of_behaviour ~n ~start:0 ~blocks v
+  = Aggregate.of_behaviour ~n ~start:(n / 2) ~blocks v
+
+(* Do x (from 0) and y (from n/2) share a node in any round of blocks
+   [from_block..to_block]? *)
+let meet_in_blocks ~n vx vy ~from_block ~to_block =
+  let block_len = n / 6 in
+  let lo = ((from_block - 1) * block_len) + 1 and hi = to_block * block_len in
+  let px = Ring_model.positions ~n vx ~start:0 in
+  let py = Ring_model.positions ~n vy ~start:(n / 2) in
+  let at arr r start = if r - 1 < Array.length arr then arr.(r - 1) else if Array.length arr = 0 then start else arr.(Array.length arr - 1) in
+  let met = ref false in
+  for r = lo to hi do
+    if at px r 0 = at py r (n / 2) then met := true
+  done;
+  !met
+
+let fact_3_11 ~n vx vy ~from_block ~to_block =
+  let blocks = to_block in
+  let aggx = Aggregate.of_behaviour ~n ~start:0 ~blocks vx in
+  let aggy = Aggregate.of_behaviour ~n ~start:0 ~blocks vy in
+  let premise =
+    let ok = ref true in
+    for k = from_block to to_block do
+      if abs (Aggregate.surplus_range aggx ~lo:from_block ~hi:k) > 1 then ok := false;
+      if abs (Aggregate.surplus_range aggy ~lo:from_block ~hi:k) > 1 then ok := false
+    done;
+    (* The fact additionally requires the agents to begin block
+       [from_block] in opposite sectors. *)
+    let block_len = n / 6 in
+    let pos_at arr r dflt =
+      if r = 0 then dflt
+      else if r - 1 < Array.length arr then arr.(r - 1)
+      else if Array.length arr = 0 then dflt
+      else arr.(Array.length arr - 1)
+    in
+    let px = Ring_model.positions ~n vx ~start:0 in
+    let py = Ring_model.positions ~n vy ~start:(n / 2) in
+    let r0 = (from_block - 1) * block_len in
+    let sx = Aggregate.sector_of ~n (pos_at px r0 0) in
+    let sy = Aggregate.sector_of ~n (pos_at py r0 (n / 2)) in
+    !ok && (sy - sx + 6) mod 6 = 3
+  in
+  if not premise then true else not (meet_in_blocks ~n vx vy ~from_block ~to_block)
+
+let fact_3_15 ~n ~blocks vx vy =
+  let aggx = Aggregate.of_behaviour ~n ~start:0 ~blocks vx in
+  let aggy = Aggregate.of_behaviour ~n ~start:0 ~blocks vy in
+  let px = Progress.define aggx and py = Progress.define aggy in
+  if not (Progress.equal px py) then true
+  else not (meet_in_blocks ~n vx vy ~from_block:1 ~to_block:blocks)
+
+let fact_3_16_guaranteed_weight ~m ~count =
+  (* vectors_up_to k = number of length-m {-1,0,1} vectors with at most k
+     non-zero entries = sum_{j=0..k} C(m,j) * 2^j, saturating. *)
+  let sat_add a b = if a > max_int - b then max_int else a + b in
+  let sat_mul a b = if a = 0 || b = 0 then 0 else if a > max_int / b then max_int else a * b in
+  let pow2 j = if j >= 62 then max_int else 1 lsl j in
+  let vectors_up_to k =
+    let acc = ref 0 in
+    for j = 0 to k do
+      acc := sat_add !acc (sat_mul (Rv_util.Combinat.binomial m j) (pow2 j))
+    done;
+    !acc
+  in
+  let rec search k =
+    if k > m then m
+    else if vectors_up_to (k - 1) >= count then k - 1
+    else if vectors_up_to k >= count then k
+    else search (k + 1)
+  in
+  max 0 (search 0)
+
+let fact_3_17_bound ~n (p : Progress.t) =
+  let k = List.length p.Progress.pairs in
+  k * ((n - 1) / 6)

@@ -1,0 +1,64 @@
+(** Executable checkers for the numbered facts in Section 3.
+
+    Each checker takes concrete data (behaviour vectors, aggregates,
+    progress vectors) and verifies the fact's statement by direct
+    simulation; the test-suite runs them over the paper's own algorithms,
+    and the harnesses report them for arbitrary algorithms. *)
+
+val fact_3_1 : n:int -> Behaviour.t -> Behaviour.t -> start_b:int -> bool
+(** If the two agents' explored segments in [alpha(A, 0, B, start_b)] total
+    fewer than [E] edges by the meeting, then placing [B] at
+    [forward(A) + 1 + back(B)] makes the explored segments disjoint over
+    the same number of rounds (so a correct algorithm cannot have such an
+    execution after trimming).  Vacuously true when the premise fails. *)
+
+val fact_3_2 : Behaviour.t -> bool
+(** Solo cost is at least [2 back + forward] for clockwise-heavy vectors
+    (the fact's premise); checked as
+    [weight v >= 2 * back v + forward v ... ] — for clockwise-heavy [v]. *)
+
+val fact_3_4 : Behaviour.t -> bool
+(** For every prefix, [-back <= disp <= forward]. *)
+
+val fact_3_5 :
+  n:int -> Behaviour.t -> Behaviour.t -> [ `One_eager of [ `A | `B ] | `Violated ]
+(** In [alpha(A, 0, B, F)] exactly one agent should be eager. *)
+
+val fact_3_9 : n:int -> start:int -> Behaviour.t -> bool
+(** Within each block, the agent never leaves the three-sector
+    neighbourhood of its block-start sector. *)
+
+val fact_3_10 : n:int -> blocks:int -> Behaviour.t -> bool
+(** [Agg_{y,0} = Agg_{y,n/2}]. *)
+
+val fact_3_11 :
+  n:int ->
+  Behaviour.t ->
+  Behaviour.t ->
+  from_block:int ->
+  to_block:int ->
+  bool
+(** Premise check + conclusion: if both agents' aggregate surpluses stay
+    within magnitude 1 over [from_block..to_block] (computed from starts 0
+    and [n/2]), then they do not meet in those blocks of
+    [alpha(x, 0, y, n/2)].  Returns [true] when the fact's implication
+    holds on this input (vacuously true if the premise fails). *)
+
+val fact_3_15 : n:int -> blocks:int -> Behaviour.t -> Behaviour.t -> bool
+(** If the two agents' progress vectors (from start 0, [blocks] blocks)
+    are equal, then they do not meet in [alpha(x, 0, y, n/2)] within
+    [blocks * n/6] rounds.  Vacuously true for distinct progress
+    vectors. *)
+
+val fact_3_16_guaranteed_weight : m:int -> count:int -> int
+(** The counting argument of Fact 3.16, exact instead of asymptotic: among
+    [count] pairwise-distinct vectors of length [m] over [{-1,0,1}], some
+    vector has at least the returned number of non-zero entries (the
+    smallest [k] with [sum_{j<=k-1} C(m,j) 2^j >= count] — fewer-weight
+    vectors are too few to keep [count] vectors distinct).  Saturating
+    arithmetic; returns 0 when even weight-0 suffices. *)
+
+val fact_3_17_bound : n:int -> Progress.t -> int
+(** The cost lower bound implied by a progress vector: [k * E / 6] where
+    [k] is the number of significant pairs and [E = n - 1].  (Stated in the
+    paper as "at least k E/6 edge traversals".) *)

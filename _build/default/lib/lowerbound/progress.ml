@@ -1,0 +1,83 @@
+type t = { prog : int array; pairs : (int * int) list }
+
+(* Algorithm 3 (DefineProgress), with 1-based indices as in the paper. *)
+let define agg =
+  let m = Array.length agg in
+  let prog = Array.make m 0 in
+  let pairs = ref [] in
+  let s = ref 1 in
+  let continue = ref true in
+  while !continue do
+    if !s > m then continue := false
+    else begin
+      (* Scan for the smallest b >= s with |surplus(Agg[s..b])| = 2.  The
+         running sum makes the scan linear. *)
+      let b = ref 0 and sum = ref 0 and i = ref !s in
+      while !b = 0 && !i <= m do
+        sum := !sum + agg.(!i - 1);
+        if abs !sum = 2 then b := !i;
+        incr i
+      done;
+      if !b = 0 then continue := false
+      else begin
+        let b = !b in
+        (* a = smallest index in {s..b} with surplus(Agg[s..i]) non-zero for
+           all i in {a..b}; i.e. one past the last zero-surplus prefix. *)
+        let a = ref !s and sum = ref 0 in
+        for i = !s to b do
+          sum := !sum + agg.(i - 1);
+          if !sum = 0 && i < b then a := i + 1
+        done;
+        let a = !a in
+        if not (agg.(a - 1) = agg.(b - 1) && agg.(b - 1) <> 0) then
+          invalid_arg
+            (Printf.sprintf "Progress.define: Fact 3.13 violated at a=%d b=%d" a b);
+        prog.(a - 1) <- agg.(b - 1);
+        prog.(b - 1) <- agg.(b - 1);
+        pairs := (a, b) :: !pairs;
+        s := b + 1
+      end
+    end
+  done;
+  { prog; pairs = List.rev !pairs }
+
+let nonzero t =
+  Array.fold_left (fun acc x -> if x <> 0 then acc + 1 else acc) 0 t.prog
+
+let equal a b = a.prog = b.prog
+
+let check_fact_3_14 agg t =
+  let m = Array.length agg in
+  if Array.length t.prog <> m then Error "length mismatch"
+  else begin
+    (* Enumerate maximal zero runs of prog. *)
+    let result = ref (Ok ()) in
+    let i = ref 1 in
+    while !i <= m && !result = Ok () do
+      if t.prog.(!i - 1) <> 0 then incr i
+      else begin
+        let i1 = !i in
+        let i2 = ref i1 in
+        while !i2 < m && t.prog.(!i2) = 0 do
+          incr i2
+        done;
+        let i2 = if t.prog.(!i2 - 1) = 0 then !i2 else !i2 - 1 in
+        (* Condition 1: every prefix has surplus magnitude <= 1. *)
+        let sum = ref 0 in
+        for k = i1 to i2 do
+          sum := !sum + agg.(k - 1);
+          if abs !sum > 1 && !result = Ok () then
+            result :=
+              Error
+                (Printf.sprintf "zero run [%d..%d]: prefix ending %d has surplus %d" i1 i2
+                   k !sum)
+        done;
+        (* Condition 2: full-run surplus 0 unless the run touches M. *)
+        if i2 <> m && !sum <> 0 && !result = Ok () then
+          result :=
+            Error (Printf.sprintf "zero run [%d..%d]: total surplus %d <> 0" i1 i2 !sum);
+        i := i2 + 1
+      end
+    done;
+    !result
+  end

@@ -1,0 +1,32 @@
+(** Progress vectors — [DefineProgress] (paper, Algorithm 3).
+
+    The progress vector zeroes the parts of an aggregate behaviour vector
+    where the agent oscillates without net sector progress, keeping exactly
+    two "significant" entries (at positions [a], [b]) for every maximal
+    stretch whose surplus reaches absolute value 2.  Key structural
+    invariants (Facts 3.12–3.14) are checked on construction; every
+    non-zero pair forces at least [E/6] edge traversals (Fact 3.17), which
+    is how progress-vector weight converts into a cost lower bound. *)
+
+type t = {
+  prog : int array;  (** same length as the input aggregate vector *)
+  pairs : (int * int) list;
+      (** the 1-based positions [(a_j, b_j)] set in each loop iteration, in
+          order; [Fact 3.12]: [s_j <= a_j < b_j < s_(j+1)] *)
+}
+
+val define : Aggregate.t -> t
+(** Algorithm 3, verbatim.  Raises [Invalid_argument] if an internal
+    invariant (Fact 3.13: [Agg[a] = Agg[b] = Prog[a] = Prog[b] <> 0])
+    fails — which would indicate an implementation bug, not bad input. *)
+
+val nonzero : t -> int
+(** Number of non-zero entries ([= 2 * length pairs]). *)
+
+val equal : t -> t -> bool
+(** Equality of the underlying vectors. *)
+
+val check_fact_3_14 : Aggregate.t -> t -> (unit, string) result
+(** For every maximal run of zeros [Prog[i1..i2]]: all prefixes of
+    [Agg[i1..i]] have surplus magnitude [<= 1], and the full run has
+    surplus 0 when [i2 < M]. *)

@@ -1,0 +1,33 @@
+let entry v i = if i < Array.length v then v.(i) else 0
+
+let meeting_round ~n va ~start_a vb ~start_b =
+  if start_a = start_b then invalid_arg "Ring_model.meeting_round: identical starts";
+  let horizon = max (Array.length va) (Array.length vb) in
+  let pa = ref start_a and pb = ref start_b in
+  let result = ref None in
+  (try
+     for r = 1 to horizon do
+       pa := ((!pa + entry va (r - 1)) mod n + n) mod n;
+       pb := ((!pb + entry vb (r - 1)) mod n + n) mod n;
+       if !pa = !pb then begin
+         result := Some r;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !result
+
+let positions ~n v ~start =
+  let p = ref start in
+  Array.map
+    (fun x ->
+      p := ((!p + x) mod n + n) mod n;
+      !p)
+    v
+
+let cost_until v ~round =
+  let acc = ref 0 in
+  for i = 0 to min round (Array.length v) - 1 do
+    if v.(i) <> 0 then incr acc
+  done;
+  !acc

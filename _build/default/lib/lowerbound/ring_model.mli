@@ -1,0 +1,20 @@
+(** Fast pairwise executor on the oriented ring, driven directly by
+    behaviour vectors — [O(T)] per execution, which makes the exhaustive
+    sweeps of the [Trim] procedure affordable.
+
+    Simultaneous start is assumed throughout Section 3, and so here.
+    Vectors of different lengths are implicitly padded with trailing zeros
+    (a finished agent waits forever). *)
+
+val meeting_round :
+  n:int -> Behaviour.t -> start_a:int -> Behaviour.t -> start_b:int -> int option
+(** First round [r >= 1] at which the two agents occupy the same node, or
+    [None] if they never meet within the padded horizon
+    [max (length a) (length b)].  Raises [Invalid_argument] if the starts
+    coincide. *)
+
+val positions : n:int -> Behaviour.t -> start:int -> int array
+(** Node occupied at the end of each round. *)
+
+val cost_until : Behaviour.t -> round:int -> int
+(** Edge traversals performed within the first [round] rounds. *)

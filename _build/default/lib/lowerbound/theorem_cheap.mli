@@ -1,0 +1,44 @@
+(** Empirical harness for Theorem 3.1: any rendezvous algorithm of cost
+    [E + o(E)] has time [Omega(E L)].
+
+    Pipeline (mirroring the proof): extract behaviour vectors for every
+    label, [Trim], restrict to the clockwise-heavy majority, build the
+    eager-agent tournament at gap [F = ceil(E/2)], take a Hamiltonian path,
+    and read off the chain of execution durations [|alpha_i|], which Fact
+    3.8 predicts grow at least linearly (slope about [(F - 3 phi) / 2]).
+
+    The harness runs on {e any} algorithm given as behaviour vectors, so it
+    also shows the contrast: a cheap algorithm exhibits the forced linear
+    chain, while [Fast] (cost [Theta(E log L)]) escapes the premise
+    ([phi] is large) and shows no such chain. *)
+
+type report = {
+  n : int;
+  labels : int;  (** size of the label universe supplied *)
+  phi : int;  (** measured max solo-execution cost minus E, i.e. the o(E) slack *)
+  max_pair_cost : int;  (** max combined cost over the tournament executions *)
+  fact_3_5_violations : int;
+  chain : Tournament.chain_step list;
+  chain_monotone : bool;  (** Fact 3.7: strictly increasing durations *)
+  slope : float;  (** least-squares slope of duration vs chain index *)
+  predicted_slope : float;  (** [(F - 3 phi) / 2], Fact 3.8 *)
+  last_duration : int;  (** duration of the final chain execution *)
+  fact_3_6 : (unit, string) result;  (** checked along the chain *)
+  fact_3_8 : (unit, string) result;
+}
+
+val analyze : n:int -> vectors:(int * Behaviour.t) array -> (report, string) result
+(** [vectors] maps each label to its (untrimmed) behaviour vector.
+    [Error] if trimming finds a pair that never meets. *)
+
+val vectors_of :
+  n:int -> space:int -> Rv_core.Rendezvous.algorithm -> (int * Behaviour.t) array
+(** Behaviour vectors of any facade algorithm on the oriented ring (one per
+    label in [{1..space}]). *)
+
+val cheap_sim_vectors : n:int -> space:int -> (int * Behaviour.t) array
+(** Behaviour vectors of the simultaneous-start [Cheap] on the oriented
+    ring (cost exactly [E]) — the canonical subject of the theorem. *)
+
+val fast_sim_vectors : n:int -> space:int -> (int * Behaviour.t) array
+(** Behaviour vectors of simultaneous-start [Fast] — the contrast case. *)

@@ -1,0 +1,97 @@
+type agent_report = {
+  label : int;
+  m_x : int;
+  block : int;
+  nonzero : int;
+  implied_cost : int;
+  solo_cost : int;
+}
+
+type report = {
+  n : int;
+  block_len : int;
+  group_block : int;
+  group : agent_report list;
+  distinct_progress : bool;
+  guaranteed_nonzero : int;
+  max_nonzero : int;
+  min_implied_cost_of_max : int;
+  agents : agent_report list;
+}
+
+let analyze ~n ~vectors =
+  if n mod 6 <> 0 then invalid_arg "Theorem_fast.analyze: need 6 | n";
+  let labels = Array.map fst vectors in
+  let vecs = Array.map snd vectors in
+  match Trim.run ~n ~labels ~vectors:vecs with
+  | Error e -> Error e
+  | Ok trim ->
+      let block_len = n / 6 in
+      let k = Array.length labels in
+      let reports = ref [] and progress = Hashtbl.create 16 in
+      for i = 0 to k - 1 do
+        let v = trim.Trim.vectors.(i) in
+        let m_x = trim.Trim.m.(i) in
+        let block = Aggregate.blocks_of_round ~n (max 1 m_x) in
+        let agg = Aggregate.of_behaviour ~n ~start:0 ~blocks:block v in
+        let prog = Progress.define agg in
+        Hashtbl.add progress labels.(i) prog;
+        let pairs = List.length prog.Progress.pairs in
+        reports :=
+          {
+            label = labels.(i);
+            m_x;
+            block;
+            nonzero = Progress.nonzero prog;
+            implied_cost = pairs * ((n - 1) / 6);
+            solo_cost = Behaviour.weight v;
+          }
+          :: !reports
+      done;
+      let agents = List.rev !reports in
+      (* Largest pigeonhole group by block index. *)
+      let by_block = Hashtbl.create 16 in
+      List.iter
+        (fun r ->
+          let cur = try Hashtbl.find by_block r.block with Not_found -> [] in
+          Hashtbl.replace by_block r.block (r :: cur))
+        agents;
+      let group_block, group =
+        Hashtbl.fold
+          (fun b rs (bb, best) ->
+            if List.length rs > List.length best then (b, rs) else (bb, best))
+          by_block (0, [])
+      in
+      let group = List.rev group in
+      let distinct_progress =
+        let progs = List.map (fun r -> Hashtbl.find progress r.label) group in
+        let rec pairwise = function
+          | [] -> true
+          | p :: rest -> List.for_all (fun q -> not (Progress.equal p q)) rest && pairwise rest
+        in
+        pairwise progs
+      in
+      let guaranteed_nonzero =
+        match group with
+        | [] -> 0
+        | first :: _ ->
+            Facts.fact_3_16_guaranteed_weight ~m:first.block ~count:(List.length group)
+      in
+      let max_nonzero = List.fold_left (fun acc r -> max acc r.nonzero) 0 agents in
+      let min_implied_cost_of_max =
+        List.fold_left
+          (fun acc r -> if r.nonzero = max_nonzero then max acc r.implied_cost else acc)
+          0 agents
+      in
+      Ok
+        {
+          n;
+          block_len;
+          group_block;
+          group;
+          distinct_progress;
+          guaranteed_nonzero;
+          max_nonzero;
+          min_implied_cost_of_max;
+          agents;
+        }

@@ -1,0 +1,39 @@
+(** Empirical harness for Theorem 3.2: any rendezvous algorithm with time
+    [O(E log L)] has cost [Omega(E log L)].
+
+    Pipeline (mirroring the proof): extract and [Trim] behaviour vectors;
+    cut time into blocks of [n/6] rounds and group agents by the block
+    containing their [m_x] (the pigeonhole step); inside the largest group,
+    compute aggregate behaviour vectors and progress vectors; correctness
+    forces the progress vectors to be pairwise distinct (Fact 3.15), hence
+    some vector carries [Omega(log L)] non-zero entries (Fact 3.16), each
+    significant pair of which forces [E/6] traversals (Fact 3.17). *)
+
+type agent_report = {
+  label : int;
+  m_x : int;  (** trimmed horizon *)
+  block : int;  (** block containing [m_x] *)
+  nonzero : int;  (** non-zero entries of the progress vector *)
+  implied_cost : int;  (** Fact 3.17 bound: [pairs * E/6] *)
+  solo_cost : int;  (** measured traversals of the trimmed solo execution *)
+}
+
+type report = {
+  n : int;
+  block_len : int;
+  group_block : int;  (** block index of the largest pigeonhole group *)
+  group : agent_report list;  (** the agents of that group *)
+  distinct_progress : bool;  (** Fact 3.15 consequence: all distinct *)
+  guaranteed_nonzero : int;
+      (** Fact 3.16's counting bound for the largest group: some member's
+          progress vector provably carries at least this many non-zero
+          entries (compare with [max_nonzero], the measured maximum over
+          all agents) *)
+  max_nonzero : int;
+  min_implied_cost_of_max : int;
+      (** the implied cost of the agent realizing [max_nonzero] *)
+  agents : agent_report list;  (** every agent (all groups) *)
+}
+
+val analyze : n:int -> vectors:(int * Behaviour.t) array -> (report, string) result
+(** Requires [6 | n].  [Error] on trimming failure. *)

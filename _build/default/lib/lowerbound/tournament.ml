@@ -1,0 +1,179 @@
+type edge_report = {
+  a : int;
+  b : int;
+  eager : int option;
+  meeting : int;
+  disp_a : int;
+  disp_b : int;
+}
+
+type t = {
+  n : int;
+  f : int;
+  vertices : int array;
+  vertex_vectors : Behaviour.t array;
+  mirrored : bool;
+  edges : edge_report list;
+  fact_3_5_violations : int;
+}
+
+type chain_step = { index : int; first : int; second : int; duration : int }
+
+let build (trim : Trim.t) =
+  let n = trim.Trim.n in
+  let f = ((n - 1) + 1) / 2 in
+  let heavy_side vectors = Array.map Behaviour.clockwise_heavy vectors in
+  let heavy = heavy_side trim.Trim.vectors in
+  let count_heavy = Array.fold_left (fun acc h -> if h then acc + 1 else acc) 0 heavy in
+  let total = Array.length trim.Trim.vectors in
+  let mirrored = 2 * count_heavy < total in
+  let vectors =
+    if mirrored then Array.map Behaviour.mirror trim.Trim.vectors else trim.Trim.vectors
+  in
+  let heavy = heavy_side vectors in
+  let vertices = ref [] and vecs = ref [] in
+  Array.iteri
+    (fun i h ->
+      if h then begin
+        vertices := trim.Trim.labels.(i) :: !vertices;
+        vecs := vectors.(i) :: !vecs
+      end)
+    heavy;
+  let vertices = Array.of_list (List.rev !vertices) in
+  let vecs = Array.of_list (List.rev !vecs) in
+  let edges = ref [] and violations = ref 0 in
+  for i = 0 to Array.length vertices - 1 do
+    for j = i + 1 to Array.length vertices - 1 do
+      let va = vecs.(i) and vb = vecs.(j) in
+      let meeting =
+        match Ring_model.meeting_round ~n va ~start_a:0 vb ~start_b:f with
+        | Some r -> r
+        | None ->
+            (* Trimmed correct algorithms always meet; keep the report
+               well-formed for pathological inputs. *)
+            max (Array.length va) (Array.length vb)
+      in
+      let disp_a = Behaviour.displacement va ~upto:meeting in
+      let disp_b = Behaviour.displacement vb ~upto:meeting in
+      let a_eager = disp_a >= disp_b + f in
+      (* B starts F clockwise of A, so B is eager when it out-runs A by F
+         in the clockwise direction measured from its own start; the
+         displacement comparison is symmetric. *)
+      let b_eager = disp_b >= disp_a + f in
+      let eager =
+        match (a_eager, b_eager) with
+        | true, false -> Some vertices.(i)
+        | false, true -> Some vertices.(j)
+        | true, true | false, false ->
+            incr violations;
+            None
+      in
+      edges :=
+        { a = vertices.(i); b = vertices.(j); eager; meeting; disp_a; disp_b } :: !edges
+    done
+  done;
+  {
+    n;
+    f;
+    vertices;
+    vertex_vectors = vecs;
+    mirrored;
+    edges = List.rev !edges;
+    fact_3_5_violations = !violations;
+  }
+
+let beats t x y =
+  let rec scan = function
+    | [] -> invalid_arg "Tournament.beats: pair not in tournament"
+    | e :: rest ->
+        if (e.a = x && e.b = y) || (e.a = y && e.b = x) then
+          match e.eager with
+          | Some w -> w = x
+          | None -> e.a = x (* arbitrary but fixed orientation *)
+        else scan rest
+  in
+  scan t.edges
+
+let hamiltonian_path t =
+  (* Rédei insertion: place each vertex before the first one it beats. *)
+  let insert path v =
+    let rec go acc = function
+      | [] -> List.rev (v :: acc)
+      | u :: rest when beats t v u -> List.rev_append acc (v :: u :: rest)
+      | u :: rest -> go (u :: acc) rest
+    in
+    go [] path
+  in
+  Array.fold_left insert [] t.vertices
+
+let chain t path =
+  let duration_of a b =
+    let rec scan = function
+      | [] -> invalid_arg "Tournament.chain: pair not in tournament"
+      | e :: rest ->
+          if (e.a = a && e.b = b) || (e.a = b && e.b = a) then e.meeting else scan rest
+    in
+    scan t.edges
+  in
+  let rec go idx = function
+    | a :: (b :: _ as rest) ->
+        { index = idx; first = min a b; second = max a b; duration = duration_of a b }
+        :: go (idx + 1) rest
+    | [ _ ] | [] -> []
+  in
+  go 1 path
+
+let vector_of t ~label =
+  let rec scan i =
+    if i >= Array.length t.vertices then
+      invalid_arg (Printf.sprintf "Tournament.vector_of: label %d not a vertex" label)
+    else if t.vertices.(i) = label then t.vertex_vectors.(i)
+    else scan (i + 1)
+  in
+  scan 0
+
+(* In alpha_i = alpha(min, 0, max, F), A_(i+1) is the agent the chain enters
+   next; Fact 3.6 bounds its clockwise displacement at the meeting. *)
+let check_fact_3_6 t ~phi chain =
+  (* The chain lists pairs (first, second) = (min, max) of (A_i, A_(i+1));
+     A_(i+1) is whichever of the two is NOT the eager one of the edge. *)
+  let eager_of a b =
+    let rec scan = function
+      | [] -> None
+      | e :: rest ->
+          if (e.a = a && e.b = b) || (e.a = b && e.b = a) then e.eager else scan rest
+    in
+    scan t.edges
+  in
+  let rec walk = function
+    | [] -> Ok ()
+    | step :: rest -> (
+        let next_agent =
+          match eager_of step.first step.second with
+          | Some w when w = step.first -> step.second
+          | Some _ -> step.first
+          | None -> step.second
+        in
+        let disp =
+          Behaviour.displacement (vector_of t ~label:next_agent) ~upto:step.duration
+        in
+        if 2 * disp <= t.f + phi then walk rest
+        else
+          Error
+            (Printf.sprintf
+               "Fact 3.6 violated at alpha_%d: disp(A_%d) = %d > (F + phi)/2 = %d/2"
+               step.index next_agent disp (t.f + phi)))
+  in
+  walk chain
+
+let check_fact_3_8 t ~phi chain =
+  let rec walk = function
+    | [] -> Ok ()
+    | step :: rest ->
+        if 2 * step.duration >= step.index * (t.f - (3 * phi)) then walk rest
+        else
+          Error
+            (Printf.sprintf "Fact 3.8 violated at alpha_%d: |alpha| = %d < %d*(F-3phi)/2"
+               step.index step.duration step.index)
+  in
+  walk chain

@@ -1,0 +1,65 @@
+(** The eager-agent tournament of Theorem 3.1's proof.
+
+    Let [F = ceil(E / 2)].  In execution [alpha(A, 0, B, F)] an agent is
+    {e eager} when its final clockwise displacement exceeds the other's by
+    at least [F]; Fact 3.5 shows exactly one agent of each meeting pair is
+    eager (for algorithms of cost close to [E]).  Orienting an edge from
+    the eager agent of every pair yields a tournament on the
+    clockwise-heavy agents; every tournament has a directed Hamiltonian
+    path (Rédei), and the chain of executions along that path has strictly
+    growing meeting times (Facts 3.7–3.8) — the [Omega(EL)] time bound.
+
+    This module builds the tournament and the chain for {e any} supplied
+    trimmed algorithm, reporting where the facts hold or fail (an algorithm
+    with larger cost may legitimately violate Fact 3.5). *)
+
+type edge_report = {
+  a : int;  (** smaller vertex label *)
+  b : int;
+  eager : int option;  (** the eager agent's label, when exactly one is eager *)
+  meeting : int;  (** |alpha(min, 0, max, F)| *)
+  disp_a : int;  (** clockwise displacement of [a] at the meeting *)
+  disp_b : int;
+}
+
+type t = {
+  n : int;
+  f : int;  (** [F = ceil((n-1) / 2)] — [E = n - 1] on the oriented ring *)
+  vertices : int array;  (** labels participating (the heavy side) *)
+  vertex_vectors : Behaviour.t array;
+      (** the (trimmed, possibly mirrored) vectors, aligned with [vertices] *)
+  mirrored : bool;
+      (** the counterclockwise-heavy side was the majority, so all vectors
+          were mirrored first (the proof's "wlog") *)
+  edges : edge_report list;
+  fact_3_5_violations : int;  (** pairs with zero or two eager agents *)
+}
+
+val build : Trim.t -> t
+
+val hamiltonian_path : t -> int list
+(** Rédei insertion over the tournament orientation: returns the vertex
+    labels in an order where each beats (is eager against) its successor.
+    Pairs with no eager agent orient arbitrarily (counted in
+    [fact_3_5_violations]). *)
+
+type chain_step = {
+  index : int;  (** position along the Hamiltonian path, from 1 *)
+  first : int;  (** labels of the executed pair, smaller label first *)
+  second : int;
+  duration : int;  (** |alpha_i| *)
+}
+
+val chain : t -> int list -> chain_step list
+(** The executions [alpha_i] along a Hamiltonian path (Fact 3.7 predicts
+    strictly increasing durations; Fact 3.8 predicts linear growth). *)
+
+val vector_of : t -> label:int -> Behaviour.t
+(** The (trimmed, possibly mirrored) vector of a tournament vertex.
+    Raises [Invalid_argument] for labels outside the tournament. *)
+
+val check_fact_3_6 : t -> phi:int -> chain_step list -> (unit, string) result
+(** Along a chain, [disp(A_(i+1), alpha_i) <= (F + phi) / 2]. *)
+
+val check_fact_3_8 : t -> phi:int -> chain_step list -> (unit, string) result
+(** Along a chain, [|alpha_i| >= i * (F - 3 phi) / 2]. *)

@@ -1,0 +1,55 @@
+type t = {
+  n : int;
+  labels : int array;
+  vectors : Behaviour.t array;
+  m : int array;
+}
+
+let run ~n ~labels ~vectors =
+  if Array.length labels <> Array.length vectors then
+    invalid_arg "Trim.run: labels and vectors must align";
+  let k = Array.length labels in
+  let m = Array.make k 0 in
+  let error = ref None in
+  (try
+     for i = 0 to k - 1 do
+       for j = 0 to k - 1 do
+         if i <> j then
+           for gap = 1 to n - 1 do
+             match
+               Ring_model.meeting_round ~n vectors.(i) ~start_a:0 vectors.(j) ~start_b:gap
+             with
+             | Some r -> m.(i) <- max m.(i) r
+             | None ->
+                 error :=
+                   Some
+                     (Printf.sprintf
+                        "Trim.run: labels %d and %d never meet at gap %d on the %d-ring"
+                        labels.(i) labels.(j) gap n);
+                 raise Exit
+           done
+       done
+     done
+   with Exit -> ());
+  match !error with
+  | Some e -> Error e
+  | None ->
+      let trimmed =
+        Array.mapi
+          (fun i v ->
+            Array.mapi (fun idx x -> if idx >= m.(i) then 0 else x) v)
+          vectors
+      in
+      Ok { n; labels; vectors = trimmed; m }
+
+let index_of t label =
+  let rec find i =
+    if i >= Array.length t.labels then raise Not_found
+    else if t.labels.(i) = label then i
+    else find (i + 1)
+  in
+  find 0
+
+let vector t ~label = t.vectors.(index_of t label)
+
+let m_of t ~label = t.m.(index_of t label)

@@ -1,0 +1,28 @@
+(** Procedure [Trim(A)] (paper, Section 3).
+
+    For each label [x], [m_x] is the maximum meeting round
+    [|alpha(x, p_x, y, p_y)|] over all other labels [y] and all pairs of
+    distinct starting positions; the trimmed behaviour vector zeroes every
+    entry after round [m_x].  Trimming never changes a non-solo execution,
+    and afterwards every non-zero entry of [V_x] is "used" by some
+    execution — the property the lower-bound arguments rely on.
+
+    Because behaviour vectors are start-independent, meeting rounds depend
+    only on the gap [(p_y - p_x) mod n], so the sweep is over [n - 1] gaps
+    rather than [n^2] position pairs. *)
+
+type t = {
+  n : int;
+  labels : int array;  (** the label universe, ascending *)
+  vectors : Behaviour.t array;  (** trimmed vectors, indexed like [labels] *)
+  m : int array;  (** [m.(i)] is [m_x] for [labels.(i)] *)
+}
+
+val run : n:int -> labels:int array -> vectors:Behaviour.t array -> (t, string) result
+(** [Error] if some pair of agents fails to meet from some gap — i.e. the
+    input is not a correct rendezvous algorithm on the ring. *)
+
+val vector : t -> label:int -> Behaviour.t
+(** Raises [Not_found] for labels outside the universe. *)
+
+val m_of : t -> label:int -> int

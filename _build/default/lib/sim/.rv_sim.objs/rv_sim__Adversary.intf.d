@@ -1,0 +1,1 @@
+lib/sim/adversary.mli: Rv_explore Rv_graph Sim

@@ -1,0 +1,1 @@
+lib/sim/gather.ml: Hashtbl List Printf Rv_explore Rv_graph

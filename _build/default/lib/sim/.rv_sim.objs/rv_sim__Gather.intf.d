@@ -1,0 +1,1 @@
+lib/sim/gather.mli: Rv_explore Rv_graph

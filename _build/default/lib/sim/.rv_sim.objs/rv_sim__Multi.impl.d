@@ -1,0 +1,1 @@
+lib/sim/multi.ml: Array Hashtbl List Printf Rv_explore Rv_graph Sim

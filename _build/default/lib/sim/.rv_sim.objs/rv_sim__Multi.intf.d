@@ -1,0 +1,1 @@
+lib/sim/multi.mli: Rv_explore Rv_graph Sim

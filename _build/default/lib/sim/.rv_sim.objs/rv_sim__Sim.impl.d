@@ -1,0 +1,1 @@
+lib/sim/sim.ml: List Logs Printf Rv_explore Rv_graph Trace

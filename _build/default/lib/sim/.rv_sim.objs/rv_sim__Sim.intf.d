@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Rv_explore Rv_graph Trace

@@ -1,0 +1,85 @@
+module Pg = Rv_graph.Port_graph
+
+type position_space =
+  [ `All_pairs | `Fixed_first | `Pairs of (int * int) list ]
+
+type config = { start_a : int; start_b : int; delay_a : int; delay_b : int }
+
+type report = {
+  worst_time : int;
+  worst_time_config : config;
+  worst_cost : int;
+  worst_cost_config : config;
+  times : int list;
+  costs : int list;
+  runs : int;
+}
+
+let positions_of g = function
+  | `Pairs l -> l
+  | `Fixed_first ->
+      List.init (Pg.n g - 1) (fun i -> (0, i + 1))
+  | `All_pairs ->
+      let n = Pg.n g in
+      List.concat_map
+        (fun a -> List.filter_map (fun b -> if a <> b then Some (a, b) else None)
+                    (List.init n (fun b -> b)))
+        (List.init n (fun a -> a))
+
+let delays_upto d =
+  List.init (d + 1) (fun i -> (0, i))
+  @ List.init d (fun i -> (i + 1, 0))
+
+let sweep ?model ~g ~max_rounds ~positions ~delays ~make_a ~make_b () =
+  let pairs = positions_of g positions in
+  let no_meet = ref None in
+  let times = ref [] and costs = ref [] in
+  let worst_time = ref (-1) and worst_cost = ref (-1) in
+  let dummy = { start_a = -1; start_b = -1; delay_a = -1; delay_b = -1 } in
+  let wt_cfg = ref dummy and wc_cfg = ref dummy in
+  let runs = ref 0 in
+  (try
+     List.iter
+       (fun (start_a, start_b) ->
+         List.iter
+           (fun (delay_a, delay_b) ->
+             let cfg = { start_a; start_b; delay_a; delay_b } in
+             let a = { Sim.start = start_a; delay = delay_a; step = make_a () } in
+             let b = { Sim.start = start_b; delay = delay_b; step = make_b () } in
+             let outcome = Sim.run ?model ~g ~max_rounds a b in
+             incr runs;
+             match outcome.Sim.meeting_round with
+             | None ->
+                 no_meet := Some cfg;
+                 raise Exit
+             | Some t ->
+                 times := t :: !times;
+                 costs := outcome.Sim.cost :: !costs;
+                 if t > !worst_time then begin
+                   worst_time := t;
+                   wt_cfg := cfg
+                 end;
+                 if outcome.Sim.cost > !worst_cost then begin
+                   worst_cost := outcome.Sim.cost;
+                   wc_cfg := cfg
+                 end)
+           delays)
+       pairs
+   with Exit -> ());
+  match !no_meet with
+  | Some cfg ->
+      Error
+        (Printf.sprintf
+           "no rendezvous within %d rounds (A at %d delay %d, B at %d delay %d)" max_rounds
+           cfg.start_a cfg.delay_a cfg.start_b cfg.delay_b)
+  | None ->
+      Ok
+        {
+          worst_time = !worst_time;
+          worst_time_config = !wt_cfg;
+          worst_cost = !worst_cost;
+          worst_cost_config = !wc_cfg;
+          times = List.rev !times;
+          costs = List.rev !costs;
+          runs = !runs;
+        }

@@ -1,0 +1,44 @@
+(** Worst-case search over the adversary's choices: starting positions,
+    wake-up delays, and label pairs.
+
+    A rendezvous algorithm "works at cost [C] and in time [T]" when the
+    bounds hold for {e all} adversarial choices (paper, Section 1.2); these
+    sweeps compute the empirical maxima.  Positions can be swept
+    exhaustively ([`All_pairs]) or restricted (e.g. [`Fixed_first] exploits
+    vertex-transitivity of rings/tori to pin the first agent at node 0). *)
+
+type position_space =
+  [ `All_pairs  (** all ordered pairs of distinct nodes *)
+  | `Fixed_first  (** agent A at node 0, agent B anywhere else *)
+  | `Pairs of (int * int) list  (** explicit list *) ]
+
+type config = { start_a : int; start_b : int; delay_a : int; delay_b : int }
+
+type report = {
+  worst_time : int;  (** max meeting round *)
+  worst_time_config : config;
+  worst_cost : int;  (** max total traversals *)
+  worst_cost_config : config;
+  times : int list;  (** all measured meeting rounds, in sweep order *)
+  costs : int list;
+  runs : int;
+}
+
+val sweep :
+  ?model:Sim.model ->
+  g:Rv_graph.Port_graph.t ->
+  max_rounds:int ->
+  positions:position_space ->
+  delays:(int * int) list ->
+  make_a:(unit -> Rv_explore.Explorer.instance) ->
+  make_b:(unit -> Rv_explore.Explorer.instance) ->
+  unit ->
+  (report, string) result
+(** Runs every combination (fresh agent instances per run).  [Error] if any
+    run fails to meet within [max_rounds] (reporting the configuration) —
+    a correctness violation, not a statistic.  Each delay pair must have
+    [min = 0]. *)
+
+val delays_upto : int -> (int * int) list
+(** [(0,0); (0,1); ...; (0,d); (1,0); ...; (d,0)] — both orders, one agent
+    always waking first. *)

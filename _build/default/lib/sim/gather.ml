@@ -1,0 +1,100 @@
+module Pg = Rv_graph.Port_graph
+module Ex = Rv_explore.Explorer
+
+type agent = { name : string; label : int; start : int; step : Ex.instance }
+
+type merge_event = { round : int; members : string list }
+
+type outcome = {
+  gathered_round : int option;
+  merges : merge_event list;
+  total_cost : int;
+  rounds_run : int;
+}
+
+type group = {
+  mutable leader : agent;
+  mutable names : string list;
+  mutable size : int;
+  mutable pos : int;
+  mutable entry : int option;
+}
+
+let run ~g ~max_rounds agents =
+  let k = List.length agents in
+  if k < 2 then invalid_arg "Gather.run: need at least two agents";
+  let distinct f = List.length (List.sort_uniq compare (List.map f agents)) = k in
+  if not (distinct (fun a -> a.name)) then invalid_arg "Gather.run: duplicate names";
+  if not (distinct (fun a -> a.label)) then invalid_arg "Gather.run: duplicate labels";
+  if not (distinct (fun a -> a.start)) then invalid_arg "Gather.run: duplicate starts";
+  let groups =
+    ref
+      (List.map
+         (fun a -> { leader = a; names = [ a.name ]; size = 1; pos = a.start; entry = None })
+         agents)
+  in
+  let merges = ref [] and total_cost = ref 0 in
+  let gathered = ref None and round = ref 0 in
+  (try
+     while !round < max_rounds do
+       incr round;
+       let r = !round in
+       (* Each group's leader decides; the whole group moves. *)
+       List.iter
+         (fun grp ->
+           let obs = { Ex.degree = Pg.degree g grp.pos; entry = grp.entry } in
+           match grp.leader.step obs with
+           | Ex.Wait -> grp.entry <- None
+           | Ex.Move p ->
+               if p < 0 || p >= obs.Ex.degree then
+                 invalid_arg
+                   (Printf.sprintf "Gather.run: leader %s chose invalid port %d"
+                      grp.leader.name p);
+               let v, q = Pg.follow g grp.pos p in
+               grp.pos <- v;
+               grp.entry <- Some q;
+               total_cost := !total_cost + grp.size)
+         !groups;
+       (* Merge co-located groups; the smallest label leads the union. *)
+       let by_pos = Hashtbl.create 8 in
+       List.iter
+         (fun grp ->
+           let cur = try Hashtbl.find by_pos grp.pos with Not_found -> [] in
+           Hashtbl.replace by_pos grp.pos (grp :: cur))
+         !groups;
+       let next = ref [] in
+       Hashtbl.iter
+         (fun _pos colocated ->
+           match colocated with
+           | [ only ] -> next := only :: !next
+           | [] -> ()
+           | several ->
+               let leader_group =
+                 List.fold_left
+                   (fun best grp ->
+                     if grp.leader.label < best.leader.label then grp else best)
+                   (List.hd several) (List.tl several)
+               in
+               let names =
+                 List.sort compare (List.concat_map (fun grp -> grp.names) several)
+               in
+               let size = List.fold_left (fun acc grp -> acc + grp.size) 0 several in
+               leader_group.names <- names;
+               leader_group.size <- size;
+               merges := { round = r; members = names } :: !merges;
+               next := leader_group :: !next)
+         by_pos;
+       groups := !next;
+       match !groups with
+       | [ lone ] when lone.size = k ->
+           gathered := Some r;
+           raise Exit
+       | _ -> ()
+     done
+   with Exit -> ());
+  {
+    gathered_round = !gathered;
+    merges = List.rev !merges;
+    total_cost = !total_cost;
+    rounds_run = !round;
+  }

@@ -1,0 +1,97 @@
+module Pg = Rv_graph.Port_graph
+module Ex = Rv_explore.Explorer
+
+type agent = { name : string; start : int; delay : int; step : Ex.instance }
+
+type outcome = {
+  gathered_round : int option;
+  pairwise : (string * string * int) list;
+  costs : (string * int) list;
+  rounds_run : int;
+}
+
+type walker = {
+  name : string;
+  mutable pos : int;
+  mutable entry : int option;
+  mutable moves : int;
+  wake : int;
+  step_fn : Ex.instance;
+}
+
+let run ?(model = Sim.Waiting) ~g ~max_rounds ~stop agents =
+  let k = List.length agents in
+  if k < 2 then invalid_arg "Multi.run: need at least two agents";
+  let starts = List.map (fun (a : agent) -> a.start) agents in
+  if List.length (List.sort_uniq compare starts) <> k then
+    invalid_arg "Multi.run: starting nodes must be distinct";
+  let names = List.map (fun (a : agent) -> a.name) agents in
+  if List.length (List.sort_uniq compare names) <> k then
+    invalid_arg "Multi.run: agent names must be distinct";
+  if List.exists (fun (a : agent) -> a.delay < 0) agents then invalid_arg "Multi.run: negative delay";
+  if List.fold_left (fun acc (a : agent) -> min acc a.delay) max_int agents <> 0 then
+    invalid_arg "Multi.run: the earliest agent must have delay 0";
+  let walkers =
+    Array.of_list
+      (List.map
+         (fun (a : agent) ->
+           { name = a.name; pos = a.start; entry = None; moves = 0; wake = a.delay + 1;
+             step_fn = a.step })
+         agents)
+  in
+  let met = Hashtbl.create 16 in
+  let pair_count = k * (k - 1) / 2 in
+  let gathered = ref None in
+  let round = ref 0 in
+  let present w r = match model with Sim.Waiting -> true | Sim.Parachute -> r >= w.wake in
+  (try
+     while !round < max_rounds do
+       incr round;
+       let r = !round in
+       Array.iter
+         (fun w ->
+           if r >= w.wake then begin
+             let obs = { Ex.degree = Pg.degree g w.pos; entry = w.entry } in
+             match w.step_fn obs with
+             | Ex.Wait -> w.entry <- None
+             | Ex.Move p ->
+                 if p < 0 || p >= obs.degree then
+                   invalid_arg
+                     (Printf.sprintf "Multi.run: agent %s chose invalid port %d" w.name p);
+                 let v, q = Pg.follow g w.pos p in
+                 w.pos <- v;
+                 w.entry <- Some q;
+                 w.moves <- w.moves + 1
+           end)
+         walkers;
+       (* Record pairwise meetings. *)
+       for i = 0 to k - 1 do
+         for j = i + 1 to k - 1 do
+           let wi = walkers.(i) and wj = walkers.(j) in
+           if wi.pos = wj.pos && present wi r && present wj r
+              && not (Hashtbl.mem met (i, j)) then
+             Hashtbl.add met (i, j) r
+         done
+       done;
+       let all_same =
+         Array.for_all (fun w -> w.pos = walkers.(0).pos && present w r) walkers
+       in
+       if all_same && !gathered = None then gathered := Some r;
+       (match stop with
+       | `On_gather -> if !gathered <> None then raise Exit
+       | `On_all_pairs -> if Hashtbl.length met = pair_count then raise Exit
+       | `Never -> ())
+     done
+   with Exit -> ());
+  let pairwise =
+    Hashtbl.fold
+      (fun (i, j) r acc -> (walkers.(i).name, walkers.(j).name, r) :: acc)
+      met []
+    |> List.sort compare
+  in
+  {
+    gathered_round = !gathered;
+    pairwise;
+    costs = Array.to_list (Array.map (fun w -> (w.name, w.moves)) walkers);
+    rounds_run = !round;
+  }

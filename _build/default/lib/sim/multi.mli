@@ -1,0 +1,35 @@
+(** k-agent extension of the execution model (gathering context; paper
+    Section 1.4 cites gathering of more than two agents as related work).
+
+    The simulator tracks pairwise first-meeting rounds and the first round
+    in which all agents are co-located.  No gathering algorithm is claimed
+    by the paper; this module provides the substrate, and the test-suite's
+    gathering scenario uses it with [Cheap]-style schedules, whose pairwise
+    meetings it measures. *)
+
+type agent = {
+  name : string;
+  start : int;
+  delay : int;
+  step : Rv_explore.Explorer.instance;
+}
+
+type outcome = {
+  gathered_round : int option;  (** first round all agents share a node *)
+  pairwise : (string * string * int) list;
+      (** first-meeting rounds for each unordered pair that met *)
+  costs : (string * int) list;  (** traversals per agent over the run *)
+  rounds_run : int;
+}
+
+val run :
+  ?model:Sim.model ->
+  g:Rv_graph.Port_graph.t ->
+  max_rounds:int ->
+  stop:[ `On_gather | `On_all_pairs | `Never ] ->
+  agent list ->
+  outcome
+(** Simulates the agents synchronously.  [stop] selects the termination
+    condition (besides [max_rounds]).  Requires at least two agents with
+    distinct starting nodes and distinct names, and [min delay = 0];
+    raises [Invalid_argument] otherwise. *)

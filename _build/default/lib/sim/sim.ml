@@ -1,0 +1,125 @@
+module Pg = Rv_graph.Port_graph
+module Ex = Rv_explore.Explorer
+
+let src = Logs.Src.create "rv.sim" ~doc:"Rendezvous simulator events"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type model = Waiting | Parachute
+
+type agent = { start : int; delay : int; step : Ex.instance }
+
+type outcome = {
+  met : bool;
+  meeting_round : int option;
+  meeting_node : int option;
+  cost : int;
+  cost_a : int;
+  cost_b : int;
+  rounds_run : int;
+  crossings : int;
+  trace : Trace.t option;
+}
+
+type walker = {
+  mutable pos : int;
+  mutable entry : int option;
+  mutable moves : int;
+  wake : int;  (* first round in which the agent acts *)
+  step_fn : Ex.instance;
+}
+
+let act_of walker g round =
+  if round < walker.wake then Ex.Wait
+  else begin
+    let obs = { Ex.degree = Pg.degree g walker.pos; entry = walker.entry } in
+    match walker.step_fn obs with
+    | Ex.Wait -> Ex.Wait
+    | Ex.Move p ->
+        if p < 0 || p >= obs.degree then
+          invalid_arg
+            (Printf.sprintf "Sim.run: agent chose invalid port %d at node %d (degree %d)"
+               p walker.pos obs.degree)
+        else Ex.Move p
+  end
+
+let apply walker g action =
+  match action with
+  | Ex.Wait -> walker.entry <- None
+  | Ex.Move p ->
+      let v, q = Pg.follow g walker.pos p in
+      walker.pos <- v;
+      walker.entry <- Some q;
+      walker.moves <- walker.moves + 1
+
+let present model walker round =
+  match model with Waiting -> true | Parachute -> round >= walker.wake
+
+let run ?(model = Waiting) ?(record = false) ~g ~max_rounds a b =
+  if a.start = b.start then invalid_arg "Sim.run: agents must start at distinct nodes";
+  if a.delay < 0 || b.delay < 0 then invalid_arg "Sim.run: negative delay";
+  if min a.delay b.delay <> 0 then
+    invalid_arg "Sim.run: the earlier agent must have delay 0 (round 1 = its wake-up)";
+  let wa = { pos = a.start; entry = None; moves = 0; wake = a.delay + 1; step_fn = a.step } in
+  let wb = { pos = b.start; entry = None; moves = 0; wake = b.delay + 1; step_fn = b.step } in
+  let trace = ref [] in
+  let crossings = ref 0 in
+  let meeting_round = ref None and meeting_node = ref None in
+  let round = ref 0 in
+  (try
+     while !round < max_rounds do
+       incr round;
+       let r = !round in
+       let act_a = act_of wa g r and act_b = act_of wb g r in
+       let before_a = wa.pos and before_b = wb.pos in
+       apply wa g act_a;
+       apply wb g act_b;
+       let crossed =
+         (match (act_a, act_b) with
+         | Ex.Move _, Ex.Move _ -> wa.pos = before_b && wb.pos = before_a
+         | Ex.Wait, _ | _, Ex.Wait -> false)
+         && present model wa r && present model wb r
+       in
+       if crossed then incr crossings;
+       if record then
+         trace :=
+           { Trace.round = r; pos_a = wa.pos; pos_b = wb.pos; act_a; act_b; crossed }
+           :: !trace;
+       if wa.pos = wb.pos && present model wa r && present model wb r then begin
+         meeting_round := Some r;
+         meeting_node := Some wa.pos;
+         Log.debug (fun m ->
+             m "rendezvous at node %d in round %d (cost %d+%d)" wa.pos r wa.moves wb.moves);
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  {
+    met = !meeting_round <> None;
+    meeting_round = !meeting_round;
+    meeting_node = !meeting_node;
+    cost = wa.moves + wb.moves;
+    cost_a = wa.moves;
+    cost_b = wb.moves;
+    rounds_run = !round;
+    crossings = !crossings;
+    trace = (if record then Some (List.rev !trace) else None);
+  }
+
+let time outcome =
+  match outcome.meeting_round with
+  | Some r -> r
+  | None -> invalid_arg "Sim.time: the agents did not meet"
+
+let time_from_later_wake outcome ~later_delay =
+  max 0 (time outcome - later_delay)
+
+let solo ~g ~rounds ~start step =
+  let w = { pos = start; entry = None; moves = 0; wake = 1; step_fn = step } in
+  let actions = ref [] in
+  for r = 1 to rounds do
+    let act = act_of w g r in
+    apply w g act;
+    actions := act :: !actions
+  done;
+  (w.pos, List.rev !actions)

@@ -1,0 +1,75 @@
+(** The synchronous two-agent execution model (paper, Section 1.2).
+
+    Rounds are numbered from 1; round 1 is the wake-up round of the earlier
+    agent (delays are normalized so that [min wake = 1]).  Per round, each
+    awake agent either waits or moves through a port of its current node;
+    both moves happen simultaneously.  Rendezvous is both agents being at
+    the same node in the same round — agents crossing the same edge in
+    opposite directions do not notice each other.
+
+    Two placement models (paper, Conclusion):
+    - {!Waiting} (the paper's main model): both agents sit at their starting
+      nodes from round 1; a sleeping agent can be found by the other one.
+    - {!Parachute}: an agent is absent until its wake-up round; no meeting
+      can involve an absent agent.
+
+    {b Time} is the meeting round (rounds counted from the earlier agent's
+    start).  {b Cost} is the total number of edge traversals by both agents
+    until the meeting. *)
+
+type model = Waiting | Parachute
+
+type agent = {
+  start : int;  (** starting node *)
+  delay : int;  (** wake-up delay: the agent wakes in round [delay + 1] *)
+  step : Rv_explore.Explorer.instance;
+      (** called once per round from the wake-up round on; stateful *)
+}
+
+type outcome = {
+  met : bool;
+  meeting_round : int option;  (** = time, when met *)
+  meeting_node : int option;
+  cost : int;  (** total traversals until meeting (or until the round cap) *)
+  cost_a : int;
+  cost_b : int;
+  rounds_run : int;  (** rounds actually simulated *)
+  crossings : int;  (** unnoticed edge crossings before meeting *)
+  trace : Trace.t option;
+}
+
+val run :
+  ?model:model ->
+  ?record:bool ->
+  g:Rv_graph.Port_graph.t ->
+  max_rounds:int ->
+  agent ->
+  agent ->
+  outcome
+(** [run ~g ~max_rounds a b] simulates until meeting or [max_rounds].
+    At least one [delay] must be 0 (earlier agent's wake defines round 1)
+    and the starting nodes must be distinct; raises [Invalid_argument]
+    otherwise.  [record] (default false) attaches a {!Trace.t}.
+
+    The default model is {!Waiting}. *)
+
+val time : outcome -> int
+(** Meeting round; raises [Invalid_argument] if the agents did not meet. *)
+
+val time_from_later_wake : outcome -> later_delay:int -> int
+(** The alternative accounting of the paper's Conclusion (used by [26, 45]):
+    rounds counted from the wake-up of the later agent, clamped at 0 when
+    the meeting precedes it (possible in the waiting model, where the
+    earlier agent can find a sleeping one).  Raises [Invalid_argument] if
+    the agents did not meet. *)
+
+val solo :
+  g:Rv_graph.Port_graph.t ->
+  rounds:int ->
+  start:int ->
+  Rv_explore.Explorer.instance ->
+  int * Rv_explore.Explorer.action list
+(** [solo ~g ~rounds ~start step] executes a single agent for exactly
+    [rounds] rounds and returns its final position and the actions taken,
+    in round order.  This is the paper's solo execution
+    [alpha(x, p, _|_, _|_)], used to extract behaviour vectors. *)

@@ -1,0 +1,34 @@
+type round = {
+  round : int;
+  pos_a : int;
+  pos_b : int;
+  act_a : Rv_explore.Explorer.action;
+  act_b : Rv_explore.Explorer.action;
+  crossed : bool;
+}
+
+type t = round list
+
+let positions_a t = List.map (fun r -> r.pos_a) t
+
+let positions_b t = List.map (fun r -> r.pos_b) t
+
+let crossings t = List.length (List.filter (fun r -> r.crossed) t)
+
+let is_move = function Rv_explore.Explorer.Move _ -> true | Rv_explore.Explorer.Wait -> false
+
+let moves_in t who =
+  let pick r = match who with `A -> r.act_a | `B -> r.act_b in
+  List.length (List.filter (fun r -> is_move (pick r)) t)
+
+let pp_action fmt = function
+  | Rv_explore.Explorer.Wait -> Format.fprintf fmt "wait"
+  | Rv_explore.Explorer.Move p -> Format.fprintf fmt "port %d" p
+
+let pp fmt t =
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "round %4d: A@%d (%a)  B@%d (%a)%s@." r.round r.pos_a pp_action
+        r.act_a r.pos_b pp_action r.act_b
+        (if r.crossed then "  [crossed]" else ""))
+    t

@@ -1,0 +1,28 @@
+(** Per-round execution records.  Traces are optional (the simulator can run
+    without recording) and feed the lower-bound machinery, the examples'
+    narratives, and debugging. *)
+
+type round = {
+  round : int;  (** 1-based absolute round number *)
+  pos_a : int;  (** position of agent A at the end of the round *)
+  pos_b : int;
+  act_a : Rv_explore.Explorer.action;  (** action taken during the round *)
+  act_b : Rv_explore.Explorer.action;
+  crossed : bool;
+      (** the agents swapped endpoints of one edge this round (they do not
+          notice this, per the model) *)
+}
+
+type t = round list
+(** In round order. *)
+
+val positions_a : t -> int list
+val positions_b : t -> int list
+
+val crossings : t -> int
+(** Number of rounds in which the agents crossed on an edge. *)
+
+val moves_in : t -> [ `A | `B ] -> int
+(** Edge traversals performed by one agent over the trace. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+(* Binomials saturate at [max_int]: the relabeling code only ever compares
+   them against label-space sizes, so saturation is safe and avoids silent
+   wrap-around for large [t]. *)
+
+let sat_mul a b =
+  if a = 0 || b = 0 then 0
+  else if a > max_int / b then max_int
+  else a * b
+
+let sat_add a b = if a > max_int - b then max_int else a + b
+
+let binomial n k =
+  if n < 0 then invalid_arg "Combinat.binomial: negative n";
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    (* Multiplicative formula with exact division at each step; saturate on
+       overflow. *)
+    let acc = ref 1 in
+    (try
+       for i = 1 to k do
+         if !acc = max_int then raise Exit;
+         let next = sat_mul !acc (n - k + i) in
+         acc := if next = max_int then max_int else next / i
+       done
+     with Exit -> acc := max_int);
+    !acc
+  end
+
+let min_t_for ~w ~count =
+  if w <= 0 then invalid_arg "Combinat.min_t_for: w must be positive";
+  if count <= 0 then invalid_arg "Combinat.min_t_for: count must be positive";
+  let rec search t = if binomial t w >= count then t else search (t + 1) in
+  search w
+
+let subset_of_rank ~t ~w ~rank =
+  if w < 0 || w > t then invalid_arg "Combinat.subset_of_rank: bad weight";
+  if rank < 0 || rank >= binomial t w then
+    invalid_arg "Combinat.subset_of_rank: rank out of range";
+  let bits = Array.make t false in
+  (* Walk positions left to right; strings with a 0 in the current position
+     precede (lexicographically) those with a 1. *)
+  let r = ref rank and remaining_weight = ref w in
+  for i = 0 to t - 1 do
+    let zeros_block = binomial (t - i - 1) !remaining_weight in
+    if !r < zeros_block then bits.(i) <- false
+    else begin
+      bits.(i) <- true;
+      r := !r - zeros_block;
+      decr remaining_weight
+    end
+  done;
+  assert (!remaining_weight = 0 && !r = 0);
+  bits
+
+let weight bits = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bits
+
+let rank_of_subset bits =
+  let t = Array.length bits in
+  let r = ref 0 and remaining_weight = ref (weight bits) in
+  for i = 0 to t - 1 do
+    if bits.(i) then begin
+      r := sat_add !r (binomial (t - i - 1) !remaining_weight);
+      decr remaining_weight
+    end
+  done;
+  !r
+
+let all_subsets ~t ~w =
+  let total = binomial t w in
+  List.init total (fun rank -> subset_of_rank ~t ~w ~rank)

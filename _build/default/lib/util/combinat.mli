@@ -1,0 +1,38 @@
+(** Overflow-safe combinatorics for the label-relabeling substrate.
+
+    Algorithm [FastWithRelabeling(w)] (paper, Section 2) replaces each label
+    [l] in [{1..L}] by the lexicographically [l]-th smallest [w]-subset of
+    [{1..t}], where [t] is the smallest integer with [C(t, w) >= L].  This
+    module provides the binomial coefficients (saturating instead of
+    overflowing), the minimal [t] search, and the unranking/ranking bijection
+    between ranks and fixed-weight bit strings. *)
+
+val binomial : int -> int -> int
+(** [binomial n k] is [C(n, k)], saturating at [max_int] on overflow.
+    [C(n, k) = 0] for [k < 0] or [k > n]; [C(n, 0) = 1] for [n >= 0].
+    Raises [Invalid_argument] if [n < 0]. *)
+
+val min_t_for : w:int -> count:int -> int
+(** [min_t_for ~w ~count] is the smallest [t >= w] such that
+    [binomial t w >= count].  Raises [Invalid_argument] if [w <= 0] or
+    [count <= 0]. *)
+
+val subset_of_rank : t:int -> w:int -> rank:int -> bool array
+(** [subset_of_rank ~t ~w ~rank] is the characteristic bit string (index 0 =
+    leftmost, i.e. most significant for the lexicographic order on strings)
+    of the [rank]-th smallest [w]-subset of [{1..t}], with ranks counted from
+    0.  Lexicographic order is on the characteristic strings, so the smallest
+    string is [0^(t-w) 1^w].  Raises [Invalid_argument] unless
+    [0 <= rank < binomial t w] and [0 <= w <= t]. *)
+
+val rank_of_subset : bool array -> int
+(** Inverse of {!subset_of_rank}: the 0-based lexicographic rank of a
+    fixed-weight characteristic string among strings of the same length and
+    weight. *)
+
+val weight : bool array -> int
+(** Number of set bits. *)
+
+val all_subsets : t:int -> w:int -> bool array list
+(** All weight-[w] strings of length [t] in lexicographic order.  Intended
+    for tests ([binomial t w] must be small). *)

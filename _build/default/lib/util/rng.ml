@@ -1,0 +1,77 @@
+(* SplitMix64.  Reference: Steele, Lea, Flood, "Fast splittable
+   pseudorandom number generators", OOPSLA 2014.  The state is a 64-bit
+   counter; each draw advances it by the golden-gamma constant and hashes the
+   result through two xor-shift-multiply rounds. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix s }
+
+(* A non-negative 62-bit integer extracted from the next draw. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec draw () =
+    let r = bits t in
+    let v = r mod bound in
+    if r - v > max_int - bound + 1 then draw () else v
+  in
+  draw ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let float t bound = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) /. 9007199254740992.0 *. bound
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))
+
+let sample_distinct t k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_distinct";
+  (* Partial Fisher–Yates over 0..n-1; O(n) space, fine for our sizes. *)
+  let a = Array.init n (fun i -> i) in
+  let out = ref [] in
+  for i = 0 to k - 1 do
+    let j = int_in t i (n - 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp;
+    out := a.(i) :: !out
+  done;
+  !out

@@ -1,0 +1,31 @@
+(** Summary statistics over integer measurement samples (rounds, traversals).
+
+    Used by the adversary sweeps and the experiment harness to report
+    worst-case / average behaviour of rendezvous executions. *)
+
+type summary = {
+  count : int;
+  min : int;
+  max : int;
+  mean : float;
+  stddev : float;
+  median : float;
+  p90 : float;  (** 90th percentile (linear interpolation) *)
+}
+
+val summarize : int list -> summary
+(** Raises [Invalid_argument] on the empty list. *)
+
+val argmax : ('a -> int) -> 'a list -> 'a * int
+(** [argmax f xs] returns the element maximizing [f] together with the
+    maximum value.  Raises [Invalid_argument] on the empty list; ties break
+    toward the earliest element. *)
+
+val argmin : ('a -> int) -> 'a list -> 'a * int
+(** Dual of {!argmax}. *)
+
+val mean : int list -> float
+val linear_fit : (float * float) list -> float * float
+(** Least-squares line [y = a + b x] over the points; returns [(a, b)].
+    Raises [Invalid_argument] with fewer than two points or a degenerate
+    x-range. *)

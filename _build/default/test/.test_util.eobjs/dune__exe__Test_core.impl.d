@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Gen List Printf QCheck QCheck_alcotest Rv_core Rv_explore Rv_graph Rv_sim Rv_util

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List QCheck QCheck_alcotest Rv_core Rv_experiments Rv_explore Rv_graph Rv_util String

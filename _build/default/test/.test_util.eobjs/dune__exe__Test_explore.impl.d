@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Array Lazy List QCheck QCheck_alcotest Rv_explore Rv_graph Rv_util String

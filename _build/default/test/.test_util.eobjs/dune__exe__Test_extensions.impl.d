@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Filename List Printf QCheck QCheck_alcotest Rv_async Rv_baselines Rv_core Rv_experiments Rv_explore Rv_graph Rv_lowerbound Rv_sim Rv_util Sys

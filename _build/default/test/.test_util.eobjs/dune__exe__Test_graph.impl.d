@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest Rv_graph Rv_util String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest List Rv_core Rv_explore Rv_graph Rv_sim

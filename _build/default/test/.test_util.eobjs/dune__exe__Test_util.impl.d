@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Gen List QCheck QCheck_alcotest Rv_util String

@@ -1,0 +1,325 @@
+(* Tests for rv_explore: the EXPLORE contract ("from any start, every node
+   is visited within the declared bound E, padded to exactly E rounds")
+   verified for every procedure, on many graphs, including across
+   consecutive executions with tracked positions. *)
+
+module Pg = Rv_graph.Port_graph
+module Ex = Rv_explore.Explorer
+module Bounds = Rv_explore.Bounds
+module Rng = Rv_util.Rng
+
+let qtest ?(count = 60) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let expect_ok name = function
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%s: %s" name e
+
+(* Graph pools for the different knowledge models. *)
+let any_graph seed =
+  let rng = Rng.create ~seed in
+  match seed mod 8 with
+  | 0 -> Rv_graph.Ring.oriented (3 + (seed mod 12))
+  | 1 -> Rv_graph.Ring.scrambled rng (3 + (seed mod 12))
+  | 2 -> Rv_graph.Tree.random rng (2 + (seed mod 12))
+  | 3 -> Rv_graph.Grid.make ~rows:(2 + (seed mod 3)) ~cols:(2 + (seed mod 3))
+  | 4 -> Rv_graph.Hypercube.make ~dim:(2 + (seed mod 2))
+  | 5 -> Rv_graph.Complete_graph.make (3 + (seed mod 5))
+  | 6 -> Rv_graph.Random_graph.connected rng ~n:(4 + (seed mod 10)) ~extra_edges:(seed mod 5)
+  | _ -> Rv_graph.Special.lollipop ~clique:3 ~tail:(1 + (seed mod 4))
+
+let graph_arb = QCheck.(map any_graph (int_bound 10_000))
+
+(* --------------------------------------------------------------- Explorer *)
+
+let test_make_invalid () =
+  match Ex.make ~name:"x" ~bound:(-1) ~fresh:(fun () _ -> Ex.Wait) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative bound accepted"
+
+let test_walk_factory_pads () =
+  let g = Rv_graph.Ring.oriented 5 in
+  (* Walk of 2 ports, bound 6: the remaining 4 rounds must be waits. *)
+  let t = Ex.of_walk_factory ~name:"w" ~bound:6 (fun () -> [ 0; 0 ]) in
+  let inst = t.Ex.fresh () in
+  let obs pos = { Ex.degree = Pg.degree g pos; entry = None } in
+  Alcotest.(check bool) "move 1" true (inst (obs 0) = Ex.Move 0);
+  Alcotest.(check bool) "move 2" true (inst (obs 1) = Ex.Move 0);
+  for _ = 1 to 4 do
+    Alcotest.(check bool) "padding wait" true (inst (obs 2) = Ex.Wait)
+  done
+
+let test_walk_factory_too_long () =
+  let t = Ex.of_walk_factory ~name:"w" ~bound:1 (fun () -> [ 0; 0 ]) in
+  let inst = t.Ex.fresh () in
+  match inst { Ex.degree = 2; entry = None } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "over-long walk accepted"
+
+let test_idle_fails_contract () =
+  let g = Rv_graph.Ring.oriented 4 in
+  match Bounds.rounds_to_cover g ~start:0 (Ex.idle ~bound:10) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "idle cannot cover"
+
+let test_invalid_port_detected () =
+  let g = Rv_graph.Ring.oriented 4 in
+  let bad = Ex.make ~name:"bad" ~bound:3 ~fresh:(fun () _ -> Ex.Move 7) in
+  match Bounds.rounds_to_cover g ~start:0 bad with
+  | Error msg ->
+      Alcotest.(check bool) "mentions invalid port" true
+        (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "invalid port not caught"
+
+(* -------------------------------------------------------------- Ring_walk *)
+
+let prop_ring_walk =
+  qtest "clockwise walk covers the ring in exactly n-1 rounds"
+    QCheck.(int_range 3 40)
+    (fun n ->
+      let g = Rv_graph.Ring.oriented n in
+      let ok = ref true in
+      for start = 0 to n - 1 do
+        match Bounds.rounds_to_cover g ~start (Rv_explore.Ring_walk.clockwise ~n) with
+        | Ok r -> if r <> n - 1 then ok := false
+        | Error _ -> ok := false
+      done;
+      !ok)
+
+let test_rename () =
+  let t = Rv_explore.Ring_walk.clockwise ~n:5 in
+  let r = Ex.rename "my-walk" t in
+  Alcotest.(check string) "renamed" "my-walk" r.Ex.name;
+  Alcotest.(check int) "bound kept" t.Ex.bound r.Ex.bound
+
+let test_counterclockwise () =
+  let g = Rv_graph.Ring.oriented 9 in
+  expect_ok "ccw"
+    (Bounds.verify g ~make:(fun ~start ->
+         ignore start;
+         Rv_explore.Ring_walk.counterclockwise ~n:9))
+
+(* ---------------------------------------------------------------- Map_dfs *)
+
+let prop_map_dfs_contract =
+  qtest "map DFS (returning) verifies on all families, repeatedly" graph_arb (fun g ->
+      Bounds.verify_repeated g
+        ~make:(fun ~start -> Rv_explore.Map_dfs.returning g ~start)
+        ~executions:3
+      = Ok ())
+
+let prop_map_dfs_nr_contract =
+  qtest "map DFS (non-returning) verifies repeatedly despite moving position" graph_arb
+    (fun g ->
+      Bounds.verify_repeated g
+        ~make:(fun ~start -> Rv_explore.Map_dfs.non_returning g ~start)
+        ~executions:4
+      = Ok ())
+
+let test_map_dfs_bounds () =
+  Alcotest.(check int) "returning bound" 22 (Rv_explore.Map_dfs.bound_returning ~n:12);
+  Alcotest.(check int) "non-returning bound" 21 (Rv_explore.Map_dfs.bound_non_returning ~n:12);
+  Alcotest.(check int) "n=2 non-returning" 1 (Rv_explore.Map_dfs.bound_non_returning ~n:2)
+
+let test_map_dfs_tight_on_path () =
+  (* From the end of a path, the non-returning DFS needs exactly n-1 moves;
+     from the middle it needs more, but never beyond 2n-3. *)
+  let g = Rv_graph.Tree.path 8 in
+  (match Bounds.rounds_to_cover g ~start:0 (Rv_explore.Map_dfs.non_returning g ~start:0) with
+  | Ok r -> Alcotest.(check int) "from end" 7 r
+  | Error e -> Alcotest.fail e);
+  match Bounds.worst g ~make:(fun ~start -> Rv_explore.Map_dfs.non_returning g ~start) with
+  | Ok w -> Alcotest.(check bool) "worst within 2n-3" true (w <= 13)
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------ Unmarked_dfs *)
+
+let prop_unmarked_contract =
+  qtest ~count:30 "unmarked try-each-DFS verifies on all families" graph_arb (fun g ->
+      Bounds.verify g ~make:(fun ~start ->
+          ignore start;
+          Rv_explore.Unmarked_dfs.make g)
+      = Ok ())
+
+let prop_unmarked_measured_within_safe =
+  qtest ~count:30 "unmarked DFS measured worst within the safe bound" graph_arb (fun g ->
+      let n = Pg.n g in
+      match Bounds.worst g ~make:(fun ~start -> ignore start; Rv_explore.Unmarked_dfs.make g) with
+      | Ok w -> w <= Rv_explore.Unmarked_dfs.safe_bound ~n
+      | Error _ -> false)
+
+let test_unmarked_repeated () =
+  let g = Rv_graph.Grid.make ~rows:3 ~cols:3 in
+  expect_ok "repeated"
+    (Bounds.verify_repeated g
+       ~make:(fun ~start -> ignore start; Rv_explore.Unmarked_dfs.make g)
+       ~executions:2)
+
+(* -------------------------------------------------------------- Euler walk *)
+
+let eulerian_graph seed =
+  let rng = Rng.create ~seed in
+  let k = 1 + (seed mod 3) in
+  let n = (2 * k) + 3 + (seed mod 6) in
+  Rv_graph.Random_graph.regular_even rng ~n ~half_degree:k
+
+let prop_euler_closed =
+  qtest ~count:40 "closed Euler walk verifies repeatedly"
+    QCheck.(map eulerian_graph (int_bound 10_000))
+    (fun g ->
+      Bounds.verify_repeated g
+        ~make:(fun ~start -> Rv_explore.Euler_walk.closed g ~start)
+        ~executions:3
+      = Ok ())
+
+let prop_euler_truncated =
+  qtest ~count:40 "truncated Euler walk verifies repeatedly"
+    QCheck.(map eulerian_graph (int_bound 10_000))
+    (fun g ->
+      Bounds.verify_repeated g
+        ~make:(fun ~start -> Rv_explore.Euler_walk.truncated g ~start)
+        ~executions:3
+      = Ok ())
+
+let test_euler_rejects_non_eulerian () =
+  let g = Rv_graph.Grid.make ~rows:2 ~cols:3 in
+  match Rv_explore.Euler_walk.closed g ~start:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-Eulerian accepted"
+
+(* ---------------------------------------------------------------- Ham walk *)
+
+let test_ham_families () =
+  let cases =
+    [
+      ( Rv_graph.Torus.make ~rows:3 ~cols:4,
+        Rv_graph.Torus.hamiltonian_cycle ~rows:3 ~cols:4 );
+      (Rv_graph.Hypercube.make ~dim:3, Rv_graph.Hypercube.hamiltonian_cycle ~dim:3);
+      (Rv_graph.Complete_graph.make 7, Rv_graph.Complete_graph.hamiltonian_cycle 7);
+      (Rv_graph.Ring.oriented 9, Rv_graph.Ring.clockwise_cycle 9);
+    ]
+  in
+  List.iter
+    (fun (g, cycle) ->
+      expect_ok "ham repeated"
+        (Bounds.verify_repeated g
+           ~make:(fun ~start -> Rv_explore.Ham_walk.make g ~cycle ~start)
+           ~executions:4);
+      Alcotest.(check int) "E = n-1" (Pg.n g - 1)
+        (Rv_explore.Ham_walk.make g ~cycle ~start:0).Ex.bound)
+    cases
+
+let test_ham_rejects_bad_cert () =
+  let g = Rv_graph.Ring.oriented 5 in
+  match Rv_explore.Ham_walk.make g ~cycle:[ 0; 2; 4; 1; 3 ] ~start:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad certificate accepted"
+
+(* --------------------------------------------------------------------- UXS *)
+
+let small_corpus = lazy (Rv_explore.Uxs.default_corpus ~size_bound:10)
+
+let small_uxs =
+  lazy
+    (match
+       Rv_explore.Uxs.construct ~corpus:(Lazy.force small_corpus) ~size_bound:10 ~seed:5 ()
+     with
+    | Ok u -> u
+    | Error e -> failwith e)
+
+let test_uxs_deterministic () =
+  let build () =
+    Rv_explore.Uxs.construct ~corpus:(Lazy.force small_corpus) ~size_bound:10 ~seed:5 ()
+  in
+  match (build (), build ()) with
+  | Ok a, Ok b ->
+      Alcotest.(check bool) "same terms" true (a.Rv_explore.Uxs.terms = b.Rv_explore.Uxs.terms)
+  | _ -> Alcotest.fail "construction failed"
+
+let test_uxs_covers_corpus () =
+  let u = Lazy.force small_uxs in
+  List.iter
+    (fun g -> Alcotest.(check bool) "covers" true (Rv_explore.Uxs.covers u g))
+    (Lazy.force small_corpus)
+
+let test_uxs_walk_explorer () =
+  let u = Lazy.force small_uxs in
+  List.iter
+    (fun g ->
+      expect_ok "uxs explorer"
+        (Bounds.verify g ~make:(fun ~start -> ignore start; Rv_explore.Uxs_walk.make u)))
+    [ Rv_graph.Ring.oriented 8; Rv_graph.Tree.star 9; Rv_graph.Grid.make ~rows:3 ~cols:3 ]
+
+let test_uxs_rounds_consistent () =
+  let u = Lazy.force small_uxs in
+  let g = Rv_graph.Ring.oriented 8 in
+  (match Rv_explore.Uxs.rounds_to_cover u g ~start:3 with
+  | Some r -> Alcotest.(check bool) "positive" true (r > 0 && r <= Array.length u.Rv_explore.Uxs.terms)
+  | None -> Alcotest.fail "should cover");
+  let nodes = Rv_explore.Uxs.walk u g ~start:3 in
+  Alcotest.(check int) "walk length" (Array.length u.Rv_explore.Uxs.terms + 1)
+    (List.length nodes)
+
+let test_uxs_corpus_size_check () =
+  match
+    Rv_explore.Uxs.construct
+      ~corpus:[ Rv_graph.Ring.oriented 12 ]
+      ~size_bound:10 ~seed:0 ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "oversized corpus graph accepted"
+
+(* ------------------------------------------------------------------ Bounds *)
+
+let prop_measured_le_declared =
+  qtest "measured cover time never exceeds the declared bound" graph_arb (fun g ->
+      match Bounds.worst g ~make:(fun ~start -> Rv_explore.Map_dfs.returning g ~start) with
+      | Ok w -> w <= Rv_explore.Map_dfs.bound_returning ~n:(Pg.n g)
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "rv_explore"
+    [
+      ( "explorer",
+        [
+          tc "make invalid" test_make_invalid;
+          tc "walk factory pads" test_walk_factory_pads;
+          tc "walk too long" test_walk_factory_too_long;
+          tc "idle fails contract" test_idle_fails_contract;
+          tc "invalid port detected" test_invalid_port_detected;
+        ] );
+      ("ring_walk",
+        [ prop_ring_walk; tc "counterclockwise" test_counterclockwise; tc "rename" test_rename ]);
+      ( "map_dfs",
+        [
+          prop_map_dfs_contract;
+          prop_map_dfs_nr_contract;
+          tc "bound formulas" test_map_dfs_bounds;
+          tc "tight on path" test_map_dfs_tight_on_path;
+        ] );
+      ( "unmarked_dfs",
+        [
+          prop_unmarked_contract;
+          prop_unmarked_measured_within_safe;
+          tc "repeated executions" test_unmarked_repeated;
+        ] );
+      ( "euler_walk",
+        [
+          prop_euler_closed;
+          prop_euler_truncated;
+          tc "rejects non-eulerian" test_euler_rejects_non_eulerian;
+        ] );
+      ( "ham_walk",
+        [ tc "families" test_ham_families; tc "rejects bad certificate" test_ham_rejects_bad_cert ] );
+      ( "uxs",
+        [
+          tc "deterministic" test_uxs_deterministic;
+          tc "covers corpus" test_uxs_covers_corpus;
+          tc "as explorer" test_uxs_walk_explorer;
+          tc "rounds consistent" test_uxs_rounds_consistent;
+          tc "corpus size check" test_uxs_corpus_size_check;
+        ] );
+      ("bounds", [ prop_measured_le_declared ]);
+    ]

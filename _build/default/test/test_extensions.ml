@@ -1,0 +1,749 @@
+(* Tests for the beyond-core subsystems: the capability baselines (oracle,
+   random walk, token model), the asynchronous adversary model, gathering
+   with merge-on-meet, schedule repetition, graph serialization and the
+   additional Section-3 fact checkers (3.1, 3.6, 3.8). *)
+
+module Pg = Rv_graph.Port_graph
+module Sim = Rv_sim.Sim
+module Sched = Rv_core.Schedule
+module Async = Rv_async.Async_model
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let qtest ?(count = 100) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+(* ----------------------------------------------------------------- Oracle *)
+
+let test_oracle_bounds () =
+  let n = 12 in
+  let g = Rv_graph.Ring.oriented n in
+  let explorer = Rv_explore.Ring_walk.clockwise ~n in
+  for gap = 1 to n - 1 do
+    let make mine other =
+      Sched.to_instance
+        (Rv_baselines.Oracle.schedule ~my_label:mine ~other_label:other ~explorer)
+    in
+    let out =
+      Sim.run ~g ~max_rounds:(2 * n)
+        { Sim.start = 0; delay = 0; step = make 3 7 }
+        { Sim.start = gap; delay = 0; step = make 7 3 }
+    in
+    Alcotest.(check bool) "met" true out.Sim.met;
+    Alcotest.(check bool) "time <= E" true
+      (Sim.time out <= Rv_baselines.Oracle.proven_time ~e:(n - 1));
+    Alcotest.(check bool) "cost <= E" true
+      (out.Sim.cost <= Rv_baselines.Oracle.proven_cost ~e:(n - 1));
+    (* Only the larger label moves. *)
+    Alcotest.(check int) "smaller idle" 0 out.Sim.cost_a
+  done
+
+let test_oracle_rejects_equal () =
+  let explorer = Rv_explore.Ring_walk.clockwise ~n:5 in
+  match Rv_baselines.Oracle.schedule ~my_label:3 ~other_label:3 ~explorer with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "equal labels accepted"
+
+(* ------------------------------------------------------------ Random walk *)
+
+let test_random_walk_deterministic_per_seed () =
+  let g = Rv_graph.Ring.oriented 8 in
+  let run () =
+    Rv_baselines.Random_walk.measure ~g ~start_a:0 ~start_b:4 ~trials:10 ~seed:7
+      ~max_rounds:100_000
+  in
+  match (run (), run ()) with
+  | Ok (t1, _), Ok (t2, _) ->
+      Alcotest.(check (float 1e-9)) "same mean" t1.Rv_util.Stats.mean t2.Rv_util.Stats.mean
+  | _ -> Alcotest.fail "measurement failed"
+
+let prop_random_walk_meets =
+  qtest ~count:20 "double random walks meet on small graphs"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let g = Rv_graph.Grid.make ~rows:3 ~cols:3 in
+      match
+        Rv_baselines.Random_walk.measure ~g ~start_a:0 ~start_b:8 ~trials:5 ~seed
+          ~max_rounds:200_000
+      with
+      | Ok (times, costs) ->
+          times.Rv_util.Stats.min >= 1 && costs.Rv_util.Stats.min >= 1
+      | Error _ -> false)
+
+(* ------------------------------------------------------------- Token ring *)
+
+let test_token_meets_everywhere () =
+  List.iter
+    (fun n ->
+      for gap = 1 to n - 1 do
+        if (n mod 2 = 0 && gap <> n / 2) || n mod 2 = 1 then
+          match Rv_baselines.Token_ring.run ~n ~start_a:0 ~start_b:gap with
+          | Rv_baselines.Token_ring.Met m ->
+              Alcotest.(check bool)
+                (Printf.sprintf "time within 2(n-1) (n=%d gap=%d)" n gap)
+                true
+                (m.round <= Rv_baselines.Token_ring.proven_time ~n);
+              Alcotest.(check bool) "cost within 3n" true
+                (m.cost <= Rv_baselines.Token_ring.proven_cost ~n)
+          | Rv_baselines.Token_ring.Symmetric_tie ->
+              Alcotest.failf "unexpected tie at n=%d gap=%d" n gap
+      done)
+    [ 5; 6; 9; 12; 15 ]
+
+let test_token_exact_meeting_round () =
+  (* The analysis gives meeting at exactly 2 * max(d, n - d). *)
+  match Rv_baselines.Token_ring.run ~n:9 ~start_a:0 ~start_b:2 with
+  | Rv_baselines.Token_ring.Met m ->
+      Alcotest.(check int) "round" 14 m.round;
+      Alcotest.(check int) "node = closer agent's destination" 2 m.node
+  | Rv_baselines.Token_ring.Symmetric_tie -> Alcotest.fail "tie"
+
+let test_token_antipodal_tie () =
+  List.iter
+    (fun n ->
+      match Rv_baselines.Token_ring.run ~n ~start_a:1 ~start_b:(1 + (n / 2)) with
+      | Rv_baselines.Token_ring.Symmetric_tie -> ()
+      | Rv_baselines.Token_ring.Met _ -> Alcotest.failf "antipodal n=%d must tie" n)
+    [ 6; 8; 12 ]
+
+let test_token_validation () =
+  (match Rv_baselines.Token_ring.run ~n:2 ~start_a:0 ~start_b:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n=2 accepted");
+  match Rv_baselines.Token_ring.run ~n:5 ~start_a:3 ~start_b:3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "equal starts accepted"
+
+(* ------------------------------------------------------------ Async model *)
+
+let test_async_head_on_separation () =
+  (* The canonical example: one full clockwise sweep vs one counterclockwise
+     sweep.  Node meetings are dodge-able, the edge crossing is not. *)
+  let n = 8 in
+  let g = Rv_graph.Ring.oriented n in
+  let cw = List.init n (fun i -> i mod n) in
+  let ccw = List.init n (fun i -> ((n / 2) - i + n) mod n) in
+  let rep = Async.analyze g ~route_a:cw ~route_b:ccw in
+  (match rep.Async.node_meeting with
+  | Async.Evadable _ -> ()
+  | Async.Forced _ -> Alcotest.fail "node meeting should be evadable by swapping");
+  match rep.Async.edge_meeting with
+  | Async.Forced k -> Alcotest.(check bool) "forced quickly" true (k <= n)
+  | Async.Evadable _ -> Alcotest.fail "edge crossing cannot be evaded"
+
+let test_async_parked_target_forced () =
+  (* B does not move; A sweeps the whole ring: meeting forced in both
+     senses. *)
+  let n = 6 in
+  let g = Rv_graph.Ring.oriented n in
+  let sweep = List.init n (fun i -> i) in
+  let rep = Async.analyze g ~route_a:sweep ~route_b:[ 4 ] in
+  (match rep.Async.node_meeting with
+  | Async.Forced _ -> ()
+  | Async.Evadable _ -> Alcotest.fail "parked agent must be found");
+  match rep.Async.edge_meeting with
+  | Async.Forced _ -> ()
+  | Async.Evadable _ -> Alcotest.fail "parked agent must be found (edge model)"
+
+let test_async_parallel_evades () =
+  (* Two clockwise sweeps half a ring apart never share a node. *)
+  let n = 6 in
+  let g = Rv_graph.Ring.oriented n in
+  let ra = List.init 4 (fun i -> i) in
+  let rb = List.init 4 (fun i -> (3 + i) mod n) in
+  let rep = Async.analyze g ~route_a:ra ~route_b:rb in
+  (match rep.Async.node_meeting with
+  | Async.Evadable { final_a; final_b } ->
+      Alcotest.(check int) "final a" 3 final_a;
+      Alcotest.(check int) "final b" 0 final_b
+  | Async.Forced _ -> Alcotest.fail "parallel sweeps should evade");
+  match rep.Async.edge_meeting with
+  | Async.Evadable _ -> ()
+  | Async.Forced _ -> Alcotest.fail "parallel sweeps never share an edge"
+
+let test_async_route_extraction () =
+  let n = 6 in
+  let g = Rv_graph.Ring.oriented n in
+  let sched = Rv_core.Cheap.schedule ~label:2 ~explorer:(Rv_explore.Ring_walk.clockwise ~n) in
+  let route = Async.route_of_schedule g ~start:2 sched in
+  (* Cheap = two explorations of n-1 clockwise moves; waits elided. *)
+  Alcotest.(check int) "route length" (1 + (2 * (n - 1))) (List.length route);
+  Alcotest.(check int) "starts at start" 2 (List.hd route)
+
+let test_async_validation () =
+  let g = Rv_graph.Ring.oriented 6 in
+  (match Async.analyze g ~route_a:[ 0; 2 ] ~route_b:[ 3 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-edge route accepted");
+  match Async.analyze g ~route_a:[ 0 ] ~route_b:[ 0 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "same-start routes accepted"
+
+let test_async_synchronous_guarantee_does_not_transfer () =
+  (* Some Cheap configuration is evadable by the asynchronous adversary —
+     the paper's Section 1.4 point. *)
+  let n = 8 in
+  let g = Rv_graph.Ring.oriented n in
+  let ex = Rv_explore.Ring_walk.clockwise ~n in
+  let route label start = Async.route_of_schedule g ~start (Rv_core.Cheap.schedule ~label ~explorer:ex) in
+  let rep = Async.analyze g ~route_a:(route 1 0) ~route_b:(route 2 4) in
+  match rep.Async.node_meeting with
+  | Async.Evadable _ -> ()
+  | Async.Forced _ -> Alcotest.fail "expected evasion for this configuration"
+
+(* A tiny reference implementation of the evasion game: explicit recursion
+   over every interleaving, no memoization — used to cross-check the
+   production search on small random routes. *)
+let brute_force_evadable ~swap_escapes ra rb =
+  let la = Array.length ra - 1 and lb = Array.length rb - 1 in
+  let rec evade i j =
+    if i = la && j = lb then true
+    else begin
+      let advance_a =
+        i < la && ra.(i + 1) <> rb.(j) && evade (i + 1) j
+      in
+      let advance_b =
+        j < lb && rb.(j + 1) <> ra.(i) && evade i (j + 1)
+      in
+      let swap =
+        swap_escapes && i < la && j < lb
+        && ra.(i) = rb.(j + 1)
+        && ra.(i + 1) = rb.(j)
+        && evade (i + 1) (j + 1)
+      in
+      advance_a || advance_b || swap
+    end
+  in
+  evade 0 0
+
+let random_route rng g len =
+  let n = Pg.n g in
+  let start = Rv_util.Rng.int rng n in
+  let pos = ref start and acc = ref [ start ] in
+  for _ = 1 to len do
+    let p = Rv_util.Rng.int rng (Pg.degree g !pos) in
+    pos := Pg.neighbor g !pos p;
+    acc := !pos :: !acc
+  done;
+  List.rev !acc
+
+let prop_async_matches_brute_force =
+  qtest ~count:300 "memoized evasion game agrees with brute force"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Rv_util.Rng.create ~seed in
+      let g = Rv_graph.Ring.oriented (4 + (seed mod 4)) in
+      let ra = random_route rng g (1 + (seed mod 5)) in
+      let rb = random_route rng g (1 + (seed / 7 mod 5)) in
+      if List.hd ra = List.hd rb then true
+      else begin
+        let rep = Async.analyze g ~route_a:ra ~route_b:rb in
+        let raa = Array.of_list ra and rba = Array.of_list rb in
+        let node_ok =
+          (match rep.Async.node_meeting with
+          | Async.Evadable _ -> true
+          | Async.Forced _ -> false)
+          = brute_force_evadable ~swap_escapes:true raa rba
+        in
+        let edge_ok =
+          (match rep.Async.edge_meeting with
+          | Async.Evadable _ -> true
+          | Async.Forced _ -> false)
+          = brute_force_evadable ~swap_escapes:false raa rba
+        in
+        node_ok && edge_ok
+      end)
+
+let prop_async_node_forced_implies_edge_forced =
+  (* The edge model gives the adversary strictly fewer escapes, so a forced
+     node meeting forces an edge meeting a fortiori. *)
+  qtest ~count:200 "node Forced implies edge Forced"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Rv_util.Rng.create ~seed in
+      let g = Rv_graph.Ring.oriented (4 + (seed mod 5)) in
+      let ra = random_route rng g (1 + (seed mod 8)) in
+      let rb = random_route rng g (1 + (seed / 11 mod 8)) in
+      if List.hd ra = List.hd rb then true
+      else begin
+        let rep = Async.analyze g ~route_a:ra ~route_b:rb in
+        match (rep.Async.node_meeting, rep.Async.edge_meeting) with
+        | Async.Forced _, Async.Forced _ -> true
+        | Async.Forced _, Async.Evadable _ -> false
+        | Async.Evadable _, _ -> true
+      end)
+
+(* ------------------------------------------------------------------- Dlog *)
+
+let test_dlog_exhaustive_correct () =
+  (* All label pairs, all gaps: meet within the 16 * m_max * D analysis
+     bound (simultaneous start). *)
+  let n = 16 in
+  let g = Rv_graph.Ring.oriented n in
+  let space = 6 in
+  for la = 1 to space do
+    for lb = 1 to space do
+      if la <> lb then
+        for gap = 1 to n - 1 do
+          let d = min gap (n - gap) in
+          let sa = Rv_baselines.Dlog.schedule ~n ~space ~label:la in
+          let sb = Rv_baselines.Dlog.schedule ~n ~space ~label:lb in
+          let out =
+            Sim.run ~g ~max_rounds:(Sched.duration sa + Sched.duration sb + 1)
+              { Sim.start = 0; delay = 0; step = Sched.to_instance sa }
+              { Sim.start = gap; delay = 0; step = Sched.to_instance sb }
+          in
+          match out.Sim.meeting_round with
+          | Some t ->
+              Alcotest.(check bool)
+                (Printf.sprintf "within bound (la=%d lb=%d gap=%d)" la lb gap)
+                true
+                (t <= Rv_baselines.Dlog.time_bound ~n ~space ~distance:d)
+          | None -> Alcotest.failf "missed: la=%d lb=%d gap=%d" la lb gap
+        done
+    done
+  done
+
+let test_dlog_distance_staircase () =
+  (* Worst time at D=1 is far below worst time at D=n/2. *)
+  let n = 32 in
+  let g = Rv_graph.Ring.oriented n in
+  let space = 4 in
+  let worst d =
+    let acc = ref 0 in
+    List.iter
+      (fun (la, lb) ->
+        let sa = Rv_baselines.Dlog.schedule ~n ~space ~label:la in
+        let sb = Rv_baselines.Dlog.schedule ~n ~space ~label:lb in
+        let out =
+          Sim.run ~g ~max_rounds:(Sched.duration sa + Sched.duration sb + 1)
+            { Sim.start = 0; delay = 0; step = Sched.to_instance sa }
+            { Sim.start = d; delay = 0; step = Sched.to_instance sb }
+        in
+        acc := max !acc (Sim.time out))
+      [ (1, 2); (2, 3); (3, 4) ];
+    !acc
+  in
+  let near = worst 1 and far = worst (n / 2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "staircase: D=1 -> %d, D=%d -> %d" near (n / 2) far)
+    true
+    (far > 4 * near)
+
+let test_dlog_slots_align () =
+  (* Schedules of different labels in the same space have equal duration
+     (the padding that keeps (phase, bit) slots aligned). *)
+  let n = 16 and space = 8 in
+  let d1 = Sched.duration (Rv_baselines.Dlog.schedule ~n ~space ~label:1) in
+  for label = 2 to space do
+    Alcotest.(check int)
+      (Printf.sprintf "duration label %d" label)
+      d1
+      (Sched.duration (Rv_baselines.Dlog.schedule ~n ~space ~label))
+  done
+
+let test_dlog_validation () =
+  (match Rv_baselines.Dlog.schedule ~n:2 ~space:4 ~label:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n=2 accepted");
+  match Rv_baselines.Dlog.schedule ~n:8 ~space:4 ~label:9 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "label outside space accepted"
+
+(* ------------------------------------------------------------- Async ring *)
+
+let test_async_ring_forced_exhaustive () =
+  (* The l*n-loops algorithm forces a node meeting for every pair and gap
+     (the unit-step offset argument); verify exhaustively on several ring
+     sizes. *)
+  List.iter
+    (fun n ->
+      for la = 1 to 4 do
+        for lb = la + 1 to 4 do
+          for gap = 1 to n - 1 do
+            let rep =
+              Rv_async.Async_ring.analyze ~n ~label_a:la ~start_a:0 ~label_b:lb
+                ~start_b:gap
+            in
+            match rep.Async.node_meeting with
+            | Async.Forced _ -> ()
+            | Async.Evadable _ ->
+                Alcotest.failf "evaded: n=%d la=%d lb=%d gap=%d" n la lb gap
+          done
+        done
+      done)
+    [ 4; 6; 9 ]
+
+let test_async_ring_equal_labels_evade () =
+  (* With equal route lengths the offset never drifts far enough: two
+     same-length loop routes are evadable — labels are essential. *)
+  let n = 8 in
+  let g = Rv_graph.Ring.oriented n in
+  let route start = Rv_async.Async_ring.route ~n ~label:2 ~start in
+  let rep = Async.analyze g ~route_a:(route 0) ~route_b:(route 4) in
+  match rep.Async.node_meeting with
+  | Async.Evadable _ -> ()
+  | Async.Forced _ -> Alcotest.fail "equal-length loops should be evadable"
+
+let test_async_ring_validation () =
+  (match Rv_async.Async_ring.route ~n:2 ~label:1 ~start:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n=2 accepted");
+  (match Rv_async.Async_ring.route ~n:5 ~label:0 ~start:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "label 0 accepted");
+  match Rv_async.Async_ring.analyze ~n:5 ~label_a:2 ~start_a:0 ~label_b:2 ~start_b:3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "equal labels accepted"
+
+(* -------------------------------------------------------------- Gathering *)
+
+let cheap_sim_step ~n label =
+  Sched.to_instance
+    (Rv_core.Cheap.schedule_simultaneous ~label ~explorer:(Rv_explore.Ring_walk.clockwise ~n))
+
+let test_gather_cheap_within_e () =
+  (* All agents on CheapSim: the smallest label sweeps once and collects
+     everyone, so gathering completes within E rounds. *)
+  let n = 12 in
+  let g = Rv_graph.Ring.oriented n in
+  let agents =
+    List.mapi
+      (fun i start -> { Rv_sim.Gather.name = Printf.sprintf "a%d" i; label = i + 1; start;
+                        step = cheap_sim_step ~n (i + 1) })
+      [ 0; 3; 5; 8; 10 ]
+  in
+  let out = Rv_sim.Gather.run ~g ~max_rounds:1000 agents in
+  (match out.Rv_sim.Gather.gathered_round with
+  | Some r -> Alcotest.(check bool) (Printf.sprintf "within E (round %d)" r) true (r <= n - 1)
+  | None -> Alcotest.fail "no gathering");
+  (* Merges accumulate everyone. *)
+  match List.rev out.Rv_sim.Gather.merges with
+  | last :: _ -> Alcotest.(check int) "final merge holds all" 5 (List.length last.Rv_sim.Gather.members)
+  | [] -> Alcotest.fail "no merges recorded"
+
+let test_gather_cost_counts_members () =
+  (* Two agents meeting then moving together: the group's moves cost 2 per
+     edge. *)
+  let n = 8 in
+  let g = Rv_graph.Ring.oriented n in
+  let scripted actions =
+    let remaining = ref actions in
+    fun (_ : Rv_explore.Explorer.observation) ->
+      match !remaining with
+      | [] -> Rv_explore.Explorer.Wait
+      | a :: rest ->
+          remaining := rest;
+          a
+  in
+  let mv = Rv_explore.Explorer.Move 0 in
+  let agents =
+    [
+      (* Leader (label 1) walks 3 steps: one to meet, two more dragging the
+         group. *)
+      { Rv_sim.Gather.name = "lead"; label = 1; start = 0; step = scripted [ mv; mv; mv ] };
+      { Rv_sim.Gather.name = "tail"; label = 2; start = 1; step = scripted [] };
+    ]
+  in
+  let out = Rv_sim.Gather.run ~g ~max_rounds:10 agents in
+  Alcotest.(check (option int)) "gathered at round 1" (Some 1) out.Rv_sim.Gather.gathered_round;
+  ignore out
+
+let test_gather_total_cost_accounting () =
+  let n = 10 in
+  let g = Rv_graph.Ring.oriented n in
+  let agents =
+    List.mapi
+      (fun i start -> { Rv_sim.Gather.name = Printf.sprintf "g%d" i; label = i + 1; start;
+                        step = cheap_sim_step ~n (i + 1) })
+      [ 0; 4; 7 ]
+  in
+  let out = Rv_sim.Gather.run ~g ~max_rounds:1000 agents in
+  Alcotest.(check bool) "gathered" true (out.Rv_sim.Gather.gathered_round <> None);
+  (* Leader walks <= E edges; collected members ride along, so total cost is
+     at most 1E + 2E + 3E. *)
+  Alcotest.(check bool) "cost bounded by kE" true (out.Rv_sim.Gather.total_cost <= 3 * (n - 1))
+
+let test_gather_on_grid () =
+  (* Gathering is graph-agnostic: on a grid with map-DFS explorers the
+     smallest label's first exploration still collects everyone. *)
+  let g = Rv_graph.Grid.make ~rows:3 ~cols:4 in
+  let e = Rv_explore.Map_dfs.bound_returning ~n:12 in
+  let agents =
+    List.mapi
+      (fun i start ->
+        let label = i + 1 in
+        {
+          Rv_sim.Gather.name = Printf.sprintf "m%d" i;
+          label;
+          start;
+          step =
+            Sched.to_instance
+              (Rv_core.Cheap.schedule_simultaneous ~label
+                 ~explorer:(Rv_explore.Map_dfs.returning g ~start));
+        })
+      [ 0; 5; 11 ]
+  in
+  let out = Rv_sim.Gather.run ~g ~max_rounds:(10 * e) agents in
+  match out.Rv_sim.Gather.gathered_round with
+  | Some r -> Alcotest.(check bool) "within E" true (r <= e)
+  | None -> Alcotest.fail "no gathering on grid"
+
+let prop_gather_always_within_lmin_e =
+  qtest ~count:60 "cheap-sim gathering completes within l_min * E"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Rv_util.Rng.create ~seed in
+      let n = 8 + Rv_util.Rng.int rng 17 in
+      let g = Rv_graph.Ring.oriented n in
+      let k = 2 + Rv_util.Rng.int rng (min 5 (n - 2)) in
+      let starts = Rv_util.Rng.sample_distinct rng k n in
+      let labels = Rv_util.Rng.sample_distinct rng k 12 |> List.map (fun l -> l + 1) in
+      let explorer = Rv_explore.Ring_walk.clockwise ~n in
+      let agents =
+        List.map2
+          (fun label start ->
+            {
+              Rv_sim.Gather.name = Printf.sprintf "g%d" label;
+              label;
+              start;
+              step =
+                Sched.to_instance
+                  (Rv_core.Cheap.schedule_simultaneous ~label ~explorer);
+            })
+          labels starts
+      in
+      let out = Rv_sim.Gather.run ~g ~max_rounds:(20 * n) agents in
+      let l_min = List.fold_left min max_int labels in
+      match out.Rv_sim.Gather.gathered_round with
+      | Some r -> r <= l_min * (n - 1)
+      | None -> false)
+
+let test_gather_validation () =
+  let g = Rv_graph.Ring.oriented 6 in
+  let idle (_ : Rv_explore.Explorer.observation) = Rv_explore.Explorer.Wait in
+  let a name label start = { Rv_sim.Gather.name; label; start; step = idle } in
+  let run agents =
+    match Rv_sim.Gather.run ~g ~max_rounds:5 agents with
+    | exception Invalid_argument _ -> `Rejected
+    | _ -> `Accepted
+  in
+  Alcotest.(check bool) "one agent" true (run [ a "x" 1 0 ] = `Rejected);
+  Alcotest.(check bool) "dup label" true (run [ a "x" 1 0; a "y" 1 2 ] = `Rejected);
+  Alcotest.(check bool) "dup name" true (run [ a "x" 1 0; a "x" 2 2 ] = `Rejected);
+  Alcotest.(check bool) "dup start" true (run [ a "x" 1 0; a "y" 2 0 ] = `Rejected)
+
+(* ------------------------------------------------------- Schedule.repeat *)
+
+let test_schedule_repeat () =
+  let e = Rv_explore.Ring_walk.clockwise ~n:6 in
+  let s = [ Sched.Explore e; Sched.Pause 3 ] in
+  let r = Sched.repeat 3 s in
+  Alcotest.(check int) "duration x3" (3 * Sched.duration s) (Sched.duration r);
+  Alcotest.(check int) "explorations x3" 3 (Sched.explorations r);
+  match Sched.repeat 0 s with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "k=0 accepted"
+
+let test_repeat_fixes_parachute () =
+  (* The EXP-I finding: with a delay that outlives the earlier agent's
+     schedule, plain Fast misses in the parachute model; three repeats
+     restore the meeting. *)
+  let n = 12 in
+  let g = Rv_graph.Ring.oriented n in
+  let ex = Rv_explore.Ring_walk.clockwise ~n in
+  let find_miss make =
+    let result = ref None in
+    (try
+       for la = 1 to 6 do
+         for lb = 1 to 6 do
+           if la <> lb then
+             for gap = 1 to n - 1 do
+               for delay = 0 to 4 * (n - 1) do
+                 let sa = make la and sb = make lb in
+                 let horizon = Sched.duration sa + Sched.duration sb + delay + 1 in
+                 let out =
+                   Sim.run ~model:Sim.Parachute ~g ~max_rounds:horizon
+                     { Sim.start = 0; delay = 0; step = Sched.to_instance sa }
+                     { Sim.start = gap; delay; step = Sched.to_instance sb }
+                 in
+                 if (not out.Sim.met) && !result = None then begin
+                   result := Some (la, lb, gap, delay);
+                   raise Exit
+                 end
+               done
+             done
+         done
+       done
+     with Exit -> ());
+    !result
+  in
+  let plain label = Rv_core.Fast.schedule ~label ~explorer:ex in
+  let repeated label = Sched.repeat 3 (plain label) in
+  (match find_miss plain with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected plain Fast to miss in the parachute model");
+  match find_miss repeated with
+  | None -> ()
+  | Some (la, lb, gap, delay) ->
+      Alcotest.failf "repeated Fast missed: la=%d lb=%d gap=%d delay=%d" la lb gap delay
+
+(* ---------------------------------------------------------------- Serial *)
+
+let family_graph seed =
+  let rng = Rv_util.Rng.create ~seed in
+  match seed mod 5 with
+  | 0 -> Rv_graph.Ring.oriented (3 + (seed mod 10))
+  | 1 -> Rv_graph.Grid.make ~rows:(2 + (seed mod 3)) ~cols:2
+  | 2 -> Rv_graph.Tree.random rng (2 + (seed mod 10))
+  | 3 -> Rv_graph.Hypercube.make ~dim:(2 + (seed mod 2))
+  | _ -> Rv_graph.Random_graph.connected rng ~n:(4 + (seed mod 8)) ~extra_edges:(seed mod 4)
+
+let prop_serial_roundtrip =
+  qtest "Serial round-trips structurally"
+    QCheck.(map family_graph (int_bound 10_000))
+    (fun g ->
+      match Rv_graph.Serial.of_string (Rv_graph.Serial.to_string g) with
+      | Ok g' -> Pg.equal_structure g g'
+      | Error _ -> false)
+
+let test_serial_errors () =
+  let bad s =
+    match Rv_graph.Serial.of_string s with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "empty" true (bad "");
+  Alcotest.(check bool) "bad header" true (bad "graph 4\n0 0 1 0\n");
+  Alcotest.(check bool) "bad line" true (bad "portgraph 2\n0 0 1\n");
+  Alcotest.(check bool) "invalid structure" true (bad "portgraph 2\n0 0 0 1\n");
+  Alcotest.(check bool) "comments ok" true
+    (not (bad "portgraph 2\n# an edge\n0 0 1 0\n"))
+
+let test_serial_file_and_spec () =
+  let g = Rv_graph.Special.petersen () in
+  let path = Filename.temp_file "rv_serial" ".pg" in
+  Rv_graph.Serial.write_file ~path g;
+  (match Rv_graph.Serial.read_file ~path with
+  | Ok g' -> Alcotest.(check bool) "file round-trip" true (Pg.equal_structure g g')
+  | Error e -> Alcotest.fail e);
+  (match Rv_experiments.Spec.parse_graph ("file:" ^ path) with
+  | Ok spec -> Alcotest.(check int) "spec loads file" 10 (Pg.n spec.Rv_experiments.Spec.g)
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+(* --------------------------------------------------- Extra fact checkers *)
+
+let test_fact_3_1 () =
+  let n = 24 in
+  (* Cost-limited vectors: two short clockwise bursts (small segments). *)
+  let va = Array.append (Array.make 4 1) (Array.make 20 0) in
+  let vb = Array.append (Array.make 3 (-1)) (Array.make 20 0) in
+  for start_b = 1 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "fact 3.1 at gap %d" start_b)
+      true
+      (Rv_lowerbound.Facts.fact_3_1 ~n va vb ~start_b)
+  done
+
+let test_fact_3_6_and_3_8_on_cheap () =
+  let n = 18 and space = 8 in
+  let vectors = Rv_lowerbound.Theorem_cheap.cheap_sim_vectors ~n ~space in
+  match Rv_lowerbound.Theorem_cheap.analyze ~n ~vectors with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      (match r.Rv_lowerbound.Theorem_cheap.fact_3_6 with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "Fact 3.6: %s" e);
+      (match r.Rv_lowerbound.Theorem_cheap.fact_3_8 with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "Fact 3.8: %s" e)
+
+let test_tournament_vector_accessor () =
+  let n = 12 and space = 4 in
+  let labels = Array.init space (fun i -> i + 1) in
+  let vectors =
+    Array.map
+      (fun label ->
+        Rv_lowerbound.Behaviour.of_schedule ~n
+          (Rv_core.Cheap.schedule_simultaneous ~label
+             ~explorer:(Rv_explore.Ring_walk.clockwise ~n)))
+      labels
+  in
+  match Rv_lowerbound.Trim.run ~n ~labels ~vectors with
+  | Error e -> Alcotest.fail e
+  | Ok trim ->
+      let t = Rv_lowerbound.Tournament.build trim in
+      Alcotest.(check int) "vector length matches"
+        (Array.length (Rv_lowerbound.Tournament.vector_of t ~label:2))
+        (Array.length trim.Rv_lowerbound.Trim.vectors.(1));
+      (match Rv_lowerbound.Tournament.vector_of t ~label:99 with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "unknown label accepted")
+
+let () =
+  Alcotest.run "rv_extensions"
+    [
+      ( "oracle",
+        [ tc "bounds" test_oracle_bounds; tc "rejects equal labels" test_oracle_rejects_equal ] );
+      ( "random_walk",
+        [
+          tc "deterministic per seed" test_random_walk_deterministic_per_seed;
+          prop_random_walk_meets;
+        ] );
+      ( "token_ring",
+        [
+          tc "meets everywhere (non-antipodal)" test_token_meets_everywhere;
+          tc "exact meeting round" test_token_exact_meeting_round;
+          tc "antipodal tie" test_token_antipodal_tie;
+          tc "validation" test_token_validation;
+        ] );
+      ( "async",
+        [
+          tc "head-on separation" test_async_head_on_separation;
+          tc "parked target forced" test_async_parked_target_forced;
+          tc "parallel sweeps evade" test_async_parallel_evades;
+          tc "route extraction" test_async_route_extraction;
+          tc "validation" test_async_validation;
+          tc "sync guarantee does not transfer" test_async_synchronous_guarantee_does_not_transfer;
+          prop_async_matches_brute_force;
+          prop_async_node_forced_implies_edge_forced;
+        ] );
+      ( "dlog",
+        [
+          tc "exhaustive correctness + bound" test_dlog_exhaustive_correct;
+          tc "distance staircase" test_dlog_distance_staircase;
+          tc "slot alignment" test_dlog_slots_align;
+          tc "validation" test_dlog_validation;
+        ] );
+      ( "async_ring",
+        [
+          tc "forced exhaustively" test_async_ring_forced_exhaustive;
+          tc "equal labels evade" test_async_ring_equal_labels_evade;
+          tc "validation" test_async_ring_validation;
+        ] );
+      ( "gather",
+        [
+          tc "cheap gathers within E" test_gather_cheap_within_e;
+          tc "merge mechanics" test_gather_cost_counts_members;
+          tc "cost accounting" test_gather_total_cost_accounting;
+          tc "gathers on a grid" test_gather_on_grid;
+          prop_gather_always_within_lmin_e;
+          tc "validation" test_gather_validation;
+        ] );
+      ( "repeat",
+        [
+          tc "schedule repeat" test_schedule_repeat;
+          tc "repeat fixes parachute misses" test_repeat_fixes_parachute;
+        ] );
+      ( "serial",
+        [
+          prop_serial_roundtrip;
+          tc "errors" test_serial_errors;
+          tc "file and spec" test_serial_file_and_spec;
+        ] );
+      ( "facts_extra",
+        [
+          tc "Fact 3.1" test_fact_3_1;
+          tc "Facts 3.6/3.8 on cheap" test_fact_3_6_and_3_8_on_cheap;
+          tc "tournament vector accessor" test_tournament_vector_accessor;
+        ] );
+    ]

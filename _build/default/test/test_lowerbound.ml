@@ -1,0 +1,534 @@
+(* Tests for rv_lowerbound: the executable Section-3 machinery — behaviour
+   vectors, the Trim procedure, the eager-agent tournament (Theorem 3.1)
+   and the aggregate/progress-vector pipeline (Theorem 3.2), including
+   property tests of Algorithm 3's invariants on arbitrary vectors. *)
+
+module LB = Rv_lowerbound
+module Behaviour = LB.Behaviour
+module Ring_model = LB.Ring_model
+module Trim = LB.Trim
+module Aggregate = LB.Aggregate
+module Progress = LB.Progress
+module Facts = LB.Facts
+
+let qtest ?(count = 100) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let cheap_sim_vector ~n label =
+  Behaviour.of_schedule ~n
+    (Rv_core.Cheap.schedule_simultaneous ~label
+       ~explorer:(Rv_explore.Ring_walk.clockwise ~n))
+
+let fast_sim_vector ~n label =
+  Behaviour.of_schedule ~n
+    (Rv_core.Fast.schedule_simultaneous ~label
+       ~explorer:(Rv_explore.Ring_walk.clockwise ~n))
+
+(* -------------------------------------------------------------- Behaviour *)
+
+let test_behaviour_extraction () =
+  (* CheapSim label 3 on an 8-ring: 2E waits then E clockwise moves. *)
+  let n = 8 in
+  let v = cheap_sim_vector ~n 3 in
+  Alcotest.(check int) "length" (3 * (n - 1)) (Array.length v);
+  Alcotest.(check bool) "waits first" true
+    (Array.for_all (fun x -> x = 0) (Array.sub v 0 (2 * (n - 1))));
+  Alcotest.(check bool) "then clockwise" true
+    (Array.for_all (fun x -> x = 1) (Array.sub v (2 * (n - 1)) (n - 1)))
+
+let test_behaviour_stats () =
+  let v = [| 1; 1; -1; 0; -1; -1; 0; 1 |] in
+  Behaviour.check v;
+  Alcotest.(check int) "forward" 2 (Behaviour.forward v);
+  Alcotest.(check int) "back" 1 (Behaviour.back v);
+  Alcotest.(check int) "weight" 6 (Behaviour.weight v);
+  Alcotest.(check int) "disp 3" 1 (Behaviour.displacement v ~upto:3);
+  Alcotest.(check bool) "cw heavy" true (Behaviour.clockwise_heavy v);
+  let m = Behaviour.mirror v in
+  Alcotest.(check int) "mirror forward" 1 (Behaviour.forward m);
+  Alcotest.(check bool) "mirror heavy flips" false (Behaviour.clockwise_heavy m)
+
+let test_behaviour_check_rejects () =
+  match Behaviour.check [| 0; 2 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "entry 2 accepted"
+
+let prop_seg_sides =
+  qtest "seg_sides matches (forward, back) on rings"
+    QCheck.(array_of_size Gen.(0 -- 150) (int_range (-1) 1))
+    (fun v ->
+      let s1, sm1 = Behaviour.seg_sides v in
+      s1 = Behaviour.forward v && sm1 = Behaviour.back v)
+
+let prop_prefix_sums_bounds =
+  qtest "Fact 3.4: -back <= disp <= forward on every prefix"
+    QCheck.(array_of_size Gen.(0 -- 200) (int_range (-1) 1))
+    (fun v -> Facts.fact_3_4 v)
+
+(* ------------------------------------------------------------- Ring_model *)
+
+let test_meeting_round_hand () =
+  let n = 6 in
+  (* A walks clockwise forever, B waits: from gap 2, meet in round 2. *)
+  let va = Array.make 20 1 and vb = Array.make 20 0 in
+  Alcotest.(check (option int)) "gap 2" (Some 2)
+    (Ring_model.meeting_round ~n va ~start_a:0 vb ~start_b:2);
+  (* Two clockwise walkers never meet. *)
+  Alcotest.(check (option int)) "parallel walkers" None
+    (Ring_model.meeting_round ~n va ~start_a:0 va ~start_b:3);
+  (* Identical starts are rejected. *)
+  match Ring_model.meeting_round ~n va ~start_a:2 vb ~start_b:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "identical starts accepted"
+
+let test_ring_model_matches_simulator () =
+  (* The fast executor must agree with the general simulator. *)
+  let n = 10 in
+  let g = Rv_graph.Ring.oriented n in
+  let check_pair la lb gap =
+    let va = fast_sim_vector ~n la and vb = fast_sim_vector ~n lb in
+    let fast_result = Ring_model.meeting_round ~n va ~start_a:0 vb ~start_b:gap in
+    let make label =
+      Rv_core.Schedule.to_instance
+        (Rv_core.Fast.schedule_simultaneous ~label
+           ~explorer:(Rv_explore.Ring_walk.clockwise ~n))
+    in
+    let out =
+      Rv_sim.Sim.run ~g ~max_rounds:10_000
+        { Rv_sim.Sim.start = 0; delay = 0; step = make la }
+        { Rv_sim.Sim.start = gap; delay = 0; step = make lb }
+    in
+    Alcotest.(check (option int))
+      (Printf.sprintf "agree la=%d lb=%d gap=%d" la lb gap)
+      out.Rv_sim.Sim.meeting_round fast_result
+  in
+  List.iter (fun (la, lb, gap) -> check_pair la lb gap)
+    [ (1, 2, 3); (3, 5, 1); (2, 7, 9); (4, 6, 5) ]
+
+let test_positions_and_cost () =
+  let v = [| 1; 0; -1; 1; 1 |] in
+  Alcotest.(check bool) "positions" true
+    (Ring_model.positions ~n:5 v ~start:4 = [| 0; 0; 4; 0; 1 |]);
+  Alcotest.(check int) "cost 3" 2 (Ring_model.cost_until v ~round:3);
+  Alcotest.(check int) "cost all" 4 (Ring_model.cost_until v ~round:99)
+
+(* ------------------------------------------------------------------- Trim *)
+
+let labels_and_vectors ~n ~space vector_of =
+  let labels = Array.init space (fun i -> i + 1) in
+  (labels, Array.map (fun l -> vector_of ~n l) labels)
+
+let test_trim_cheap_sim () =
+  let n = 8 and space = 5 in
+  let labels, vectors = labels_and_vectors ~n ~space (fun ~n l -> cheap_sim_vector ~n l) in
+  match Trim.run ~n ~labels ~vectors with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+      (* m_x for CheapSim: the last meeting involving x happens when its
+         neighbour-label agent explores; m increases with the label. *)
+      for i = 0 to space - 2 do
+        Alcotest.(check bool) "m monotone in label" true (t.Trim.m.(i) <= t.Trim.m.(i + 1))
+      done;
+      (* Zeroed tails. *)
+      Array.iteri
+        (fun i v ->
+          let m = t.Trim.m.(i) in
+          Array.iteri (fun j x -> if j >= m then Alcotest.(check int) "tail zero" 0 x) v)
+        t.Trim.vectors
+
+let test_trim_preserves_meetings () =
+  (* Trimming never changes any pairwise execution. *)
+  let n = 8 and space = 5 in
+  let labels, vectors = labels_and_vectors ~n ~space (fun ~n l -> fast_sim_vector ~n l) in
+  match Trim.run ~n ~labels ~vectors with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+      for i = 0 to space - 1 do
+        for j = 0 to space - 1 do
+          if i <> j then
+            for gap = 1 to n - 1 do
+              Alcotest.(check (option int)) "meeting unchanged"
+                (Ring_model.meeting_round ~n vectors.(i) ~start_a:0 vectors.(j)
+                   ~start_b:gap)
+                (Ring_model.meeting_round ~n t.Trim.vectors.(i) ~start_a:0
+                   t.Trim.vectors.(j) ~start_b:gap)
+            done
+        done
+      done
+
+let test_trim_detects_broken_algorithm () =
+  (* Two identical always-clockwise vectors never meet: Trim must report. *)
+  let v = Array.make 50 1 in
+  match Trim.run ~n:6 ~labels:[| 1; 2 |] ~vectors:[| v; Array.copy v |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-meeting algorithm passed Trim"
+
+let test_trim_accessors () =
+  let n = 6 and space = 3 in
+  let labels, vectors = labels_and_vectors ~n ~space (fun ~n l -> cheap_sim_vector ~n l) in
+  match Trim.run ~n ~labels ~vectors with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+      Alcotest.(check int) "m_of matches" t.Trim.m.(1) (Trim.m_of t ~label:2);
+      Alcotest.(check bool) "vector matches" true (Trim.vector t ~label:2 == t.Trim.vectors.(1));
+      (match Trim.vector t ~label:9 with
+      | exception Not_found -> ()
+      | _ -> Alcotest.fail "unknown label accepted")
+
+(* ------------------------------------------------------------- Tournament *)
+
+let build_tournament ~n ~space vector_of =
+  let labels, vectors = labels_and_vectors ~n ~space vector_of in
+  match Trim.run ~n ~labels ~vectors with
+  | Error e -> Alcotest.fail e
+  | Ok t -> LB.Tournament.build t
+
+let test_tournament_cheap () =
+  let t = build_tournament ~n:12 ~space:6 (fun ~n l -> cheap_sim_vector ~n l) in
+  Alcotest.(check int) "no Fact 3.5 violations" 0 t.LB.Tournament.fact_3_5_violations;
+  Alcotest.(check int) "all agents clockwise-heavy" 6 (Array.length t.LB.Tournament.vertices);
+  let path = LB.Tournament.hamiltonian_path t in
+  Alcotest.(check int) "path covers all vertices" 6 (List.length path);
+  Alcotest.(check int) "path is a permutation" 6
+    (List.length (List.sort_uniq compare path));
+  let chain = LB.Tournament.chain t path in
+  Alcotest.(check int) "chain length" 5 (List.length chain);
+  let durations = List.map (fun (s : LB.Tournament.chain_step) -> s.duration) chain in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "Fact 3.7: strictly increasing" true (increasing durations)
+
+let test_tournament_mirrored_input () =
+  (* Counterclockwise CheapSim (port 1 walks): the harness must mirror. *)
+  let n = 12 and space = 4 in
+  let vector_of ~n l =
+    Behaviour.of_schedule ~n
+      (Rv_core.Cheap.schedule_simultaneous ~label:l
+         ~explorer:(Rv_explore.Ring_walk.counterclockwise ~n))
+  in
+  let labels, vectors = labels_and_vectors ~n ~space vector_of in
+  match Trim.run ~n ~labels ~vectors with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+      let tour = LB.Tournament.build t in
+      Alcotest.(check bool) "mirrored" true tour.LB.Tournament.mirrored;
+      Alcotest.(check int) "all vertices kept" space (Array.length tour.LB.Tournament.vertices)
+
+(* -------------------------------------------------------------- Aggregate *)
+
+let test_sector_of () =
+  Alcotest.(check int) "node 0" 0 (Aggregate.sector_of ~n:12 0);
+  Alcotest.(check int) "node 2" 1 (Aggregate.sector_of ~n:12 2);
+  Alcotest.(check int) "node 11" 5 (Aggregate.sector_of ~n:12 11);
+  match Aggregate.sector_of ~n:10 3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n not divisible by 6 accepted"
+
+let test_aggregate_clockwise () =
+  (* Constant clockwise walking crosses one sector per block. *)
+  let n = 12 in
+  let v = Array.make 24 1 in
+  let agg = Aggregate.of_behaviour ~n ~start:0 ~blocks:8 v in
+  Alcotest.(check bool) "all +1" true (Array.for_all (fun z -> z = 1) agg)
+
+let test_aggregate_oscillation () =
+  (* Alternating +1/-1 never leaves the start sector. *)
+  let n = 12 in
+  let v = Array.init 24 (fun i -> if i mod 2 = 0 then 1 else -1) in
+  let agg = Aggregate.of_behaviour ~n ~start:0 ~blocks:10 v in
+  Alcotest.(check bool) "all 0" true (Array.for_all (fun z -> z = 0) agg)
+
+let test_fact_3_9_and_3_10 () =
+  let n = 12 in
+  List.iter
+    (fun label ->
+      let v = fast_sim_vector ~n label in
+      Alcotest.(check bool) "Fact 3.9" true (Facts.fact_3_9 ~n ~start:0 v);
+      let blocks = Array.length v / (n / 6) in
+      Alcotest.(check bool) "Fact 3.10" true (Facts.fact_3_10 ~n ~blocks v))
+    [ 1; 3; 5; 7 ]
+
+let test_surplus_range () =
+  let agg = [| 1; 0; -1; 1; 1 |] in
+  Alcotest.(check int) "full" 2 (Aggregate.surplus agg);
+  Alcotest.(check int) "1..3" 0 (Aggregate.surplus_range agg ~lo:1 ~hi:3);
+  Alcotest.(check int) "4..5" 2 (Aggregate.surplus_range agg ~lo:4 ~hi:5);
+  Alcotest.(check int) "empty" 0 (Aggregate.surplus_range agg ~lo:3 ~hi:2);
+  Alcotest.(check int) "clipped" 2 (Aggregate.surplus_range agg ~lo:(-3) ~hi:99)
+
+let test_blocks_of_round () =
+  Alcotest.(check int) "round 1" 1 (Aggregate.blocks_of_round ~n:12 1);
+  Alcotest.(check int) "round 2" 1 (Aggregate.blocks_of_round ~n:12 2);
+  Alcotest.(check int) "round 3" 2 (Aggregate.blocks_of_round ~n:12 3)
+
+(* --------------------------------------------------------------- Progress *)
+
+let test_progress_hand_examples () =
+  (* Steady clockwise: first pair at positions (1,2), then (3,4), ... *)
+  let p = Progress.define [| 1; 1; 1; 1; 1; 1 |] in
+  Alcotest.(check (list (pair int int))) "pairs" [ (1, 2); (3, 4); (5, 6) ] p.Progress.pairs;
+  Alcotest.(check int) "nonzero" 6 (Progress.nonzero p);
+  (* Oscillation: surplus never reaches 2. *)
+  let p = Progress.define [| 1; -1; 1; -1; 1 |] in
+  Alcotest.(check int) "oscillation zeroed" 0 (Progress.nonzero p);
+  (* The paper's structure: a stretch reaching +2 with a dip. *)
+  let agg = [| 1; -1; 1; 0; 1 |] in
+  (* prefix surpluses: 1 0 1 1 2 -> b = 5; last zero at 2 -> a = 3. *)
+  let p = Progress.define agg in
+  Alcotest.(check (list (pair int int))) "dip pairs" [ (3, 5) ] p.Progress.pairs;
+  Alcotest.(check bool) "entries are Agg[b]" true
+    (p.Progress.prog = [| 0; 0; 1; 0; 1 |])
+
+let test_progress_negative_direction () =
+  let p = Progress.define [| -1; 0; -1; -1 |] in
+  Alcotest.(check (list (pair int int))) "pairs" [ (1, 3) ] p.Progress.pairs;
+  Alcotest.(check bool) "negative entries" true (p.Progress.prog = [| -1; 0; -1; 0 |])
+
+let agg_arb =
+  QCheck.(array_of_size Gen.(0 -- 120) (int_range (-1) 1))
+
+let prop_progress_invariants =
+  qtest ~count:300 "Facts 3.12/3.13/3.14 hold for DefineProgress on any vector" agg_arb
+    (fun agg ->
+      let p = Progress.define agg in
+      (* Fact 3.12: pairs strictly ordered and non-overlapping. *)
+      let rec ordered last = function
+        | [] -> true
+        | (a, b) :: rest -> last < a && a < b && ordered b rest
+      in
+      ordered 0 p.Progress.pairs
+      (* Fact 3.13 is asserted inside define; re-check entries here. *)
+      && List.for_all
+           (fun (a, b) ->
+             p.Progress.prog.(a - 1) = p.Progress.prog.(b - 1)
+             && p.Progress.prog.(b - 1) = agg.(b - 1)
+             && agg.(b - 1) <> 0)
+           p.Progress.pairs
+      && Progress.check_fact_3_14 agg p = Ok ())
+
+let prop_progress_nonzero_count =
+  qtest "nonzero = 2 * pairs" agg_arb (fun agg ->
+      let p = Progress.define agg in
+      Progress.nonzero p = 2 * List.length p.Progress.pairs)
+
+(* ------------------------------------------------------------------ Facts *)
+
+let test_fact_3_3_cheap () =
+  (* Fact 3.3: for a cost-(E + phi) algorithm, back(A) <= phi.  CheapSim has
+     cost exactly E (phi = 0) and never moves counterclockwise, so every
+     trimmed vector has back = 0. *)
+  let n = 12 and space = 6 in
+  let labels = Array.init space (fun i -> i + 1) in
+  let vectors = Array.map (fun l -> cheap_sim_vector ~n l) labels in
+  match Trim.run ~n ~labels ~vectors with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+      Array.iter
+        (fun v -> Alcotest.(check int) "back = 0 <= phi = 0" 0 (Behaviour.back v))
+        t.Trim.vectors
+
+let test_fact_3_2 () =
+  List.iter
+    (fun label ->
+      Alcotest.(check bool) "Fact 3.2" true (Facts.fact_3_2 (fast_sim_vector ~n:12 label)))
+    [ 1; 2; 5; 6 ]
+
+let test_fact_3_5_cheap () =
+  let n = 12 in
+  let va = cheap_sim_vector ~n 1 and vb = cheap_sim_vector ~n 2 in
+  match Facts.fact_3_5 ~n va vb with
+  | `One_eager `A -> ()
+  | `One_eager `B -> Alcotest.fail "the smaller label should be the eager one"
+  | `Violated -> Alcotest.fail "Fact 3.5 violated for CheapSim"
+
+let test_fact_3_11_and_3_15 () =
+  let n = 12 in
+  let pairs = [ (1, 2); (3, 5); (2, 7); (1, 8) ] in
+  List.iter
+    (fun (la, lb) ->
+      let va = fast_sim_vector ~n la and vb = fast_sim_vector ~n lb in
+      let blocks = min (Array.length va) (Array.length vb) / (n / 6) in
+      Alcotest.(check bool)
+        (Printf.sprintf "Fact 3.15 (labels %d,%d)" la lb)
+        true
+        (Facts.fact_3_15 ~n ~blocks va vb);
+      Alcotest.(check bool)
+        (Printf.sprintf "Fact 3.11 premise machinery (labels %d,%d)" la lb)
+        true
+        (Facts.fact_3_11 ~n va vb ~from_block:1 ~to_block:(max 1 (blocks / 4))))
+    pairs
+
+let test_fact_3_17_bound () =
+  let p = Progress.define [| 1; 1; 1; 1 |] in
+  Alcotest.(check int) "2 pairs on 24-ring -> 2 * 23/6" (2 * (23 / 6))
+    (Facts.fact_3_17_bound ~n:24 p)
+
+(* ----------------------------------------------------- Theorem harnesses *)
+
+let test_theorem_cheap_report () =
+  let n = 18 and space = 8 in
+  let vectors = LB.Theorem_cheap.cheap_sim_vectors ~n ~space in
+  match LB.Theorem_cheap.analyze ~n ~vectors with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check int) "phi = 0 for cost-E algorithm" 0 r.LB.Theorem_cheap.phi;
+      Alcotest.(check int) "no 3.5 violations" 0 r.LB.Theorem_cheap.fact_3_5_violations;
+      Alcotest.(check bool) "chain monotone (Fact 3.7)" true r.LB.Theorem_cheap.chain_monotone;
+      Alcotest.(check bool) "slope at least predicted (Fact 3.8)" true
+        (r.LB.Theorem_cheap.slope >= r.LB.Theorem_cheap.predicted_slope -. 1e-9);
+      (* Omega(EL): the last execution takes at least (L/2 - 1)(F - 3phi)/2. *)
+      let f = float_of_int ((n - 1 + 1) / 2) in
+      let chain_len = List.length r.LB.Theorem_cheap.chain in
+      Alcotest.(check bool) "last duration linear in chain" true
+        (float_of_int r.LB.Theorem_cheap.last_duration >= float_of_int chain_len *. f /. 2.0)
+
+let test_theorem_cheap_contrast_fast () =
+  (* Fast has cost far above E + o(E): phi must blow up, voiding the
+     premise — the harness reports it rather than failing. *)
+  let n = 18 and space = 8 in
+  let vectors = LB.Theorem_cheap.fast_sim_vectors ~n ~space in
+  match LB.Theorem_cheap.analyze ~n ~vectors with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check bool) "phi large" true (r.LB.Theorem_cheap.phi > (n - 1) / 2)
+
+let test_theorem_fast_report () =
+  let n = 12 and space = 16 in
+  let vectors = LB.Theorem_cheap.fast_sim_vectors ~n ~space in
+  match LB.Theorem_fast.analyze ~n ~vectors with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check bool) "progress vectors distinct (Fact 3.15)" true
+        r.LB.Theorem_fast.distinct_progress;
+      Alcotest.(check bool) "max nonzero grows with log L (Fact 3.16)" true
+        (r.LB.Theorem_fast.max_nonzero >= 4);
+      List.iter
+        (fun (a : LB.Theorem_fast.agent_report) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "implied cost below measured (label %d)" a.label)
+            true
+            (a.implied_cost <= a.solo_cost))
+        r.LB.Theorem_fast.agents
+
+let test_fact_3_16_counting () =
+  (* Hand values: with m=3 there are 1 weight-0, 6 weight-1, 12 weight-2,
+     8 weight-3 vectors (cumulative 1, 7, 19, 27). *)
+  Alcotest.(check int) "count 1" 0 (Rv_lowerbound.Facts.fact_3_16_guaranteed_weight ~m:3 ~count:1);
+  Alcotest.(check int) "count 7" 1 (Rv_lowerbound.Facts.fact_3_16_guaranteed_weight ~m:3 ~count:7);
+  Alcotest.(check int) "count 8" 2 (Rv_lowerbound.Facts.fact_3_16_guaranteed_weight ~m:3 ~count:8);
+  Alcotest.(check int) "count 20" 3 (Rv_lowerbound.Facts.fact_3_16_guaranteed_weight ~m:3 ~count:20);
+  (* Saturation safety at large m. *)
+  Alcotest.(check int) "large m small count" 0
+    (Rv_lowerbound.Facts.fact_3_16_guaranteed_weight ~m:1000 ~count:1)
+
+let test_guaranteed_vs_measured () =
+  let n = 12 in
+  List.iter
+    (fun space ->
+      match
+        Rv_lowerbound.Theorem_fast.analyze ~n
+          ~vectors:(Rv_lowerbound.Theorem_cheap.fast_sim_vectors ~n ~space)
+      with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+          let group_max =
+            List.fold_left
+              (fun acc (a : Rv_lowerbound.Theorem_fast.agent_report) -> max acc a.nonzero)
+              0 r.Rv_lowerbound.Theorem_fast.group
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "group max %d >= guaranteed %d (L=%d)" group_max
+               r.Rv_lowerbound.Theorem_fast.guaranteed_nonzero space)
+            true
+            (group_max >= r.Rv_lowerbound.Theorem_fast.guaranteed_nonzero))
+    [ 8; 16; 32 ]
+
+let test_theorem_fast_monotone_in_space () =
+  let n = 12 in
+  let nonzero space =
+    match
+      LB.Theorem_fast.analyze ~n ~vectors:(LB.Theorem_cheap.fast_sim_vectors ~n ~space)
+    with
+    | Ok r -> r.LB.Theorem_fast.max_nonzero
+    | Error e -> Alcotest.failf "analyze: %s" e
+  in
+  let a = nonzero 4 and b = nonzero 16 and c = nonzero 64 in
+  Alcotest.(check bool) (Printf.sprintf "weights grow: %d <= %d <= %d" a b c) true
+    (a <= b && b <= c && c > a)
+
+let test_theorem_fast_requires_divisibility () =
+  match
+    LB.Theorem_fast.analyze ~n:10
+      ~vectors:(LB.Theorem_cheap.fast_sim_vectors ~n:10 ~space:4)
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n not divisible by 6 accepted"
+
+let () =
+  Alcotest.run "rv_lowerbound"
+    [
+      ( "behaviour",
+        [
+          tc "extraction from schedule" test_behaviour_extraction;
+          tc "stats" test_behaviour_stats;
+          tc "check rejects" test_behaviour_check_rejects;
+          prop_seg_sides;
+          prop_prefix_sums_bounds;
+        ] );
+      ( "ring_model",
+        [
+          tc "hand-computed meetings" test_meeting_round_hand;
+          tc "matches general simulator" test_ring_model_matches_simulator;
+          tc "positions and cost" test_positions_and_cost;
+        ] );
+      ( "trim",
+        [
+          tc "cheap-sim" test_trim_cheap_sim;
+          tc "preserves meetings" test_trim_preserves_meetings;
+          tc "detects broken algorithm" test_trim_detects_broken_algorithm;
+          tc "accessors" test_trim_accessors;
+        ] );
+      ( "tournament",
+        [
+          tc "cheap-sim tournament + chain" test_tournament_cheap;
+          tc "mirrors ccw-heavy input" test_tournament_mirrored_input;
+        ] );
+      ( "aggregate",
+        [
+          tc "sector_of" test_sector_of;
+          tc "clockwise" test_aggregate_clockwise;
+          tc "oscillation" test_aggregate_oscillation;
+          tc "Facts 3.9 / 3.10" test_fact_3_9_and_3_10;
+          tc "surplus_range" test_surplus_range;
+          tc "blocks_of_round" test_blocks_of_round;
+        ] );
+      ( "progress",
+        [
+          tc "hand examples" test_progress_hand_examples;
+          tc "negative direction" test_progress_negative_direction;
+          prop_progress_invariants;
+          prop_progress_nonzero_count;
+        ] );
+      ( "facts",
+        [
+          tc "Fact 3.2" test_fact_3_2;
+          tc "Fact 3.3 on cheap" test_fact_3_3_cheap;
+          tc "Fact 3.5 on cheap" test_fact_3_5_cheap;
+          tc "Facts 3.11 / 3.15" test_fact_3_11_and_3_15;
+          tc "Fact 3.17 bound" test_fact_3_17_bound;
+        ] );
+      ( "theorems",
+        [
+          tc "Theorem 3.1 pipeline (cheap)" test_theorem_cheap_report;
+          tc "Theorem 3.1 contrast (fast)" test_theorem_cheap_contrast_fast;
+          tc "Theorem 3.2 pipeline (fast)" test_theorem_fast_report;
+          tc "Fact 3.16 counting bound" test_fact_3_16_counting;
+          tc "guaranteed vs measured weight" test_guaranteed_vs_measured;
+          tc "Theorem 3.2 growth in L" test_theorem_fast_monotone_in_space;
+          tc "divisibility requirement" test_theorem_fast_requires_divisibility;
+        ] );
+    ]

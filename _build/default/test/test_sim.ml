@@ -1,0 +1,347 @@
+(* Tests for rv_sim: the synchronous execution model — meeting semantics,
+   unnoticed edge crossings, wake-up delays in both placement models, cost
+   accounting, adversary sweeps and the k-agent extension. *)
+
+module Pg = Rv_graph.Port_graph
+module Ex = Rv_explore.Explorer
+module Sim = Rv_sim.Sim
+module Adv = Rv_sim.Adversary
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* Scripted agents: a fixed action list, then wait. *)
+let scripted actions =
+  let remaining = ref actions in
+  fun (_ : Ex.observation) ->
+    match !remaining with
+    | [] -> Ex.Wait
+    | a :: rest ->
+        remaining := rest;
+        a
+
+let ring n = Rv_graph.Ring.oriented n
+
+let test_basic_meeting () =
+  (* Ring of 6: A walks clockwise from 0, B waits at 3; meet at round 3. *)
+  let g = ring 6 in
+  let out =
+    Sim.run ~g ~max_rounds:100
+      { Sim.start = 0; delay = 0; step = scripted [ Ex.Move 0; Ex.Move 0; Ex.Move 0 ] }
+      { Sim.start = 3; delay = 0; step = scripted [] }
+  in
+  Alcotest.(check bool) "met" true out.Sim.met;
+  Alcotest.(check (option int)) "round" (Some 3) out.Sim.meeting_round;
+  Alcotest.(check (option int)) "node" (Some 3) out.Sim.meeting_node;
+  Alcotest.(check int) "cost" 3 out.Sim.cost;
+  Alcotest.(check int) "cost split" 0 out.Sim.cost_b
+
+let test_crossing_not_meeting () =
+  (* Adjacent agents swap along the same edge: they cross, do not meet. *)
+  let g = ring 6 in
+  let out =
+    Sim.run ~record:true ~g ~max_rounds:5
+      { Sim.start = 0; delay = 0; step = scripted [ Ex.Move 0 ] }
+      { Sim.start = 1; delay = 0; step = scripted [ Ex.Move 1 ] }
+  in
+  Alcotest.(check bool) "not met" false out.Sim.met;
+  Alcotest.(check int) "one crossing" 1 out.Sim.crossings;
+  match out.Sim.trace with
+  | Some t -> Alcotest.(check int) "trace crossing" 1 (Rv_sim.Trace.crossings t)
+  | None -> Alcotest.fail "trace requested"
+
+let test_crossing_then_meeting () =
+  (* After crossing, A keeps walking clockwise and catches B, who stops. *)
+  let g = ring 6 in
+  let out =
+    Sim.run ~g ~max_rounds:100
+      { Sim.start = 0; delay = 0; step = scripted (List.init 10 (fun _ -> Ex.Move 0)) }
+      { Sim.start = 1; delay = 0; step = scripted [ Ex.Move 1 ] }
+  in
+  Alcotest.(check bool) "met eventually" true out.Sim.met;
+  (* B is at node 0 from round 1 on; A reaches node 0 after 6 moves. *)
+  Alcotest.(check (option int)) "round" (Some 6) out.Sim.meeting_round
+
+let test_waiting_model_finds_sleeper () =
+  (* B sleeps for 20 rounds; A explores and finds it at its start node. *)
+  let g = ring 6 in
+  let out =
+    Sim.run ~g ~max_rounds:100
+      { Sim.start = 0; delay = 0; step = scripted (List.init 5 (fun _ -> Ex.Move 0)) }
+      { Sim.start = 3; delay = 20; step = scripted [] }
+  in
+  Alcotest.(check (option int)) "found sleeping B" (Some 3) out.Sim.meeting_round
+
+let test_parachute_model_protects_sleeper () =
+  (* Same configuration in the parachute model: B is absent until round 21,
+     so A passes through node 3 without meeting. *)
+  let g = ring 6 in
+  let out =
+    Sim.run ~model:Sim.Parachute ~g ~max_rounds:15
+      { Sim.start = 0; delay = 0; step = scripted (List.init 5 (fun _ -> Ex.Move 0)) }
+      { Sim.start = 3; delay = 20; step = scripted [] }
+  in
+  Alcotest.(check bool) "not met before wake" false out.Sim.met
+
+let test_parachute_meeting_after_wake () =
+  let g = ring 6 in
+  let out =
+    Sim.run ~model:Sim.Parachute ~g ~max_rounds:100
+      { Sim.start = 0; delay = 0;
+        step = scripted (List.init 40 (fun i -> if i < 3 then Ex.Move 0 else Ex.Wait)) }
+      { Sim.start = 5; delay = 9; step = scripted (List.init 10 (fun _ -> Ex.Move 0)) }
+  in
+  (* A sits at node 3 from round 3; B wakes in round 10 at node 5 and walks
+     clockwise, reaching node 3 in 4 moves: round 13. *)
+  Alcotest.(check (option int)) "round" (Some 13) out.Sim.meeting_round
+
+let test_validation () =
+  let g = ring 5 in
+  let idle () = scripted [] in
+  (match
+     Sim.run ~g ~max_rounds:5
+       { Sim.start = 2; delay = 0; step = idle () }
+       { Sim.start = 2; delay = 0; step = idle () }
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "identical starts accepted");
+  (match
+     Sim.run ~g ~max_rounds:5
+       { Sim.start = 0; delay = 1; step = idle () }
+       { Sim.start = 2; delay = 3; step = idle () }
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "no zero delay accepted");
+  match
+    Sim.run ~g ~max_rounds:5
+      { Sim.start = 0; delay = 0; step = scripted [ Ex.Move 9 ] }
+      { Sim.start = 2; delay = 0; step = idle () }
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "invalid port accepted"
+
+let test_max_rounds_cap () =
+  let g = ring 5 in
+  let out =
+    Sim.run ~g ~max_rounds:7
+      { Sim.start = 0; delay = 0; step = scripted [] }
+      { Sim.start = 2; delay = 0; step = scripted [] }
+  in
+  Alcotest.(check bool) "not met" false out.Sim.met;
+  Alcotest.(check int) "ran to cap" 7 out.Sim.rounds_run
+
+let test_cost_accounting () =
+  let g = ring 8 in
+  let out =
+    Sim.run ~g ~max_rounds:6
+      { Sim.start = 0; delay = 0;
+        step = scripted [ Ex.Move 0; Ex.Wait; Ex.Move 0; Ex.Wait ] }
+      { Sim.start = 4; delay = 0; step = scripted [ Ex.Move 1; Ex.Wait; Ex.Move 1 ] }
+  in
+  (* A: 2 moves; B: 2 moves; they meet at node 2 in round 3. *)
+  Alcotest.(check (option int)) "meet" (Some 3) out.Sim.meeting_round;
+  Alcotest.(check int) "cost a" 2 out.Sim.cost_a;
+  Alcotest.(check int) "cost b" 2 out.Sim.cost_b;
+  Alcotest.(check int) "total" 4 out.Sim.cost
+
+let test_time_accessor () =
+  let g = ring 6 in
+  let out =
+    Sim.run ~g ~max_rounds:10
+      { Sim.start = 0; delay = 0; step = scripted [ Ex.Move 0 ] }
+      { Sim.start = 1; delay = 0; step = scripted [] }
+  in
+  Alcotest.(check int) "time" 1 (Sim.time out);
+  let stuck =
+    Sim.run ~g ~max_rounds:2
+      { Sim.start = 0; delay = 0; step = scripted [] }
+      { Sim.start = 3; delay = 0; step = scripted [] }
+  in
+  match Sim.time stuck with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "time of non-meeting accepted"
+
+let test_time_from_later_wake () =
+  let g = ring 6 in
+  (* A finds sleeping B at round 3; B's wake is round 11: alternative
+     accounting clamps at 0. *)
+  let out =
+    Sim.run ~g ~max_rounds:50
+      { Sim.start = 0; delay = 0; step = scripted (List.init 5 (fun _ -> Ex.Move 0)) }
+      { Sim.start = 3; delay = 10; step = scripted [] }
+  in
+  Alcotest.(check int) "clamped" 0 (Sim.time_from_later_wake out ~later_delay:10);
+  (* Meeting after the later wake: the offset subtracts. *)
+  let out =
+    Sim.run ~g ~max_rounds:50
+      { Sim.start = 0; delay = 0;
+        step = scripted (Ex.Wait :: Ex.Wait :: List.init 5 (fun _ -> Ex.Move 0)) }
+      { Sim.start = 3; delay = 1; step = scripted [] }
+  in
+  Alcotest.(check int) "offset" (Sim.time out - 1)
+    (Sim.time_from_later_wake out ~later_delay:1)
+
+let test_solo () =
+  let g = ring 6 in
+  let final, actions =
+    Sim.solo ~g ~rounds:4 ~start:2 (scripted [ Ex.Move 0; Ex.Move 0; Ex.Move 1 ])
+  in
+  Alcotest.(check int) "final" 3 final;
+  Alcotest.(check int) "actions" 4 (List.length actions);
+  Alcotest.(check bool) "last is wait" true (List.nth actions 3 = Ex.Wait)
+
+let test_trace_contents () =
+  let g = ring 6 in
+  let out =
+    Sim.run ~record:true ~g ~max_rounds:10
+      { Sim.start = 0; delay = 0; step = scripted [ Ex.Move 0; Ex.Move 0 ] }
+      { Sim.start = 2; delay = 0; step = scripted [] }
+  in
+  match out.Sim.trace with
+  | None -> Alcotest.fail "no trace"
+  | Some t ->
+      Alcotest.(check (list int)) "A positions" [ 1; 2 ] (Rv_sim.Trace.positions_a t);
+      Alcotest.(check (list int)) "B positions" [ 2; 2 ] (Rv_sim.Trace.positions_b t);
+      Alcotest.(check int) "A moves" 2 (Rv_sim.Trace.moves_in t `A);
+      Alcotest.(check int) "B moves" 0 (Rv_sim.Trace.moves_in t `B)
+
+(* --------------------------------------------------------------- Adversary *)
+
+let cheap_sim_instance ~n label () =
+  Rv_core.Schedule.to_instance
+    (Rv_core.Cheap.schedule_simultaneous ~label
+       ~explorer:(Rv_explore.Ring_walk.clockwise ~n))
+
+let test_adversary_hand_computed () =
+  (* CheapSim labels 1 vs 2 on a 6-ring, simultaneous: agent 1 explores in
+     rounds 1..5 and must find agent 2 (asleep until round 5E+1... in fact
+     waiting (2-1)*5 = 5 rounds).  Worst gap makes the meeting land at
+     round 5 = E. *)
+  let n = 6 in
+  match
+    Adv.sweep ~g:(ring n) ~max_rounds:1000 ~positions:`Fixed_first ~delays:[ (0, 0) ]
+      ~make_a:(cheap_sim_instance ~n 1) ~make_b:(cheap_sim_instance ~n 2) ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check int) "worst time = E" (n - 1) r.Adv.worst_time;
+      Alcotest.(check int) "worst cost = E" (n - 1) r.Adv.worst_cost;
+      Alcotest.(check int) "runs" (n - 1) r.Adv.runs
+
+let test_adversary_flags_failure () =
+  (* Two idle agents never meet. *)
+  let idle () = scripted [] in
+  match
+    Adv.sweep ~g:(ring 5) ~max_rounds:50 ~positions:`Fixed_first ~delays:[ (0, 0) ]
+      ~make_a:idle ~make_b:idle ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-meeting sweep reported Ok"
+
+let test_delays_upto () =
+  let ds = Adv.delays_upto 2 in
+  Alcotest.(check (list (pair int int))) "shape" [ (0, 0); (0, 1); (0, 2); (1, 0); (2, 0) ] ds
+
+let test_position_spaces () =
+  let g = ring 5 in
+  let count space =
+    match
+      Adv.sweep ~g ~max_rounds:500 ~positions:space ~delays:[ (0, 0) ]
+        ~make_a:(cheap_sim_instance ~n:5 1) ~make_b:(cheap_sim_instance ~n:5 2) ()
+    with
+    | Ok r -> r.Adv.runs
+    | Error e -> Alcotest.failf "sweep: %s" e
+  in
+  Alcotest.(check int) "fixed first" 4 (count `Fixed_first);
+  Alcotest.(check int) "all pairs" 20 (count `All_pairs);
+  Alcotest.(check int) "explicit" 2 (count (`Pairs [ (0, 1); (3, 4) ]))
+
+(* ------------------------------------------------------------------- Multi *)
+
+let test_multi_matches_two_agent () =
+  let n = 8 in
+  let out =
+    Rv_sim.Multi.run ~g:(ring n) ~max_rounds:1000 ~stop:`On_all_pairs
+      [
+        { Rv_sim.Multi.name = "a"; start = 0; delay = 0; step = cheap_sim_instance ~n 1 () };
+        { Rv_sim.Multi.name = "b"; start = 4; delay = 0; step = cheap_sim_instance ~n 2 () };
+      ]
+  in
+  (match out.Rv_sim.Multi.pairwise with
+  | [ ("a", "b", r) ] ->
+      let two =
+        Sim.run ~g:(ring n) ~max_rounds:1000
+          { Sim.start = 0; delay = 0; step = cheap_sim_instance ~n 1 () }
+          { Sim.start = 4; delay = 0; step = cheap_sim_instance ~n 2 () }
+      in
+      Alcotest.(check (option int)) "same meeting round" (Some r) two.Sim.meeting_round
+  | _ -> Alcotest.fail "expected exactly one pair");
+  Alcotest.(check (option int)) "gathered = pairwise for 2 agents"
+    (Some (match out.Rv_sim.Multi.pairwise with [ (_, _, r) ] -> r | _ -> -1))
+    out.Rv_sim.Multi.gathered_round
+
+let test_multi_three_agents_all_pairs () =
+  (* Three CheapSim agents on a ring: the smallest label explores first and
+     meets the two sleepers; all pairs eventually meet. *)
+  let n = 9 in
+  let out =
+    Rv_sim.Multi.run ~g:(ring n) ~max_rounds:10_000 ~stop:`On_all_pairs
+      [
+        { Rv_sim.Multi.name = "x"; start = 0; delay = 0; step = cheap_sim_instance ~n 1 () };
+        { Rv_sim.Multi.name = "y"; start = 3; delay = 0; step = cheap_sim_instance ~n 2 () };
+        { Rv_sim.Multi.name = "z"; start = 6; delay = 0; step = cheap_sim_instance ~n 3 () };
+      ]
+  in
+  Alcotest.(check int) "three pairs met" 3 (List.length out.Rv_sim.Multi.pairwise);
+  Alcotest.(check int) "three cost entries" 3 (List.length out.Rv_sim.Multi.costs)
+
+let test_multi_validation () =
+  let idle () = scripted [] in
+  let agent name start delay =
+    { Rv_sim.Multi.name; start; delay; step = idle () }
+  in
+  let run agents =
+    match Rv_sim.Multi.run ~g:(ring 6) ~max_rounds:5 ~stop:`Never agents with
+    | exception Invalid_argument _ -> `Rejected
+    | _ -> `Accepted
+  in
+  Alcotest.(check bool) "one agent" true (run [ agent "a" 0 0 ] = `Rejected);
+  Alcotest.(check bool) "duplicate starts" true
+    (run [ agent "a" 0 0; agent "b" 0 0 ] = `Rejected);
+  Alcotest.(check bool) "duplicate names" true
+    (run [ agent "a" 0 0; agent "a" 1 0 ] = `Rejected);
+  Alcotest.(check bool) "no zero delay" true
+    (run [ agent "a" 0 1; agent "b" 1 2 ] = `Rejected)
+
+let () =
+  Alcotest.run "rv_sim"
+    [
+      ( "sim",
+        [
+          tc "basic meeting" test_basic_meeting;
+          tc "crossing is not meeting" test_crossing_not_meeting;
+          tc "crossing then meeting" test_crossing_then_meeting;
+          tc "waiting model finds sleeper" test_waiting_model_finds_sleeper;
+          tc "parachute protects sleeper" test_parachute_model_protects_sleeper;
+          tc "parachute meeting after wake" test_parachute_meeting_after_wake;
+          tc "validation" test_validation;
+          tc "max rounds cap" test_max_rounds_cap;
+          tc "cost accounting" test_cost_accounting;
+          tc "time accessor" test_time_accessor;
+          tc "time from later wake" test_time_from_later_wake;
+          tc "solo" test_solo;
+          tc "trace contents" test_trace_contents;
+        ] );
+      ( "adversary",
+        [
+          tc "hand-computed worst case" test_adversary_hand_computed;
+          tc "flags failure" test_adversary_flags_failure;
+          tc "delays_upto" test_delays_upto;
+          tc "position spaces" test_position_spaces;
+        ] );
+      ( "multi",
+        [
+          tc "matches two-agent sim" test_multi_matches_two_agent;
+          tc "three agents all pairs" test_multi_three_agents_all_pairs;
+          tc "validation" test_multi_validation;
+        ] );
+    ]
