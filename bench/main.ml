@@ -76,7 +76,103 @@ let benchmark_kernels () =
        ~notes:[ "Fixed-size kernels (smaller than the tables above); monotonic clock." ]
        rows)
 
+(* Multicore speedup: one fixed sweep kernel (adversarial label pairs x
+   start gaps x delays on a ring, Algorithm Fast) through the rv_engine
+   domain pool at 1/2/4/8 domains.  The kernel's *result* is asserted
+   identical across pool sizes — the engine's determinism guarantee,
+   re-checked on every bench run — while wall-clock tracks how much the
+   hardware gives us.  The numbers are also dumped to BENCH_sweep.json so
+   the perf trajectory is machine-readable from this PR onward. *)
+
+let sweep_speedup () =
+  let n = 128 and space = 128 and max_pairs = 32 in
+  let g = Rv_graph.Ring.oriented n in
+  let explorer ~start:_ = Rv_explore.Ring_walk.clockwise ~n in
+  let pairs = Rv_experiments.Workload.sample_pairs ~space ~max_pairs in
+  let delays = [ (0, 0); (0, 1); (0, 8); (1, 0); (8, 0) ] in
+  let run pool =
+    match
+      Rv_experiments.Workload.worst_for ?pool ~g
+        ~algorithm:Rv_core.Rendezvous.Fast ~space ~explorer ~pairs
+        ~positions:`Fixed_first ~delays ()
+    with
+    | Ok tc -> tc
+    | Error msg -> failwith ("sweep kernel: " ^ msg)
+  in
+  let timed jobs =
+    let go pool =
+      let t0 = Unix.gettimeofday () in
+      let r = run pool in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    if jobs <= 1 then go None
+    else Rv_engine.Pool.with_pool ~jobs (fun pool -> go (Some pool))
+  in
+  let runs = List.map (fun jobs -> (jobs, timed jobs)) [ 1; 2; 4; 8 ] in
+  let (_, (reference, baseline)) = List.hd runs in
+  List.iter
+    (fun (jobs, (r, _)) ->
+      if r <> reference then
+        failwith (Printf.sprintf "sweep kernel: jobs=%d diverged from sequential" jobs))
+    runs;
+  let worst_t, worst_c = reference in
+  let configs = List.length pairs * (n - 1) * List.length delays in
+  Rv_util.Table.print
+    (Rv_util.Table.make
+       ~title:
+         (Printf.sprintf
+            "rv_engine speedup: sweep kernel (ring n=%d, fast, L=%d, %d configs)" n
+            space configs)
+       ~headers:[ "domains"; "seconds"; "speedup" ]
+       ~notes:
+         [
+           Printf.sprintf
+             "Worst time %d, worst cost %d -- asserted identical at every pool size."
+             worst_t worst_c;
+           Printf.sprintf "Domain.recommended_domain_count = %d on this machine."
+             (Domain.recommended_domain_count ());
+         ]
+       (List.map
+          (fun (jobs, (_, seconds)) ->
+            [
+              string_of_int jobs;
+              Printf.sprintf "%.3f" seconds;
+              Printf.sprintf "%.2fx" (baseline /. seconds);
+            ])
+          runs));
+  let oc = open_out "BENCH_sweep.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "rv_engine sweep kernel",
+  "kernel": {
+    "graph": "ring:%d",
+    "algorithm": "fast",
+    "space": %d,
+    "label_pairs": %d,
+    "position_pairs": %d,
+    "delay_pairs": %d,
+    "configs": %d
+  },
+  "recommended_domain_count": %d,
+  "worst": {"time": %d, "cost": %d},
+  "runs": [%s]
+}
+|}
+    n space (List.length pairs) (n - 1) (List.length delays) configs
+    (Domain.recommended_domain_count ())
+    worst_t worst_c
+    (String.concat ", "
+       (List.map
+          (fun (jobs, (_, seconds)) ->
+            Printf.sprintf {|{"jobs": %d, "seconds": %.4f, "speedup": %.2f}|} jobs
+              seconds (baseline /. seconds))
+          runs));
+  close_out oc;
+  print_endline "wrote BENCH_sweep.json"
+
 let () =
   print_tables ();
   print_newline ();
-  benchmark_kernels ()
+  benchmark_kernels ();
+  print_newline ();
+  sweep_speedup ()

@@ -54,6 +54,30 @@ let parse_common ~graph ~explorer ~algo =
   let a = or_die (Spec.parse_algorithm algo) in
   (g, ex, a)
 
+(* Multicore: -j/--jobs (or RV_JOBS) selects the engine's domain count;
+   0 means "auto" = Domain.recommended_domain_count.  Results are
+   bit-for-bit identical for every value (Rv_engine.Sweep merges in task
+   order), so parallelism is purely a wall-clock knob. *)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for adversarial sweeps (0 = auto: the hardware's \
+     recommended domain count).  Results are identical for every value."
+  in
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N" ~env:(Cmd.Env.info "RV_JOBS") ~doc)
+
+let with_pool jobs f =
+  let jobs = if jobs > 0 then jobs else Domain.recommended_domain_count () in
+  if jobs <= 1 then f None
+  else begin
+    let pool = Rv_engine.Pool.create ~jobs () in
+    Fun.protect
+      ~finally:(fun () -> Rv_engine.Pool.shutdown pool)
+      (fun () -> f (Some pool))
+  end
+
 (* run *)
 
 let run_cmd =
@@ -114,7 +138,7 @@ let run_cmd =
 (* sweep *)
 
 let sweep_cmd =
-  let sweep graph explorer algo space max_pairs max_delay =
+  let sweep graph explorer algo space max_pairs max_delay jobs jsonl csv stats =
     let gs, ex, algorithm = parse_common ~graph ~explorer ~algo in
     let e = Rv_experiments.Workload.e_of ex in
     let delays =
@@ -123,10 +147,26 @@ let sweep_cmd =
       else [ (0, 0) ]
     in
     let pairs = Rv_experiments.Workload.sample_pairs ~space ~max_pairs in
-    match
-      Rv_experiments.Workload.worst_for ~g:gs.Spec.g ~algorithm ~space ~explorer:ex ~pairs
-        ~positions:`Fixed_first ~delays ()
-    with
+    let sinks =
+      (match jsonl with
+      | Some path -> [ Rv_engine.Sink.file `Jsonl path ]
+      | None -> [])
+      @ (match csv with Some path -> [ Rv_engine.Sink.file `Csv path ] | None -> [])
+    in
+    let sink =
+      match sinks with [] -> None | [ s ] -> Some s | ss -> Some (Rv_engine.Sink.tee ss)
+    in
+    let progress = Rv_engine.Progress.create ~total:(List.length pairs) () in
+    let outcome =
+      with_pool jobs (fun pool ->
+          Rv_experiments.Workload.worst_for ?pool ?sink ~progress
+            ~graph_spec:gs.Spec.spec ~g:gs.Spec.g ~algorithm ~space ~explorer:ex
+            ~pairs ~positions:`Fixed_first ~delays ())
+    in
+    Option.iter Rv_engine.Sink.close sink;
+    if stats then
+      Printf.eprintf "rv: sweep: %s\n%!" (Rv_engine.Progress.report progress);
+    match outcome with
     | Error msg ->
         prerr_endline ("rv: rendezvous failure during sweep: " ^ msg);
         exit 1
@@ -156,9 +196,30 @@ let sweep_cmd =
     Arg.(value & opt int 8 & info [ "pairs" ] ~doc:"Maximum number of label pairs to sweep.")
   in
   let max_delay = Arg.(value & opt int 8 & info [ "max-delay" ] ~doc:"Largest wake-up delay.") in
+  let jsonl =
+    Arg.(
+      value & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:
+            "Stream one JSON record per simulated configuration to $(docv) \
+             (schema: see Rv_engine.Record).  The stream is byte-identical \
+             for every --jobs value.")
+  in
+  let csv =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Like --jsonl, but as a CSV table with header.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print sweep counters (tasks, worst-so-far, elapsed) to stderr.")
+  in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Worst-case time/cost over starts, delays and labels")
-    Term.(const sweep $ graph_arg $ explorer_arg $ algo_arg $ space_arg $ max_pairs $ max_delay)
+    Term.(
+      const sweep $ graph_arg $ explorer_arg $ algo_arg $ space_arg $ max_pairs $ max_delay
+      $ jobs_arg $ jsonl $ csv $ stats)
 
 (* explore *)
 
@@ -274,33 +335,34 @@ let lb_cmd =
 (* exp *)
 
 let exp_cmd =
-  let exp ids all markdown =
+  let exp ids all markdown jobs =
     let emit t =
       if markdown then print_string (Table.render_markdown t ^ "\n") else Table.print t
     in
-    if all then List.iter (fun (_, t) -> emit t) (Rv_experiments.Report.all ())
-    else if ids = [] then begin
-      Printf.printf "available experiments: %s\n"
-        (String.concat ", " Rv_experiments.Report.ids);
-      Printf.printf "use 'rv exp A B ...' or 'rv exp --all'\n"
-    end
-    else
-      List.iter
-        (fun id ->
-          match Rv_experiments.Report.by_id id with
-          | Some f -> emit (f ())
-          | None ->
-              prerr_endline ("rv: unknown experiment " ^ id);
-              exit 1)
-        ids
+    with_pool jobs (fun pool ->
+        if all then List.iter (fun (_, t) -> emit t) (Rv_experiments.Report.all ?pool ())
+        else if ids = [] then begin
+          Printf.printf "available experiments: %s\n"
+            (String.concat ", " Rv_experiments.Report.ids);
+          Printf.printf "use 'rv exp A B ...' or 'rv exp --all'\n"
+        end
+        else
+          List.iter
+            (fun id ->
+              match Rv_experiments.Report.by_id id with
+              | Some f -> emit (f ?pool ())
+              | None ->
+                  prerr_endline ("rv: unknown experiment " ^ id);
+                  exit 1)
+            ids)
   in
-  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (A..H, G2).") in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (A..M, G2).") in
   let all = Arg.(value & flag & info [ "all" ] ~doc:"Print every experiment table.") in
   let markdown =
     Arg.(value & flag & info [ "md"; "markdown" ] ~doc:"Emit GitHub-flavoured markdown.")
   in
   Cmd.v (Cmd.info "exp" ~doc:"Print experiment tables from the DESIGN.md index")
-    Term.(const exp $ ids $ all $ markdown)
+    Term.(const exp $ ids $ all $ markdown $ jobs_arg)
 
 (* selftest *)
 

@@ -1,0 +1,121 @@
+(* Worker domains block on [work_ready] waiting for chunks; [run] pushes
+   the chunks of one submission and blocks on a private latch until its
+   last chunk completes.  The queue outlives individual submissions, so a
+   pool is created once per process (or per [--jobs] invocation) and
+   reused across sweeps. *)
+
+type t = {
+  jobs : int;
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  let rec next () =
+    if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+    else if t.closed then None
+    else begin
+      Condition.wait t.work_ready t.lock;
+      next ()
+    end
+  in
+  match next () with
+  | None -> Mutex.unlock t.lock
+  | Some task ->
+      Mutex.unlock t.lock;
+      task ();
+      worker_loop t
+
+let create ?jobs () =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Domain.recommended_domain_count ()
+  in
+  let t =
+    {
+      jobs;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let run t ?chunk ~total f =
+  if total < 0 then invalid_arg "Pool.run: negative total";
+  if total > 0 then begin
+    if t.jobs <= 1 then
+      for i = 0 to total - 1 do
+        f i
+      done
+    else begin
+      let chunk =
+        match chunk with
+        | Some c -> max 1 c
+        | None -> max 1 (total / (8 * t.jobs))
+      in
+      let n_chunks = (total + chunk - 1) / chunk in
+      (* Private latch per submission: workers decrement [pending]; the
+         submitter sleeps on [all_done] until it reaches zero. *)
+      let latch = Mutex.create () in
+      let all_done = Condition.create () in
+      let pending = ref n_chunks in
+      let failed = ref None in
+      let body lo () =
+        (try
+           let hi = min total (lo + chunk) in
+           for i = lo to hi - 1 do
+             f i
+           done
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           Mutex.lock latch;
+           if !failed = None then failed := Some (e, bt);
+           Mutex.unlock latch);
+        Mutex.lock latch;
+        decr pending;
+        if !pending = 0 then Condition.signal all_done;
+        Mutex.unlock latch
+      in
+      Mutex.lock t.lock;
+      if t.closed then begin
+        Mutex.unlock t.lock;
+        invalid_arg "Pool.run: pool is shut down"
+      end;
+      for c = 0 to n_chunks - 1 do
+        Queue.push (body (c * chunk)) t.queue
+      done;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.lock;
+      Mutex.lock latch;
+      while !pending > 0 do
+        Condition.wait all_done latch
+      done;
+      Mutex.unlock latch;
+      match !failed with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.lock;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,47 @@
+(** A fixed-size pool of worker domains fed from a shared task queue.
+
+    The pool is the mechanical layer of the sweep engine: it knows nothing
+    about rendezvous, only how to run [total] independent index-addressed
+    units of work across [jobs] domains.  Work is submitted in contiguous
+    chunks that workers claim dynamically from a queue, so uneven task
+    costs (adversarial label pairs differ wildly in simulation length)
+    balance automatically.
+
+    Determinism is the caller's contract, not the pool's: {!run} gives no
+    ordering guarantee between indices, so callers must write results into
+    per-index slots and combine them in index order afterwards — that is
+    exactly what {!Sweep} does.
+
+    A pool created with [jobs <= 1] spawns no domains and {!run} executes
+    inline, in index order; this is the sequential fallback used when
+    [--jobs 1] is requested. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs] worker domains when [jobs > 1] and
+    none otherwise.  Default [jobs] is
+    [Domain.recommended_domain_count ()].  Values below 1 are clamped
+    to 1. *)
+
+val jobs : t -> int
+(** The configured parallelism (1 means inline execution, no domains). *)
+
+val run : t -> ?chunk:int -> total:int -> (int -> unit) -> unit
+(** [run t ~total f] evaluates [f i] once for every [i] in [0 .. total-1]
+    and returns when all are done.  [chunk] (default: [total / (8*jobs)],
+    at least 1) is the number of consecutive indices a worker claims at a
+    time.  If some [f i] raises, the remaining scheduled chunks still run
+    and the first recorded exception is re-raised in the caller.
+
+    Must not be called from within a task of the same pool (the submitting
+    domain blocks until completion) and raises [Invalid_argument] on a
+    pool that has been shut down. *)
+
+val shutdown : t -> unit
+(** Drain the queue, stop the workers and join their domains.  Idempotent;
+    safe on a pool that never ran a task. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] on a fresh pool and shuts it down afterwards,
+    whether [f] returns or raises. *)

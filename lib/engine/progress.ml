@@ -1,0 +1,40 @@
+type t = {
+  total : int;
+  completed : int Atomic.t;
+  worst_time : int Atomic.t;
+  worst_cost : int Atomic.t;
+  started : float;
+}
+
+let create ?(total = 0) () =
+  {
+    total;
+    completed = Atomic.make 0;
+    worst_time = Atomic.make 0;
+    worst_cost = Atomic.make 0;
+    started = Unix.gettimeofday ();
+  }
+
+let rec atomic_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then atomic_max cell v
+
+let tick t = Atomic.incr t.completed
+
+let observe t ~time ~cost =
+  atomic_max t.worst_time time;
+  atomic_max t.worst_cost cost
+
+let completed t = Atomic.get t.completed
+let total t = t.total
+let worst_time t = Atomic.get t.worst_time
+let worst_cost t = Atomic.get t.worst_cost
+let elapsed t = Unix.gettimeofday () -. t.started
+
+let report t =
+  let tasks =
+    if t.total > 0 then Printf.sprintf "%d/%d tasks" (completed t) t.total
+    else Printf.sprintf "%d tasks" (completed t)
+  in
+  Printf.sprintf "%s, worst time %d, worst cost %d, %.2fs elapsed" tasks
+    (worst_time t) (worst_cost t) (elapsed t)

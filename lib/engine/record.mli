@@ -1,0 +1,45 @@
+(** One simulated configuration's outcome, as a flat serializable record.
+
+    This is the unit streamed by {!Sink}: every single rendezvous
+    simulation inside a sweep produces one record identifying the full
+    configuration (graph, algorithm, labels, starts, delays) and the
+    measured outcome (meeting or not, time, cost).
+
+    The JSONL schema (one object per line, all fields always present):
+
+    {v
+    {"graph":"ring:64","algorithm":"fast","label_a":3,"label_b":11,
+     "start_a":0,"start_b":32,"delay_a":0,"delay_b":5,
+     "met":true,"time":812,"cost":422}
+    v}
+
+    [time] is the meeting round when [met] is [true], and the number of
+    rounds simulated before giving up when [met] is [false]. *)
+
+type t = {
+  graph : string;  (** graph spec, e.g. ["ring:64"] *)
+  algorithm : string;  (** algorithm name, e.g. ["fast"] *)
+  label_a : int;
+  label_b : int;
+  start_a : int;
+  start_b : int;
+  delay_a : int;
+  delay_b : int;
+  met : bool;
+  time : int;
+  cost : int;
+}
+
+val to_json : t -> string
+(** Single-line JSON object (no trailing newline). *)
+
+val of_json : string -> (t, string) result
+(** Parse a line produced by {!to_json}.  Tolerates whitespace and field
+    reordering; [Error] describes the first problem found. *)
+
+val csv_header : string
+(** Column names, comma-separated, matching {!to_csv}. *)
+
+val to_csv : t -> string
+(** One CSV row (no trailing newline); string fields are quoted when they
+    contain a comma, quote or newline. *)

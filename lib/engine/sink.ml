@@ -1,0 +1,78 @@
+type target =
+  | Null
+  | Jsonl of out_channel
+  | Csv of out_channel
+  | Memory of Record.t list ref
+  | Tee of t list
+
+and t = {
+  lock : Mutex.t;
+  target : target;
+  owned : out_channel option;  (* closed by [close]; [None] = caller's channel *)
+  mutable emitted : int;
+  mutable closed : bool;
+}
+
+let make ?owned target =
+  { lock = Mutex.create (); target; owned; emitted = 0; closed = false }
+
+let null () = make Null
+let memory () = make (Memory (ref []))
+let jsonl oc = make (Jsonl oc)
+
+let write_csv_header oc = output_string oc (Record.csv_header ^ "\n")
+
+let csv oc =
+  write_csv_header oc;
+  make (Csv oc)
+
+let file format path =
+  let oc = open_out path in
+  match format with
+  | `Jsonl -> make ~owned:oc (Jsonl oc)
+  | `Csv ->
+      write_csv_header oc;
+      make ~owned:oc (Csv oc)
+
+let tee children = make (Tee children)
+
+let rec emit t r =
+  Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Sink.emit: sink is closed"
+  end;
+  t.emitted <- t.emitted + 1;
+  (match t.target with
+  | Null -> ()
+  | Jsonl oc -> output_string oc (Record.to_json r ^ "\n")
+  | Csv oc -> output_string oc (Record.to_csv r ^ "\n")
+  | Memory buf -> buf := r :: !buf
+  | Tee _ -> ());
+  Mutex.unlock t.lock;
+  (* Children lock themselves; don't hold the parent's mutex across them. *)
+  match t.target with Tee children -> List.iter (fun c -> emit c r) children | _ -> ()
+
+let count t =
+  Mutex.lock t.lock;
+  let c = t.emitted in
+  Mutex.unlock t.lock;
+  c
+
+let records t =
+  Mutex.lock t.lock;
+  let rs = match t.target with Memory buf -> List.rev !buf | _ -> [] in
+  Mutex.unlock t.lock;
+  rs
+
+let rec close t =
+  Mutex.lock t.lock;
+  if not t.closed then begin
+    t.closed <- true;
+    (match t.target with
+    | Jsonl oc | Csv oc -> (
+        match t.owned with Some oc' -> close_out oc' | None -> flush oc)
+    | Null | Memory _ | Tee _ -> ())
+  end;
+  Mutex.unlock t.lock;
+  match t.target with Tee children -> List.iter close children | _ -> ()

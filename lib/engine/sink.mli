@@ -1,0 +1,46 @@
+(** Streaming result sinks for sweep records.
+
+    A sink consumes {!Record.t} values one at a time.  All sinks are
+    thread-safe (a mutex per sink), but the engine's wiring never relies
+    on that for ordering: {!Sweep} merges task results in index order on
+    the calling domain, and [Workload.worst_for] emits records during
+    that merge — so the byte stream written by a JSONL or CSV sink is
+    identical for any [--jobs] value. *)
+
+type t
+
+val null : unit -> t
+(** Discards records (but still counts them). *)
+
+val memory : unit -> t
+(** Buffers records in memory; retrieve them with {!records}. *)
+
+val jsonl : out_channel -> t
+(** Writes one {!Record.to_json} line per record.  The channel stays
+    owned by the caller; {!close} only flushes it. *)
+
+val csv : out_channel -> t
+(** Writes {!Record.csv_header} immediately, then one row per record.
+    The channel stays owned by the caller; {!close} only flushes it. *)
+
+val file : [ `Jsonl | `Csv ] -> string -> t
+(** Like {!jsonl} / {!csv} on a freshly opened (truncated) file; the
+    channel is owned by the sink and closed by {!close}. *)
+
+val tee : t list -> t
+(** Broadcasts every record to each sub-sink. *)
+
+val emit : t -> Record.t -> unit
+(** Raises [Invalid_argument] on a closed sink. *)
+
+val count : t -> int
+(** Records emitted to this sink so far. *)
+
+val records : t -> Record.t list
+(** Buffered records in emission order — {!memory} sinks only; [[]] for
+    every other kind (a {!tee} delegates to its children, so query them
+    directly). *)
+
+val close : t -> unit
+(** Flush, release any owned channel, recursively close tee children.
+    Idempotent. *)

@@ -1,0 +1,27 @@
+let sequential n f =
+  if n = 0 then [||]
+  else begin
+    let a = Array.make n (f 0) in
+    for i = 1 to n - 1 do
+      a.(i) <- f i
+    done;
+    a
+  end
+
+let map_array ?pool ?chunk n f =
+  if n < 0 then invalid_arg "Sweep.map_array: negative size";
+  match pool with
+  | Some p when Pool.jobs p > 1 && n > 1 ->
+      (* Each slot is written by exactly one task and read only after the
+         pool's completion latch, so the option array needs no lock. *)
+      let slots = Array.make n None in
+      Pool.run p ?chunk ~total:n (fun i -> slots.(i) <- Some (f i));
+      Array.map (function Some v -> v | None -> assert false) slots
+  | Some _ | None -> sequential n f
+
+let map_reduce ?pool ?chunk ~n ~map ~merge ~init () =
+  Array.fold_left merge init (map_array ?pool ?chunk n map)
+
+let map_list ?pool ?chunk xs ~f =
+  let arr = Array.of_list xs in
+  Array.to_list (map_array ?pool ?chunk (Array.length arr) (fun i -> f arr.(i)))

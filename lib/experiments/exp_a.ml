@@ -3,7 +3,7 @@ module Table = Rv_util.Table
 
 let algorithms = [ R.Cheap; R.Fast; R.Fwr 2; R.Fwr 3 ]
 
-let row ~g ~n ~space algorithm =
+let row ?pool ~g ~n ~space algorithm =
   let e = n - 1 in
   let explorer ~start =
     ignore start;
@@ -12,7 +12,7 @@ let row ~g ~n ~space algorithm =
   let pairs = Workload.sample_pairs ~space ~max_pairs:10 in
   let delays = Workload.ring_delays ~e in
   match
-    Workload.worst_for ~g ~algorithm ~space ~explorer ~pairs ~positions:`Fixed_first
+    Workload.worst_for ?pool ~g ~algorithm ~space ~explorer ~pairs ~positions:`Fixed_first
       ~delays ()
   with
   | Error msg -> [ R.name algorithm; string_of_int space; "FAIL: " ^ msg; "-"; "-"; "-"; "-"; "-" ]
@@ -30,10 +30,10 @@ let row ~g ~n ~space algorithm =
         Table.cell_ratio (float_of_int c) (float_of_int cb);
       ]
 
-let table ?(n = 24) ?(spaces = [ 4; 16; 64 ]) () =
+let table ?pool ?(n = 24) ?(spaces = [ 4; 16; 64 ]) () =
   let g = Rv_graph.Ring.oriented n in
   let rows =
-    List.concat_map (fun space -> List.map (row ~g ~n ~space) algorithms) spaces
+    List.concat_map (fun space -> List.map (row ?pool ~g ~n ~space) algorithms) spaces
   in
   Table.make
     ~title:

@@ -6,7 +6,8 @@
     stays within [3E] while its time scales with [L]; [Fast]'s time and
     cost both scale with [log L]; [FWR] sits in between. *)
 
-val table : ?n:int -> ?spaces:int list -> unit -> Rv_util.Table.t
+val table :
+  ?pool:Rv_engine.Pool.t -> ?n:int -> ?spaces:int list -> unit -> Rv_util.Table.t
 
 val bench_kernel : unit -> unit
 (** A small, fixed-size run of the same computation, timed by Bechamel. *)

@@ -1,7 +1,7 @@
 module R = Rv_core.Rendezvous
 module Table = Rv_util.Table
 
-let worst_time ~g ~n ~space =
+let worst_time ?pool ~g ~n ~space () =
   let e = n - 1 in
   ignore e;
   let explorer ~start =
@@ -11,16 +11,16 @@ let worst_time ~g ~n ~space =
   (* The worst pair for CheapSim maximizes the smaller label. *)
   let pairs = [ (space - 1, space); (1, space); (1, 2) ] in
   let pairs = List.filter (fun (a, b) -> a >= 1 && a < b) pairs |> List.sort_uniq compare in
-  Workload.worst_for ~g ~algorithm:R.Cheap_simultaneous ~space ~explorer ~pairs
+  Workload.worst_for ?pool ~g ~algorithm:R.Cheap_simultaneous ~space ~explorer ~pairs
     ~positions:`Fixed_first ~delays:[ (0, 0) ] ()
 
-let table ?(n = 16) ?(spaces = [ 2; 4; 8; 16; 32; 64 ]) () =
+let table ?pool ?(n = 16) ?(spaces = [ 2; 4; 8; 16; 32; 64 ]) () =
   let g = Rv_graph.Ring.oriented n in
   let e = n - 1 in
   let rows_and_points =
     List.map
       (fun space ->
-        match worst_time ~g ~n ~space with
+        match worst_time ?pool ~g ~n ~space () with
         | Error msg -> ([ string_of_int space; "FAIL: " ^ msg; "-"; "-" ], None)
         | Ok (t, c) ->
             ( [
@@ -53,4 +53,4 @@ let table ?(n = 16) ?(spaces = [ 2; 4; 8; 16; 32; 64 ]) () =
 let bench_kernel () =
   let n = 12 in
   let g = Rv_graph.Ring.oriented n in
-  match worst_time ~g ~n ~space:16 with Ok _ -> () | Error _ -> ()
+  match worst_time ~g ~n ~space:16 () with Ok _ -> () | Error _ -> ()

@@ -5,6 +5,7 @@
     (cost exactly [E]) as [L] grows on a fixed oriented ring, fits a line
     in [L], and reports the slope in units of [E]. *)
 
-val table : ?n:int -> ?spaces:int list -> unit -> Rv_util.Table.t
+val table :
+  ?pool:Rv_engine.Pool.t -> ?n:int -> ?spaces:int list -> unit -> Rv_util.Table.t
 
 val bench_kernel : unit -> unit

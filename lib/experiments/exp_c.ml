@@ -7,23 +7,23 @@ let adversarial_pairs ~space =
   let cands = [ (ones / 2, ones); (ones, space); (space - 1, space); (1, 2); (1, space) ] in
   List.filter (fun (a, b) -> a >= 1 && a < b && b <= space) cands |> List.sort_uniq compare
 
-let worst ~g ~n ~space ~simultaneous =
+let worst ?pool ~g ~n ~space ~simultaneous () =
   let explorer ~start =
     ignore start;
     Rv_explore.Ring_walk.clockwise ~n
   in
   let algorithm = if simultaneous then R.Fast_simultaneous else R.Fast in
   let delays = if simultaneous then [ (0, 0) ] else Workload.ring_delays ~e:(n - 1) in
-  Workload.worst_for ~g ~algorithm ~space ~explorer ~pairs:(adversarial_pairs ~space)
+  Workload.worst_for ?pool ~g ~algorithm ~space ~explorer ~pairs:(adversarial_pairs ~space)
     ~positions:`Fixed_first ~delays ()
 
-let table ?(n = 16) ?(spaces = [ 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ]) () =
+let table ?pool ?(n = 16) ?(spaces = [ 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ]) () =
   let g = Rv_graph.Ring.oriented n in
   let e = n - 1 in
   let rows_and_points =
     List.map
       (fun space ->
-        match worst ~g ~n ~space ~simultaneous:false with
+        match worst ?pool ~g ~n ~space ~simultaneous:false () with
         | Error msg -> ([ string_of_int space; "FAIL: " ^ msg; "-"; "-"; "-" ], None)
         | Ok (t, c) ->
             ( [
@@ -57,4 +57,4 @@ let table ?(n = 16) ?(spaces = [ 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ]) () 
 let bench_kernel () =
   let n = 12 in
   let g = Rv_graph.Ring.oriented n in
-  match worst ~g ~n ~space:64 ~simultaneous:true with Ok _ -> () | Error _ -> ()
+  match worst ~g ~n ~space:64 ~simultaneous:true () with Ok _ -> () | Error _ -> ()

@@ -1,16 +1,16 @@
 module R = Rv_core.Rendezvous
 module Table = Rv_util.Table
 
-let measure ~g ~n ~space algorithm =
+let measure ?pool ~g ~n ~space algorithm =
   let explorer ~start =
     ignore start;
     Rv_explore.Ring_walk.clockwise ~n
   in
   let pairs = Workload.sample_pairs ~space ~max_pairs:8 in
-  Workload.worst_for ~g ~algorithm ~space ~explorer ~pairs ~positions:`Fixed_first
+  Workload.worst_for ?pool ~g ~algorithm ~space ~explorer ~pairs ~positions:`Fixed_first
     ~delays:[ (0, 0) ] ()
 
-let table ?(n = 16) ?(space = 256) () =
+let table ?pool ?(n = 16) ?(space = 256) () =
   let g = Rv_graph.Ring.oriented n in
   let e = n - 1 in
   let log2_space = int_of_float (ceil (log (float_of_int space) /. log 2.0)) in
@@ -26,7 +26,7 @@ let table ?(n = 16) ?(space = 256) () =
   let rows =
     List.map
       (fun (label, algorithm) ->
-        match measure ~g ~n ~space algorithm with
+        match measure ?pool ~g ~n ~space algorithm with
         | Error msg -> [ label; "FAIL: " ^ msg; "-"; "-"; "-" ]
         | Ok (t, c) ->
             [

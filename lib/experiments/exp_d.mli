@@ -7,6 +7,7 @@
     monotonically in [w]; intermediate [w] simultaneously beats [Cheap]'s
     time and [Fast]'s cost — the separation result of Section 1.3. *)
 
-val table : ?n:int -> ?space:int -> unit -> Rv_util.Table.t
+val table :
+  ?pool:Rv_engine.Pool.t -> ?n:int -> ?space:int -> unit -> Rv_util.Table.t
 
 val bench_kernel : unit -> unit

@@ -1,15 +1,15 @@
 module R = Rv_core.Rendezvous
 module Table = Rv_util.Table
 
-let worst_at_delay ~g ~n ~space ~labels:(la, lb) ~algorithm ~tau =
+let worst_at_delay ?pool ~g ~n ~space ~labels:(la, lb) ~algorithm ~tau () =
   let explorer ~start =
     ignore start;
     Rv_explore.Ring_walk.clockwise ~n
   in
-  Workload.worst_for ~g ~algorithm ~space ~explorer ~pairs:[ (la, lb) ]
+  Workload.worst_for ?pool ~g ~algorithm ~space ~explorer ~pairs:[ (la, lb) ]
     ~positions:`Fixed_first ~delays:[ (0, tau) ] ()
 
-let table ?(n = 16) ?(space = 16) ?(labels = (3, 11)) () =
+let table ?pool ?(n = 16) ?(space = 16) ?(labels = (3, 11)) () =
   let g = Rv_graph.Ring.oriented n in
   let e = n - 1 in
   let taus = [ 0; 1; e / 4; e / 2; (3 * e) / 4; e; e + 1; (3 * e) / 2; 2 * e; 3 * e ] in
@@ -19,7 +19,7 @@ let table ?(n = 16) ?(space = 16) ?(labels = (3, 11)) () =
       (fun tau ->
         List.filter_map
           (fun algorithm ->
-            match worst_at_delay ~g ~n ~space ~labels ~algorithm ~tau with
+            match worst_at_delay ?pool ~g ~n ~space ~labels ~algorithm ~tau () with
             | Error msg ->
                 Some [ R.name algorithm; string_of_int tau; "FAIL: " ^ msg; "-"; "-" ]
             | Ok (t, c) ->
@@ -52,6 +52,6 @@ let table ?(n = 16) ?(space = 16) ?(labels = (3, 11)) () =
 let bench_kernel () =
   let n = 12 in
   let g = Rv_graph.Ring.oriented n in
-  match worst_at_delay ~g ~n ~space:16 ~labels:(3, 11) ~algorithm:R.Fast ~tau:5 with
+  match worst_at_delay ~g ~n ~space:16 ~labels:(3, 11) ~algorithm:R.Fast ~tau:5 () with
   | Ok _ -> ()
   | Error _ -> ()

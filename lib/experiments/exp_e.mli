@@ -6,6 +6,12 @@
     exploration finds the still-sleeping later agent — is clearly visible:
     both time and cost collapse to [<= E]. *)
 
-val table : ?n:int -> ?space:int -> ?labels:int * int -> unit -> Rv_util.Table.t
+val table :
+  ?pool:Rv_engine.Pool.t ->
+  ?n:int ->
+  ?space:int ->
+  ?labels:int * int ->
+  unit ->
+  Rv_util.Table.t
 
 val bench_kernel : unit -> unit

@@ -89,7 +89,7 @@ let scenarios () =
     };
   ]
 
-let measure ~space s =
+let measure ?pool ~space s =
   let e = Workload.e_of s.explorer in
   let measured_e =
     match Rv_explore.Bounds.worst s.g ~make:s.explorer with
@@ -108,7 +108,7 @@ let measure ~space s =
       @ [ (n / 2, n - 1); (n - 1, 1) ])
   in
   match
-    Workload.worst_for ~g:s.g ~algorithm:R.Fast ~space ~explorer:s.explorer ~pairs
+    Workload.worst_for ?pool ~g:s.g ~algorithm:R.Fast ~space ~explorer:s.explorer ~pairs
       ~positions ~delays ()
   with
   | Error msg ->
@@ -125,8 +125,8 @@ let measure ~space s =
         Table.cell_float (float_of_int c /. float_of_int e);
       ]
 
-let table ?(space = 8) () =
-  let rows = List.map (measure ~space) (scenarios ()) in
+let table ?pool ?(space = 8) () =
+  let rows = List.map (measure ?pool ~space) (scenarios ()) in
   Table.make
     ~title:
       (Printf.sprintf "EXP-F: Fast across graph families and exploration procedures (L=%d)"

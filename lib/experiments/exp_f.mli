@@ -7,6 +7,6 @@
     bounds are graph-independent once stated in those units, which this
     table confirms across nine very different substrates. *)
 
-val table : ?space:int -> unit -> Rv_util.Table.t
+val table : ?pool:Rv_engine.Pool.t -> ?space:int -> unit -> Rv_util.Table.t
 
 val bench_kernel : unit -> unit

@@ -3,11 +3,11 @@ module R = Rv_core.Rendezvous
 module Sim = Rv_sim.Sim
 module Sched = Rv_core.Schedule
 
-let deterministic_row ~g ~n ~space name algorithm =
+let deterministic_row ?pool ~g ~n ~space name algorithm =
   let explorer ~start = ignore start; Rv_explore.Ring_walk.clockwise ~n in
   let pairs = Workload.sample_pairs ~space ~max_pairs:8 in
   match
-    Workload.worst_for ~g ~algorithm ~space ~explorer ~pairs ~positions:`Fixed_first
+    Workload.worst_for ?pool ~g ~algorithm ~space ~explorer ~pairs ~positions:`Fixed_first
       ~delays:[ (0, 0) ] ()
   with
   | Error msg -> [ name; "worst-case"; "FAIL: " ^ msg; "-"; "labels" ]
@@ -73,13 +73,13 @@ let random_walk_row ~g ~n =
         "randomness";
       ]
 
-let table ?(n = 16) ?(space = 16) () =
+let table ?pool ?(n = 16) ?(space = 16) () =
   let g = Rv_graph.Ring.oriented n in
   let rows =
     [
       oracle_row ~g ~n ~space;
-      deterministic_row ~g ~n ~space "cheap-sim" R.Cheap_simultaneous;
-      deterministic_row ~g ~n ~space "fast-sim" R.Fast_simultaneous;
+      deterministic_row ?pool ~g ~n ~space "cheap-sim" R.Cheap_simultaneous;
+      deterministic_row ?pool ~g ~n ~space "fast-sim" R.Fast_simultaneous;
       token_row ~n;
       random_walk_row ~g ~n;
     ]

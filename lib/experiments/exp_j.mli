@@ -13,6 +13,7 @@
     - the {b randomized baseline} (Section 1.4, [5]): seeded double random
       walks — no labels, only expected-time guarantees. *)
 
-val table : ?n:int -> ?space:int -> unit -> Rv_util.Table.t
+val table :
+  ?pool:Rv_engine.Pool.t -> ?n:int -> ?space:int -> unit -> Rv_util.Table.t
 
 val bench_kernel : unit -> unit

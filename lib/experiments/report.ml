@@ -1,23 +1,22 @@
-let catalog :
-    (string * (unit -> Rv_util.Table.t)) list =
+let catalog : (string * (?pool:Rv_engine.Pool.t -> unit -> Rv_util.Table.t)) list =
   [
-    ("EXP-A", fun () -> Exp_a.table ());
-    ("EXP-B", fun () -> Exp_b.table ());
-    ("EXP-C", fun () -> Exp_c.table ());
-    ("EXP-D", fun () -> Exp_d.table ());
-    ("EXP-E", fun () -> Exp_e.table ());
-    ("EXP-F", fun () -> Exp_f.table ());
-    ("EXP-G", fun () -> Exp_g.table_progress ());
-    ("EXP-G2", fun () -> Exp_g.table_chain ());
-    ("EXP-H", fun () -> Exp_h.table ());
-    ("EXP-I", fun () -> Exp_i.table ());
-    ("EXP-J", fun () -> Exp_j.table ());
-    ("EXP-K", fun () -> Exp_k.table ());
-    ("EXP-L", fun () -> Exp_l.table ());
-    ("EXP-M", fun () -> Exp_m.table ());
+    ("EXP-A", fun ?pool () -> Exp_a.table ?pool ());
+    ("EXP-B", fun ?pool () -> Exp_b.table ?pool ());
+    ("EXP-C", fun ?pool () -> Exp_c.table ?pool ());
+    ("EXP-D", fun ?pool () -> Exp_d.table ?pool ());
+    ("EXP-E", fun ?pool () -> Exp_e.table ?pool ());
+    ("EXP-F", fun ?pool () -> Exp_f.table ?pool ());
+    ("EXP-G", fun ?pool () -> ignore pool; Exp_g.table_progress ());
+    ("EXP-G2", fun ?pool () -> ignore pool; Exp_g.table_chain ());
+    ("EXP-H", fun ?pool () -> ignore pool; Exp_h.table ());
+    ("EXP-I", fun ?pool () -> ignore pool; Exp_i.table ());
+    ("EXP-J", fun ?pool () -> Exp_j.table ?pool ());
+    ("EXP-K", fun ?pool () -> ignore pool; Exp_k.table ());
+    ("EXP-L", fun ?pool () -> ignore pool; Exp_l.table ());
+    ("EXP-M", fun ?pool () -> ignore pool; Exp_m.table ());
   ]
 
-let all () = List.map (fun (id, f) -> (id, f ())) catalog
+let all ?pool () = List.map (fun (id, f) -> (id, f ?pool ())) catalog
 
 let ids = List.map fst catalog
 

@@ -1,6 +1,9 @@
 module R = Rv_core.Rendezvous
 module Adv = Rv_sim.Adversary
 module Rng = Rv_util.Rng
+module Engine_sweep = Rv_engine.Sweep
+module Sink = Rv_engine.Sink
+module Progress = Rv_engine.Progress
 
 let all_ones_label ~space =
   let rec grow candidate =
@@ -10,14 +13,15 @@ let all_ones_label ~space =
   grow 1
 
 let sample_pairs ~space ~max_pairs =
-  let all =
+  (* The number of pairs a < b is known arithmetically; never materialize
+     the O(space^2) cross product just to count it. *)
+  let total = space * (space - 1) / 2 in
+  if total <= max_pairs then
     List.concat_map
       (fun a ->
         List.filter_map (fun b -> if a < b then Some (a, b) else None)
           (List.init space (fun b -> b + 1)))
       (List.init space (fun a -> a + 1))
-  in
-  if List.length all <= max_pairs then all
   else begin
     let ones = all_ones_label ~space in
     let seeds =
@@ -35,11 +39,14 @@ let sample_pairs ~space ~max_pairs =
       List.filter (fun (a, b) -> a >= 1 && b <= space && a < b) seeds
       |> List.sort_uniq compare
     in
+    let seen = Hashtbl.create (4 * max_pairs) in
+    List.iter (fun p -> Hashtbl.replace seen p ()) seeds;
     let rng = Rng.create ~seed:0xA11 in
     let extra = ref [] and count = ref (List.length seeds) in
     while !count < max_pairs do
       let a = 1 + Rng.int rng space and b = 1 + Rng.int rng space in
-      if a < b && (not (List.mem (a, b) seeds)) && not (List.mem (a, b) !extra) then begin
+      if a < b && not (Hashtbl.mem seen (a, b)) then begin
+        Hashtbl.replace seen (a, b) ();
         extra := (a, b) :: !extra;
         incr count
       end
@@ -47,25 +54,38 @@ let sample_pairs ~space ~max_pairs =
     seeds @ List.rev !extra
   end
 
-let worst_for ?model ~g ~algorithm ~space ~explorer ~pairs ~positions ~delays () =
+let expand_positions ~g = function
+  | `Pairs l -> l
+  | `Fixed_first -> List.init (Rv_graph.Port_graph.n g - 1) (fun i -> (0, i + 1))
+  | `All_pairs ->
+      let n = Rv_graph.Port_graph.n g in
+      List.concat_map
+        (fun a ->
+          List.filter_map (fun b -> if a <> b then Some (a, b) else None)
+            (List.init n (fun b -> b)))
+        (List.init n (fun a -> a))
+
+let worst_for ?model ?pool ?sink ?progress ?graph_spec ~g ~algorithm ~space ~explorer
+    ~pairs ~positions ~delays () =
+  (* Positions vary inside the sweep, and map-based explorers need the
+     true start, so expand the position space here instead of going
+     through [Adversary.sweep], whose factories are blind to starts. *)
+  let expand = expand_positions ~g positions in
+  let graph_spec =
+    match graph_spec with
+    | Some s -> s
+    | None -> Printf.sprintf "n=%d" (Rv_graph.Port_graph.n g)
+  in
+  let algo_name = R.name algorithm in
+  (* One task per label pair.  A task touches nothing shared: graphs are
+     immutable, explorer state is created fresh inside [R.run], and the
+     task's records are buffered locally and emitted by the caller during
+     the in-order merge — so the sink's byte stream is identical for any
+     pool size. *)
   let run_pair (la, lb) =
-    (* Positions vary inside the sweep, and map-based explorers need the
-       true start, so expand the position space here instead of going
-       through [Adversary.sweep], whose factories are blind to starts. *)
-    let expand =
-      match positions with
-      | `Pairs l -> l
-      | `Fixed_first -> List.init (Rv_graph.Port_graph.n g - 1) (fun i -> (0, i + 1))
-      | `All_pairs ->
-          let n = Rv_graph.Port_graph.n g in
-          List.concat_map
-            (fun a ->
-              List.filter_map (fun b -> if a <> b then Some (a, b) else None)
-                (List.init n (fun b -> b)))
-            (List.init n (fun a -> a))
-    in
     let worst_t = ref 0 and worst_c = ref 0 in
     let failure = ref None in
+    let recorded = ref [] in
     List.iter
       (fun (pa, pb) ->
         List.iter
@@ -76,29 +96,63 @@ let worst_for ?model ~g ~algorithm ~space ~explorer ~pairs ~positions ~delays ()
                   { R.label = la; start = pa; delay = da }
                   { R.label = lb; start = pb; delay = db }
               in
+              (match sink with
+              | None -> ()
+              | Some _ ->
+                  let met = out.Rv_sim.Sim.meeting_round <> None in
+                  recorded :=
+                    {
+                      Rv_engine.Record.graph = graph_spec;
+                      algorithm = algo_name;
+                      label_a = la;
+                      label_b = lb;
+                      start_a = pa;
+                      start_b = pb;
+                      delay_a = da;
+                      delay_b = db;
+                      met;
+                      time =
+                        (match out.Rv_sim.Sim.meeting_round with
+                        | Some t -> t
+                        | None -> out.Rv_sim.Sim.rounds_run);
+                      cost = out.Rv_sim.Sim.cost;
+                    }
+                    :: !recorded);
               match out.Rv_sim.Sim.meeting_round with
               | Some t ->
                   worst_t := max !worst_t t;
-                  worst_c := max !worst_c out.Rv_sim.Sim.cost
+                  worst_c := max !worst_c out.Rv_sim.Sim.cost;
+                  Option.iter
+                    (fun p -> Progress.observe p ~time:t ~cost:out.Rv_sim.Sim.cost)
+                    progress
               | None ->
                   failure :=
                     Some
                       (Printf.sprintf
                          "%s: no rendezvous (labels %d/%d, starts %d/%d, delays %d/%d)"
-                         (R.name algorithm) la lb pa pb da db)
+                         algo_name la lb pa pb da db)
             end)
           delays)
       expand;
-    match !failure with None -> Ok (!worst_t, !worst_c) | Some e -> Error e
+    Option.iter Progress.tick progress;
+    let result =
+      match !failure with None -> Ok (!worst_t, !worst_c) | Some e -> Error e
+    in
+    (result, List.rev !recorded)
   in
-  let rec over_pairs acc_t acc_c = function
-    | [] -> Ok (acc_t, acc_c)
-    | pair :: rest -> (
-        match run_pair pair with
-        | Ok (t, c) -> over_pairs (max acc_t t) (max acc_c c) rest
-        | Error e -> Error e)
+  let pair_arr = Array.of_list pairs in
+  let outcomes =
+    Engine_sweep.map_array ?pool ~chunk:1 (Array.length pair_arr) (fun i ->
+        run_pair pair_arr.(i))
   in
-  over_pairs 0 0 pairs
+  Array.fold_left
+    (fun acc (result, recorded) ->
+      Option.iter (fun s -> List.iter (Sink.emit s) recorded) sink;
+      match (acc, result) with
+      | Error _, _ -> acc
+      | Ok _, Error e -> Error e
+      | Ok (at, ac), Ok (t, c) -> Ok (max at t, max ac c))
+    (Ok (0, 0)) outcomes
 
 let ring_delays ~e =
   let ds = List.sort_uniq compare [ 0; 1; e / 2; e; e + 1 ] in

@@ -14,6 +14,10 @@ val sample_pairs : space:int -> max_pairs:int -> (int * int) list
 
 val worst_for :
   ?model:Rv_sim.Sim.model ->
+  ?pool:Rv_engine.Pool.t ->
+  ?sink:Rv_engine.Sink.t ->
+  ?progress:Rv_engine.Progress.t ->
+  ?graph_spec:string ->
   g:Rv_graph.Port_graph.t ->
   algorithm:Rv_core.Rendezvous.algorithm ->
   space:int ->
@@ -24,7 +28,17 @@ val worst_for :
   unit ->
   (int * int, string) result
 (** Worst [(time, cost)] over the cross product of label pairs, starting
-    positions and delays.  [Error] on any failed rendezvous. *)
+    positions and delays.  [Error] on any failed rendezvous.
+
+    [pool] parallelizes over label pairs (one task per pair, dynamic
+    chunk scheduling); results — including the byte stream written to
+    [sink] — are bit-for-bit identical to the sequential run because the
+    per-pair outcomes are merged in pair order on the calling domain (see
+    {!Rv_engine.Sweep}).  [sink] receives one {!Rv_engine.Record.t} per
+    simulated configuration, tagged with [graph_spec] (default:
+    ["n=<nodes>"]).  [progress] counters are updated live from worker
+    domains: one {!Rv_engine.Progress.tick} per pair, one
+    [observe] per meeting. *)
 
 val ring_delays : e:int -> (int * int) list
 (** The adversarial delay set used by the delay-tolerant experiments:

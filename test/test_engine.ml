@@ -1,0 +1,275 @@
+(* Tests for rv_engine: the domain pool's lifecycle and scheduling, the
+   deterministic map-reduce, JSONL/CSV record round-trips, the sinks, and
+   — the guarantee everything else leans on — parallel Workload.worst_for
+   being bit-for-bit equal to sequential across graph families and
+   algorithms, including the streamed record order. *)
+
+module Pool = Rv_engine.Pool
+module Sweep = Rv_engine.Sweep
+module Progress = Rv_engine.Progress
+module Record = Rv_engine.Record
+module Sink = Rv_engine.Sink
+module W = Rv_experiments.Workload
+module R = Rv_core.Rendezvous
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ Pool *)
+
+let test_pool_shutdown_no_tasks () =
+  let pool = Pool.create ~jobs:3 () in
+  Alcotest.(check int) "jobs" 3 (Pool.jobs pool);
+  Pool.shutdown pool;
+  (* Idempotent: a second shutdown must be a no-op, not a hang. *)
+  Pool.shutdown pool
+
+let test_pool_more_tasks_than_domains () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let total = 100 in
+      let hits = Array.make total 0 in
+      Pool.run pool ~total (fun i -> hits.(i) <- hits.(i) + (i * i));
+      Array.iteri
+        (fun i v -> Alcotest.(check int) (Printf.sprintf "slot %d" i) (i * i) v)
+        hits)
+
+let test_pool_reused_across_submissions () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let sum n =
+        let slots = Array.make n 0 in
+        Pool.run pool ~total:n (fun i -> slots.(i) <- i + 1);
+        Array.fold_left ( + ) 0 slots
+      in
+      Alcotest.(check int) "first run" 55 (sum 10);
+      Alcotest.(check int) "empty run" 0 (sum 0);
+      Alcotest.(check int) "second run" 5050 (sum 100))
+
+let test_pool_sequential_fallback () =
+  let pool = Pool.create ~jobs:1 () in
+  let order = ref [] in
+  Pool.run pool ~total:5 (fun i -> order := i :: !order);
+  Alcotest.(check (list int)) "inline, in order" [ 0; 1; 2; 3; 4 ] (List.rev !order);
+  Pool.shutdown pool
+
+let test_pool_propagates_exception () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.check_raises "task exception reaches the caller"
+        (Failure "boom")
+        (fun () -> Pool.run pool ~total:8 (fun i -> if i = 3 then failwith "boom"));
+      (* The pool must still be usable afterwards. *)
+      let slots = Array.make 4 0 in
+      Pool.run pool ~total:4 (fun i -> slots.(i) <- 1);
+      Alcotest.(check int) "pool alive after exception" 4 (Array.fold_left ( + ) 0 slots))
+
+(* ----------------------------------------------------------------- Sweep *)
+
+let test_map_reduce_matches_sequential () =
+  let n = 57 in
+  let map i = (i * 7919) mod 101 in
+  (* A deliberately non-commutative merge: order differences would show. *)
+  let merge acc v = (acc * 31) + v in
+  let expected = Sweep.map_reduce ~n ~map ~merge ~init:17 () in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check int) "parallel fold equals sequential" expected
+        (Sweep.map_reduce ~pool ~n ~map ~merge ~init:17 ()))
+
+let test_map_list () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check (list int)) "map_list" [ 2; 4; 6; 8 ]
+        (Sweep.map_list ~pool [ 1; 2; 3; 4 ] ~f:(fun x -> 2 * x)))
+
+(* -------------------------------------------------------------- Progress *)
+
+let test_progress_counters () =
+  let p = Progress.create ~total:4 () in
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Pool.run pool ~total:4 (fun i ->
+          Progress.tick p;
+          Progress.observe p ~time:(10 * (i + 1)) ~cost:(40 - (10 * i))));
+  Alcotest.(check int) "completed" 4 (Progress.completed p);
+  Alcotest.(check int) "worst time" 40 (Progress.worst_time p);
+  Alcotest.(check int) "worst cost" 40 (Progress.worst_cost p);
+  Alcotest.(check bool) "elapsed >= 0" true (Progress.elapsed p >= 0.)
+
+(* ---------------------------------------------------------------- Record *)
+
+let sample_record =
+  {
+    Record.graph = "ring:64";
+    algorithm = "fast";
+    label_a = 3;
+    label_b = 11;
+    start_a = 0;
+    start_b = 32;
+    delay_a = 0;
+    delay_b = 5;
+    met = true;
+    time = 812;
+    cost = 422;
+  }
+
+let test_jsonl_roundtrip () =
+  let cases =
+    [
+      sample_record;
+      { sample_record with met = false; time = 0; cost = 0 };
+      { sample_record with graph = "file:/tmp/a \"b\"\\c,\td"; algorithm = "fwr(w=2)" };
+      { sample_record with label_a = -1; delay_b = 1000000 };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Record.of_json (Record.to_json r) with
+      | Ok r' -> Alcotest.(check bool) "roundtrip" true (r = r')
+      | Error e -> Alcotest.fail ("of_json: " ^ e))
+    cases;
+  (* Field reordering and whitespace tolerance. *)
+  (match
+     Record.of_json
+       {| { "met" : true , "graph" : "g" , "algorithm" : "a", "time": 1,
+            "cost": 2, "label_a": 3, "label_b": 4, "start_a": 5,
+            "start_b": 6, "delay_a": 0, "delay_b": 7 } |}
+   with
+  | Ok r -> Alcotest.(check string) "reordered graph" "g" r.Record.graph
+  | Error e -> Alcotest.fail ("reordered: " ^ e));
+  (* Malformed input is an Error, not an exception. *)
+  List.iter
+    (fun bad ->
+      match Record.of_json bad with
+      | Ok _ -> Alcotest.fail ("accepted malformed: " ^ bad)
+      | Error _ -> ())
+    [ ""; "{"; "not json"; {|{"graph":"g"}|}; Record.to_json sample_record ^ "x" ]
+
+let test_csv () =
+  Alcotest.(check string) "header columns"
+    "graph,algorithm,label_a,label_b,start_a,start_b,delay_a,delay_b,met,time,cost"
+    Record.csv_header;
+  let r = { sample_record with graph = "a,\"b\"" } in
+  Alcotest.(check string) "quoted row"
+    "\"a,\"\"b\"\"\",fast,3,11,0,32,0,5,true,812,422" (Record.to_csv r)
+
+(* ------------------------------------------------------------------ Sink *)
+
+let test_sinks () =
+  let m = Sink.memory () in
+  Sink.emit m sample_record;
+  Sink.emit m { sample_record with time = 1 };
+  Alcotest.(check int) "memory count" 2 (Sink.count m);
+  Alcotest.(check (list int)) "memory order" [ 812; 1 ]
+    (List.map (fun r -> r.Record.time) (Sink.records m));
+  let null = Sink.null () in
+  Sink.emit null sample_record;
+  Alcotest.(check int) "null counts" 1 (Sink.count null);
+  let path = Filename.temp_file "rv_engine" ".jsonl" in
+  let sink = Sink.file `Jsonl path in
+  Sink.emit sink sample_record;
+  Sink.close sink;
+  Sink.close sink;
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  (match Record.of_json line with
+  | Ok r -> Alcotest.(check bool) "file roundtrip" true (r = sample_record)
+  | Error e -> Alcotest.fail ("file roundtrip: " ^ e));
+  Alcotest.check_raises "emit after close" (Invalid_argument "Sink.emit: sink is closed")
+    (fun () -> Sink.emit sink sample_record)
+
+(* ---------------------------------------- parallel worst_for == sequential *)
+
+(* Three graph families x two algorithms; E differs per family (oriented
+   walk, marked-map DFS, Euler circuit), so the schedules exercised are
+   genuinely different shapes. *)
+let families () =
+  let ring_n = 12 in
+  let grid = Rv_graph.Grid.make ~rows:3 ~cols:4 in
+  let torus = Rv_graph.Torus.make ~rows:3 ~cols:4 in
+  [
+    ( "ring:12",
+      Rv_graph.Ring.oriented ring_n,
+      fun ~start -> ignore start; Rv_explore.Ring_walk.clockwise ~n:ring_n );
+    ("grid:3x4", grid, fun ~start -> Rv_explore.Map_dfs.returning grid ~start);
+    ("torus:3x4", torus, fun ~start -> Rv_explore.Euler_walk.closed torus ~start);
+  ]
+
+let run_family ?pool ?sink (spec, g, explorer) algorithm =
+  W.worst_for ?pool ?sink ~graph_spec:spec ~g ~algorithm ~space:8 ~explorer
+    ~pairs:[ (2, 7); (3, 5); (1, 6) ]
+    ~positions:(`Pairs [ (0, 5); (3, 11); (7, 2) ])
+    ~delays:[ (0, 0); (0, 3) ] ()
+
+let test_parallel_equals_sequential () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      List.iter
+        (fun family ->
+          List.iter
+            (fun algorithm ->
+              let (spec, _, _) = family in
+              let seq = run_family family algorithm in
+              let par = run_family ~pool family algorithm in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s/%s parallel == sequential" spec (R.name algorithm))
+                true (seq = par);
+              match seq with
+              | Ok _ -> ()
+              | Error e -> Alcotest.fail (spec ^ ": " ^ e))
+            [ R.Fast; R.Cheap ])
+        (families ()))
+
+let test_parallel_sink_stream_identical () =
+  let family = List.hd (families ()) in
+  let seq_sink = Sink.memory () in
+  let _ = run_family ~sink:seq_sink family R.Fast in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let par_sink = Sink.memory () in
+      let _ = run_family ~pool ~sink:par_sink family R.Fast in
+      Alcotest.(check int) "record counts" (Sink.count seq_sink) (Sink.count par_sink);
+      Alcotest.(check bool) "record streams identical" true
+        (Sink.records seq_sink = Sink.records par_sink);
+      Alcotest.(check bool) "records serialized identically" true
+        (List.map Record.to_json (Sink.records seq_sink)
+        = List.map Record.to_json (Sink.records par_sink)))
+
+(* ----------------------------------------------------------- sample_pairs *)
+
+let test_sample_pairs_large_space () =
+  (* Would previously materialize ~2M pairs just to count them; now this
+     must be instant and still deterministic. *)
+  let space = 2048 in
+  let pairs = W.sample_pairs ~space ~max_pairs:64 in
+  Alcotest.(check int) "capped" 64 (List.length pairs);
+  Alcotest.(check bool) "valid ordered pairs" true
+    (List.for_all (fun (a, b) -> 1 <= a && a < b && b <= space) pairs);
+  Alcotest.(check int) "distinct" 64 (List.length (List.sort_uniq compare pairs));
+  Alcotest.(check bool) "deterministic" true
+    (pairs = W.sample_pairs ~space ~max_pairs:64)
+
+let () =
+  Alcotest.run "rv_engine"
+    [
+      ( "pool",
+        [
+          tc "shutdown with no tasks" test_pool_shutdown_no_tasks;
+          tc "more tasks than domains" test_pool_more_tasks_than_domains;
+          tc "reused across submissions" test_pool_reused_across_submissions;
+          tc "jobs=1 runs inline in order" test_pool_sequential_fallback;
+          tc "task exception propagates" test_pool_propagates_exception;
+        ] );
+      ( "sweep",
+        [
+          tc "map_reduce matches sequential" test_map_reduce_matches_sequential;
+          tc "map_list" test_map_list;
+        ] );
+      ("progress", [ tc "counters" test_progress_counters ]);
+      ( "record",
+        [ tc "jsonl roundtrip" test_jsonl_roundtrip; tc "csv" test_csv ] );
+      ("sink", [ tc "memory/null/file sinks" test_sinks ]);
+      ( "worst_for",
+        [
+          tc "parallel == sequential (3 families x 2 algorithms)"
+            test_parallel_equals_sequential;
+          tc "sink stream identical under parallelism"
+            test_parallel_sink_stream_identical;
+        ] );
+      ( "workload",
+        [ tc "sample_pairs scales to large label spaces" test_sample_pairs_large_space ] );
+    ]
