@@ -2,6 +2,7 @@
 
    Subcommands:
      run      simulate one rendezvous and print the outcome (optionally a trace)
+     trace    deep observability dive into one rendezvous (spans, Chrome trace)
      sweep    worst-case time/cost over starts, delays and label pairs
      explore  verify an exploration procedure and report measured bounds
      lb       run the Section-3 lower-bound pipelines and print their reports
@@ -78,6 +79,33 @@ let with_pool jobs f =
       (fun () -> f (Some pool))
   end
 
+(* --metrics: enable the rv_obs collectors around [f] and append the
+   console summary (spans, counters, histograms, GC delta) to stderr. *)
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Collect rv_obs instrumentation (span timings, counters, \
+           histograms, GC delta) during the run and print the summary to \
+           stderr.")
+
+let with_metrics metrics f =
+  if not metrics then f ()
+  else begin
+    Rv_obs.Obs.set_enabled true;
+    Rv_obs.Obs.reset ();
+    Rv_obs.Counter.reset ();
+    Rv_obs.Histogram.reset ();
+    let before = Rv_obs.Gc_snapshot.take () in
+    let r = f () in
+    let after = Rv_obs.Gc_snapshot.take () in
+    Printf.eprintf "%s%!"
+      (Rv_obs.Export_console.summary ~gc:(Rv_obs.Gc_snapshot.diff ~before ~after) ());
+    r
+  end
+
 (* run *)
 
 let run_cmd =
@@ -135,10 +163,152 @@ let run_cmd =
       const wrap $ graph_arg $ explorer_arg $ algo_arg $ space_arg $ la $ lb $ sa $ sb $ da
       $ db $ trace $ parachute)
 
+(* trace *)
+
+let trace_cmd =
+  let trace graph explorer algo space la lb sa sb da db parachute trace_max_rounds
+      chrome jsonl =
+    let gs, ex, algorithm = parse_common ~graph ~explorer ~algo in
+    let model = if parachute then Rv_sim.Sim.Parachute else Rv_sim.Sim.Waiting in
+    Rv_obs.Obs.set_enabled true;
+    Rv_obs.Obs.set_deep true;
+    Rv_obs.Obs.reset ();
+    Rv_obs.Counter.reset ();
+    Rv_obs.Histogram.reset ();
+    let before = Rv_obs.Gc_snapshot.take () in
+    (* Route the single run through the engine so the trace carries all
+       three layers (engine -> sim -> explore) even without a pool. *)
+    let out =
+      (Rv_engine.Sweep.map_array 1 (fun _ ->
+           R.run ~model ~record:true ~trace_cap:trace_max_rounds ~g:gs.Spec.g
+             ~explorer:ex ~algorithm ~space
+             { R.label = la; start = sa; delay = da }
+             { R.label = lb; start = sb; delay = db })).(0)
+    in
+    let after = Rv_obs.Gc_snapshot.take () in
+    let e = Rv_experiments.Workload.e_of ex in
+    Printf.printf "graph       : %s (n=%d, E=%d)\n" gs.Spec.spec
+      (Rv_graph.Port_graph.n gs.Spec.g) e;
+    Printf.printf "algorithm   : %s, label space L=%d\n" (R.name algorithm) space;
+    Printf.printf
+      "agents      : A(label %d, start %d, delay %d)  B(label %d, start %d, delay %d)\n"
+      la sa da lb sb db;
+    (match out.Rv_sim.Sim.meeting_round with
+    | Some r ->
+        Printf.printf "rendezvous  : node %d in round %d (time %d = %.2f E)\n"
+          (Option.get out.Rv_sim.Sim.meeting_node)
+          r r
+          (float_of_int r /. float_of_int e)
+    | None ->
+        Printf.printf "rendezvous  : NOT REACHED within %d rounds\n"
+          out.Rv_sim.Sim.rounds_run);
+    Printf.printf "cost        : %d traversals (A %d + B %d)\n" out.Rv_sim.Sim.cost
+      out.Rv_sim.Sim.cost_a out.Rv_sim.Sim.cost_b;
+    let events = Rv_obs.Obs.events () in
+    Printf.printf "\nspan timeline (%d events):\n" (List.length events);
+    Printf.printf "  %10s %10s  %-12s %s\n" "ts ms" "dur ms" "lane" "cat:name [rounds]";
+    List.iter
+      (fun (ev : Rv_obs.Obs.event) ->
+        match ev.Rv_obs.Obs.kind with
+        | Rv_obs.Obs.Span { dur_us; round_end } ->
+            let rounds =
+              if ev.Rv_obs.Obs.round < 0 then ""
+              else if round_end < 0 || round_end = ev.Rv_obs.Obs.round then
+                Printf.sprintf " [round %d]" ev.Rv_obs.Obs.round
+              else Printf.sprintf " [rounds %d..%d]" ev.Rv_obs.Obs.round round_end
+            in
+            Printf.printf "  %10.3f %10.3f  %-12s %s:%s%s\n"
+              (ev.Rv_obs.Obs.ts_us /. 1000.) (dur_us /. 1000.)
+              (Rv_obs.Obs.lane_name ev.Rv_obs.Obs.tid)
+              ev.Rv_obs.Obs.cat ev.Rv_obs.Obs.name rounds
+        | Rv_obs.Obs.Instant ->
+            let round =
+              if ev.Rv_obs.Obs.round < 0 then ""
+              else Printf.sprintf " [round %d]" ev.Rv_obs.Obs.round
+            in
+            Printf.printf "  %10.3f %10s  %-12s %s:%s (instant)%s\n"
+              (ev.Rv_obs.Obs.ts_us /. 1000.) "-"
+              (Rv_obs.Obs.lane_name ev.Rv_obs.Obs.tid)
+              ev.Rv_obs.Obs.cat ev.Rv_obs.Obs.name round)
+      events;
+    print_newline ();
+    (match out.Rv_sim.Sim.trace with
+    | Some t -> Format.printf "%a" Rv_sim.Trace.pp t
+    | None -> ());
+    if out.Rv_sim.Sim.trace_dropped > 0 then
+      Printf.printf
+        "(%d earliest rounds evicted from the trace ring; raise --trace-max-rounds)\n"
+        out.Rv_sim.Sim.trace_dropped;
+    print_newline ();
+    print_string
+      (Rv_obs.Export_console.summary ~gc:(Rv_obs.Gc_snapshot.diff ~before ~after) ());
+    (match chrome with
+    | Some path ->
+        Rv_obs.Export_chrome.write_file path;
+        Printf.printf "chrome trace: wrote %s (open at https://ui.perfetto.dev)\n" path
+    | None -> ());
+    match jsonl with
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> Rv_obs.Export_jsonl.write oc);
+        Printf.printf "jsonl events: wrote %s\n" path
+    | None -> ()
+  in
+  let la = Arg.(value & opt int 3 & info [ "la" ] ~doc:"Label of agent A.") in
+  let lb = Arg.(value & opt int 11 & info [ "lb" ] ~doc:"Label of agent B.") in
+  let sa = Arg.(value & opt int 0 & info [ "start-a" ] ~doc:"Start node of A.") in
+  let sb =
+    Arg.(
+      value & opt int (-1)
+      & info [ "start-b" ] ~doc:"Start node of B (default: antipode).")
+  in
+  let da = Arg.(value & opt int 0 & info [ "delay-a" ] ~doc:"Wake-up delay of A.") in
+  let db = Arg.(value & opt int 0 & info [ "delay-b" ] ~doc:"Wake-up delay of B.") in
+  let parachute =
+    Arg.(value & flag & info [ "parachute" ] ~doc:"Use the parachute placement model.")
+  in
+  let trace_max_rounds =
+    Arg.(
+      value & opt int 10_000
+      & info [ "trace-max-rounds" ] ~docv:"N"
+          ~doc:
+            "Keep only the most recent $(docv) rounds in the printed \
+             round-by-round trace (0 or negative: unbounded).")
+  in
+  let chrome =
+    Arg.(
+      value & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON to $(docv); load it at \
+             https://ui.perfetto.dev or chrome://tracing.  Lanes: one per \
+             domain plus one per agent.")
+  in
+  let jsonl =
+    Arg.(
+      value & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:"Write the span/counter/histogram stream as JSON lines to $(docv).")
+  in
+  let wrap graph explorer algo space la lb sa sb da db parachute tmr chrome jsonl =
+    let gs = or_die (Spec.parse_graph graph) in
+    let n = Rv_graph.Port_graph.n gs.Spec.g in
+    let sb = if sb < 0 then (sa + (n / 2)) mod n else sb in
+    trace graph explorer algo space la lb sa sb da db parachute tmr chrome jsonl
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Deep observability dive into one rendezvous (spans, Chrome trace)")
+    Term.(
+      const wrap $ graph_arg $ explorer_arg $ algo_arg $ space_arg $ la $ lb $ sa $ sb
+      $ da $ db $ parachute $ trace_max_rounds $ chrome $ jsonl)
+
 (* sweep *)
 
 let sweep_cmd =
-  let sweep graph explorer algo space max_pairs max_delay jobs jsonl csv stats =
+  let sweep graph explorer algo space max_pairs max_delay jobs jsonl csv stats metrics =
     let gs, ex, algorithm = parse_common ~graph ~explorer ~algo in
     let e = Rv_experiments.Workload.e_of ex in
     let delays =
@@ -158,10 +328,11 @@ let sweep_cmd =
     in
     let progress = Rv_engine.Progress.create ~total:(List.length pairs) () in
     let outcome =
-      with_pool jobs (fun pool ->
-          Rv_experiments.Workload.worst_for ?pool ?sink ~progress
-            ~graph_spec:gs.Spec.spec ~g:gs.Spec.g ~algorithm ~space ~explorer:ex
-            ~pairs ~positions:`Fixed_first ~delays ())
+      with_metrics metrics (fun () ->
+          with_pool jobs (fun pool ->
+              Rv_experiments.Workload.worst_for ?pool ?sink ~progress
+                ~graph_spec:gs.Spec.spec ~g:gs.Spec.g ~algorithm ~space ~explorer:ex
+                ~pairs ~positions:`Fixed_first ~delays ()))
     in
     Option.iter Rv_engine.Sink.close sink;
     if stats then
@@ -219,7 +390,7 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Worst-case time/cost over starts, delays and labels")
     Term.(
       const sweep $ graph_arg $ explorer_arg $ algo_arg $ space_arg $ max_pairs $ max_delay
-      $ jobs_arg $ jsonl $ csv $ stats)
+      $ jobs_arg $ jsonl $ csv $ stats $ metrics_arg)
 
 (* explore *)
 
@@ -335,10 +506,11 @@ let lb_cmd =
 (* exp *)
 
 let exp_cmd =
-  let exp ids all markdown jobs =
+  let exp ids all markdown jobs metrics =
     let emit t =
       if markdown then print_string (Table.render_markdown t ^ "\n") else Table.print t
     in
+    with_metrics metrics @@ fun () ->
     with_pool jobs (fun pool ->
         if all then List.iter (fun (_, t) -> emit t) (Rv_experiments.Report.all ?pool ())
         else if ids = [] then begin
@@ -362,7 +534,7 @@ let exp_cmd =
     Arg.(value & flag & info [ "md"; "markdown" ] ~doc:"Emit GitHub-flavoured markdown.")
   in
   Cmd.v (Cmd.info "exp" ~doc:"Print experiment tables from the DESIGN.md index")
-    Term.(const exp $ ids $ all $ markdown $ jobs_arg)
+    Term.(const exp $ ids $ all $ markdown $ jobs_arg $ metrics_arg)
 
 (* selftest *)
 
@@ -547,4 +719,4 @@ let () =
   end;
   let doc = "deterministic rendezvous in networks (Miller & Pelc, PODC 2014)" in
   let info = Cmd.info "rv" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; explore_cmd; lb_cmd; exp_cmd; selftest_cmd; async_cmd; gather_cmd; dot_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; trace_cmd; sweep_cmd; explore_cmd; lb_cmd; exp_cmd; selftest_cmd; async_cmd; gather_cmd; dot_cmd ]))

@@ -53,7 +53,7 @@ let proven_cost_bound algorithm ~e ~space =
   | Fwr w -> Bounds.fwr_cost_general ~e ~scheme:(Relabel.scheme ~space ~weight:w)
   | Fwr_simultaneous w -> Bounds.fwr_sim_cost ~e ~scheme:(Relabel.scheme ~space ~weight:w)
 
-let run ?model ?record ?max_rounds ~g ~explorer ~algorithm ~space pa pb =
+let run ?model ?record ?trace_cap ?max_rounds ~g ~explorer ~algorithm ~space pa pb =
   if pa.label = pb.label then invalid_arg "Rendezvous.run: labels must be distinct";
   let ex_a = explorer ~start:pa.start and ex_b = explorer ~start:pb.start in
   if ex_a.Ex.bound <> ex_b.Ex.bound then
@@ -67,6 +67,6 @@ let run ?model ?record ?max_rounds ~g ~explorer ~algorithm ~space pa pb =
         max (Schedule.duration sched_a + pa.delay) (Schedule.duration sched_b + pb.delay)
         + 1
   in
-  Sim.run ?model ?record ~g ~max_rounds
+  Sim.run ?model ?record ?trace_cap ~g ~max_rounds
     { Sim.start = pa.start; delay = pa.delay; step = Schedule.to_instance sched_a }
     { Sim.start = pb.start; delay = pb.delay; step = Schedule.to_instance sched_b }

@@ -35,6 +35,7 @@ val proven_cost_bound : algorithm -> e:int -> space:int -> int
 val run :
   ?model:Rv_sim.Sim.model ->
   ?record:bool ->
+  ?trace_cap:int ->
   ?max_rounds:int ->
   g:Rv_graph.Port_graph.t ->
   explorer:(start:int -> Rv_explore.Explorer.t) ->
@@ -46,6 +47,7 @@ val run :
 (** Simulate the two parties (distinct labels, distinct starts; the earlier
     party must have [delay = 0]).  [explorer ~start] supplies each agent's
     exploration procedure — both must declare the same bound [E] (checked).
+    [trace_cap] bounds the recorded trace ring (see {!Rv_sim.Sim.run}).
     Default [max_rounds] is the schedule duration plus the later delay,
     which the propositions guarantee is enough; a non-meeting outcome
     within that horizon indicates a bug and is reported in the outcome

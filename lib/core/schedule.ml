@@ -25,6 +25,24 @@ type cursor =
 let to_instance t =
   let remaining = ref t in
   let cursor = ref Idle in
+  (* Deep-mode observability: one span per schedule phase on the calling
+     agent's lane.  [phase_open] tracks whether we owe an [end_span]; the
+     final phase of a run that meets mid-phase is auto-closed by
+     [Rv_obs.Obs.events].  Nothing here runs unless deep mode is on. *)
+  let phase_open = ref false in
+  let close_phase () =
+    if !phase_open then begin
+      Rv_obs.Obs.end_span ();
+      phase_open := false
+    end
+  in
+  let open_phase name cat args =
+    if Rv_obs.Obs.deep () then begin
+      close_phase ();
+      Rv_obs.Obs.begin_span ~cat ~args name;
+      phase_open := true
+    end
+  in
   let rec step obs =
     match !cursor with
     | Exploring (inst, left) when left > 0 ->
@@ -36,16 +54,23 @@ let to_instance t =
     | Idle | Exploring (_, _) | Pausing _ -> (
         (* Current step exhausted (or none yet): advance. *)
         match !remaining with
-        | [] -> Ex.Wait
+        | [] ->
+            close_phase ();
+            Ex.Wait
         | Pause k :: rest ->
             remaining := rest;
             cursor := Pausing k;
+            open_phase "pause" "sim" [ ("rounds", Rv_obs.Json.Int k) ];
             step obs
         | Explore e :: rest ->
             remaining := rest;
             if e.Ex.bound = 0 then step obs
             else begin
               cursor := Exploring (e.Ex.fresh (), e.Ex.bound);
+              open_phase
+                ("explore:" ^ e.Ex.name)
+                "explore"
+                [ ("bound", Rv_obs.Json.Int e.Ex.bound) ];
               step obs
             end)
   in

@@ -16,7 +16,7 @@ type t = {
 let rec worker_loop t =
   Mutex.lock t.lock;
   let rec next () =
-    if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+    if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue, Queue.length t.queue)
     else if t.closed then None
     else begin
       Condition.wait t.work_ready t.lock;
@@ -25,8 +25,11 @@ let rec worker_loop t =
   in
   match next () with
   | None -> Mutex.unlock t.lock
-  | Some task ->
+  | Some (task, depth) ->
       Mutex.unlock t.lock;
+      (* Depth after the pop: how much work was still waiting when this
+         worker claimed a chunk. *)
+      if Rv_obs.Obs.enabled () then Rv_obs.Histogram.observe "engine.queue_depth" depth;
       task ();
       worker_loop t
 
@@ -71,6 +74,12 @@ let run t ?chunk ~total f =
       let pending = ref n_chunks in
       let failed = ref None in
       let body lo () =
+        let obs = Rv_obs.Obs.enabled () in
+        let t0 = if obs then Rv_obs.Obs.now_us () else 0. in
+        if obs then
+          Rv_obs.Obs.begin_span ~cat:"engine"
+            ~args:[ ("lo", Rv_obs.Json.Int lo); ("chunk", Rv_obs.Json.Int chunk) ]
+            "pool.chunk";
         (try
            let hi = min total (lo + chunk) in
            for i = lo to hi - 1 do
@@ -81,6 +90,12 @@ let run t ?chunk ~total f =
            Mutex.lock latch;
            if !failed = None then failed := Some (e, bt);
            Mutex.unlock latch);
+        if obs then begin
+          Rv_obs.Obs.end_span ();
+          Rv_obs.Counter.count "engine.chunks" 1;
+          Rv_obs.Histogram.observe "engine.chunk_us"
+            (int_of_float (Rv_obs.Obs.now_us () -. t0))
+        end;
         Mutex.lock latch;
         decr pending;
         if !pending = 0 then Condition.signal all_done;
@@ -96,6 +111,15 @@ let run t ?chunk ~total f =
       done;
       Condition.broadcast t.work_ready;
       Mutex.unlock t.lock;
+      if Rv_obs.Obs.enabled () then
+        Rv_obs.Obs.instant ~cat:"engine"
+          ~args:
+            [
+              ("chunks", Rv_obs.Json.Int n_chunks);
+              ("total", Rv_obs.Json.Int total);
+              ("jobs", Rv_obs.Json.Int t.jobs);
+            ]
+          "pool.submit";
       Mutex.lock latch;
       while !pending > 0 do
         Condition.wait all_done latch

@@ -27,6 +27,17 @@ val worst_cost : t -> int
 val elapsed : t -> float
 (** Wall-clock seconds since {!create}. *)
 
+val throughput : t -> float
+(** Completed tasks per second of elapsed time ([0.] before the clock has
+    advanced).  Derived from the atomic counters; racy mid-flight like
+    everything else here. *)
+
+val eta : t -> float option
+(** Estimated seconds to completion, extrapolating {!throughput} over the
+    remaining tasks.  [None] when [total] is unknown, nothing has
+    completed yet, or the sweep already finished. *)
+
 val report : t -> string
 (** One-line human summary, e.g.
-    ["8/8 tasks, worst time 736, worst cost 253, 0.42s elapsed"]. *)
+    ["6/8 tasks, worst time 736, worst cost 253, 0.42s elapsed, 14.3 tasks/s, ETA 0.1s"]
+    (throughput and ETA appear once derivable). *)

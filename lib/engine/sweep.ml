@@ -1,3 +1,17 @@
+(* Per-task latency lands in the "engine.task_us" histogram when
+   instrumentation is on; the wrapper is chosen once per map, so the
+   disabled path adds a single branch per [map_array], not per task. *)
+let timed n f =
+  if n > 0 && Rv_obs.Obs.enabled () then begin
+    let hist = Rv_obs.Histogram.find "engine.task_us" in
+    fun i ->
+      let t0 = Rv_obs.Obs.now_us () in
+      let r = f i in
+      Rv_obs.Histogram.observe_t hist (int_of_float (Rv_obs.Obs.now_us () -. t0));
+      r
+  end
+  else f
+
 let sequential n f =
   if n = 0 then [||]
   else begin
@@ -10,14 +24,20 @@ let sequential n f =
 
 let map_array ?pool ?chunk n f =
   if n < 0 then invalid_arg "Sweep.map_array: negative size";
-  match pool with
-  | Some p when Pool.jobs p > 1 && n > 1 ->
-      (* Each slot is written by exactly one task and read only after the
-         pool's completion latch, so the option array needs no lock. *)
-      let slots = Array.make n None in
-      Pool.run p ?chunk ~total:n (fun i -> slots.(i) <- Some (f i));
-      Array.map (function Some v -> v | None -> assert false) slots
-  | Some _ | None -> sequential n f
+  let f = timed n f in
+  let jobs = match pool with Some p -> Pool.jobs p | None -> 1 in
+  Rv_obs.Obs.span ~cat:"engine"
+    ~args:[ ("n", Rv_obs.Json.Int n); ("jobs", Rv_obs.Json.Int jobs) ]
+    "sweep.map_array"
+    (fun () ->
+      match pool with
+      | Some p when Pool.jobs p > 1 && n > 1 ->
+          (* Each slot is written by exactly one task and read only after the
+             pool's completion latch, so the option array needs no lock. *)
+          let slots = Array.make n None in
+          Pool.run p ?chunk ~total:n (fun i -> slots.(i) <- Some (f i));
+          Array.map (function Some v -> v | None -> assert false) slots
+      | Some _ | None -> sequential n f)
 
 let map_reduce ?pool ?chunk ~n ~map ~merge ~init () =
   Array.fold_left merge init (map_array ?pool ?chunk n map)

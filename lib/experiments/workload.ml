@@ -82,7 +82,12 @@ let worst_for ?model ?pool ?sink ?progress ?graph_spec ~g ~algorithm ~space ~exp
      task's records are buffered locally and emitted by the caller during
      the in-order merge — so the sink's byte stream is identical for any
      pool size. *)
+  let obs = Rv_obs.Obs.enabled () in
   let run_pair (la, lb) =
+    if obs then
+      Rv_obs.Obs.begin_span ~cat:"workload"
+        ~args:[ ("la", Rv_obs.Json.Int la); ("lb", Rv_obs.Json.Int lb) ]
+        "workload.pair";
     let worst_t = ref 0 and worst_c = ref 0 in
     let failure = ref None in
     let recorded = ref [] in
@@ -135,6 +140,10 @@ let worst_for ?model ?pool ?sink ?progress ?graph_spec ~g ~algorithm ~space ~exp
           delays)
       expand;
     Option.iter Progress.tick progress;
+    if obs then begin
+      Rv_obs.Counter.count "workload.pairs" 1;
+      Rv_obs.Obs.end_span ()
+    end;
     let result =
       match !failure with None -> Ok (!worst_t, !worst_c) | Some e -> Error e
     in

@@ -8,6 +8,13 @@ type t = { name : string; bound : int; fresh : unit -> instance }
 
 let make ~name ~bound ~fresh =
   if bound < 0 then invalid_arg "Explorer.make: negative bound";
+  (* Count EXPLORE executions at instance creation: one branch per
+     execution when instrumentation is off, invisible on the hot
+     per-round path. *)
+  let fresh () =
+    if Rv_obs.Obs.enabled () then Rv_obs.Counter.count "explore.executions" 1;
+    fresh ()
+  in
   { name; bound; fresh }
 
 let of_walk_factory ~name ~bound factory =
@@ -23,6 +30,10 @@ let of_walk_factory ~name ~bound factory =
               invalid_arg
                 (Printf.sprintf "Explorer %s: walk of %d ports exceeds bound %d" name
                    (List.length walk) bound);
+            if Rv_obs.Obs.enabled () then begin
+              Rv_obs.Counter.count "explore.walks" 1;
+              Rv_obs.Counter.count "explore.walk_ports" (List.length walk)
+            end;
             walk
       in
       match ports with

@@ -19,7 +19,13 @@ type t = {
 
 type chain_step = { index : int; first : int; second : int; duration : int }
 
-let build (trim : Trim.t) =
+let rec build (trim : Trim.t) =
+  Rv_obs.Obs.span ~cat:"lowerbound"
+    ~args:[ ("labels", Rv_obs.Json.Int (Array.length trim.Trim.labels)) ]
+    "lb.tournament"
+    (fun () -> build_inner trim)
+
+and build_inner (trim : Trim.t) =
   let n = trim.Trim.n in
   let f = ((n - 1) + 1) / 2 in
   let heavy_side vectors = Array.map Behaviour.clockwise_heavy vectors in

@@ -9,13 +9,24 @@ let run ~n ~labels ~vectors =
   if Array.length labels <> Array.length vectors then
     invalid_arg "Trim.run: labels and vectors must align";
   let k = Array.length labels in
+  let obs = Rv_obs.Obs.enabled () in
+  if obs then begin
+    Rv_obs.Obs.begin_span ~cat:"lowerbound"
+      ~args:[ ("n", Rv_obs.Json.Int n); ("labels", Rv_obs.Json.Int k) ]
+      "lb.trim";
+    Array.iter
+      (fun v -> Rv_obs.Histogram.observe "lb.vector_rounds" (Array.length v))
+      vectors
+  end;
   let m = Array.make k 0 in
+  let checks = ref 0 in
   let error = ref None in
   (try
      for i = 0 to k - 1 do
        for j = 0 to k - 1 do
          if i <> j then
            for gap = 1 to n - 1 do
+             if obs then incr checks;
              match
                Ring_model.meeting_round ~n vectors.(i) ~start_a:0 vectors.(j) ~start_b:gap
              with
@@ -31,6 +42,11 @@ let run ~n ~labels ~vectors =
        done
      done
    with Exit -> ());
+  if obs then begin
+    Rv_obs.Counter.count "lb.trim_runs" 1;
+    Rv_obs.Counter.count "lb.trim_meeting_checks" !checks;
+    Rv_obs.Obs.end_span ()
+  end;
   match !error with
   | Some e -> Error e
   | None ->

@@ -1,0 +1,33 @@
+type t = { name : string; value : int Atomic.t }
+
+let registry_mutex = Mutex.create ()
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+let find name =
+  Mutex.lock registry_mutex;
+  let c =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+        let c = { name; value = Atomic.make 0 } in
+        Hashtbl.add registry name c;
+        c
+  in
+  Mutex.unlock registry_mutex;
+  c
+
+let add t k = ignore (Atomic.fetch_and_add t.value k)
+let count name k = if Obs.enabled () then add (find name) k
+let value t = Atomic.get t.value
+let name t = t.name
+
+let all () =
+  Mutex.lock registry_mutex;
+  let xs = Hashtbl.fold (fun name c acc -> (name, Atomic.get c.value) :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  List.sort compare xs
+
+let reset () =
+  Mutex.lock registry_mutex;
+  Hashtbl.reset registry;
+  Mutex.unlock registry_mutex

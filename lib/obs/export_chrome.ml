@@ -1,0 +1,66 @@
+let meta ~name ~tid args =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("ph", Json.Str "M");
+      ("ts", Json.Float 0.);
+      ("pid", Json.Int Obs.pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj args);
+    ]
+
+let event_json (e : Obs.event) =
+  let round r key = if r >= 0 then [ (key, Json.Int r) ] else [] in
+  let base =
+    [
+      ("name", Json.Str e.Obs.name);
+      ("cat", Json.Str (if e.Obs.cat = "" then "default" else e.Obs.cat));
+      ("ts", Json.Float e.Obs.ts_us);
+      ("pid", Json.Int Obs.pid);
+      ("tid", Json.Int e.Obs.tid);
+    ]
+  in
+  match e.Obs.kind with
+  | Obs.Span { dur_us; round_end } ->
+      Json.Obj
+        (base
+        @ [
+            ("ph", Json.Str "X");
+            ("dur", Json.Float dur_us);
+            ( "args",
+              Json.Obj
+                (round e.Obs.round "round_begin" @ round round_end "round_end"
+                @ e.Obs.args) );
+          ])
+  | Obs.Instant ->
+      Json.Obj
+        (base
+        @ [
+            ("ph", Json.Str "i");
+            ("s", Json.Str "t");
+            ("args", Json.Obj (round e.Obs.round "round" @ e.Obs.args));
+          ])
+
+let to_json () =
+  let events = Obs.events () in
+  let tids =
+    List.sort_uniq compare (List.map (fun (e : Obs.event) -> e.Obs.tid) events)
+  in
+  let metas =
+    meta ~name:"process_name" ~tid:0 [ ("name", Json.Str "rv") ]
+    :: List.map
+         (fun tid ->
+           meta ~name:"thread_name" ~tid [ ("name", Json.Str (Obs.lane_name tid)) ])
+         tids
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (metas @ List.map event_json events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write oc = output_string oc (Json.to_string (to_json ()) ^ "\n")
+
+let write_file path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc)

@@ -1,0 +1,14 @@
+(** The Chrome trace-event exporter.  Produces the JSON object format
+    ({["traceEvents"]} array) understood by Perfetto
+    ({{:https://ui.perfetto.dev}ui.perfetto.dev}) and chrome://tracing:
+    complete spans as [ph:"X"] with [ts]/[dur] in microseconds, instants
+    as [ph:"i"], plus [ph:"M"] metadata naming the process and one thread
+    lane per domain / synthetic lane (engine workers and, in deep mode,
+    the two agents each get their own lane). *)
+
+val to_json : unit -> Json.t
+(** The whole trace for the current event buffer. *)
+
+val write : out_channel -> unit
+
+val write_file : string -> unit

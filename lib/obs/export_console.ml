@@ -1,0 +1,118 @@
+let spf = Printf.sprintf
+
+let span_rows events =
+  (* Aggregate by (cat, name), preserving first-seen order per key. *)
+  let tbl : (string * string, int ref * float ref * float ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let order = ref [] in
+  List.iter
+    (fun (e : Obs.event) ->
+      match e.Obs.kind with
+      | Obs.Instant -> ()
+      | Obs.Span { dur_us; _ } ->
+          let key = (e.Obs.cat, e.Obs.name) in
+          let n, total, worst =
+            match Hashtbl.find_opt tbl key with
+            | Some cell -> cell
+            | None ->
+                let cell = (ref 0, ref 0., ref 0.) in
+                Hashtbl.add tbl key cell;
+                order := key :: !order;
+                cell
+          in
+          incr n;
+          total := !total +. dur_us;
+          worst := Float.max !worst dur_us)
+    events;
+  List.rev_map
+    (fun ((cat, name) as key) ->
+      let n, total, worst = Hashtbl.find tbl key in
+      (cat, name, !n, !total, !total /. float_of_int !n, !worst))
+    !order
+
+let lane_busy events =
+  let tbl : (int, float ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Obs.event) ->
+      match e.Obs.kind with
+      | Obs.Span { dur_us; _ } when e.Obs.cat = "engine" ->
+          let cell =
+            match Hashtbl.find_opt tbl e.Obs.tid with
+            | Some c -> c
+            | None ->
+                let c = ref 0. in
+                Hashtbl.add tbl e.Obs.tid c;
+                c
+          in
+          cell := !cell +. dur_us
+      | _ -> ())
+    events;
+  List.sort compare (Hashtbl.fold (fun tid busy acc -> (tid, !busy) :: acc) tbl [])
+
+let summary ?gc () =
+  let b = Buffer.create 1024 in
+  let section title = Buffer.add_string b (spf "%s\n" title) in
+  Buffer.add_string b
+    "== observability summary ==========================================\n";
+  let events = Obs.events () in
+  let rows = span_rows events in
+  if rows <> [] then begin
+    section "spans (by category/name):";
+    Buffer.add_string b
+      (spf "  %-10s %-28s %8s %12s %10s %10s\n" "cat" "name" "count" "total ms"
+         "mean us" "max us");
+    List.iter
+      (fun (cat, name, n, total, mean, worst) ->
+        Buffer.add_string b
+          (spf "  %-10s %-28s %8d %12.3f %10.1f %10.1f\n" cat name n (total /. 1000.)
+             mean worst))
+      rows
+  end;
+  (match lane_busy events with
+  | [] | [ _ ] -> ()
+  | lanes ->
+      section "engine lanes (busy time):";
+      List.iter
+        (fun (tid, busy) ->
+          Buffer.add_string b
+            (spf "  %-20s %10.3f ms\n" (Obs.lane_name tid) (busy /. 1000.)))
+        lanes);
+  (match Counter.all () with
+  | [] -> ()
+  | counters ->
+      section "counters:";
+      List.iter
+        (fun (name, v) -> Buffer.add_string b (spf "  %-40s %14d\n" name v))
+        counters);
+  (match Histogram.all () with
+  | [] -> ()
+  | hists ->
+      section "histograms (log2 buckets):";
+      List.iter
+        (fun h ->
+          Buffer.add_string b
+            (spf "  %s: count=%d mean=%.1f max=%d\n" (Histogram.name h)
+               (Histogram.count h) (Histogram.mean h) (Histogram.max_value h));
+          List.iter
+            (fun (lo, hi, c) ->
+              let range =
+                if lo = min_int then "<= 0" else spf "[%d, %d]" lo hi
+              in
+              Buffer.add_string b (spf "    %-24s %10d\n" range c))
+            (Histogram.buckets h))
+        hists);
+  (match gc with
+  | None -> ()
+  | Some g ->
+      section "gc (delta over the run):";
+      Buffer.add_string b (Gc_snapshot.to_string g);
+      Buffer.add_char b '\n');
+  if Obs.dropped () > 0 then
+    Buffer.add_string b
+      (spf "note: %d events dropped (buffer cap); raise Obs.set_max_events\n"
+         (Obs.dropped ()));
+  if Obs.unbalanced_ends () > 0 then
+    Buffer.add_string b
+      (spf "note: %d unbalanced end_span calls\n" (Obs.unbalanced_ends ()));
+  Buffer.contents b

@@ -1,0 +1,10 @@
+(** The pretty console exporter: aggregates the current event buffer,
+    counter registry, histogram registry (and optionally a GC delta) into
+    one human-readable metrics summary — what [rv sweep --metrics] and
+    [rv exp --metrics] append to a run. *)
+
+val summary : ?gc:Gc_snapshot.t -> unit -> string
+(** Sections, each omitted when empty: spans aggregated by
+    (category, name) with count/total/mean/max; per-lane busy time for
+    engine-pool lanes; counters; histograms; GC delta; and a note when
+    events were dropped or unbalanced. *)

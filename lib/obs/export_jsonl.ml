@@ -1,0 +1,48 @@
+let event_json (e : Obs.event) =
+  let base =
+    [
+      ("name", Json.Str e.Obs.name);
+      ("cat", Json.Str e.Obs.cat);
+      ("ts_us", Json.Float e.Obs.ts_us);
+      ("pid", Json.Int Obs.pid);
+      ("tid", Json.Int e.Obs.tid);
+    ]
+  in
+  let round r key = if r >= 0 then [ (key, Json.Int r) ] else [] in
+  let args = if e.Obs.args = [] then [] else [ ("args", Json.Obj e.Obs.args) ] in
+  match e.Obs.kind with
+  | Obs.Span { dur_us; round_end } ->
+      Json.Obj
+        ((("type", Json.Str "span") :: base)
+        @ [ ("dur_us", Json.Float dur_us) ]
+        @ round e.Obs.round "round" @ round round_end "round_end" @ args)
+  | Obs.Instant ->
+      Json.Obj
+        ((("type", Json.Str "instant") :: base) @ round e.Obs.round "round" @ args)
+
+let counter_json (name, value) =
+  Json.Obj [ ("type", Json.Str "counter"); ("name", Json.Str name); ("value", Json.Int value) ]
+
+let histogram_json h =
+  Json.Obj
+    [
+      ("type", Json.Str "histogram");
+      ("name", Json.Str (Histogram.name h));
+      ("count", Json.Int (Histogram.count h));
+      ("sum", Json.Int (Histogram.sum h));
+      ("max", Json.Int (Histogram.max_value h));
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (lo, hi, c) ->
+               Json.List [ Json.Int (max lo 0); Json.Int hi; Json.Int c ])
+             (Histogram.buckets h)) );
+    ]
+
+let lines () =
+  List.map Json.to_string
+    (List.map event_json (Obs.events ())
+    @ List.map counter_json (Counter.all ())
+    @ List.map histogram_json (Histogram.all ()))
+
+let write oc = List.iter (fun l -> output_string oc (l ^ "\n")) (lines ())

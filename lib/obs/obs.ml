@@ -1,0 +1,199 @@
+type arg = string * Json.t
+
+type kind = Span of { dur_us : float; round_end : int } | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  ts_us : float;
+  tid : int;
+  round : int;
+  args : arg list;
+  kind : kind;
+}
+
+let pid = Unix.getpid ()
+
+(* Switches.  [enabled_flag] is the fast path: every public entry point
+   reads it first and bails, so disabled instrumentation costs one atomic
+   load and a branch. *)
+
+let enabled_flag = Atomic.make false
+let deep_flag = Atomic.make false
+
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+let deep () = Atomic.get enabled_flag && Atomic.get deep_flag
+let set_deep b = Atomic.set deep_flag b
+
+(* Clock: wall microseconds relative to the last [reset].  One shared
+   float cell; torn reads are impossible on 64-bit OCaml (boxed float ref
+   swapped atomically by [reset], which is called only at quiescence). *)
+
+let epoch = ref (Unix.gettimeofday ())
+let now_us () = (Unix.gettimeofday () -. !epoch) *. 1e6
+
+(* Per-domain state: lane override, logical round, and one open-span
+   stack per lane (the two agent lanes of a deep-mode simulation run
+   interleave on one domain, so stacks must be lane-keyed). *)
+
+type open_span = { o_name : string; o_cat : string; o_ts : float; o_round : int; o_args : arg list }
+
+type dstate = {
+  mutable lane : int;  (* -1 = use the domain id *)
+  mutable round : int;  (* -1 = unset *)
+  stacks : (int, open_span list ref) Hashtbl.t;
+}
+
+let dls =
+  Domain.DLS.new_key (fun () -> { lane = -1; round = -1; stacks = Hashtbl.create 4 })
+
+let effective_lane st = if st.lane >= 0 then st.lane else (Domain.self () :> int)
+
+let stack_of st lane =
+  match Hashtbl.find_opt st.stacks lane with
+  | Some s -> s
+  | None ->
+      let s = ref [] in
+      Hashtbl.add st.stacks lane s;
+      s
+
+let set_round r =
+  if enabled () then (Domain.DLS.get dls).round <- (if r < 0 then -1 else r)
+
+let set_lane l = if enabled () then (Domain.DLS.get dls).lane <- l
+let clear_lane () = if enabled () then (Domain.DLS.get dls).lane <- -1
+
+(* Synthetic lanes.  Ids start far above any plausible domain id. *)
+
+let lane_mutex = Mutex.create ()
+let lane_next = ref 1000
+let lane_names : (int, string) Hashtbl.t = Hashtbl.create 8
+
+let new_lane name =
+  Mutex.lock lane_mutex;
+  let id = !lane_next in
+  incr lane_next;
+  Hashtbl.replace lane_names id name;
+  Mutex.unlock lane_mutex;
+  id
+
+let lane_name id =
+  Mutex.lock lane_mutex;
+  let n = Hashtbl.find_opt lane_names id in
+  Mutex.unlock lane_mutex;
+  match n with Some n -> n | None -> Printf.sprintf "domain-%d" id
+
+(* The event buffer: global, mutex-protected, capped. *)
+
+let buf_mutex = Mutex.create ()
+let buf : event list ref = ref []
+let buf_len = ref 0
+let max_events = ref 1_000_000
+let dropped_count = Atomic.make 0
+let unbalanced = Atomic.make 0
+
+let push ev =
+  Mutex.lock buf_mutex;
+  if !buf_len < !max_events then begin
+    buf := ev :: !buf;
+    incr buf_len
+  end
+  else Atomic.incr dropped_count;
+  Mutex.unlock buf_mutex
+
+let set_max_events n = max_events := max 0 n
+
+let begin_span ?(cat = "") ?(args = []) name =
+  if enabled () then begin
+    let st = Domain.DLS.get dls in
+    let lane = effective_lane st in
+    let stack = stack_of st lane in
+    stack :=
+      { o_name = name; o_cat = cat; o_ts = now_us (); o_round = st.round; o_args = args }
+      :: !stack
+  end
+
+let close_span st lane sp ~extra =
+  push
+    {
+      name = sp.o_name;
+      cat = sp.o_cat;
+      ts_us = sp.o_ts;
+      tid = lane;
+      round = sp.o_round;
+      args = sp.o_args @ extra;
+      kind = Span { dur_us = now_us () -. sp.o_ts; round_end = st.round };
+    }
+
+let end_span () =
+  if enabled () then begin
+    let st = Domain.DLS.get dls in
+    let lane = effective_lane st in
+    let stack = stack_of st lane in
+    match !stack with
+    | [] -> Atomic.incr unbalanced
+    | sp :: rest ->
+        stack := rest;
+        close_span st lane sp ~extra:[]
+  end
+
+let span ?cat ?args name f =
+  if not (enabled ()) then f ()
+  else begin
+    begin_span ?cat ?args name;
+    Fun.protect ~finally:end_span f
+  end
+
+let instant ?(cat = "") ?(args = []) name =
+  if enabled () then begin
+    let st = Domain.DLS.get dls in
+    push
+      {
+        name;
+        cat;
+        ts_us = now_us ();
+        tid = effective_lane st;
+        round = st.round;
+        args;
+        kind = Instant;
+      }
+  end
+
+let events () =
+  (* Finalize this domain's open spans so exporters always see complete
+     spans, even when a run ended mid-phase (e.g. meeting mid-walk). *)
+  let st = Domain.DLS.get dls in
+  Hashtbl.iter
+    (fun lane stack ->
+      List.iter
+        (fun sp -> close_span st lane sp ~extra:[ ("unfinished", Json.Bool true) ])
+        !stack;
+      stack := [])
+    st.stacks;
+  Mutex.lock buf_mutex;
+  let evs = !buf in
+  Mutex.unlock buf_mutex;
+  List.stable_sort (fun a b -> compare a.ts_us b.ts_us) (List.rev evs)
+
+let event_count () =
+  Mutex.lock buf_mutex;
+  let n = !buf_len in
+  Mutex.unlock buf_mutex;
+  n
+
+let dropped () = Atomic.get dropped_count
+let unbalanced_ends () = Atomic.get unbalanced
+
+let reset () =
+  Mutex.lock buf_mutex;
+  buf := [];
+  buf_len := 0;
+  Mutex.unlock buf_mutex;
+  Atomic.set dropped_count 0;
+  Atomic.set unbalanced 0;
+  let st = Domain.DLS.get dls in
+  Hashtbl.reset st.stacks;
+  st.lane <- -1;
+  st.round <- -1;
+  epoch := Unix.gettimeofday ()

@@ -1,0 +1,109 @@
+(** Span-based tracing with a no-op fast path.
+
+    The whole stack (simulator, exploration, lower-bound pipelines, the
+    multicore engine) calls into this module unconditionally; every entry
+    point first reads one atomic flag and returns immediately when
+    instrumentation is {e disabled} — the default — so hot sweep loops pay
+    a branch, not an allocation.  Enabling ({!set_enabled}) turns the same
+    calls into events in a process-global, mutex-protected buffer that the
+    exporters ({!Export_console}, {!Export_jsonl}, {!Export_chrome}) read
+    back.
+
+    {b Spans} are begin/end pairs with a category, a name, and key/value
+    arguments; {!span} brackets a closure.  Each span lives on a {e lane}
+    (Chrome's "tid"): by default the current domain, so the engine pool's
+    workers naturally get one lane each; {!set_lane} redirects subsequent
+    spans to a synthetic lane (the simulator gives each agent its own lane
+    in deep mode, see {!set_deep}).  Spans on one lane must nest; an
+    {!end_span} without a matching begin is counted, not fatal.
+
+    {b Deep mode} ({!set_deep}) additionally opts into per-round detail:
+    the simulator publishes a logical round clock ({!set_round}) that is
+    attached to every event, and the schedule/explorer layers emit one
+    span per algorithm phase.  Sweeps with metrics keep deep mode off and
+    pay only per-run costs. *)
+
+type arg = string * Json.t
+
+type kind =
+  | Span of { dur_us : float; round_end : int }
+      (** [round_end] is the logical round at [end_span]; [-1] if unset. *)
+  | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  ts_us : float;  (** microseconds since {!reset} (or process start) *)
+  tid : int;  (** lane: domain id, or a synthetic lane from {!new_lane} *)
+  round : int;  (** logical round at span begin / instant; [-1] if unset *)
+  args : arg list;
+  kind : kind;
+}
+
+val pid : int
+
+(** {1 Switches} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val deep : unit -> bool
+(** True only when both enabled and deep mode are on. *)
+
+val set_deep : bool -> unit
+
+(** {1 Clock and lanes} *)
+
+val now_us : unit -> float
+(** Microseconds since {!reset} (or process start).  Monotone in practice
+    for our uses (single clock source, short runs). *)
+
+val set_round : int -> unit
+(** Publish the simulator's logical round for this domain; attached to
+    subsequent events until changed.  Negative clears. *)
+
+val new_lane : string -> int
+(** Allocate a fresh named lane (rendered as a Chrome thread).  Ids never
+    collide with domain ids. *)
+
+val lane_name : int -> string
+(** Display name for a lane: its registered name, or ["domain-<id>"]. *)
+
+val set_lane : int -> unit
+(** Route subsequent spans/instants on this domain to the given lane. *)
+
+val clear_lane : unit -> unit
+(** Back to the default lane (the current domain's id). *)
+
+(** {1 Recording} *)
+
+val begin_span : ?cat:string -> ?args:arg list -> string -> unit
+val end_span : unit -> unit
+
+val span : ?cat:string -> ?args:arg list -> string -> (unit -> 'a) -> 'a
+(** [span name f] brackets [f ()] in a begin/end pair (ended on raise
+    too); when disabled it is exactly [f ()]. *)
+
+val instant : ?cat:string -> ?args:arg list -> string -> unit
+
+(** {1 Reading back} *)
+
+val events : unit -> event list
+(** Snapshot, in begin-timestamp order.  Spans still open on the {e
+    calling} domain are finalized first (closed at the current time with
+    an ["unfinished": true] argument) — call this after the instrumented
+    region, from the domain that ran it. *)
+
+val event_count : unit -> int
+val dropped : unit -> int
+(** Events discarded because the buffer hit {!set_max_events}. *)
+
+val unbalanced_ends : unit -> int
+(** {!end_span} calls that found no open span on their lane. *)
+
+val set_max_events : int -> unit
+(** Buffer cap (default 1_000_000); excess events are dropped, counted. *)
+
+val reset : unit -> unit
+(** Clear events and counters above, restart the clock.  Does not touch
+    {!Counter}/{!Histogram} registries (they have their own [reset]). *)

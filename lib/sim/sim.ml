@@ -19,6 +19,7 @@ type outcome = {
   rounds_run : int;
   crossings : int;
   trace : Trace.t option;
+  trace_dropped : int;
 }
 
 type walker = {
@@ -55,22 +56,44 @@ let apply walker g action =
 let present model walker round =
   match model with Waiting -> true | Parachute -> round >= walker.wake
 
-let run ?(model = Waiting) ?(record = false) ~g ~max_rounds a b =
+let default_trace_cap = 100_000
+
+let run ?(model = Waiting) ?(record = false) ?(trace_cap = default_trace_cap) ~g
+    ~max_rounds a b =
   if a.start = b.start then invalid_arg "Sim.run: agents must start at distinct nodes";
   if a.delay < 0 || b.delay < 0 then invalid_arg "Sim.run: negative delay";
   if min a.delay b.delay <> 0 then
     invalid_arg "Sim.run: the earlier agent must have delay 0 (round 1 = its wake-up)";
   let wa = { pos = a.start; entry = None; moves = 0; wake = a.delay + 1; step_fn = a.step } in
   let wb = { pos = b.start; entry = None; moves = 0; wake = b.delay + 1; step_fn = b.step } in
-  let trace = ref [] in
+  let ring = if record then Some (Trace.Ring.create ~cap:trace_cap) else None in
   let crossings = ref 0 in
   let meeting_round = ref None and meeting_node = ref None in
   let round = ref 0 in
+  (* Observability: everything here is per-run (one span, a handful of
+     counter adds) except deep mode, which also publishes the round clock
+     and gives each agent its own trace lane. *)
+  let obs = Rv_obs.Obs.enabled () in
+  let deep = obs && Rv_obs.Obs.deep () in
+  let lane_a = if deep then Rv_obs.Obs.new_lane "agent A" else 0 in
+  let lane_b = if deep then Rv_obs.Obs.new_lane "agent B" else 0 in
+  if obs then
+    Rv_obs.Obs.begin_span ~cat:"sim"
+      ~args:
+        [
+          ("max_rounds", Rv_obs.Json.Int max_rounds);
+          ("start_a", Rv_obs.Json.Int a.start);
+          ("start_b", Rv_obs.Json.Int b.start);
+        ]
+      "sim.run";
   (try
      while !round < max_rounds do
        incr round;
        let r = !round in
-       let act_a = act_of wa g r and act_b = act_of wb g r in
+       if deep then Rv_obs.Obs.set_round r;
+       let act_a = (if deep then Rv_obs.Obs.set_lane lane_a; act_of wa g r) in
+       let act_b = (if deep then Rv_obs.Obs.set_lane lane_b; act_of wb g r) in
+       if deep then Rv_obs.Obs.clear_lane ();
        let before_a = wa.pos and before_b = wb.pos in
        apply wa g act_a;
        apply wb g act_b;
@@ -81,19 +104,38 @@ let run ?(model = Waiting) ?(record = false) ~g ~max_rounds a b =
          && present model wa r && present model wb r
        in
        if crossed then incr crossings;
-       if record then
-         trace :=
-           { Trace.round = r; pos_a = wa.pos; pos_b = wb.pos; act_a; act_b; crossed }
-           :: !trace;
+       (match ring with
+       | None -> ()
+       | Some ring ->
+           Trace.Ring.add ring
+             { Trace.round = r; pos_a = wa.pos; pos_b = wb.pos; act_a; act_b; crossed });
        if wa.pos = wb.pos && present model wa r && present model wb r then begin
          meeting_round := Some r;
          meeting_node := Some wa.pos;
          Log.debug (fun m ->
              m "rendezvous at node %d in round %d (cost %d+%d)" wa.pos r wa.moves wb.moves);
+         if deep then
+           Rv_obs.Obs.instant ~cat:"sim"
+             ~args:[ ("node", Rv_obs.Json.Int wa.pos); ("cost", Rv_obs.Json.Int (wa.moves + wb.moves)) ]
+             "meeting";
          raise Exit
        end
      done
    with Exit -> ());
+  if obs then begin
+    let met = !meeting_round <> None in
+    Rv_obs.Counter.count "sim.runs" 1;
+    Rv_obs.Counter.count "sim.rounds" !round;
+    Rv_obs.Counter.count "sim.moves" (wa.moves + wb.moves);
+    Rv_obs.Counter.count "sim.crossings" !crossings;
+    if met then Rv_obs.Counter.count "sim.meetings" 1;
+    let awake w = max 0 (!round - (w.wake - 1)) in
+    Rv_obs.Counter.count "sim.waits" (awake wa - wa.moves + (awake wb - wb.moves));
+    Rv_obs.Histogram.observe "sim.rounds_per_run" !round;
+    Rv_obs.Histogram.observe "sim.cost_per_run" (wa.moves + wb.moves);
+    if deep then Rv_obs.Obs.set_round (-1);
+    Rv_obs.Obs.end_span ()
+  end;
   {
     met = !meeting_round <> None;
     meeting_round = !meeting_round;
@@ -103,7 +145,8 @@ let run ?(model = Waiting) ?(record = false) ~g ~max_rounds a b =
     cost_b = wb.moves;
     rounds_run = !round;
     crossings = !crossings;
-    trace = (if record then Some (List.rev !trace) else None);
+    trace = (match ring with Some ring -> Some (Trace.Ring.to_list ring) | None -> None);
+    trace_dropped = (match ring with Some ring -> Trace.Ring.dropped ring | None -> 0);
   }
 
 let time outcome =

@@ -36,11 +36,15 @@ type outcome = {
   rounds_run : int;  (** rounds actually simulated *)
   crossings : int;  (** unnoticed edge crossings before meeting *)
   trace : Trace.t option;
+  trace_dropped : int;
+      (** rounds evicted from the bounded trace ring; [0] unless recording
+          overflowed [trace_cap] *)
 }
 
 val run :
   ?model:model ->
   ?record:bool ->
+  ?trace_cap:int ->
   g:Rv_graph.Port_graph.t ->
   max_rounds:int ->
   agent ->
@@ -49,7 +53,16 @@ val run :
 (** [run ~g ~max_rounds a b] simulates until meeting or [max_rounds].
     At least one [delay] must be 0 (earlier agent's wake defines round 1)
     and the starting nodes must be distinct; raises [Invalid_argument]
-    otherwise.  [record] (default false) attaches a {!Trace.t}.
+    otherwise.  [record] (default false) attaches a {!Trace.t}; the trace
+    is collected in a ring buffer keeping the most recent [trace_cap]
+    rounds (default 100_000; [<= 0] means unbounded), so recording a long
+    adversarial run does not hold every round alive — evictions are
+    reported in [trace_dropped].
+
+    When {!Rv_obs.Obs} is enabled, each run emits one ["sim.run"] span
+    and per-run counters (rounds, moves, crossings, waits, meetings); in
+    deep mode it additionally publishes the round clock and gives each
+    agent its own trace lane.
 
     The default model is {!Waiting}. *)
 

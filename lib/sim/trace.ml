@@ -32,3 +32,45 @@ let pp fmt t =
         r.act_a r.pos_b pp_action r.act_b
         (if r.crossed then "  [crossed]" else ""))
     t
+
+module Ring = struct
+  type buf = {
+    cap : int;  (* <= 0: unbounded *)
+    mutable data : round array;  (* physical storage; lazily sized *)
+    mutable len : int;
+    mutable next : int;  (* bounded mode: slot for the next write *)
+    mutable dropped : int;
+  }
+
+  let create ~cap = { cap; data = [||]; len = 0; next = 0; dropped = 0 }
+
+  let ensure b r =
+    if Array.length b.data = 0 then
+      b.data <- Array.make (if b.cap > 0 then b.cap else 64) r
+    else if b.cap <= 0 && b.len = Array.length b.data then begin
+      let grown = Array.make (2 * b.len) r in
+      Array.blit b.data 0 grown 0 b.len;
+      b.data <- grown
+    end
+
+  let add b r =
+    ensure b r;
+    if b.cap > 0 then begin
+      b.data.(b.next) <- r;
+      b.next <- (b.next + 1) mod b.cap;
+      if b.len < b.cap then b.len <- b.len + 1 else b.dropped <- b.dropped + 1
+    end
+    else begin
+      b.data.(b.len) <- r;
+      b.len <- b.len + 1
+    end
+
+  let length b = b.len
+  let dropped b = b.dropped
+
+  let to_list b =
+    if b.cap > 0 && b.len = b.cap then
+      (* Full ring: oldest entry sits at [next]. *)
+      List.init b.len (fun i -> b.data.((b.next + i) mod b.cap))
+    else List.init b.len (fun i -> b.data.(i))
+end

@@ -26,3 +26,23 @@ val moves_in : t -> [ `A | `B ] -> int
 (** Edge traversals performed by one agent over the trace. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** Bounded collection for long adversarial runs: a ring buffer keeping
+    the most recent [cap] rounds, so recording a trace never holds every
+    round of a multi-million-round execution alive.  [cap <= 0] means
+    unbounded (a growable array).  The simulator fills one of these when
+    recording and converts it back to the plain {!t} list at the end, so
+    the [pp]/accessor API above is unchanged. *)
+module Ring : sig
+  type buf
+
+  val create : cap:int -> buf
+  val add : buf -> round -> unit
+  val length : buf -> int
+
+  val dropped : buf -> int
+  (** Rounds overwritten because the ring was full. *)
+
+  val to_list : buf -> t
+  (** Chronological (oldest kept round first). *)
+end

@@ -90,6 +90,38 @@ let test_progress_counters () =
   Alcotest.(check int) "worst cost" 40 (Progress.worst_cost p);
   Alcotest.(check bool) "elapsed >= 0" true (Progress.elapsed p >= 0.)
 
+let test_progress_throughput_eta () =
+  (* Untouched counters: no throughput, no ETA. *)
+  let p = Progress.create ~total:10 () in
+  Alcotest.(check (option (float 0.001))) "eta before any tick" None (Progress.eta p);
+  (* Half done: throughput is completed/elapsed and the ETA extrapolates
+     the remaining half at the same rate. *)
+  for _ = 1 to 5 do Progress.tick p done;
+  Unix.sleepf 0.02;
+  let tp = Progress.throughput p in
+  Alcotest.(check bool) "throughput positive" true (tp > 0.);
+  (match Progress.eta p with
+  | None -> Alcotest.fail "eta expected mid-flight"
+  | Some eta ->
+      Alcotest.(check (float 0.001)) "eta = remaining / rate"
+        (5. /. tp) eta);
+  (* Finished: no ETA, throughput still defined. *)
+  for _ = 1 to 5 do Progress.tick p done;
+  Alcotest.(check (option (float 0.001))) "eta when done" None (Progress.eta p);
+  Alcotest.(check bool) "throughput after finish" true (Progress.throughput p > 0.);
+  (* Unknown total: never an ETA. *)
+  let q = Progress.create () in
+  Progress.tick q;
+  Alcotest.(check (option (float 0.001))) "eta without total" None (Progress.eta q);
+  (* The one-line report mentions the pace once derivable. *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "report has tasks/s" true
+    (contains (Progress.report p) "tasks/s")
+
 (* ---------------------------------------------------------------- Record *)
 
 let sample_record =
@@ -259,7 +291,11 @@ let () =
           tc "map_reduce matches sequential" test_map_reduce_matches_sequential;
           tc "map_list" test_map_list;
         ] );
-      ("progress", [ tc "counters" test_progress_counters ]);
+      ( "progress",
+        [
+          tc "counters" test_progress_counters;
+          tc "throughput and eta" test_progress_throughput_eta;
+        ] );
       ( "record",
         [ tc "jsonl roundtrip" test_jsonl_roundtrip; tc "csv" test_csv ] );
       ("sink", [ tc "memory/null/file sinks" test_sinks ]);

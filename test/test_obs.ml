@@ -1,0 +1,283 @@
+(* Tests for rv_obs: the JSON helper's round-trips, span begin/end
+   balance (including deliberate imbalance and unfinished spans),
+   histogram bucket boundaries, counter atomicity under the engine's
+   domain pool, the Chrome and JSONL exporters' wire formats, the
+   disabled-mode no-op guarantee, and the simulator's deep-mode
+   integration (agent lanes, phase spans, the round clock). *)
+
+module Obs = Rv_obs.Obs
+module Json = Rv_obs.Json
+module Counter = Rv_obs.Counter
+module Histogram = Rv_obs.Histogram
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* Every test starts from a clean, enabled collector and leaves the
+   global switches off for whoever runs next. *)
+let with_obs ?(deep = false) f () =
+  Obs.set_enabled true;
+  Obs.set_deep deep;
+  Obs.reset ();
+  Counter.reset ();
+  Histogram.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_deep false;
+      Obs.set_enabled false;
+      Obs.reset ();
+      Counter.reset ();
+      Histogram.reset ())
+    f
+
+(* ------------------------------------------------------------------ Json *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Int (-42);
+      Json.Float 1.5;
+      Json.Str "plain";
+      Json.Str "esc \" \\ \n \t \x01";
+      Json.List [ Json.Int 1; Json.Str "two"; Json.Null ];
+      Json.Obj
+        [
+          ("a", Json.Int 1);
+          ("nested", Json.Obj [ ("xs", Json.List [ Json.Bool false ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = Json.to_string v in
+      match Json.parse s with
+      | Ok v' -> Alcotest.(check string) ("roundtrip " ^ s) s (Json.to_string v')
+      | Error e -> Alcotest.fail (s ^ ": " ^ e))
+    cases;
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Ok _ -> Alcotest.fail ("accepted malformed: " ^ bad)
+      | Error _ -> ())
+    [ ""; "{"; "[1,"; "{\"a\":}"; "nul"; "1 2" ]
+
+(* ----------------------------------------------------------------- spans *)
+
+let test_span_nesting =
+  with_obs (fun () ->
+      Obs.span ~cat:"t" "outer" (fun () ->
+          Obs.span ~cat:"t" "inner" (fun () -> ignore (Sys.opaque_identity 1)));
+      let evs = Obs.events () in
+      Alcotest.(check int) "two spans" 2 (List.length evs);
+      let by_name n = List.find (fun (e : Obs.event) -> e.Obs.name = n) evs in
+      let outer = by_name "outer" and inner = by_name "inner" in
+      let dur (e : Obs.event) =
+        match e.Obs.kind with Obs.Span { dur_us; _ } -> dur_us | Obs.Instant -> -1.
+      in
+      Alcotest.(check bool) "inner begins after outer" true
+        (inner.Obs.ts_us >= outer.Obs.ts_us);
+      Alcotest.(check bool) "inner ends before outer" true
+        (inner.Obs.ts_us +. dur inner <= outer.Obs.ts_us +. dur outer +. 0.001);
+      Alcotest.(check int) "balanced" 0 (Obs.unbalanced_ends ()))
+
+let test_span_unbalanced_end =
+  with_obs (fun () ->
+      Obs.end_span ();
+      Obs.begin_span "only";
+      Obs.end_span ();
+      Obs.end_span ();
+      Alcotest.(check int) "stray ends counted" 2 (Obs.unbalanced_ends ());
+      Alcotest.(check int) "real span still recorded" 1 (List.length (Obs.events ())))
+
+let test_span_unfinished =
+  with_obs (fun () ->
+      Obs.begin_span ~cat:"t" "left-open";
+      let evs = Obs.events () in
+      Alcotest.(check int) "finalized on read" 1 (List.length evs);
+      let e = List.hd evs in
+      Alcotest.(check bool) "marked unfinished" true
+        (List.mem_assoc "unfinished" e.Obs.args))
+
+let test_span_raise_still_ends =
+  with_obs (fun () ->
+      (try Obs.span "raises" (fun () -> failwith "boom") with Failure _ -> ());
+      Alcotest.(check int) "span closed by the bracket" 1 (List.length (Obs.events ()));
+      Alcotest.(check int) "no stray end" 0 (Obs.unbalanced_ends ()))
+
+(* ------------------------------------------------------------- histogram *)
+
+let test_histogram_buckets =
+  with_obs (fun () ->
+      List.iter (Histogram.observe "h") [ -5; 0; 1; 2; 3; 4; 7; 8; 1023; 1024 ];
+      let h = Histogram.find "h" in
+      Alcotest.(check int) "count" 10 (Histogram.count h);
+      Alcotest.(check int) "max" 1024 (Histogram.max_value h);
+      Alcotest.(check (list (triple int int int)))
+        "bucket boundaries"
+        [
+          (min_int, 0, 2) (* -5, 0 *);
+          (1, 1, 1);
+          (2, 3, 2);
+          (4, 7, 2);
+          (8, 15, 1);
+          (512, 1023, 1);
+          (1024, 2047, 1);
+        ]
+        (Histogram.buckets h);
+      Alcotest.(check (pair int int)) "bounds of bucket 1" (1, 1)
+        (Histogram.bucket_bounds 1);
+      Alcotest.(check (pair int int)) "bounds of bucket 5" (16, 31)
+        (Histogram.bucket_bounds 5))
+
+(* --------------------------------------------------------------- counter *)
+
+let test_counter_atomic_under_pool =
+  with_obs (fun () ->
+      Rv_engine.Pool.with_pool ~jobs:4 (fun pool ->
+          Rv_engine.Pool.run pool ~total:400 (fun i -> Counter.count "hits" (1 + (i mod 3))));
+      (* sum over i in 0..399 of (1 + i mod 3): 400 + 133*1 + 133*2 = 799 *)
+      let expected = List.init 400 (fun i -> 1 + (i mod 3)) |> List.fold_left ( + ) 0 in
+      Alcotest.(check int) "no lost increments" expected
+        (Counter.value (Counter.find "hits")))
+
+(* ------------------------------------------------------------- exporters *)
+
+let test_chrome_roundtrip =
+  with_obs (fun () ->
+      Obs.span ~cat:"sim" ~args:[ ("k", Json.Int 7) ] "s1" (fun () ->
+          Obs.instant ~cat:"sim" "hit");
+      let json = Rv_obs.Export_chrome.to_json () in
+      (* Through the wire and back. *)
+      let parsed =
+        match Json.parse (Json.to_string json) with
+        | Ok v -> v
+        | Error e -> Alcotest.fail ("chrome json: " ^ e)
+      in
+      let events =
+        match Option.bind (Json.member "traceEvents" parsed) Json.to_list with
+        | Some l -> l
+        | None -> Alcotest.fail "no traceEvents array"
+      in
+      Alcotest.(check bool) "has events" true (List.length events > 0);
+      List.iter
+        (fun ev ->
+          List.iter
+            (fun field ->
+              if Json.member field ev = None then
+                Alcotest.fail
+                  (Printf.sprintf "event missing %s: %s" field (Json.to_string ev)))
+            [ "ph"; "ts"; "pid"; "tid"; "name" ])
+        events;
+      let with_ph p =
+        List.filter
+          (fun ev -> Option.bind (Json.member "ph" ev) Json.to_str = Some p)
+          events
+      in
+      Alcotest.(check int) "one complete span" 1 (List.length (with_ph "X"));
+      Alcotest.(check int) "one instant" 1 (List.length (with_ph "i"));
+      Alcotest.(check bool) "metadata names lanes" true (List.length (with_ph "M") >= 2);
+      let x = List.hd (with_ph "X") in
+      Alcotest.(check bool) "span has dur" true (Json.member "dur" x <> None);
+      Alcotest.(check (option string)) "span cat" (Some "sim")
+        (Option.bind (Json.member "cat" x) Json.to_str))
+
+let test_jsonl_roundtrip =
+  with_obs (fun () ->
+      Obs.span ~cat:"c" "sp" (fun () -> ());
+      Counter.count "n" 3;
+      Histogram.observe "h" 5;
+      let lines = Rv_obs.Export_jsonl.lines () in
+      Alcotest.(check int) "span + counter + histogram" 3 (List.length lines);
+      let typed =
+        List.map
+          (fun line ->
+            match Json.parse line with
+            | Error e -> Alcotest.fail (line ^ ": " ^ e)
+            | Ok v -> (
+                match Option.bind (Json.member "type" v) Json.to_str with
+                | Some t -> (t, v)
+                | None -> Alcotest.fail ("line without type: " ^ line)))
+          lines
+      in
+      Alcotest.(check (list string)) "line shapes" [ "span"; "counter"; "histogram" ]
+        (List.map fst typed);
+      let counter = List.assoc "counter" typed in
+      Alcotest.(check (option int)) "counter value" (Some 3)
+        (Option.bind (Json.member "value" counter) Json.to_int);
+      let histogram = List.assoc "histogram" typed in
+      Alcotest.(check (option int)) "histogram sum" (Some 5)
+        (Option.bind (Json.member "sum" histogram) Json.to_int))
+
+(* -------------------------------------------------------------- disabled *)
+
+let test_disabled_noop () =
+  Obs.set_enabled false;
+  Obs.reset ();
+  Counter.reset ();
+  Histogram.reset ();
+  Obs.begin_span "ghost";
+  Obs.end_span ();
+  Obs.span "ghost2" (fun () -> ());
+  Obs.instant "ghost3";
+  Counter.count "ghost" 5;
+  Histogram.observe "ghost" 5;
+  Alcotest.(check int) "no events" 0 (Obs.event_count ());
+  Alcotest.(check int) "no stray ends" 0 (Obs.unbalanced_ends ());
+  Alcotest.(check (list (pair string int))) "no counters" [] (Counter.all ());
+  Alcotest.(check int) "no histograms" 0 (List.length (Histogram.all ()));
+  (* span must still run its body and return its value when disabled *)
+  Alcotest.(check int) "span is transparent" 41 (Obs.span "id" (fun () -> 41))
+
+(* ------------------------------------------------- simulator integration *)
+
+let test_sim_deep_mode =
+  with_obs ~deep:true (fun () ->
+      let n = 8 in
+      let g = Rv_graph.Ring.oriented n in
+      let explorer ~start:_ = Rv_explore.Ring_walk.clockwise ~n in
+      let out =
+        Rv_core.Rendezvous.run ~record:true ~g ~explorer
+          ~algorithm:Rv_core.Rendezvous.Fast ~space:16
+          { Rv_core.Rendezvous.label = 2; start = 0; delay = 0 }
+          { Rv_core.Rendezvous.label = 5; start = n / 2; delay = 0 }
+      in
+      Alcotest.(check bool) "met" true out.Rv_sim.Sim.met;
+      let evs = Obs.events () in
+      let cats =
+        List.sort_uniq compare (List.map (fun (e : Obs.event) -> e.Obs.cat) evs)
+      in
+      Alcotest.(check bool) "sim spans present" true (List.mem "sim" cats);
+      Alcotest.(check bool) "explore phase spans present" true (List.mem "explore" cats);
+      let lanes =
+        List.sort_uniq compare
+          (List.map (fun (e : Obs.event) -> Obs.lane_name e.Obs.tid) evs)
+      in
+      Alcotest.(check bool) "agent lanes allocated" true
+        (List.mem "agent A" lanes && List.mem "agent B" lanes);
+      Alcotest.(check bool) "round clock attached" true
+        (List.exists (fun (e : Obs.event) -> e.Obs.round > 0) evs);
+      Alcotest.(check bool) "meeting counted" true
+        (Counter.value (Counter.find "sim.meetings") = 1))
+
+let () =
+  Alcotest.run "rv_obs"
+    [
+      ("json", [ tc "to_string/parse roundtrip" test_json_roundtrip ]);
+      ( "spans",
+        [
+          tc "nesting and balance" test_span_nesting;
+          tc "unbalanced ends counted" test_span_unbalanced_end;
+          tc "open span finalized as unfinished" test_span_unfinished;
+          tc "span closes on raise" test_span_raise_still_ends;
+        ] );
+      ("histogram", [ tc "log2 bucket boundaries" test_histogram_buckets ]);
+      ("counter", [ tc "atomic under the domain pool" test_counter_atomic_under_pool ]);
+      ( "exporters",
+        [
+          tc "chrome trace-event roundtrip" test_chrome_roundtrip;
+          tc "jsonl stream roundtrip" test_jsonl_roundtrip;
+        ] );
+      ("disabled", [ tc "everything is a no-op" test_disabled_noop ]);
+      ("sim", [ tc "deep mode: lanes, phases, round clock" test_sim_deep_mode ]);
+    ]

@@ -204,6 +204,43 @@ let test_trace_contents () =
       Alcotest.(check int) "A moves" 2 (Rv_sim.Trace.moves_in t `A);
       Alcotest.(check int) "B moves" 0 (Rv_sim.Trace.moves_in t `B)
 
+let test_trace_ring_cap () =
+  let mk round = { Rv_sim.Trace.round; pos_a = round; pos_b = 0; act_a = Ex.Wait;
+                   act_b = Ex.Wait; crossed = false } in
+  (* Bounded: keeps the most recent [cap] rounds, counts the evicted. *)
+  let b = Rv_sim.Trace.Ring.create ~cap:3 in
+  for r = 1 to 7 do Rv_sim.Trace.Ring.add b (mk r) done;
+  Alcotest.(check int) "length capped" 3 (Rv_sim.Trace.Ring.length b);
+  Alcotest.(check int) "dropped" 4 (Rv_sim.Trace.Ring.dropped b);
+  Alcotest.(check (list int)) "most recent, chronological" [ 5; 6; 7 ]
+    (List.map (fun (r : Rv_sim.Trace.round) -> r.Rv_sim.Trace.round)
+       (Rv_sim.Trace.Ring.to_list b));
+  (* Unbounded (cap <= 0): grows, never drops. *)
+  let u = Rv_sim.Trace.Ring.create ~cap:0 in
+  for r = 1 to 100 do Rv_sim.Trace.Ring.add u (mk r) done;
+  Alcotest.(check int) "unbounded length" 100 (Rv_sim.Trace.Ring.length u);
+  Alcotest.(check int) "unbounded never drops" 0 (Rv_sim.Trace.Ring.dropped u);
+  (* Not yet full: chronological from the start. *)
+  let p = Rv_sim.Trace.Ring.create ~cap:5 in
+  Rv_sim.Trace.Ring.add p (mk 1);
+  Rv_sim.Trace.Ring.add p (mk 2);
+  Alcotest.(check (list int)) "partial" [ 1; 2 ]
+    (List.map (fun (r : Rv_sim.Trace.round) -> r.Rv_sim.Trace.round)
+       (Rv_sim.Trace.Ring.to_list p))
+
+let test_trace_cap_in_run () =
+  let g = ring 6 in
+  let walker = { Sim.start = 0; delay = 0; step = scripted (List.init 8 (fun _ -> Ex.Move 0)) } in
+  let sitter = { Sim.start = 3; delay = 0; step = scripted [] } in
+  let out = Sim.run ~record:true ~trace_cap:2 ~g ~max_rounds:10 walker sitter in
+  Alcotest.(check int) "only the last 2 rounds kept" 2
+    (match out.Sim.trace with Some t -> List.length t | None -> -1);
+  Alcotest.(check int) "evictions reported" 1 out.Sim.trace_dropped;
+  let full = Sim.run ~record:true ~g ~max_rounds:10 walker sitter in
+  Alcotest.(check int) "default cap keeps everything here" 0 full.Sim.trace_dropped;
+  let off = Sim.run ~trace_cap:2 ~g ~max_rounds:10 walker sitter in
+  Alcotest.(check bool) "no trace unless recording" true (off.Sim.trace = None)
+
 (* --------------------------------------------------------------- Adversary *)
 
 let cheap_sim_instance ~n label () =
@@ -330,6 +367,8 @@ let () =
           tc "time from later wake" test_time_from_later_wake;
           tc "solo" test_solo;
           tc "trace contents" test_trace_contents;
+          tc "trace ring cap" test_trace_ring_cap;
+          tc "trace_cap bounds a recorded run" test_trace_cap_in_run;
         ] );
       ( "adversary",
         [
