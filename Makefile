@@ -1,0 +1,27 @@
+# Convenience entry points; every target is a thin wrapper over dune.
+
+.PHONY: all build test lint tsan bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Determinism/domain-safety static analysis over lib/ bin/ bench/.
+# Fails on any unsuppressed finding; see README "Static analysis".
+lint:
+	dune build @lint
+
+# 2-domain sweep under ThreadSanitizer.  Skips (exit 0) on switches
+# without TSan support (needs OCaml >= 5.2 + ocaml-option-tsan).
+tsan:
+	dune build @tsan
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -1,3 +1,6 @@
+(* rv_lint: allow-file R1 -- a wall-clock benchmark harness times kernels by design;
+   the deterministic tables it prints never depend on these readings *)
+
 (* The benchmark harness regenerates every experiment table from the
    index in DESIGN.md Section 5 (the paper's propositions and theorems,
    measured), then times each experiment's fixed-size kernel with Bechamel.
@@ -69,7 +72,7 @@ let benchmark_kernels () =
       in
       rows := [ name; estimate; r2 ] :: !rows)
     results;
-  let rows = List.sort compare !rows in
+  let rows = List.sort Rv_util.Ord.(list string) !rows in
   Rv_util.Table.print
     (Rv_util.Table.make ~title:"Bechamel: wall-clock per experiment kernel"
        ~headers:[ "kernel"; "ns/run (OLS)"; "r^2" ]

@@ -313,7 +313,9 @@ let sweep_cmd =
     let e = Rv_experiments.Workload.e_of ex in
     let delays =
       if R.delay_tolerant algorithm then
-        List.sort_uniq compare [ (0, 0); (0, 1); (0, max_delay); (1, 0); (max_delay, 0) ]
+        List.sort_uniq
+          Rv_util.Ord.(pair int int)
+          [ (0, 0); (0, 1); (0, max_delay); (1, 0); (max_delay, 0) ]
       else [ (0, 0) ]
     in
     let pairs = Rv_experiments.Workload.sample_pairs ~space ~max_pairs in
@@ -702,6 +704,43 @@ let gather_cmd =
     (Cmd.info "gather" ~doc:"Gather k agents with merge-on-meet cheap-sim schedules")
     Term.(const gather $ graph_arg $ explorer_arg $ count)
 
+(* lint *)
+
+let lint_cmd =
+  let lint paths json rules catalog =
+    if catalog then begin
+      print_string (Rv_lint.Cli.catalog ());
+      exit 0
+    end;
+    exit (Rv_lint.Cli.run ~json ~rules ~paths ())
+  in
+  let paths =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:"Files or directories to lint (default: lib bin bench).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the machine-readable JSON report on stdout.")
+  in
+  let rules =
+    Arg.(
+      value & opt (some string) None
+      & info [ "rules" ] ~docv:"R1,R2,..."
+          ~doc:"Comma-separated subset of rules to run (default: all of R1..R5).")
+  in
+  let catalog =
+    Arg.(
+      value & flag
+      & info [ "catalog" ] ~doc:"Print the rule catalog with rationale and exit.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Static determinism & domain-safety checks (same engine as rv_lint)")
+    Term.(const lint $ paths $ json $ rules $ catalog)
+
 (* dot *)
 
 let dot_cmd =
@@ -719,4 +758,4 @@ let () =
   end;
   let doc = "deterministic rendezvous in networks (Miller & Pelc, PODC 2014)" in
   let info = Cmd.info "rv" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; trace_cmd; sweep_cmd; explore_cmd; lb_cmd; exp_cmd; selftest_cmd; async_cmd; gather_cmd; dot_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; trace_cmd; sweep_cmd; explore_cmd; lb_cmd; exp_cmd; selftest_cmd; async_cmd; gather_cmd; lint_cmd; dot_cmd ]))

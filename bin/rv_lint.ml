@@ -1,0 +1,60 @@
+(* rv_lint — standalone determinism & domain-safety linter.
+
+   Same engine as `rv lint`; shipped as its own binary so CI and editors
+   can run the gate without linking the whole simulator. *)
+
+open Cmdliner
+
+let paths_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"PATH"
+        ~doc:"Files or directories to lint (default: lib bin bench).")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the machine-readable JSON report on stdout.")
+
+let rules_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "rules" ] ~docv:"R1,R2,..."
+        ~doc:"Comma-separated subset of rules to run (default: all of R1..R5).")
+
+let catalog_arg =
+  Arg.(
+    value & flag
+    & info [ "catalog" ] ~doc:"Print the rule catalog with rationale and exit.")
+
+let main paths json rules catalog =
+  if catalog then begin
+    print_string (Rv_lint.Cli.catalog ());
+    0
+  end
+  else Rv_lint.Cli.run ~json ~rules ~paths ()
+
+let cmd =
+  let doc = "static determinism & domain-safety checks for the rendezvous tree" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Parses every .ml under the given paths and enforces the repo's \
+         determinism rules (R1..R5): no unseeded randomness or wall-clock \
+         reads, no hash-iteration-order leaks, no unsynchronised top-level \
+         mutable state in worker-linked modules, no polymorphic \
+         compare/hash on float-bearing values, and balanced observability \
+         spans.";
+      `P
+        "Findings are suppressed only by a reasoned inline comment: \
+         (* rv_lint: allow R3 -- reason *).  Bare allows are rejected.";
+      `S Manpage.s_exit_status;
+      `P "0 on a clean tree, 1 on unsuppressed findings, 2 on usage errors.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "rv_lint" ~version:"1.0.0" ~doc ~man)
+    Term.(const main $ paths_arg $ json_arg $ rules_arg $ catalog_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -10,7 +10,10 @@ let worst_time ?pool ~g ~n ~space () =
   in
   (* The worst pair for CheapSim maximizes the smaller label. *)
   let pairs = [ (space - 1, space); (1, space); (1, 2) ] in
-  let pairs = List.filter (fun (a, b) -> a >= 1 && a < b) pairs |> List.sort_uniq compare in
+  let pairs =
+    List.filter (fun (a, b) -> a >= 1 && a < b) pairs
+    |> List.sort_uniq Rv_util.Ord.(pair int int)
+  in
   Workload.worst_for ?pool ~g ~algorithm:R.Cheap_simultaneous ~space ~explorer ~pairs
     ~positions:`Fixed_first ~delays:[ (0, 0) ] ()
 

@@ -5,7 +5,8 @@ let adversarial_pairs ~space =
   (* Max-weight labels (all ones) maximize Fast's exploration count. *)
   let ones = Workload.all_ones_label ~space in
   let cands = [ (ones / 2, ones); (ones, space); (space - 1, space); (1, 2); (1, space) ] in
-  List.filter (fun (a, b) -> a >= 1 && a < b && b <= space) cands |> List.sort_uniq compare
+  List.filter (fun (a, b) -> a >= 1 && a < b && b <= space) cands
+  |> List.sort_uniq Rv_util.Ord.(pair int int)
 
 let worst ?pool ~g ~n ~space ~simultaneous () =
   let explorer ~start =

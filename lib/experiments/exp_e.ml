@@ -13,7 +13,7 @@ let table ?pool ?(n = 16) ?(space = 16) ?(labels = (3, 11)) () =
   let g = Rv_graph.Ring.oriented n in
   let e = n - 1 in
   let taus = [ 0; 1; e / 4; e / 2; (3 * e) / 4; e; e + 1; (3 * e) / 2; 2 * e; 3 * e ] in
-  let taus = List.sort_uniq compare taus in
+  let taus = List.sort_uniq Int.compare taus in
   let rows =
     List.concat_map
       (fun tau ->

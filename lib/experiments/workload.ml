@@ -37,7 +37,7 @@ let sample_pairs ~space ~max_pairs =
     in
     let seeds =
       List.filter (fun (a, b) -> a >= 1 && b <= space && a < b) seeds
-      |> List.sort_uniq compare
+      |> List.sort_uniq Rv_util.Ord.(pair int int)
     in
     let seen = Hashtbl.create (4 * max_pairs) in
     List.iter (fun p -> Hashtbl.replace seen p ()) seeds;
@@ -164,7 +164,7 @@ let worst_for ?model ?pool ?sink ?progress ?graph_spec ~g ~algorithm ~space ~exp
     (Ok (0, 0)) outcomes
 
 let ring_delays ~e =
-  let ds = List.sort_uniq compare [ 0; 1; e / 2; e; e + 1 ] in
+  let ds = List.sort_uniq Int.compare [ 0; 1; e / 2; e; e + 1 ] in
   List.map (fun d -> (0, d)) ds @ List.filter_map (fun d -> if d > 0 then Some (d, 0) else None) ds
 
 let e_of explorer = (explorer ~start:0).Rv_explore.Explorer.bound

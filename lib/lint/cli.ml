@@ -1,0 +1,70 @@
+(* Shared command-line behaviour for bin/rv_lint.ml and `rv lint`.
+
+   Kept here (and free of cmdliner) so both binaries print identical
+   reports and agree on exit codes: 0 clean, 1 findings, 2 usage error. *)
+
+let default_paths = [ "lib"; "bin"; "bench" ]
+
+let catalog () =
+  String.concat "\n"
+    (List.map
+       (fun r ->
+         Printf.sprintf "%s  %s\n    %s" (Report.rule_to_string r) (Report.rule_title r)
+           (Report.rule_doc r))
+       Report.all_rules)
+  ^ "\n"
+
+let parse_rules = function
+  | None -> Ok None
+  | Some spec ->
+      let toks = String.split_on_char ',' spec |> List.map String.trim in
+      let rec go acc = function
+        | [] -> Ok (Some (List.rev acc))
+        | "" :: rest -> go acc rest
+        | tok :: rest -> (
+            match Report.rule_of_string tok with
+            | Some Report.Lint | None -> Error (Printf.sprintf "unknown rule %S (use R1..R5)" tok)
+            | Some r -> go (r :: acc) rest)
+      in
+      go [] toks
+
+let json_report (res : Driver.result) =
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("tool", Json.Str "rv_lint");
+      ("files", Json.Int res.Driver.files);
+      ("suppressed", Json.Int res.Driver.suppressed);
+      ("ok", Json.Bool (res.Driver.findings = []));
+      ("findings", Json.List (List.map Report.to_json res.Driver.findings));
+    ]
+
+let run ?(config = Config.default) ~json ~rules ~paths () =
+  match parse_rules rules with
+  | Error msg ->
+      prerr_endline ("rv_lint: " ^ msg);
+      2
+  | Ok rules ->
+      let config =
+        match rules with None -> config | Some rs -> Config.with_rules config rs
+      in
+      let paths = if paths = [] then default_paths else paths in
+      let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
+      if missing <> [] then begin
+        Printf.eprintf "rv_lint: no such path: %s\n" (String.concat ", " missing);
+        2
+      end
+      else begin
+        let res = Driver.run config paths in
+        if json then print_endline (Json.to_string (json_report res))
+        else begin
+          List.iter (fun f -> print_endline (Report.to_string f)) res.Driver.findings;
+          Printf.eprintf "rv_lint: %d file%s checked, %d finding%s (%d suppressed)\n"
+            res.Driver.files
+            (if res.Driver.files = 1 then "" else "s")
+            (List.length res.Driver.findings)
+            (if List.length res.Driver.findings = 1 then "" else "s")
+            res.Driver.suppressed
+        end;
+        if res.Driver.findings = [] then 0 else 1
+      end

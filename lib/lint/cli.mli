@@ -1,0 +1,18 @@
+(** Shared command-line behaviour for [bin/rv_lint.ml] and [rv lint]. *)
+
+val default_paths : string list
+(** [lib; bin; bench] — the gated source roots. *)
+
+val catalog : unit -> string
+(** Human-readable rule catalog (R1..R5 with rationale). *)
+
+val run :
+  ?config:Config.t ->
+  json:bool ->
+  rules:string option ->
+  paths:string list ->
+  unit ->
+  int
+(** Lint [paths] (default {!default_paths}) and print the report to
+    stdout (text or JSON).  Returns the process exit code: 0 clean,
+    1 unsuppressed findings, 2 usage error. *)

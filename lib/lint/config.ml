@@ -1,0 +1,53 @@
+(* Rule-set configuration.
+
+   Path matching is suffix-based so the same defaults work whether the
+   driver is handed "lib/util/rng.ml", "./lib/util/rng.ml" or an absolute
+   path into a build sandbox. *)
+
+type t = {
+  rules : Report.rule list;  (* enabled user-facing rules *)
+  r1_allowed_files : string list;  (* the one sanctioned randomness module *)
+  r3_roots : string list;  (* path fragments where R3 (domain safety) applies *)
+  r5_allowed_files : string list;  (* the span implementation itself *)
+}
+
+let default =
+  {
+    rules = Report.all_rules;
+    r1_allowed_files = [ "lib/util/rng.ml" ];
+    (* Everything under lib/ is reachable from Pool workers: sweeps call
+       through experiments -> core -> sim -> explore -> graph -> util/obs.
+       bin/ and bench/ run on the main domain only. *)
+    r3_roots = [ "lib/" ];
+    r5_allowed_files = [ "lib/obs/obs.ml" ];
+  }
+
+let with_rules t rules = { t with rules }
+
+let rule_enabled t r = r = Report.Lint || List.mem r t.rules
+
+(* Normalize Windows-style separators and a leading "./" so suffix
+   matching is purely about the repo-relative tail. *)
+let normalize path =
+  let path = String.map (fun c -> if c = '\\' then '/' else c) path in
+  if String.length path >= 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let path_matches path pat =
+  let path = normalize path in
+  path = pat || String.ends_with ~suffix:("/" ^ pat) path
+
+let path_under path root =
+  let path = normalize path in
+  String.starts_with ~prefix:root path
+  ||
+  (* absolute or sandboxed paths: any /root/ segment counts *)
+  let needle = "/" ^ root in
+  let n = String.length needle and len = String.length path in
+  let rec scan i = i + n <= len && (String.sub path i n = needle || scan (i + 1)) in
+  scan 0
+
+let r1_allowed t path = List.exists (path_matches path) t.r1_allowed_files
+let r3_applies t path = List.exists (path_under path) t.r3_roots
+let r5_allowed t path = List.exists (path_matches path) t.r5_allowed_files

@@ -1,0 +1,24 @@
+(** Rule-set configuration. *)
+
+type t = {
+  rules : Report.rule list;
+  r1_allowed_files : string list;
+  r3_roots : string list;
+  r5_allowed_files : string list;
+}
+
+val default : t
+(** All of R1..R5, randomness confined to [lib/util/rng.ml], domain-safety
+    (R3) scoped to [lib/], span hygiene (R5) exempting the span
+    implementation itself. *)
+
+val with_rules : t -> Report.rule list -> t
+val rule_enabled : t -> Report.rule -> bool
+
+val r1_allowed : t -> string -> bool
+(** Is [path] one of the files sanctioned to use raw randomness/clocks? *)
+
+val r3_applies : t -> string -> bool
+(** Is [path] inside a library linked into Pool worker domains? *)
+
+val r5_allowed : t -> string -> bool

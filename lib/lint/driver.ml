@@ -1,0 +1,79 @@
+(* File discovery, parsing, and orchestration of rules + suppressions.
+
+   Everything is deterministic: directory entries are sorted before
+   recursion and findings are re-sorted globally, so the report is
+   byte-identical across filesystems and runs — the lint holds itself to
+   the guarantee it enforces. *)
+
+type result = {
+  findings : Report.finding list;  (* unsuppressed, sorted *)
+  files : int;
+  suppressed : int;
+}
+
+let parse_structure ~path source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  Location.input_name := path;
+  match Parse.implementation lexbuf with
+  | structure -> Ok structure
+  | exception exn ->
+      let line =
+        match exn with
+        | Syntaxerr.Error e -> (Syntaxerr.location_of_error e).loc_start.pos_lnum
+        | _ -> lexbuf.Lexing.lex_curr_p.pos_lnum
+      in
+      let message =
+        match exn with
+        | Syntaxerr.Error _ -> "syntax error: file does not parse"
+        | exn -> "cannot parse: " ^ Printexc.to_string exn
+      in
+      Error { Report.file = path; line; col = 0; rule = Report.Lint; message }
+
+let check_source config ~path source =
+  let directives, directive_errors = Suppress.scan ~path source in
+  match parse_structure ~path source with
+  | Error f -> ([ f ], 0)
+  | Ok structure ->
+      let raw = Rules.check ~config ~path structure in
+      let kept, suppressed = Suppress.apply directives raw in
+      (List.sort Report.compare_finding (kept @ directive_errors), suppressed)
+
+let check_file config path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | source -> check_source config ~path source
+  | exception Sys_error msg ->
+      ( [ { Report.file = path; line = 1; col = 0; rule = Report.Lint; message = "cannot read: " ^ msg } ],
+        0 )
+
+let skip_dir name =
+  name = "" || name.[0] = '.' || name = "_build" || name = "node_modules"
+
+let rec ml_files acc path =
+  if Sys.is_directory path then
+    Array.to_list (Sys.readdir path)
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           let child = Filename.concat path entry in
+           if Sys.is_directory child then if skip_dir entry then acc else ml_files acc child
+           else if Filename.check_suffix entry ".ml" then child :: acc
+           else acc)
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let run config paths =
+  let files = List.fold_left ml_files [] paths |> List.rev in
+  let findings, suppressed =
+    List.fold_left
+      (fun (fs, supp) file ->
+        let f, s = check_file config file in
+        (f :: fs, supp + s))
+      ([], 0) files
+  in
+  {
+    findings = List.sort Report.compare_finding (List.concat findings);
+    files = List.length files;
+    suppressed;
+  }

@@ -1,0 +1,20 @@
+(** File discovery, parsing, and orchestration of rules + suppressions. *)
+
+type result = {
+  findings : Report.finding list;  (** unsuppressed, globally sorted *)
+  files : int;  (** .ml files checked *)
+  suppressed : int;  (** findings silenced by reasoned allow directives *)
+}
+
+val check_source :
+  Config.t -> path:string -> string -> Report.finding list * int
+(** Lint one compilation unit given as a string; returns (unsuppressed
+    findings, suppressed count).  Unparseable input yields a [Lint]
+    finding rather than an exception. *)
+
+val check_file : Config.t -> string -> Report.finding list * int
+
+val run : Config.t -> string list -> result
+(** Recursively lint every [.ml] under the given files/directories
+    (skipping dotdirs and [_build]); deterministic traversal and output
+    order. *)

@@ -1,0 +1,12 @@
+(** Minimal JSON emitter for [--json] reports. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string

@@ -1,0 +1,231 @@
+(* The R1..R5 checks, as a purely syntactic pass over one parsetree.
+
+   v1 deliberately works without type information: every check is phrased
+   over identifier paths and expression shapes, with the scope coarse
+   enough to be sound-ish and precise enough to be actionable:
+
+   - R1/R4 fire on identifier occurrences anywhere.
+   - R2 is scoped per top-level structure item: a Hashtbl iteration is
+     accepted if the same item also calls an explicit sort (the result is
+     then assumed to be normalised before it can reach output).
+   - R3 looks only at structure-level bindings (module toplevels).
+   - R5 balances begin_span/end_span occurrence counts per structure item
+     (a reference passed to [Fun.protect ~finally:] counts as an end). *)
+
+open Parsetree
+
+let rec flat = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flat l @ [ s ]
+  | Longident.Lapply (a, b) -> flat a @ flat b
+
+let lid_to_string lid = String.concat "." (flat lid)
+
+let pos_of (loc : Location.t) =
+  (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+
+let ident_path (e : expression) =
+  match e.pexp_desc with Pexp_ident { txt; _ } -> Some (lid_to_string txt) | _ -> None
+
+(* --- identifier sets --------------------------------------------------- *)
+
+let clock_idents = [ "Sys.time"; "Unix.gettimeofday"; "Unix.time" ]
+
+let sort_idents =
+  [
+    "List.sort"; "List.stable_sort"; "List.sort_uniq"; "List.fast_sort";
+    "Array.sort"; "Array.stable_sort"; "Array.fast_sort";
+  ]
+
+let hashtbl_iteration_idents =
+  [
+    "Hashtbl.iter"; "Hashtbl.fold"; "Hashtbl.to_seq"; "Hashtbl.to_seq_keys";
+    "Hashtbl.to_seq_values";
+  ]
+
+let mutable_container_ctors =
+  [ "ref"; "Stdlib.ref"; "Hashtbl.create"; "Buffer.create"; "Queue.create"; "Stack.create" ]
+
+let poly_compare_idents = [ "compare"; "Stdlib.compare" ]
+let poly_eq_ops = [ "="; "<>" ]
+
+let float_op_idents =
+  [ "+."; "-."; "*."; "/."; "**"; "~-."; "float_of_int"; "float_of_string" ]
+
+(* Does the expression subtree contain syntactically-evident float values
+   (a float literal, a float operator, or a Float.* call)?  Used to scope
+   R4's "polymorphic compare on floats" check without type information. *)
+let contains_float_syntax (e : expression) =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self x ->
+          (match x.pexp_desc with
+          | Pexp_constant (Pconst_float _) -> found := true
+          | Pexp_ident { txt; _ } ->
+              let p = lid_to_string txt in
+              if List.mem p float_op_idents || String.starts_with ~prefix:"Float." p then
+                found := true
+          | _ -> ());
+          if not !found then Ast_iterator.default_iterator.expr self x);
+      structure_item = (fun _ _ -> ());
+    }
+  in
+  it.expr it e;
+  !found
+
+(* --- the pass ---------------------------------------------------------- *)
+
+let check ~config ~path (structure : Parsetree.structure) =
+  let findings = ref [] in
+  let add loc rule message =
+    let line, col = pos_of loc in
+    findings := { Report.file = path; line; col; rule; message } :: !findings
+  in
+  let enabled r = Config.rule_enabled config r in
+  let r1_allowed = Config.r1_allowed config path in
+  let r3_applies = Config.r3_applies config path in
+  let r5_allowed = Config.r5_allowed config path in
+
+  (* Per-structure-item accumulators (R2 and R5 scope). *)
+  let hashtbl_sites = ref [] in
+  let saw_sort = ref false in
+  let span_begins = ref 0 in
+  let span_ends = ref 0 in
+
+  let on_ident loc p =
+    if enabled Report.R1 && not r1_allowed then begin
+      if String.starts_with ~prefix:"Random." p || p = "Random" then
+        add loc Report.R1
+          (Printf.sprintf
+             "%s is unseeded global randomness; draw from Rv_util.Rng (seeded, splittable) \
+              instead"
+             p)
+      else if List.mem p clock_idents then
+        add loc Report.R1
+          (Printf.sprintf
+             "%s reads the wall clock; deterministic code must not branch on real time" p)
+    end;
+    if enabled Report.R4 && p = "Hashtbl.hash" then
+      add loc Report.R4
+        "polymorphic Hashtbl.hash diverges on floats (NaN, -0.) and raises on functions; \
+         hash a canonical projection instead";
+    if List.mem p sort_idents then saw_sort := true;
+    if String.ends_with ~suffix:"begin_span" p then incr span_begins;
+    if String.ends_with ~suffix:"end_span" p then incr span_ends
+  in
+
+  let on_apply loc fn args =
+    (match ident_path fn with
+    | Some p ->
+        if enabled Report.R2 && List.mem p hashtbl_iteration_idents then
+          hashtbl_sites := (loc, p) :: !hashtbl_sites;
+        if
+          enabled Report.R4
+          && List.mem p poly_compare_idents
+          && List.exists (fun (_, a) -> contains_float_syntax a) args
+        then
+          add loc Report.R4
+            "polymorphic compare on a float-bearing value; use Float.compare (NaN breaks \
+             the polymorphic order)"
+        else if
+          enabled Report.R4
+          && List.mem p poly_eq_ops
+          && List.exists (fun (_, a) -> contains_float_syntax a) args
+        then
+          add loc Report.R4
+            "polymorphic equality on a float-bearing value; use Float.equal (nan <> nan)"
+    | None -> ());
+    if enabled Report.R4 then
+      List.iter
+        (fun ((_, a) : Asttypes.arg_label * expression) ->
+          match ident_path a with
+          | Some p when List.mem p poly_compare_idents ->
+              add a.pexp_loc Report.R4
+                "polymorphic compare passed as a comparator; pass a typed comparator \
+                 (Int.compare, String.compare, Rv_util.Ord.*)"
+          | _ -> ())
+        args
+  in
+
+  (* R3: a Parsetree.structure is a module toplevel (the file, or the body
+     of a nested module) — exactly the bindings shared by all Pool
+     workers. *)
+  let r3_check str =
+    if enabled Report.R3 && r3_applies then
+      List.iter
+        (fun item ->
+          match item.pstr_desc with
+          | Pstr_value (_, bindings) ->
+              List.iter
+                (fun vb ->
+                  let rec peel e =
+                    match e.pexp_desc with
+                    | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> peel e
+                    | _ -> e
+                  in
+                  let rhs = peel vb.pvb_expr in
+                  match rhs.pexp_desc with
+                  | Pexp_apply (fn, _) -> (
+                      match ident_path fn with
+                      | Some p when List.mem p mutable_container_ctors ->
+                          add vb.pvb_loc Report.R3
+                            (Printf.sprintf
+                               "top-level %s is mutable state shared across worker \
+                                domains; use Atomic.t, a Mutex-guarded record, or \
+                                Domain.DLS"
+                               p)
+                      | _ -> ())
+                  | _ -> ())
+                bindings
+          | _ -> ())
+        str
+  in
+
+  let expr_iterator =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self x ->
+          (match x.pexp_desc with
+          | Pexp_ident { txt; _ } -> on_ident x.pexp_loc (lid_to_string txt)
+          | Pexp_apply (fn, args) -> on_apply x.pexp_loc fn args
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self x);
+      module_expr =
+        (fun self me ->
+          (match me.pmod_desc with Pmod_structure str -> r3_check str | _ -> ());
+          Ast_iterator.default_iterator.module_expr self me);
+    }
+  in
+
+  r3_check structure;
+  List.iter
+    (fun item ->
+      hashtbl_sites := [];
+      saw_sort := false;
+      span_begins := 0;
+      span_ends := 0;
+      expr_iterator.structure_item expr_iterator item;
+      if enabled Report.R2 && not !saw_sort then
+        List.iter
+          (fun (loc, p) ->
+            add loc Report.R2
+              (Printf.sprintf
+                 "%s enumerates in hash-bucket order and no sort normalises the result in \
+                  this definition; sort before the result can reach output"
+                 p))
+          (List.rev !hashtbl_sites);
+      if
+        enabled Report.R5 && (not r5_allowed)
+        && !span_begins <> !span_ends
+      then
+        add item.pstr_loc Report.R5
+          (Printf.sprintf
+             "unbalanced spans in this definition (%d begin_span, %d end_span); pair them \
+              lexically or wrap the scope in Obs.span"
+             !span_begins !span_ends))
+    structure;
+  List.rev !findings

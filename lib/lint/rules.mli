@@ -1,0 +1,9 @@
+(** The R1..R5 syntactic checks over one parsed implementation. *)
+
+val check :
+  config:Config.t ->
+  path:string ->
+  Parsetree.structure ->
+  Report.finding list
+(** Findings in source order (the driver re-sorts globally).  Suppression
+    is applied by the caller, not here. *)

@@ -1,0 +1,236 @@
+(* Inline suppression directives.
+
+   Syntax, as the first token of a comment:
+
+     (* rv_lint: allow R3 -- reason why this is safe *)
+     (* rv_lint: allow-file R1 -- reason covering the whole file *)
+
+   The separator may be "--", "-" or an em-dash.  A directive without a
+   reason ("bare allow") is itself reported as an unsuppressable [Lint]
+   finding: the annotation is the audit trail, so it must say why.
+
+   An inline [allow] covers findings on the comment's own lines and the
+   first line after it; consecutive directive comments chain, so a block
+   of allows above one definition covers that definition.  [allow-file]
+   covers the whole file for that rule.
+
+   The scanner is a tiny lexer over the raw bytes: comments nest, string
+   literals (in code and inside comments), quoted-string literals
+   [{id|...|id}] and char literals are skipped so that a "(*" inside a
+   string never opens a comment. *)
+
+type directive = {
+  start_line : int;
+  end_line : int;
+  file_level : bool;
+  rule : Report.rule;
+  reason : string;
+}
+
+(* --- raw comment extraction ------------------------------------------- *)
+
+type comment = { c_start : int; c_end : int; c_text : string }
+
+let is_ident_char c = (c >= 'a' && c <= 'z') || c = '_'
+
+let comments source =
+  let n = String.length source in
+  let out = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let bump c = if c = '\n' then incr line in
+  (* Skip a double-quoted string starting at [!i] (which points at the
+     opening quote); honours backslash escapes and newlines. *)
+  let skip_string () =
+    incr i;
+    let fin = ref false in
+    while (not !fin) && !i < n do
+      (match source.[!i] with
+      | '\\' -> if !i + 1 < n then begin bump source.[!i + 1]; incr i end
+      | '"' -> fin := true
+      | c -> bump c);
+      incr i
+    done
+  in
+  (* {id|...|id} quoted strings: no escapes, terminated by |id}. *)
+  let skip_quoted_string () =
+    let j = ref (!i + 1) in
+    while !j < n && is_ident_char source.[!j] do incr j done;
+    if !j < n && source.[!j] = '|' then begin
+      let id = String.sub source (!i + 1) (!j - !i - 1) in
+      let close = "|" ^ id ^ "}" in
+      let cn = String.length close in
+      incr j;
+      let fin = ref false in
+      while (not !fin) && !j + cn <= n do
+        if String.sub source !j cn = close then begin
+          fin := true;
+          j := !j + cn
+        end
+        else begin
+          bump source.[!j];
+          incr j
+        end
+      done;
+      i := !j
+    end
+    else incr i
+  in
+  while !i < n do
+    let c = source.[!i] in
+    if c = '"' then skip_string ()
+    else if c = '{' && !i + 1 < n && (is_ident_char source.[!i + 1] || source.[!i + 1] = '|')
+    then skip_quoted_string ()
+    else if c = '\'' then
+      (* char literal vs type variable: '\...' or 'x' are literals *)
+      if !i + 1 < n && source.[!i + 1] = '\\' then begin
+        i := !i + 2;
+        let fin = ref false in
+        let steps = ref 0 in
+        while (not !fin) && !i < n && !steps < 6 do
+          if source.[!i] = '\'' then fin := true else bump source.[!i];
+          incr i;
+          incr steps
+        done
+      end
+      else if !i + 2 < n && source.[!i + 2] = '\'' then begin
+        bump source.[!i + 1];
+        i := !i + 3
+      end
+      else incr i
+    else if c = '(' && !i + 1 < n && source.[!i + 1] = '*' then begin
+      let start_line = !line in
+      let buf = Buffer.create 64 in
+      let depth = ref 1 in
+      i := !i + 2;
+      while !depth > 0 && !i < n do
+        if source.[!i] = '(' && !i + 1 < n && source.[!i + 1] = '*' then begin
+          incr depth;
+          Buffer.add_string buf "(*";
+          i := !i + 2
+        end
+        else if source.[!i] = '*' && !i + 1 < n && source.[!i + 1] = ')' then begin
+          decr depth;
+          if !depth > 0 then Buffer.add_string buf "*)";
+          i := !i + 2
+        end
+        else if source.[!i] = '"' then begin
+          (* strings inside comments must be well formed in OCaml *)
+          let s0 = !i in
+          skip_string ();
+          Buffer.add_string buf (String.sub source s0 (min !i n - s0))
+        end
+        else begin
+          bump source.[!i];
+          Buffer.add_char buf source.[!i];
+          incr i
+        end
+      done;
+      out := { c_start = start_line; c_end = !line; c_text = Buffer.contents buf } :: !out
+    end
+    else begin
+      bump c;
+      incr i
+    end
+  done;
+  List.rev !out
+
+(* --- directive parsing ------------------------------------------------ *)
+
+let prefix = "rv_lint:"
+
+let parse_directive ~path (c : comment) :
+    (directive option, Report.finding) result =
+  let text = String.trim c.c_text in
+  if not (String.starts_with ~prefix text) then Ok None
+  else
+    let bad message =
+      Error { Report.file = path; line = c.c_start; col = 0; rule = Report.Lint; message }
+    in
+    let rest = String.trim (String.sub text (String.length prefix) (String.length text - String.length prefix)) in
+    let keyword, rest =
+      match String.index_opt rest ' ' with
+      | None -> (rest, "")
+      | Some sp ->
+          (String.sub rest 0 sp, String.trim (String.sub rest sp (String.length rest - sp)))
+    in
+    match keyword with
+    | "allow" | "allow-file" -> (
+        let file_level = keyword = "allow-file" in
+        let rule_tok, rest =
+          match String.index_opt rest ' ' with
+          | None -> (rest, "")
+          | Some sp ->
+              (String.sub rest 0 sp, String.trim (String.sub rest sp (String.length rest - sp)))
+        in
+        match Report.rule_of_string rule_tok with
+        | None | Some Report.Lint ->
+            bad (Printf.sprintf "unknown rule %S in rv_lint directive (use R1..R5)" rule_tok)
+        | Some rule ->
+            let reason =
+              if String.starts_with ~prefix:"\xe2\x80\x94" rest then
+                String.sub rest 3 (String.length rest - 3)
+              else if String.starts_with ~prefix:"--" rest then
+                String.sub rest 2 (String.length rest - 2)
+              else if String.starts_with ~prefix:"-" rest then
+                String.sub rest 1 (String.length rest - 1)
+              else rest
+            in
+            let reason = String.trim reason in
+            if reason = "" then
+              bad
+                (Printf.sprintf
+                   "bare 'allow %s' rejected: a suppression must state its reason, e.g. (* \
+                    rv_lint: allow %s -- why this is safe *)"
+                   (Report.rule_to_string rule) (Report.rule_to_string rule))
+            else
+              Ok
+                (Some
+                   { start_line = c.c_start; end_line = c.c_end; file_level; rule; reason }))
+    | _ -> bad (Printf.sprintf "unknown rv_lint directive %S (use allow | allow-file)" keyword)
+
+let scan ~path source =
+  List.fold_left
+    (fun (ds, errs) c ->
+      match parse_directive ~path c with
+      | Ok None -> (ds, errs)
+      | Ok (Some d) -> (d :: ds, errs)
+      | Error f -> (ds, f :: errs))
+    ([], []) (comments source)
+  |> fun (ds, errs) -> (List.rev ds, List.rev errs)
+
+(* --- application ------------------------------------------------------ *)
+
+(* Consecutive inline directives chain: each one's window is extended to
+   the end of the run of adjacent directive comments, plus one line of
+   code below the block. *)
+let windows ds =
+  let inline = List.filter (fun d -> not d.file_level) ds in
+  let sorted = List.sort (fun a b -> Int.compare a.start_line b.start_line) inline in
+  let rec blocks acc cur = function
+    | [] -> List.rev (match cur with [] -> acc | _ -> List.rev cur :: acc)
+    | d :: rest -> (
+        match cur with
+        | [] -> blocks acc [ d ] rest
+        | last :: _ when d.start_line <= last.end_line + 1 -> blocks acc (d :: cur) rest
+        | _ -> blocks (List.rev cur :: acc) [ d ] rest)
+  in
+  blocks [] [] sorted
+  |> List.concat_map (fun block ->
+         let lo = List.fold_left (fun a d -> min a d.start_line) max_int block in
+         let hi = List.fold_left (fun a d -> max a d.end_line) 0 block in
+         List.map (fun d -> (d, lo, hi + 1)) block)
+
+let apply ds findings =
+  let file_level = List.filter (fun d -> d.file_level) ds in
+  let inline = windows ds in
+  let suppressed (f : Report.finding) =
+    f.Report.rule <> Report.Lint
+    && (List.exists (fun d -> d.rule = f.Report.rule) file_level
+       || List.exists
+            (fun (d, lo, hi) ->
+              d.rule = f.Report.rule && f.Report.line >= lo && f.Report.line <= hi)
+            inline)
+  in
+  let kept, dropped = List.partition (fun f -> not (suppressed f)) findings in
+  (kept, List.length dropped)

@@ -1,0 +1,26 @@
+(** Inline suppression directives:
+    [(* rv_lint: allow R3 -- reason *)] and
+    [(* rv_lint: allow-file R1 -- reason *)].
+
+    A directive must be the first token of its comment.  Bare allows
+    (no reason) are rejected and surface as unsuppressable [Lint]
+    findings. *)
+
+type directive = {
+  start_line : int;
+  end_line : int;
+  file_level : bool;
+  rule : Report.rule;
+  reason : string;
+}
+
+val scan : path:string -> string -> directive list * Report.finding list
+(** Extract directives from comments in [source].  The second component
+    reports malformed or bare directives as [Lint] findings. *)
+
+val apply :
+  directive list -> Report.finding list -> Report.finding list * int
+(** [apply directives findings] is [(unsuppressed, suppressed_count)].
+    Inline allows cover the comment's lines plus the next line; a block of
+    consecutive directive comments covers the line after the block.
+    [Lint] findings are never suppressed. *)

@@ -35,6 +35,7 @@ let fact_3_1 ~n va vb ~start_b =
     else begin
       let sa = positions_within ~n va ~start:0 ~rounds in
       let sb = positions_within ~n vb ~start:p' ~rounds in
+      (* rv_lint: allow R2 -- boolean OR over membership tests is order-insensitive *)
       let overlap = Hashtbl.fold (fun k () acc -> acc || Hashtbl.mem sb k) sa false in
       not overlap
     end

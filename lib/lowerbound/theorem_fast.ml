@@ -56,11 +56,18 @@ let analyze ~n ~vectors =
           let cur = try Hashtbl.find by_block r.block with Not_found -> [] in
           Hashtbl.replace by_block r.block (r :: cur))
         agents;
+      (* Scan buckets in ascending block order so that among equally large
+         groups the smallest block index wins, independent of hashing. *)
+      let buckets =
+        List.sort
+          (fun (a, _) (b, _) -> Int.compare a b)
+          (Hashtbl.fold (fun b rs acc -> (b, rs) :: acc) by_block [])
+      in
       let group_block, group =
-        Hashtbl.fold
-          (fun b rs (bb, best) ->
+        List.fold_left
+          (fun (bb, best) (b, rs) ->
             if List.length rs > List.length best then (b, rs) else (bb, best))
-          by_block (0, [])
+          (0, []) buckets
       in
       let group = List.rev group in
       let distinct_progress =

@@ -44,7 +44,7 @@ let event_json (e : Obs.event) =
 let to_json () =
   let events = Obs.events () in
   let tids =
-    List.sort_uniq compare (List.map (fun (e : Obs.event) -> e.Obs.tid) events)
+    List.sort_uniq Int.compare (List.map (fun (e : Obs.event) -> e.Obs.tid) events)
   in
   let metas =
     meta ~name:"process_name" ~tid:0 [ ("name", Json.Str "rv") ]

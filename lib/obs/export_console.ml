@@ -48,7 +48,9 @@ let lane_busy events =
           cell := !cell +. dur_us
       | _ -> ())
     events;
-  List.sort compare (Hashtbl.fold (fun tid busy acc -> (tid, !busy) :: acc) tbl [])
+  List.sort
+    (fun (a, _) (b, _) -> Int.compare a b)
+    (Hashtbl.fold (fun tid busy acc -> (tid, !busy) :: acc) tbl [])
 
 let summary ?gc () =
   let b = Buffer.create 1024 in

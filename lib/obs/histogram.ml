@@ -9,6 +9,8 @@ type t = {
 }
 
 let registry_mutex = Mutex.create ()
+
+(* rv_lint: allow R3 -- every access goes through registry_mutex *)
 let registry : (string, t) Hashtbl.t = Hashtbl.create 16
 
 let find name =
@@ -81,7 +83,7 @@ let all () =
   Mutex.lock registry_mutex;
   let xs = Hashtbl.fold (fun _ h acc -> h :: acc) registry [] in
   Mutex.unlock registry_mutex;
-  List.sort (fun a b -> compare a.name b.name) xs
+  List.sort (fun a b -> String.compare a.name b.name) xs
 
 let reset () =
   Mutex.lock registry_mutex;

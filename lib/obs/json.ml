@@ -24,8 +24,9 @@ let escape s =
   Buffer.contents b
 
 let float_to_string f =
-  if Float.is_nan f || Float.is_integer f && Float.abs f > 1e18 || f = Float.infinity
-     || f = Float.neg_infinity
+  if
+    (not (Float.is_finite f))  (* nan and both infinities serialise as 0 *)
+    || (Float.is_integer f && Float.abs f > 1e18)
   then "0"
   else if Float.is_integer f then Printf.sprintf "%.1f" f
   else Printf.sprintf "%.12g" f

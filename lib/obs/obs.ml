@@ -30,7 +30,11 @@ let set_deep b = Atomic.set deep_flag b
    float cell; torn reads are impossible on 64-bit OCaml (boxed float ref
    swapped atomically by [reset], which is called only at quiescence). *)
 
+(* rv_lint: allow R1 -- the obs clock is wall time by design; timestamps feed traces, never sweep results *)
+(* rv_lint: allow R3 -- single writer: reset() swaps the boxed float only at quiescence *)
 let epoch = ref (Unix.gettimeofday ())
+
+(* rv_lint: allow R1 -- span timestamps are wall time by design *)
 let now_us () = (Unix.gettimeofday () -. !epoch) *. 1e6
 
 (* Per-domain state: lane override, logical round, and one open-span
@@ -67,7 +71,11 @@ let clear_lane () = if enabled () then (Domain.DLS.get dls).lane <- -1
 (* Synthetic lanes.  Ids start far above any plausible domain id. *)
 
 let lane_mutex = Mutex.create ()
+
+(* rv_lint: allow R3 -- every access goes through lane_mutex *)
 let lane_next = ref 1000
+
+(* rv_lint: allow R3 -- every access goes through lane_mutex *)
 let lane_names : (int, string) Hashtbl.t = Hashtbl.create 8
 
 let new_lane name =
@@ -87,8 +95,14 @@ let lane_name id =
 (* The event buffer: global, mutex-protected, capped. *)
 
 let buf_mutex = Mutex.create ()
+
+(* rv_lint: allow R3 -- every access goes through buf_mutex *)
 let buf : event list ref = ref []
+
+(* rv_lint: allow R3 -- every access goes through buf_mutex *)
 let buf_len = ref 0
+
+(* rv_lint: allow R3 -- written once at configuration time, before workers start *)
 let max_events = ref 1_000_000
 let dropped_count = Atomic.make 0
 let unbalanced = Atomic.make 0
@@ -164,17 +178,23 @@ let events () =
   (* Finalize this domain's open spans so exporters always see complete
      spans, even when a run ended mid-phase (e.g. meeting mid-walk). *)
   let st = Domain.DLS.get dls in
-  Hashtbl.iter
-    (fun lane stack ->
+  (* Close in ascending lane order so the synthetic close timestamps (and
+     hence the exported event order) do not leak Hashtbl bucket order. *)
+  let lanes =
+    List.sort Int.compare (Hashtbl.fold (fun lane _ acc -> lane :: acc) st.stacks [])
+  in
+  List.iter
+    (fun lane ->
+      let stack = Hashtbl.find st.stacks lane in
       List.iter
         (fun sp -> close_span st lane sp ~extra:[ ("unfinished", Json.Bool true) ])
         !stack;
       stack := [])
-    st.stacks;
+    lanes;
   Mutex.lock buf_mutex;
   let evs = !buf in
   Mutex.unlock buf_mutex;
-  List.stable_sort (fun a b -> compare a.ts_us b.ts_us) (List.rev evs)
+  List.stable_sort (fun a b -> Float.compare a.ts_us b.ts_us) (List.rev evs)
 
 let event_count () =
   Mutex.lock buf_mutex;
@@ -196,4 +216,5 @@ let reset () =
   Hashtbl.reset st.stacks;
   st.lane <- -1;
   st.round <- -1;
+  (* rv_lint: allow R1 -- re-anchors the wall-clock epoch at quiescence *)
   epoch := Unix.gettimeofday ()

@@ -23,10 +23,13 @@ type group = {
 let run ~g ~max_rounds agents =
   let k = List.length agents in
   if k < 2 then invalid_arg "Gather.run: need at least two agents";
-  let distinct f = List.length (List.sort_uniq compare (List.map f agents)) = k in
-  if not (distinct (fun a -> a.name)) then invalid_arg "Gather.run: duplicate names";
-  if not (distinct (fun a -> a.label)) then invalid_arg "Gather.run: duplicate labels";
-  if not (distinct (fun a -> a.start)) then invalid_arg "Gather.run: duplicate starts";
+  let distinct cmp f = List.length (List.sort_uniq cmp (List.map f agents)) = k in
+  if not (distinct String.compare (fun a -> a.name)) then
+    invalid_arg "Gather.run: duplicate names";
+  if not (distinct Int.compare (fun a -> a.label)) then
+    invalid_arg "Gather.run: duplicate labels";
+  if not (distinct Int.compare (fun a -> a.start)) then
+    invalid_arg "Gather.run: duplicate starts";
   let groups =
     ref
       (List.map
@@ -63,9 +66,15 @@ let run ~g ~max_rounds agents =
            Hashtbl.replace by_pos grp.pos (grp :: cur))
          !groups;
        let next = ref [] in
-       Hashtbl.iter
-         (fun _pos colocated ->
-           match colocated with
+       (* Visit positions in ascending order: Hashtbl.iter would impose
+          bucket order on [groups] (and on same-round merge events),
+          making the reported merge sequence depend on hashing. *)
+       let positions =
+         List.sort Int.compare (Hashtbl.fold (fun pos _ acc -> pos :: acc) by_pos [])
+       in
+       List.iter
+         (fun pos ->
+           match Hashtbl.find by_pos pos with
            | [ only ] -> next := only :: !next
            | [] -> ()
            | several ->
@@ -76,14 +85,15 @@ let run ~g ~max_rounds agents =
                    (List.hd several) (List.tl several)
                in
                let names =
-                 List.sort compare (List.concat_map (fun grp -> grp.names) several)
+                 List.sort String.compare
+                   (List.concat_map (fun grp -> grp.names) several)
                in
                let size = List.fold_left (fun acc grp -> acc + grp.size) 0 several in
                leader_group.names <- names;
                leader_group.size <- size;
                merges := { round = r; members = names } :: !merges;
                next := leader_group :: !next)
-         by_pos;
+         positions;
        groups := !next;
        match !groups with
        | [ lone ] when lone.size = k ->

@@ -23,10 +23,10 @@ let run ?(model = Sim.Waiting) ~g ~max_rounds ~stop agents =
   let k = List.length agents in
   if k < 2 then invalid_arg "Multi.run: need at least two agents";
   let starts = List.map (fun (a : agent) -> a.start) agents in
-  if List.length (List.sort_uniq compare starts) <> k then
+  if List.length (List.sort_uniq Int.compare starts) <> k then
     invalid_arg "Multi.run: starting nodes must be distinct";
   let names = List.map (fun (a : agent) -> a.name) agents in
-  if List.length (List.sort_uniq compare names) <> k then
+  if List.length (List.sort_uniq String.compare names) <> k then
     invalid_arg "Multi.run: agent names must be distinct";
   if List.exists (fun (a : agent) -> a.delay < 0) agents then invalid_arg "Multi.run: negative delay";
   if List.fold_left (fun acc (a : agent) -> min acc a.delay) max_int agents <> 0 then
@@ -87,7 +87,7 @@ let run ?(model = Sim.Waiting) ~g ~max_rounds ~stop agents =
     Hashtbl.fold
       (fun (i, j) r acc -> (walkers.(i).name, walkers.(j).name, r) :: acc)
       met []
-    |> List.sort compare
+    |> List.sort Rv_util.Ord.(triple string string int)
   in
   {
     gathered_round = !gathered;

@@ -32,7 +32,7 @@ let summarize xs =
   | [] -> invalid_arg "Stats.summarize: empty"
   | _ ->
       let sorted = Array.of_list xs in
-      Array.sort compare sorted;
+      Array.sort Int.compare sorted;
       let n = Array.length sorted in
       let m = mean xs in
       let var =

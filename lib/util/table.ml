@@ -74,4 +74,4 @@ let cell_int = string_of_int
 
 let cell_float ?(digits = 2) f = Printf.sprintf "%.*f" digits f
 
-let cell_ratio a b = if b = 0.0 then "-" else cell_float (a /. b)
+let cell_ratio a b = if Float.equal b 0.0 then "-" else cell_float (a /. b)

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Run a 2-domain sweep under ThreadSanitizer when the active OCaml switch
+# supports it, and skip cleanly otherwise.
+#
+# TSan instrumentation for OCaml landed in 5.2 (installed via the
+# ocaml-option-tsan switch option, which makes `ocamlopt -config` report
+# "tsan: true").  On earlier switches -- including the 5.1 toolchain this
+# container ships -- there is nothing to instrument with, so this script
+# prints a skip notice and exits 0.  That makes `dune build @tsan` (and the
+# allowed-to-fail CI job wrapping it) safe on every switch.
+#
+# Usage: tsan.sh <path-to-rv.exe>
+
+set -u
+
+rv_exe="${1:?usage: tsan.sh <path-to-rv.exe>}"
+
+config="$(ocamlfind ocamlopt -config 2>/dev/null || ocamlopt -config 2>/dev/null || true)"
+
+if ! printf '%s\n' "$config" | grep -q '^tsan:[[:space:]]*true'; then
+  echo "tsan: skipped (this switch has no ThreadSanitizer support;" \
+       "needs OCaml >= 5.2 built with ocaml-option-tsan)"
+  exit 0
+fi
+
+# halt_on_error makes the sweep fail fast on the first data race instead of
+# drowning it in follow-on reports; history_size buys deeper stacks for the
+# domain pool.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 history_size=7}"
+
+echo "tsan: running 2-domain sweep under ThreadSanitizer"
+"$rv_exe" sweep -j 2 --space 16 --pairs 32
+status=$?
+if [ "$status" -ne 0 ]; then
+  echo "tsan: FAILED (exit $status)" >&2
+  exit "$status"
+fi
+echo "tsan: clean"

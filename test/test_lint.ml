@@ -1,0 +1,262 @@
+(* Tests for rv_lint: one positive and one suppressed-negative fixture per
+   rule R1-R5, the suppression grammar (reasoned allows accepted, bare
+   allows rejected as [Lint] findings), report formatting/order, and a
+   self-check asserting the shipped lib/ tree is lint-clean. *)
+
+module Report = Rv_lint.Report
+module Config = Rv_lint.Config
+module Driver = Rv_lint.Driver
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let config = Config.default
+
+(* [check ~path src] lints [src] as if it were the file [path]. *)
+let check ?(path = "lib/fixture.ml") src = Driver.check_source config ~path src
+
+let rules_of (findings, _suppressed) =
+  List.map (fun f -> Report.rule_to_string f.Report.rule) findings
+
+let check_rules = Alcotest.(check (list string))
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------- R1 *)
+
+let r1_positive () =
+  let fs = check "let roll () = Random.int 6\nlet now () = Unix.gettimeofday ()\n" in
+  check_rules "both nondeterminism sources flagged" [ "R1"; "R1" ] (rules_of fs)
+
+let r1_rng_exempt () =
+  let fs, suppressed =
+    check ~path:"lib/util/rng.ml" "let roll () = Random.int 6\n"
+  in
+  check_rules "the rng module may use Random" [] (rules_of (fs, suppressed));
+  check_int "nothing suppressed: it never fired" 0 suppressed
+
+let r1_suppressed () =
+  let fs, suppressed =
+    check
+      "(* rv_lint: allow R1 -- progress display only, never feeds results *)\n\
+       let now () = Unix.gettimeofday ()\n"
+  in
+  check_rules "reasoned allow silences R1" [] (rules_of (fs, suppressed));
+  check_int "one finding suppressed" 1 suppressed
+
+(* ------------------------------------------------------------------- R2 *)
+
+let r2_positive () =
+  let fs =
+    check
+      "let dump tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []\n"
+  in
+  check_rules "unsorted Hashtbl.fold flagged" [ "R2" ] (rules_of fs)
+
+let r2_sorted_ok () =
+  let fs =
+    check
+      "let dump tbl =\n\
+      \  List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])\n"
+  in
+  check_rules "a sort in the same definition satisfies R2" [] (rules_of fs)
+
+let r2_suppressed () =
+  let fs, suppressed =
+    check
+      "(* rv_lint: allow R2 -- boolean OR is order-insensitive *)\n\
+       let any tbl = Hashtbl.fold (fun _ v acc -> acc || v) tbl false\n"
+  in
+  check_rules "reasoned allow silences R2" [] (rules_of (fs, suppressed));
+  check_int "one finding suppressed" 1 suppressed
+
+(* ------------------------------------------------------------------- R3 *)
+
+let r3_positive () =
+  let fs = check "let counter = ref 0\nlet bump () = incr counter\n" in
+  check_rules "bare top-level ref flagged" [ "R3" ] (rules_of fs)
+
+let r3_atomic_ok () =
+  let fs = check "let counter = Atomic.make 0\n" in
+  check_rules "Atomic state passes R3" [] (rules_of fs)
+
+let r3_out_of_scope () =
+  let fs = check ~path:"bin/fixture.ml" "let counter = ref 0\n" in
+  check_rules "R3 gates only the worker-linked roots" [] (rules_of fs)
+
+let r3_local_ok () =
+  let fs = check "let f () = let c = ref 0 in incr c; !c\n" in
+  check_rules "function-local refs are fine" [] (rules_of fs)
+
+let r3_nested_module () =
+  let fs = check "module M = struct\n  let cache = Hashtbl.create 8\nend\n" in
+  check_rules "nested-module toplevels are gated too" [ "R3" ] (rules_of fs)
+
+let r3_suppressed () =
+  let fs, suppressed =
+    check
+      "(* rv_lint: allow R3 -- every access goes through a mutex *)\n\
+       let counter = ref 0\n"
+  in
+  check_rules "reasoned allow silences R3" [] (rules_of (fs, suppressed));
+  check_int "one finding suppressed" 1 suppressed
+
+(* ------------------------------------------------------------------- R4 *)
+
+let r4_positive () =
+  let fs = check "let sorted xs = List.sort compare xs\n" in
+  check_rules "bare polymorphic comparator flagged" [ "R4" ] (rules_of fs)
+
+let r4_float_eq () =
+  let fs = check "let zero x = x = 0.0\n" in
+  check_rules "float equality via = flagged" [ "R4" ] (rules_of fs)
+
+let r4_typed_ok () =
+  let fs =
+    check "let sorted xs = List.sort Int.compare xs\nlet zero x = Float.equal x 0.0\n"
+  in
+  check_rules "typed comparators pass R4" [] (rules_of fs)
+
+let r4_suppressed () =
+  let fs, suppressed =
+    check
+      "(* rv_lint: allow R4 -- keys are ints by construction *)\n\
+       let sorted xs = List.sort compare xs\n"
+  in
+  check_rules "reasoned allow silences R4" [] (rules_of (fs, suppressed));
+  check_int "one finding suppressed" 1 suppressed
+
+(* ------------------------------------------------------------------- R5 *)
+
+let r5_positive () =
+  let fs = check "let f () = Obs.begin_span \"phase\"; work ()\n" in
+  check_rules "begin without end flagged" [ "R5" ] (rules_of fs)
+
+let r5_balanced_ok () =
+  let fs =
+    check
+      "let f () =\n\
+      \  Obs.begin_span \"phase\";\n\
+      \  Fun.protect ~finally:Obs.end_span work\n"
+  in
+  check_rules "lexically paired spans pass" [] (rules_of fs)
+
+let r5_suppressed () =
+  let fs, suppressed =
+    check
+      "(* rv_lint: allow R5 -- the matching end lives in the caller *)\n\
+       let f () = Obs.begin_span \"phase\"; work ()\n"
+  in
+  check_rules "reasoned allow silences R5" [] (rules_of (fs, suppressed));
+  check_int "one finding suppressed" 1 suppressed
+
+(* ----------------------------------------------------------- suppression *)
+
+let bare_allow_rejected () =
+  let fs =
+    check "(* rv_lint: allow R3 *)\nlet counter = ref 0\n"
+  in
+  check_rules "a bare allow is itself a finding and silences nothing"
+    [ "lint"; "R3" ] (rules_of fs)
+
+let unknown_rule_rejected () =
+  let fs = check "(* rv_lint: allow R9 -- no such rule *)\nlet x = 1\n" in
+  check_rules "unknown rule name rejected" [ "lint" ] (rules_of fs)
+
+let allow_window_is_next_line () =
+  let fs, suppressed =
+    check
+      "(* rv_lint: allow R3 -- guarded elsewhere *)\n\
+       let a = ref 0\n\
+       let b = ref 0\n"
+  in
+  check_rules "the directive covers only the next line" [ "R3" ]
+    (rules_of (fs, suppressed));
+  check_int "first binding suppressed" 1 suppressed
+
+let allow_file_covers_all () =
+  let fs, suppressed =
+    check
+      "(* rv_lint: allow-file R1 -- wall-clock harness by design *)\n\
+       let a () = Unix.gettimeofday ()\n\
+       let b () = Sys.time ()\n"
+  in
+  check_rules "allow-file silences the whole unit" [] (rules_of (fs, suppressed));
+  check_int "both findings suppressed" 2 suppressed
+
+let parse_error_is_finding () =
+  let fs = check "let = in ;;\n" in
+  check_rules "unparseable input reports, not raises" [ "lint" ] (rules_of fs)
+
+(* --------------------------------------------------------------- report *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let finding_format () =
+  match fst (check "let sorted xs = List.sort compare xs\n") with
+  | [ f ] ->
+      let s = Report.to_string f in
+      Alcotest.(check bool)
+        "file:line:col [rule] message" true
+        (contains ~sub:"lib/fixture.ml:1:" s && contains ~sub:"[R4]" s)
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let findings_sorted () =
+  let src =
+    "let b () = Unix.gettimeofday ()\nlet a xs = List.sort compare xs\n"
+  in
+  let fs = fst (check src) in
+  let sorted = List.sort Report.compare_finding fs in
+  Alcotest.(check bool) "driver output is already sorted" true (fs = sorted);
+  check_rules "line order wins" [ "R1"; "R4" ] (rules_of (fs, 0))
+
+(* ----------------------------------------------------------- self-check *)
+
+(* dune runs tests from _build/default/test; walk up to the project root
+   (the directory holding dune-project) so the gate covers the real tree. *)
+let rec find_root dir =
+  if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+  else
+    let parent = Filename.dirname dir in
+    if parent = dir then None else find_root parent
+
+let self_check () =
+  match find_root (Sys.getcwd ()) with
+  | None -> Alcotest.fail "could not locate the project root from the test cwd"
+  | Some root ->
+      let r = Driver.run config [ Filename.concat root "lib" ] in
+      Alcotest.(check bool) "lib/ was found" true (r.Driver.files > 0);
+      List.iter (fun f -> print_endline (Report.to_string f)) r.Driver.findings;
+      check_int "shipped lib/ tree is lint-clean" 0
+        (List.length r.Driver.findings)
+
+let () =
+  Alcotest.run "rv_lint"
+    [
+      ( "r1",
+        [ tc "positive" r1_positive; tc "rng exempt" r1_rng_exempt;
+          tc "suppressed" r1_suppressed ] );
+      ( "r2",
+        [ tc "positive" r2_positive; tc "sorted ok" r2_sorted_ok;
+          tc "suppressed" r2_suppressed ] );
+      ( "r3",
+        [ tc "positive" r3_positive; tc "atomic ok" r3_atomic_ok;
+          tc "out of scope" r3_out_of_scope; tc "local ok" r3_local_ok;
+          tc "nested module" r3_nested_module; tc "suppressed" r3_suppressed ] );
+      ( "r4",
+        [ tc "positive" r4_positive; tc "float eq" r4_float_eq;
+          tc "typed ok" r4_typed_ok; tc "suppressed" r4_suppressed ] );
+      ( "r5",
+        [ tc "positive" r5_positive; tc "balanced ok" r5_balanced_ok;
+          tc "suppressed" r5_suppressed ] );
+      ( "suppression",
+        [ tc "bare allow rejected" bare_allow_rejected;
+          tc "unknown rule rejected" unknown_rule_rejected;
+          tc "window is next line" allow_window_is_next_line;
+          tc "allow-file" allow_file_covers_all;
+          tc "parse error" parse_error_is_finding ] );
+      ( "report",
+        [ tc "format" finding_format; tc "sorted" findings_sorted ] );
+      ("self", [ tc "lib/ is clean" self_check ]);
+    ]
