@@ -295,11 +295,182 @@ let obs_overhead () =
     failwith
       (Printf.sprintf "obs overhead: disabled sets diverge by %.1f%%" disabled_delta_pct)
 
+(* Trajectory-cache speedup: the experiment sweeps most exposed to
+   re-simulation (EXP-A/B/C/E) timed twice at one domain — reference
+   round-by-round simulator ([~fast:false], the RV_NO_TRAJ path) versus
+   the trajectory fast path — with the full per-cell result lists
+   asserted equal before any number is reported.  EXP-A runs at its full
+   table size and is the fast path's acceptance kernel (>= 3x wall-clock
+   there).  The numbers land in BENCH_traj.json; `main.exe traj` runs
+   only this section, which is how CI publishes the artifact without
+   paying for the Bechamel run.  Speedups are sequential-vs-sequential,
+   so unlike BENCH_sweep.json nothing degenerates on a single-core
+   container; the JSON still records the core count for context. *)
+
+let traj_speedup () =
+  let module W = Rv_experiments.Workload in
+  let module R = Rv_core.Rendezvous in
+  let ring n = Rv_graph.Ring.oriented n in
+  let clockwise n ~start:_ = Rv_explore.Ring_walk.clockwise ~n in
+  let exp_a fast =
+    let n = 24 in
+    let g = ring n and explorer = clockwise n in
+    let delays = W.ring_delays ~e:(n - 1) in
+    List.concat_map
+      (fun space ->
+        let pairs = W.sample_pairs ~space ~max_pairs:10 in
+        List.map
+          (fun algorithm ->
+            ( Printf.sprintf "%s/L%d" (R.name algorithm) space,
+              W.worst_for ~fast ~g ~algorithm ~space ~explorer ~pairs
+                ~positions:`Fixed_first ~delays () ))
+          R.[ Cheap; Fast; Fwr 2; Fwr 3 ])
+      [ 4; 16; 64 ]
+  in
+  let exp_b fast =
+    let n = 16 in
+    let g = ring n and explorer = clockwise n in
+    List.map
+      (fun space ->
+        let pairs =
+          List.filter (fun (a, b) -> a >= 1 && a < b)
+            [ (space - 1, space); (1, space); (1, 2) ]
+          |> List.sort_uniq Rv_util.Ord.(pair int int)
+        in
+        ( Printf.sprintf "L%d" space,
+          W.worst_for ~fast ~g ~algorithm:R.Cheap_simultaneous ~space ~explorer
+            ~pairs ~positions:`Fixed_first ~delays:[ (0, 0) ] () ))
+      [ 2; 4; 8; 16; 32; 64 ]
+  in
+  let exp_c fast =
+    let n = 16 in
+    let g = ring n and explorer = clockwise n in
+    let delays = W.ring_delays ~e:(n - 1) in
+    List.map
+      (fun space ->
+        let ones = W.all_ones_label ~space in
+        let pairs =
+          List.filter
+            (fun (a, b) -> a >= 1 && a < b && b <= space)
+            [ (ones / 2, ones); (ones, space); (space - 1, space); (1, 2); (1, space) ]
+          |> List.sort_uniq Rv_util.Ord.(pair int int)
+        in
+        ( Printf.sprintf "L%d" space,
+          W.worst_for ~fast ~g ~algorithm:R.Fast ~space ~explorer ~pairs
+            ~positions:`Fixed_first ~delays () ))
+      [ 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ]
+  in
+  let exp_e fast =
+    let n = 16 in
+    let g = ring n and explorer = clockwise n in
+    let e = n - 1 in
+    let taus =
+      List.sort_uniq Int.compare
+        [ 0; 1; e / 4; e / 2; 3 * e / 4; e; e + 1; 3 * e / 2; 2 * e; 3 * e ]
+    in
+    List.concat_map
+      (fun tau ->
+        List.map
+          (fun algorithm ->
+            ( Printf.sprintf "%s/tau%d" (R.name algorithm) tau,
+              W.worst_for ~fast ~g ~algorithm ~space:16 ~explorer ~pairs:[ (3, 11) ]
+                ~positions:`Fixed_first ~delays:[ (0, tau) ] () ))
+          R.[ Cheap; Fast ])
+      taus
+  in
+  let reps = 3 in
+  let timemin kernel fast =
+    ignore (kernel fast) (* warmup *);
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (kernel fast);
+      best := min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let measured =
+    List.map
+      (fun (name, kernel) ->
+        (* Equivalence first: the fast path must reproduce the reference
+           sweep cell for cell before its timing means anything. *)
+        let rf = kernel true and rr = kernel false in
+        List.iter2
+          (fun (cf, f) (cr, r) ->
+            if cf <> cr || f <> r then
+              failwith
+                (Printf.sprintf "traj speedup: %s cell %s diverged from reference"
+                   name cf))
+          rf rr;
+        let fast_s = timemin kernel true and ref_s = timemin kernel false in
+        (name, List.length rf, ref_s, fast_s))
+      [ ("EXP-A", exp_a); ("EXP-B", exp_b); ("EXP-C", exp_c); ("EXP-E", exp_e) ]
+  in
+  let cores = Domain.recommended_domain_count () in
+  Rv_util.Table.print
+    (Rv_util.Table.make
+       ~title:"Trajectory cache: reference simulator vs fast path (1 domain)"
+       ~headers:[ "table"; "cells"; "reference s"; "fast s"; "speedup" ]
+       ~notes:
+         [
+           Printf.sprintf
+             "Min of %d runs each; per-cell results asserted identical before timing."
+             reps;
+           "EXP-A at full table size is the acceptance kernel (target >= 3x).";
+         ]
+       (List.map
+          (fun (name, cells, ref_s, fast_s) ->
+            [
+              name;
+              string_of_int cells;
+              Printf.sprintf "%.4f" ref_s;
+              Printf.sprintf "%.4f" fast_s;
+              Printf.sprintf "%.2fx" (ref_s /. fast_s);
+            ])
+          measured));
+  let exp_a_speedup =
+    match measured with
+    | ("EXP-A", _, ref_s, fast_s) :: _ -> ref_s /. fast_s
+    | _ -> 0.
+  in
+  let oc = open_out "BENCH_traj.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "trajectory cache speedup (reference Sim.run vs Traj fast path)",
+  "jobs": 1,
+  "reps_per_measurement": %d,
+  "recommended_domain_count": %d,
+  "cores": %d,
+  "equivalence_checked": true,
+  "tables": [%s],
+  "exp_a_speedup": %.2f,
+  "exp_a_target": 3.0,
+  "exp_a_meets_target": %b
+}
+|}
+    reps cores cores
+    (String.concat ", "
+       (List.map
+          (fun (name, cells, ref_s, fast_s) ->
+            Printf.sprintf
+              {|{"table": "%s", "cells": %d, "reference_seconds": %.4f, "fast_seconds": %.4f, "speedup": %.2f}|}
+              name cells ref_s fast_s (ref_s /. fast_s))
+          measured))
+    exp_a_speedup
+    (exp_a_speedup >= 3.0);
+  close_out oc;
+  print_endline "wrote BENCH_traj.json"
+
 let () =
-  print_tables ();
-  print_newline ();
-  benchmark_kernels ();
-  print_newline ();
-  sweep_speedup ();
-  print_newline ();
-  obs_overhead ()
+  match Sys.argv with
+  | [| _; "traj" |] -> traj_speedup ()
+  | _ ->
+      print_tables ();
+      print_newline ();
+      benchmark_kernels ();
+      print_newline ();
+      sweep_speedup ();
+      print_newline ();
+      obs_overhead ();
+      print_newline ();
+      traj_speedup ()

@@ -44,8 +44,9 @@ val run :
   party ->
   party ->
   Rv_sim.Sim.outcome
-(** Simulate the two parties (distinct labels, distinct starts; the earlier
-    party must have [delay = 0]).  [explorer ~start] supplies each agent's
+(** Simulate the two parties (distinct labels, distinct starts; delays are
+    arbitrary non-negative — {!Rv_sim.Sim.run} normalizes the common
+    prefix).  [explorer ~start] supplies each agent's
     exploration procedure — both must declare the same bound [E] (checked).
     [trace_cap] bounds the recorded trace ring (see {!Rv_sim.Sim.run}).
     Default [max_rounds] is the schedule duration plus the later delay,

@@ -12,6 +12,27 @@ let all_ones_label ~space =
   in
   grow 1
 
+module Int_set = Set.Make (Int)
+
+(* Label pairs 1 <= a < b <= space in bijection with triangular indices
+   0 .. space(space-1)/2 - 1: the pairs with second coordinate [b]
+   occupy indices T(b-2) .. T(b-1) - 1, where T(k) = k(k+1)/2. *)
+let index_of_pair (a, b) = ((b - 1) * (b - 2) / 2) + (a - 1)
+
+let pair_of_index i =
+  (* Largest k with T(k) <= i, via a float sqrt corrected by stepping. *)
+  let k =
+    ref (int_of_float ((sqrt ((8. *. float_of_int i) +. 1.) -. 1.) /. 2.))
+  in
+  if !k < 0 then k := 0;
+  while (!k + 1) * (!k + 2) / 2 <= i do
+    incr k
+  done;
+  while !k * (!k + 1) / 2 > i do
+    decr k
+  done;
+  (i - (!k * (!k + 1) / 2) + 1, !k + 2)
+
 let sample_pairs ~space ~max_pairs =
   (* The number of pairs a < b is known arithmetically; never materialize
      the O(space^2) cross product just to count it. *)
@@ -39,19 +60,27 @@ let sample_pairs ~space ~max_pairs =
       List.filter (fun (a, b) -> a >= 1 && b <= space && a < b) seeds
       |> List.sort_uniq Rv_util.Ord.(pair int int)
     in
-    let seen = Hashtbl.create (4 * max_pairs) in
-    List.iter (fun p -> Hashtbl.replace seen p ()) seeds;
+    let seeds = List.filteri (fun i _ -> i < max_pairs) seeds in
+    (* Draw the remaining pairs as distinct triangular indices in the
+       complement of the seeds, with Floyd's algorithm: exactly [need]
+       draws, no rejection loop, so the cost is bounded even when
+       [max_pairs] approaches [total].  Membership goes through an
+       Ord-keyed set, not a polymorphic-hash table. *)
+    let seed_idx = List.sort Rv_util.Ord.int (List.map index_of_pair seeds) in
+    let need = max_pairs - List.length seeds in
+    let m = total - List.length seeds in
     let rng = Rng.create ~seed:0xA11 in
-    let extra = ref [] and count = ref (List.length seeds) in
-    while !count < max_pairs do
-      let a = 1 + Rng.int rng space and b = 1 + Rng.int rng space in
-      if a < b && not (Hashtbl.mem seen (a, b)) then begin
-        Hashtbl.replace seen (a, b) ();
-        extra := (a, b) :: !extra;
-        incr count
-      end
+    let chosen = ref Int_set.empty and order = ref [] in
+    for j = m - need to m - 1 do
+      let t = Rng.int rng (j + 1) in
+      let v = if Int_set.mem t !chosen then j else t in
+      chosen := Int_set.add v !chosen;
+      order := v :: !order
     done;
-    seeds @ List.rev !extra
+    (* Lift an index from [0, total - #seeds) into [0, total) minus the
+       seed indices. *)
+    let lift v = List.fold_left (fun v s -> if s <= v then v + 1 else v) v seed_idx in
+    seeds @ List.rev_map (fun v -> pair_of_index (lift v)) !order
   end
 
 let expand_positions ~g = function
@@ -65,8 +94,8 @@ let expand_positions ~g = function
             (List.init n (fun b -> b)))
         (List.init n (fun a -> a))
 
-let worst_for ?model ?pool ?sink ?progress ?graph_spec ~g ~algorithm ~space ~explorer
-    ~pairs ~positions ~delays () =
+let worst_for ?model ?(fast = true) ?pool ?sink ?progress ?graph_spec ~g ~algorithm
+    ~space ~explorer ~pairs ~positions ~delays () =
   (* Positions vary inside the sweep, and map-based explorers need the
      true start, so expand the position space here instead of going
      through [Adversary.sweep], whose factories are blind to starts. *)
@@ -77,11 +106,79 @@ let worst_for ?model ?pool ?sink ?progress ?graph_spec ~g ~algorithm ~space ~exp
     | None -> Printf.sprintf "n=%d" (Rv_graph.Port_graph.n g)
   in
   let algo_name = R.name algorithm in
+  (* Fast path: in the waiting model an agent's walk is a pure function
+     of (algorithm, label, start), so materialize each walk once
+     (Rv_sim.Traj) and find meetings by scanning the arrays under each
+     delay offset, instead of re-running the round-by-round simulator
+     per configuration.  Trajectories are memoized per domain
+     (Rv_sim.Traj_cache), so a label's walk is reused across every
+     partner, position and delay its tasks touch.  The parachute model
+     (presence depends on the wake round — no purity) and deep-trace
+     runs (per-phase spans need the live simulator) keep the reference
+     path, as does RV_NO_TRAJ=1 or [~fast:false]. *)
+  let use_fast =
+    fast
+    && (match model with None | Some Rv_sim.Sim.Waiting -> true | Some Rv_sim.Sim.Parachute -> false)
+    && Sys.getenv_opt "RV_NO_TRAJ" = None
+    && not (Rv_obs.Obs.deep ())
+  in
+  (* The reference path checks per run that both agents' explorers
+     declare the same bound E (Rendezvous.run); replicate the check up
+     front, once per position pair — explorer construction is a closure
+     allocation, the walks themselves are computed lazily. *)
+  if use_fast then
+    List.iter
+      (fun (pa, pb) ->
+        let ba = (explorer ~start:pa).Rv_explore.Explorer.bound in
+        let bb = (explorer ~start:pb).Rv_explore.Explorer.bound in
+        if ba <> bb then
+          invalid_arg "Rendezvous.run: the two agents' explorers declare different bounds E")
+      expand;
+  let cache =
+    if not use_fast then None
+    else
+      Some
+        (Rv_sim.Traj_cache.create
+           ~build:(fun ~label ~start ->
+             let ex = explorer ~start in
+             let sched = R.schedule algorithm ~space ~label ~explorer:ex in
+             Rv_sim.Traj.of_blocks ~g ~start
+               (List.map
+                  (function
+                    | Rv_core.Schedule.Pause k -> Rv_sim.Traj.Still k
+                    | Rv_core.Schedule.Explore e ->
+                        Rv_sim.Traj.Run (e.Rv_explore.Explorer.fresh (), e.Rv_explore.Explorer.bound))
+                  sched))
+           ())
+  in
+  (* Simulate one configuration; returns the outcome fields the sweep
+     consumes.  Both paths agree exactly (property-tested in
+     test/test_traj.ml, re-asserted at bench time and by CI's
+     RV_NO_TRAJ byte comparison). *)
+  let simulate ~la ~lb ~pa ~pb ~da ~db =
+    match cache with
+    | Some cache ->
+        if la = lb then invalid_arg "Rendezvous.run: labels must be distinct";
+        let ta = Rv_sim.Traj_cache.get cache ~label:la ~start:pa in
+        let tb = Rv_sim.Traj_cache.get cache ~label:lb ~start:pb in
+        let max_rounds =
+          max (ta.Rv_sim.Traj.rounds + da) (tb.Rv_sim.Traj.rounds + db) + 1
+        in
+        let m = Rv_sim.Traj.meet ~a:ta ~b:tb ~delay_a:da ~delay_b:db ~max_rounds in
+        (m.Rv_sim.Traj.meeting_round, m.Rv_sim.Traj.cost, m.Rv_sim.Traj.rounds_run)
+    | None ->
+        let out =
+          R.run ?model ~g ~explorer ~algorithm ~space
+            { R.label = la; start = pa; delay = da }
+            { R.label = lb; start = pb; delay = db }
+        in
+        (out.Rv_sim.Sim.meeting_round, out.Rv_sim.Sim.cost, out.Rv_sim.Sim.rounds_run)
+  in
   (* One task per label pair.  A task touches nothing shared: graphs are
-     immutable, explorer state is created fresh inside [R.run], and the
-     task's records are buffered locally and emitted by the caller during
-     the in-order merge — so the sink's byte stream is identical for any
-     pool size. *)
+     immutable, explorer state is created fresh per simulation (and the
+     trajectory cache is domain-local), and the task's records are
+     buffered locally and emitted by the caller during the in-order
+     merge — so the sink's byte stream is identical for any pool size. *)
   let obs = Rv_obs.Obs.enabled () in
   let run_pair (la, lb) =
     if obs then
@@ -96,15 +193,11 @@ let worst_for ?model ?pool ?sink ?progress ?graph_spec ~g ~algorithm ~space ~exp
         List.iter
           (fun (da, db) ->
             if !failure = None then begin
-              let out =
-                R.run ?model ~g ~explorer ~algorithm ~space
-                  { R.label = la; start = pa; delay = da }
-                  { R.label = lb; start = pb; delay = db }
-              in
+              let meeting_round, cost, rounds_run = simulate ~la ~lb ~pa ~pb ~da ~db in
               (match sink with
               | None -> ()
               | Some _ ->
-                  let met = out.Rv_sim.Sim.meeting_round <> None in
+                  let met = meeting_round <> None in
                   recorded :=
                     {
                       Rv_engine.Record.graph = graph_spec;
@@ -116,20 +209,15 @@ let worst_for ?model ?pool ?sink ?progress ?graph_spec ~g ~algorithm ~space ~exp
                       delay_a = da;
                       delay_b = db;
                       met;
-                      time =
-                        (match out.Rv_sim.Sim.meeting_round with
-                        | Some t -> t
-                        | None -> out.Rv_sim.Sim.rounds_run);
-                      cost = out.Rv_sim.Sim.cost;
+                      time = (match meeting_round with Some t -> t | None -> rounds_run);
+                      cost;
                     }
                     :: !recorded);
-              match out.Rv_sim.Sim.meeting_round with
+              match meeting_round with
               | Some t ->
                   worst_t := max !worst_t t;
-                  worst_c := max !worst_c out.Rv_sim.Sim.cost;
-                  Option.iter
-                    (fun p -> Progress.observe p ~time:t ~cost:out.Rv_sim.Sim.cost)
-                    progress
+                  worst_c := max !worst_c cost;
+                  Option.iter (fun p -> Progress.observe p ~time:t ~cost) progress
               | None ->
                   failure :=
                     Some

@@ -14,6 +14,7 @@ val sample_pairs : space:int -> max_pairs:int -> (int * int) list
 
 val worst_for :
   ?model:Rv_sim.Sim.model ->
+  ?fast:bool ->
   ?pool:Rv_engine.Pool.t ->
   ?sink:Rv_engine.Sink.t ->
   ?progress:Rv_engine.Progress.t ->
@@ -29,6 +30,17 @@ val worst_for :
   (int * int, string) result
 (** Worst [(time, cost)] over the cross product of label pairs, starting
     positions and delays.  [Error] on any failed rendezvous.
+
+    [fast] (default [true]) serves waiting-model sweeps from the
+    trajectory cache: each agent walk (a pure function of algorithm,
+    label and start) is materialized once per worker domain
+    ({!Rv_sim.Traj}, {!Rv_sim.Traj_cache}) and every configuration
+    becomes an array scan under a delay offset instead of a full
+    {!Rv_sim.Sim.run}.  Outcomes — including the byte stream written to
+    [sink] — are identical to the reference path; the parachute model
+    and deep-trace runs ({!Rv_obs.Obs.deep}) always use the reference
+    simulator, and setting the [RV_NO_TRAJ] environment variable forces
+    it globally (CI compares the two byte streams).
 
     [pool] parallelizes over label pairs (one task per pair, dynamic
     chunk scheduling); results — including the byte stream written to

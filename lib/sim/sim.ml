@@ -62,10 +62,17 @@ let run ?(model = Waiting) ?(record = false) ?(trace_cap = default_trace_cap) ~g
     ~max_rounds a b =
   if a.start = b.start then invalid_arg "Sim.run: agents must start at distinct nodes";
   if a.delay < 0 || b.delay < 0 then invalid_arg "Sim.run: negative delay";
-  if min a.delay b.delay <> 0 then
-    invalid_arg "Sim.run: the earlier agent must have delay 0 (round 1 = its wake-up)";
-  let wa = { pos = a.start; entry = None; moves = 0; wake = a.delay + 1; step_fn = a.step } in
-  let wb = { pos = b.start; entry = None; moves = 0; wake = b.delay + 1; step_fn = b.step } in
+  (* Normalize delays: during the first [min delay] rounds both agents
+     are asleep at distinct nodes, so nothing can happen — skip those
+     rounds in the loop and add them back to every reported round. *)
+  let skip = max 0 (min (min a.delay b.delay) max_rounds) in
+  let max_rounds = max_rounds - skip in
+  let wa =
+    { pos = a.start; entry = None; moves = 0; wake = a.delay - skip + 1; step_fn = a.step }
+  in
+  let wb =
+    { pos = b.start; entry = None; moves = 0; wake = b.delay - skip + 1; step_fn = b.step }
+  in
   let ring = if record then Some (Trace.Ring.create ~cap:trace_cap) else None in
   let crossings = ref 0 in
   let meeting_round = ref None and meeting_node = ref None in
@@ -108,12 +115,13 @@ let run ?(model = Waiting) ?(record = false) ?(trace_cap = default_trace_cap) ~g
        | None -> ()
        | Some ring ->
            Trace.Ring.add ring
-             { Trace.round = r; pos_a = wa.pos; pos_b = wb.pos; act_a; act_b; crossed });
+             { Trace.round = r + skip; pos_a = wa.pos; pos_b = wb.pos; act_a; act_b; crossed });
        if wa.pos = wb.pos && present model wa r && present model wb r then begin
-         meeting_round := Some r;
+         meeting_round := Some (r + skip);
          meeting_node := Some wa.pos;
          Log.debug (fun m ->
-             m "rendezvous at node %d in round %d (cost %d+%d)" wa.pos r wa.moves wb.moves);
+             m "rendezvous at node %d in round %d (cost %d+%d)" wa.pos (r + skip) wa.moves
+               wb.moves);
          if deep then
            Rv_obs.Obs.instant ~cat:"sim"
              ~args:[ ("node", Rv_obs.Json.Int wa.pos); ("cost", Rv_obs.Json.Int (wa.moves + wb.moves)) ]
@@ -143,7 +151,7 @@ let run ?(model = Waiting) ?(record = false) ?(trace_cap = default_trace_cap) ~g
     cost = wa.moves + wb.moves;
     cost_a = wa.moves;
     cost_b = wb.moves;
-    rounds_run = !round;
+    rounds_run = !round + skip;
     crossings = !crossings;
     trace = (match ring with Some ring -> Some (Trace.Ring.to_list ring) | None -> None);
     trace_dropped = (match ring with Some ring -> Trace.Ring.dropped ring | None -> 0);

@@ -1,7 +1,14 @@
 (** The synchronous two-agent execution model (paper, Section 1.2).
 
-    Rounds are numbered from 1; round 1 is the wake-up round of the earlier
-    agent (delays are normalized so that [min wake = 1]).  Per round, each
+    {b Round numbering convention.}  Rounds are numbered from 1.  An agent
+    with delay [d] wakes in round [d + 1]; delays are normalized
+    internally — the common [min delay] prefix, during which both agents
+    are asleep at distinct nodes and nothing can happen, is skipped by the
+    simulation loop but {e included} in every reported round
+    ([meeting_round], [rounds_run], trace rounds) and in the [max_rounds]
+    horizon.  Callers may therefore pass arbitrary non-negative delays;
+    when [min delay = 0] (the paper's convention) round 1 is exactly the
+    earlier agent's wake-up round.  Per round, each
     awake agent either waits or moves through a port of its current node;
     both moves happen simultaneously.  Rendezvous is both agents being at
     the same node in the same round — agents crossing the same edge in
@@ -51,9 +58,11 @@ val run :
   agent ->
   outcome
 (** [run ~g ~max_rounds a b] simulates until meeting or [max_rounds].
-    At least one [delay] must be 0 (earlier agent's wake defines round 1)
-    and the starting nodes must be distinct; raises [Invalid_argument]
-    otherwise.  [record] (default false) attaches a {!Trace.t}; the trace
+    Delays may be any non-negative integers (see the round numbering
+    convention above — the common prefix is normalized away and added
+    back to reported rounds); the starting nodes must be distinct and
+    delays non-negative, [Invalid_argument] otherwise.
+    [record] (default false) attaches a {!Trace.t}; the trace
     is collected in a ring buffer keeping the most recent [trace_cap]
     rounds (default 100_000; [<= 0] means unbounded), so recording a long
     adversarial run does not hold every round alive — evictions are

@@ -104,13 +104,6 @@ let test_validation () =
    with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "identical starts accepted");
-  (match
-     Sim.run ~g ~max_rounds:5
-       { Sim.start = 0; delay = 1; step = idle () }
-       { Sim.start = 2; delay = 3; step = idle () }
-   with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "no zero delay accepted");
   match
     Sim.run ~g ~max_rounds:5
       { Sim.start = 0; delay = 0; step = scripted [ Ex.Move 9 ] }
@@ -118,6 +111,38 @@ let test_validation () =
   with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "invalid port accepted"
+
+let test_delay_normalization () =
+  let g = ring 6 in
+  let walk () = scripted [ Ex.Move 0; Ex.Move 0; Ex.Move 0 ] in
+  (* Same scenario as [test_basic_meeting] with both delays shifted up by
+     2: the common prefix is silent (both asleep) but counted in the
+     reported rounds. *)
+  let out =
+    Sim.run ~g ~max_rounds:100
+      { Sim.start = 0; delay = 2; step = walk () }
+      { Sim.start = 3; delay = 2; step = scripted [] }
+  in
+  Alcotest.(check (option int)) "round shifted" (Some 5) out.Sim.meeting_round;
+  Alcotest.(check (option int)) "node" (Some 3) out.Sim.meeting_node;
+  Alcotest.(check int) "cost unchanged" 3 out.Sim.cost;
+  (* Unequal delays keep their difference: (2, 5) behaves like (0, 3)
+     with every reported round shifted by 2. *)
+  let out =
+    Sim.run ~g ~max_rounds:100
+      { Sim.start = 0; delay = 2; step = walk () }
+      { Sim.start = 3; delay = 5; step = scripted [] }
+  in
+  Alcotest.(check (option int)) "asymmetric round" (Some 5) out.Sim.meeting_round;
+  (* The horizon counts the silent prefix too: max_rounds 4 leaves only
+     two live rounds after a common delay of 2. *)
+  let out =
+    Sim.run ~g ~max_rounds:4
+      { Sim.start = 0; delay = 2; step = walk () }
+      { Sim.start = 3; delay = 2; step = scripted [] }
+  in
+  Alcotest.(check bool) "capped: not met" false out.Sim.met;
+  Alcotest.(check int) "capped rounds_run" 4 out.Sim.rounds_run
 
 let test_max_rounds_cap () =
   let g = ring 5 in
@@ -361,6 +386,7 @@ let () =
           tc "parachute protects sleeper" test_parachute_model_protects_sleeper;
           tc "parachute meeting after wake" test_parachute_meeting_after_wake;
           tc "validation" test_validation;
+          tc "delay normalization" test_delay_normalization;
           tc "max rounds cap" test_max_rounds_cap;
           tc "cost accounting" test_cost_accounting;
           tc "time accessor" test_time_accessor;
