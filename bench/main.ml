@@ -461,9 +461,99 @@ let traj_speedup () =
   close_out oc;
   print_endline "wrote BENCH_traj.json"
 
+(* --- rv_serve: determinism + cached throughput -------------------------
+
+   Boots in-process servers on ephemeral loopback ports and drives them
+   with the deterministic load harness.  Two assertions, then numbers:
+
+   1. the sorted reply transcript for one seeded mixed workload is
+      byte-identical across jobs=1, jobs=2 and cache-off (the serve
+      determinism contract);
+   2. the cached fast path sustains >= 1000 responses/sec on a single
+      dispatcher (the ISSUE acceptance floor).
+
+   Results land in BENCH_serve.json; `main.exe serve` runs only this. *)
+
+let serve_bench () =
+  let module Server = Rv_serve.Server in
+  let module Loadgen = Rv_serve.Loadgen in
+  print_endline "==================================================================";
+  print_endline " rv_serve (byte-determinism + cached throughput)";
+  print_endline "==================================================================";
+  let drive ~jobs ~cache_bytes ~conns ~requests ~mix =
+    let server =
+      Server.start { Server.default_config with jobs; cache_bytes }
+    in
+    Fun.protect
+      ~finally:(fun () -> Server.stop server)
+      (fun () ->
+        match
+          Loadgen.run ~port:(Server.port server) ~conns ~requests ~seed:7 ~mix ()
+        with
+        | Ok s -> s
+        | Error e -> failwith ("loadgen: " ^ e))
+  in
+  let mb = 8 * 1024 * 1024 in
+  let mixed ~jobs ~cache_bytes =
+    drive ~jobs ~cache_bytes ~conns:4 ~requests:200 ~mix:Loadgen.Mixed
+  in
+  let t_j1 = (mixed ~jobs:1 ~cache_bytes:mb).Loadgen.transcript in
+  let t_j2 = (mixed ~jobs:2 ~cache_bytes:mb).Loadgen.transcript in
+  let t_nc = (mixed ~jobs:1 ~cache_bytes:0).Loadgen.transcript in
+  let identical_j = List.equal String.equal t_j1 t_j2 in
+  let identical_c = List.equal String.equal t_j1 t_nc in
+  if not identical_j then failwith "serve: -j1 and -j2 transcripts differ";
+  if not identical_c then failwith "serve: cache on/off transcripts differ";
+  Printf.printf "transcripts: -j1 == -j2 == cache-off over %d mixed requests\n"
+    (List.length t_j1);
+  (* Throughput: one warm pass to populate the cache, then the measured
+     pass answers (almost) entirely from it. *)
+  let throughput =
+    let server = Server.start { Server.default_config with jobs = 1 } in
+    Fun.protect
+      ~finally:(fun () -> Server.stop server)
+      (fun () ->
+        let port = Server.port server in
+        (match
+           Loadgen.run ~port ~conns:1 ~requests:64 ~seed:7 ~mix:Loadgen.Cached ()
+         with
+        | Ok _ -> ()
+        | Error e -> failwith ("loadgen warmup: " ^ e));
+        match
+          Loadgen.run ~port ~conns:2 ~requests:4000 ~seed:7 ~mix:Loadgen.Cached ()
+        with
+        | Ok s -> s
+        | Error e -> failwith ("loadgen: " ^ e))
+  in
+  Printf.printf
+    "cached: %d requests in %.3fs = %.0f rps (p50 %dus, p99 %dus, max %dus)\n"
+    throughput.Loadgen.requests throughput.Loadgen.elapsed_s
+    throughput.Loadgen.throughput_rps throughput.Loadgen.lat_p50_us
+    throughput.Loadgen.lat_p99_us throughput.Loadgen.lat_max_us;
+  let meets = throughput.Loadgen.throughput_rps >= 1000. in
+  if not meets then
+    Printf.printf "WARNING: below the 1000 rps acceptance floor\n";
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "rv_serve cached throughput and byte-determinism",
+  "transcripts_identical_j1_j2": %b,
+  "transcripts_identical_cache_on_off": %b,
+  "cached": %s,
+  "throughput_floor_rps": 1000,
+  "meets_floor": %b
+}
+|}
+    identical_j identical_c
+    (Rv_obs.Json.to_string (Loadgen.summary_json throughput))
+    meets;
+  close_out oc;
+  print_endline "wrote BENCH_serve.json"
+
 let () =
   match Sys.argv with
   | [| _; "traj" |] -> traj_speedup ()
+  | [| _; "serve" |] -> serve_bench ()
   | _ ->
       print_tables ();
       print_newline ();
@@ -473,4 +563,6 @@ let () =
       print_newline ();
       obs_overhead ();
       print_newline ();
-      traj_speedup ()
+      traj_speedup ();
+      print_newline ();
+      serve_bench ()

@@ -9,7 +9,10 @@
      exp      print experiment tables from the DESIGN.md index
      async    adversarial-scheduler analysis (asynchronous model)
      gather   k-agent gathering with merge-on-meet semantics
-     dot      emit a Graphviz rendering of a graph spec *)
+     dot      emit a Graphviz rendering of a graph spec
+     serve    TCP query server (admission control, result cache, drain)
+     loadgen  deterministic load harness for a running serve instance
+     version  build identity and feature flags *)
 
 open Cmdliner
 module R = Rv_core.Rendezvous
@@ -750,6 +753,135 @@ let dot_cmd =
   in
   Cmd.v (Cmd.info "dot" ~doc:"Emit Graphviz for a graph spec") Term.(const dot $ graph_arg)
 
+(* serve *)
+
+let port_arg =
+  Arg.(
+    value & opt int 7421
+    & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port to listen on (0 = ephemeral).")
+
+let serve_cmd =
+  let serve port jobs cache_mb queue_cap deadline_ms metrics =
+    with_metrics metrics @@ fun () ->
+    let jobs = if jobs > 0 then jobs else Domain.recommended_domain_count () in
+    let server =
+      Rv_serve.Server.start
+        {
+          Rv_serve.Server.default_config with
+          port;
+          jobs;
+          cache_bytes = cache_mb * 1024 * 1024;
+          queue_cap;
+          default_deadline_ms = (if deadline_ms > 0 then Some deadline_ms else None);
+        }
+    in
+    Rv_serve.Server.install_signals server;
+    Printf.printf "rv serve: listening on 127.0.0.1:%d (jobs %d, cache %d MiB, queue %d%s)\n%!"
+      (Rv_serve.Server.port server) jobs cache_mb queue_cap
+      (if deadline_ms > 0 then Printf.sprintf ", deadline %dms" deadline_ms else "");
+    (* Blocks until SIGINT/SIGTERM triggers the drain. *)
+    Rv_serve.Server.join server;
+    Printf.printf "rv serve: drained\n%!"
+  in
+  let cache_mb =
+    Arg.(
+      value & opt int 8
+      & info [ "cache-mb" ] ~docv:"MB" ~doc:"Result cache budget in MiB (0 disables).")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Admission queue bound; a full queue answers overloaded immediately.")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Default per-request deadline (0 = none; requests may set their own).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve rendezvous queries over TCP (newline-delimited JSON) with \
+          admission control, a result cache and graceful drain")
+    Term.(const serve $ port_arg $ jobs_arg $ cache_mb $ queue_cap $ deadline_ms $ metrics_arg)
+
+(* loadgen *)
+
+let loadgen_cmd =
+  let loadgen port conns requests seed mix dump json =
+    let mix = or_die (Rv_serve.Loadgen.mix_of_string mix) in
+    let s =
+      or_die (Rv_serve.Loadgen.run ~port ~conns ~requests ~seed ~mix ())
+    in
+    if dump then List.iter print_endline s.Rv_serve.Loadgen.transcript;
+    if json then
+      print_endline (Rv_obs.Json.to_string (Rv_serve.Loadgen.summary_json s))
+    else Rv_serve.Loadgen.print_summary stdout s
+  in
+  let conns =
+    Arg.(value & opt int 4 & info [ "c"; "conns" ] ~docv:"N" ~doc:"Concurrent connections.")
+  in
+  let requests =
+    Arg.(value & opt int 200 & info [ "n"; "requests" ] ~docv:"N" ~doc:"Total requests.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Request-mix seed.")
+  in
+  let mix =
+    Arg.(
+      value & opt string "cached"
+      & info [ "mix" ] ~docv:"MIX" ~doc:"Request mix: cached, mixed or heavy.")
+  in
+  let dump =
+    Arg.(
+      value & flag
+      & info [ "dump" ]
+          ~doc:
+            "Print the reply transcript (sorted by request id) to stdout \
+             before the summary — the deterministic byte stream the CI \
+             golden compares across -j1/-j2 and cache on/off.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the summary as one JSON object.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive a running rv serve instance with a seeded deterministic load")
+    Term.(const loadgen $ port_arg $ conns $ requests $ seed $ mix $ dump $ json)
+
+(* version *)
+
+let version_cmd =
+  let version json =
+    let fields = Rv_serve.Server.version_fields () in
+    if json then
+      print_endline
+        (Rv_obs.Json.to_string
+           (Rv_obs.Json.Obj
+              (List.filter
+                 (fun (k, _) -> not (String.equal k "status"))
+                 fields)))
+    else begin
+      Printf.printf "rv %s (ocaml %s, profile %s)\n" Rv_serve.Build_meta.version
+        Rv_serve.Build_meta.ocaml_version Rv_serve.Build_meta.profile;
+      let features =
+        match List.assoc_opt "features" fields with
+        | Some (Rv_obs.Json.List fs) ->
+            List.filter_map
+              (function Rv_obs.Json.Str s -> Some s | _ -> None)
+              fs
+        | _ -> []
+      in
+      Printf.printf "features: %s\n" (String.concat ", " features)
+    end
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Print as one JSON object.") in
+  Cmd.v
+    (Cmd.info "version" ~doc:"Print the build's version and feature flags")
+    Term.(const version $ json)
+
 let () =
   (* RV_DEBUG=1 surfaces per-meeting simulator events on stderr. *)
   if Sys.getenv_opt "RV_DEBUG" <> None then begin
@@ -757,5 +889,5 @@ let () =
     Logs.set_level (Some Logs.Debug)
   end;
   let doc = "deterministic rendezvous in networks (Miller & Pelc, PODC 2014)" in
-  let info = Cmd.info "rv" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; trace_cmd; sweep_cmd; explore_cmd; lb_cmd; exp_cmd; selftest_cmd; async_cmd; gather_cmd; lint_cmd; dot_cmd ]))
+  let info = Cmd.info "rv" ~version:Rv_serve.Build_meta.version ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; trace_cmd; sweep_cmd; explore_cmd; lb_cmd; exp_cmd; selftest_cmd; async_cmd; gather_cmd; lint_cmd; dot_cmd; serve_cmd; loadgen_cmd; version_cmd ]))

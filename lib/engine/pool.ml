@@ -53,6 +53,12 @@ let create ?jobs () =
 
 let jobs t = t.jobs
 
+let pending t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.lock;
+  n
+
 let run t ?chunk ~total f =
   if total < 0 then invalid_arg "Pool.run: negative total";
   if total > 0 then begin

@@ -27,6 +27,12 @@ val create : ?jobs:int -> unit -> t
 val jobs : t -> int
 (** The configured parallelism (1 means inline execution, no domains). *)
 
+val pending : t -> int
+(** Chunks queued but not yet claimed by a worker — a load signal for
+    callers that layer admission control on top (rv_serve health
+    probes).  Momentary by nature: the value may be stale the instant it
+    is returned. *)
+
 val run : t -> ?chunk:int -> total:int -> (int -> unit) -> unit
 (** [run t ~total f] evaluates [f i] once for every [i] in [0 .. total-1]
     and returns when all are done.  [chunk] (default: [total / (8*jobs)],

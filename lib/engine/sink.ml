@@ -5,10 +5,21 @@ type target =
   | Memory of Record.t list ref
   | Tee of t list
 
+(* A sink-owned file is written as [<path>.tmp.<pid>] and renamed into
+   place on [close]: a crash or a killed sweep leaves the previous
+   output intact instead of a truncated half-file, and readers polling
+   [path] never observe a partial write (rename is atomic on POSIX). *)
+and owned_file = {
+  oc : out_channel;
+  tmp_path : string;
+  final_path : string;
+  fsync : bool;
+}
+
 and t = {
   lock : Mutex.t;
   target : target;
-  owned : out_channel option;  (* closed by [close]; [None] = caller's channel *)
+  owned : owned_file option;  (* renamed+closed by [close]; [None] = caller's channel *)
   mutable emitted : int;
   mutable closed : bool;
 }
@@ -26,13 +37,15 @@ let csv oc =
   write_csv_header oc;
   make (Csv oc)
 
-let file format path =
-  let oc = open_out path in
+let file ?(fsync = false) format path =
+  let tmp_path = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out tmp_path in
+  let owned = { oc; tmp_path; final_path = path; fsync } in
   match format with
-  | `Jsonl -> make ~owned:oc (Jsonl oc)
+  | `Jsonl -> make ~owned (Jsonl oc)
   | `Csv ->
       write_csv_header oc;
-      make ~owned:oc (Csv oc)
+      make ~owned (Csv oc)
 
 let tee children = make (Tee children)
 
@@ -71,7 +84,13 @@ let rec close t =
     t.closed <- true;
     (match t.target with
     | Jsonl oc | Csv oc -> (
-        match t.owned with Some oc' -> close_out oc' | None -> flush oc)
+        match t.owned with
+        | Some o ->
+            flush o.oc;
+            if o.fsync then Unix.fsync (Unix.descr_of_out_channel o.oc);
+            close_out o.oc;
+            Unix.rename o.tmp_path o.final_path
+        | None -> flush oc)
     | Null | Memory _ | Tee _ -> ())
   end;
   Mutex.unlock t.lock;

@@ -23,9 +23,13 @@ val csv : out_channel -> t
 (** Writes {!Record.csv_header} immediately, then one row per record.
     The channel stays owned by the caller; {!close} only flushes it. *)
 
-val file : [ `Jsonl | `Csv ] -> string -> t
-(** Like {!jsonl} / {!csv} on a freshly opened (truncated) file; the
-    channel is owned by the sink and closed by {!close}. *)
+val file : ?fsync:bool -> [ `Jsonl | `Csv ] -> string -> t
+(** Like {!jsonl} / {!csv} on a sink-owned file, written atomically: the
+    bytes go to [<path>.tmp.<pid>] and {!close} renames the finished
+    file into place, so a crashed or killed run leaves any previous
+    output at [path] untouched and concurrent readers never see a
+    partial file.  [fsync] (default false) additionally flushes the data
+    to stable storage before the rename. *)
 
 val tee : t list -> t
 (** Broadcasts every record to each sub-sink. *)

@@ -40,6 +40,18 @@ let int_of name s =
 
 let ( let* ) = Result.bind
 
+(* Size ceilings, checked before any graph is constructed.  rv_serve
+   feeds untrusted network input into [parse_graph], so a spec like
+   "binary:99" must come back [Error] instead of attempting a 2^100-node
+   allocation. *)
+let max_nodes = 1 lsl 20
+let max_clique = 2048
+
+let bounded ?(limit = max_nodes) name n =
+  if n > limit then
+    Error (Printf.sprintf "%s: %d exceeds the maximum of %d" name n limit)
+  else Ok n
+
 let dims s =
   match String.split_on_char 'x' s with
   | [ r; c ] ->
@@ -57,6 +69,7 @@ let parse_graph spec =
       match parts with
       | [ "ring"; n ] ->
           let* n = int_of "n" n in
+          let* n = bounded "n" n in
           Ok
             {
               spec;
@@ -66,26 +79,37 @@ let parse_graph spec =
             }
       | "scrambled-ring" :: n :: rest ->
           let* n = int_of "n" n in
+          let* n = bounded "n" n in
           let* seed = match rest with [] -> Ok 1 | [ s ] -> int_of "seed" s | _ -> Error "too many fields" in
           plain (Rv_graph.Ring.scrambled (Rng.create ~seed) n)
       | [ "path"; n ] ->
           let* n = int_of "n" n in
+          let* n = bounded "n" n in
           plain (Rv_graph.Tree.path n)
       | [ "star"; n ] ->
           let* n = int_of "n" n in
+          let* n = bounded "n" n in
           plain (Rv_graph.Tree.star n)
       | "tree" :: n :: rest ->
           let* n = int_of "n" n in
+          let* n = bounded "n" n in
           let* seed = match rest with [] -> Ok 1 | [ s ] -> int_of "seed" s | _ -> Error "too many fields" in
           plain (Rv_graph.Tree.random (Rng.create ~seed) n)
       | [ "binary"; d ] ->
           let* depth = int_of "depth" d in
+          let* depth = bounded ~limit:19 "depth" depth in
           plain (Rv_graph.Tree.full_binary ~depth)
       | [ "grid"; d ] ->
           let* rows, cols = dims d in
+          let* rows = bounded "rows" rows in
+          let* cols = bounded "cols" cols in
+          let* _ = bounded "rows*cols" (rows * cols) in
           plain (Rv_graph.Grid.make ~rows ~cols)
       | [ "torus"; d ] ->
           let* rows, cols = dims d in
+          let* rows = bounded "rows" rows in
+          let* cols = bounded "cols" cols in
+          let* _ = bounded "rows*cols" (rows * cols) in
           Ok
             {
               spec;
@@ -95,6 +119,7 @@ let parse_graph spec =
             }
       | [ "hypercube"; d ] ->
           let* dim = int_of "dim" d in
+          let* dim = bounded ~limit:20 "dim" dim in
           Ok
             {
               spec;
@@ -104,6 +129,7 @@ let parse_graph spec =
             }
       | [ "complete"; n ] ->
           let* n = int_of "n" n in
+          let* n = bounded ~limit:max_clique "n" n in
           Ok
             {
               spec;
@@ -113,25 +139,33 @@ let parse_graph spec =
             }
       | [ "wheel"; n ] ->
           let* n = int_of "n" n in
+          let* n = bounded "n" n in
           plain (Rv_graph.Special.wheel n)
       | [ "petersen" ] -> plain (Rv_graph.Special.petersen ())
       | [ "lollipop"; c; t ] ->
           let* clique = int_of "clique" c in
+          let* clique = bounded ~limit:max_clique "clique" clique in
           let* tail = int_of "tail" t in
+          let* tail = bounded "tail" tail in
           plain (Rv_graph.Special.lollipop ~clique ~tail)
       | [ "barbell"; c; b ] ->
           let* clique = int_of "clique" c in
+          let* clique = bounded ~limit:max_clique "clique" clique in
           let* bridge = int_of "bridge" b in
+          let* bridge = bounded "bridge" bridge in
           plain (Rv_graph.Special.barbell ~clique ~bridge)
       | [ "theta"; l ] ->
           let* len = int_of "len" l in
+          let* len = bounded "len" len in
           plain (Rv_graph.Special.theta ~len)
       | "file" :: path_parts ->
           let path = String.concat ":" path_parts in
           Result.bind (Rv_graph.Serial.read_file ~path) plain
       | "random" :: n :: extra :: rest ->
           let* n = int_of "n" n in
+          let* n = bounded "n" n in
           let* extra = int_of "extra" extra in
+          let* extra = bounded "extra" extra in
           let* seed = match rest with [] -> Ok 1 | [ s ] -> int_of "seed" s | _ -> Error "too many fields" in
           plain (Rv_graph.Random_graph.connected (Rng.create ~seed) ~n ~extra_edges:extra)
       | _ ->

@@ -29,6 +29,10 @@ type graph = {
 }
 
 val parse_graph : string -> (graph, string) result
+(** Parse a graph family spec (see {!graph_forms}).  Never raises, and
+    size parameters are checked against hard ceilings {e before} any
+    construction — untrusted input (the rv_serve wire) cannot trigger a
+    huge allocation. *)
 
 val parse_explorer :
   graph -> string -> (start:int -> Rv_explore.Explorer.t, string) result

@@ -23,6 +23,12 @@ val mean : t -> float
 val max_value : t -> int
 (** Largest observed value ([0] when empty). *)
 
+val percentile : t -> float -> int
+(** [percentile t p] ([0. <= p <= 1.]) is an upper bound on the [p]-th
+    quantile of the observed values, at the log-bucket resolution:
+    the upper bound of the smallest bucket covering rank [ceil (p*n)],
+    clamped to {!max_value}.  [0] when empty. *)
+
 val bucket_bounds : int -> int * int
 (** [bucket_bounds i] is the inclusive value range of bucket [i]
     (bucket 0 is [(min_int, 0)]). *)

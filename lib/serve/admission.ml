@@ -1,0 +1,62 @@
+type 'a t = {
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  q : 'a Queue.t;
+  cap : int;
+  mutable draining : bool;
+}
+
+let create ~cap =
+  {
+    lock = Mutex.create ();
+    not_empty = Condition.create ();
+    q = Queue.create ();
+    cap = max 0 cap;
+    draining = false;
+  }
+
+let submit t x =
+  Mutex.lock t.lock;
+  let r =
+    if t.draining then `Draining
+    else if Queue.length t.q >= t.cap then `Overloaded
+    else begin
+      Queue.push x t.q;
+      Condition.signal t.not_empty;
+      `Accepted
+    end
+  in
+  Mutex.unlock t.lock;
+  r
+
+let pop t =
+  Mutex.lock t.lock;
+  let rec next () =
+    if not (Queue.is_empty t.q) then Some (Queue.pop t.q)
+    else if t.draining then None
+    else begin
+      Condition.wait t.not_empty t.lock;
+      next ()
+    end
+  in
+  let r = next () in
+  Mutex.unlock t.lock;
+  r
+
+let depth t =
+  Mutex.lock t.lock;
+  let d = Queue.length t.q in
+  Mutex.unlock t.lock;
+  d
+
+let drain t =
+  Mutex.lock t.lock;
+  t.draining <- true;
+  Condition.broadcast t.not_empty;
+  Mutex.unlock t.lock
+
+let draining t =
+  Mutex.lock t.lock;
+  let d = t.draining in
+  Mutex.unlock t.lock;
+  d

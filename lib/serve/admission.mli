@@ -1,0 +1,26 @@
+(** Bounded admission queue between connection threads and the compute
+    dispatcher.
+
+    Admission control is load shedding, not backpressure: a submission
+    against a full queue is rejected immediately ([`Overloaded]) so the
+    client gets a fast, explicit answer instead of unbounded queueing.
+    [cap = 0] sheds every submission — the degenerate configuration CI
+    uses to exercise the overload path deterministically.
+
+    {!drain} flips the queue into shutdown mode: new submissions are
+    refused with [`Draining] while everything already admitted is still
+    handed out by {!pop}, which returns [None] only once the queue is
+    both draining and empty — that is the graceful-drain contract. *)
+
+type 'a t
+
+val create : cap:int -> 'a t
+(** Negative capacities are clamped to 0. *)
+
+val submit : 'a t -> 'a -> [ `Accepted | `Overloaded | `Draining ]
+val pop : 'a t -> 'a option
+(** Blocks until an item is available or the queue is drained. *)
+
+val depth : 'a t -> int
+val drain : 'a t -> unit
+val draining : 'a t -> bool

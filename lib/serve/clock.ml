@@ -1,0 +1,6 @@
+(* rv_lint: allow-file R1 -- the serving layer's only clock: deadlines,
+   queue-wait and latency accounting are wall-clock by definition, and no
+   simulated result ever depends on these readings *)
+
+let now_s () = Unix.gettimeofday ()
+let now_us () = Unix.gettimeofday () *. 1e6

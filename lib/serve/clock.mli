@@ -1,0 +1,14 @@
+(** The serving layer's wall clock.
+
+    The simulation stack is deterministic by construction (rv_lint R1
+    bans clock reads from result-bearing code); the server, in contrast,
+    legitimately needs real time for deadlines, queue-wait accounting and
+    latency histograms.  Every such read goes through this one module so
+    the exception stays auditable: no simulated quantity ever depends on
+    these values. *)
+
+val now_us : unit -> float
+(** Microseconds since the Unix epoch. *)
+
+val now_s : unit -> float
+(** Seconds since the Unix epoch. *)

@@ -1,0 +1,168 @@
+module Json = Rv_obs.Json
+module R = Rv_core.Rendezvous
+module Spec = Rv_experiments.Spec
+module W = Rv_experiments.Workload
+
+type outcome =
+  | Done of (string * Json.t) list
+  | Failed of Proto.code * string * (string * Json.t) list
+
+let past_deadline = function
+  | None -> false
+  | Some d -> Clock.now_us () > d
+
+(* [file:] graph specs read local paths; refuse them at the serving
+   boundary no matter what the Spec layer accepts interactively. *)
+let guard_graph spec =
+  if String.length spec >= 5 && String.equal (String.sub spec 0 5) "file:" then
+    Error "file: graphs are not served (remote requests cannot name local paths)"
+  else Spec.parse_graph spec
+
+let parse_specs ~graph ~explorer ~algorithm k =
+  match guard_graph graph with
+  | Error e -> Failed (Proto.Bad_request, "graph: " ^ e, [])
+  | Ok gs -> (
+      match Spec.parse_explorer gs explorer with
+      | Error e -> Failed (Proto.Bad_request, "explorer: " ^ e, [])
+      | Ok ex -> (
+          match Spec.parse_algorithm algorithm with
+          | Error e -> Failed (Proto.Bad_request, "algorithm: " ^ e, [])
+          | Ok algo -> k gs ex algo))
+
+(* --- worst ------------------------------------------------------------- *)
+
+let eval_worst ?pool ~deadline_us (w : Proto.worst_q) =
+  parse_specs ~graph:w.Proto.w_graph ~explorer:w.Proto.w_explorer
+    ~algorithm:w.Proto.w_algorithm
+  @@ fun gs ex algorithm ->
+  let space = w.Proto.w_space in
+  let e = W.e_of ex in
+  let delays =
+    if R.delay_tolerant algorithm then
+      List.sort_uniq
+        Rv_util.Ord.(pair int int)
+        [ (0, 0); (0, 1); (0, w.Proto.w_max_delay); (1, 0); (w.Proto.w_max_delay, 0) ]
+    else [ (0, 0) ]
+  in
+  let pairs = Array.of_list (W.sample_pairs ~space ~max_pairs:w.Proto.w_max_pairs) in
+  let total = Array.length pairs in
+  let progress i wt wc =
+    [
+      ("pairs_done", Json.Int i);
+      ("pairs_total", Json.Int total);
+      ("partial_time", Json.Int wt);
+      ("partial_cost", Json.Int wc);
+    ]
+  in
+  (* With a deadline, one [worst_for] call per label pair: the deadline
+     is re-checked at every pair boundary, so a long sweep degrades into
+     a partial answer instead of holding a worker hostage.  Without one,
+     a single call over all pairs lets the pool fan out (one task per
+     pair).  The worst over pairs is order-insensitive, so the chunking
+     cannot change the result. *)
+  let chunk = if Option.is_some deadline_us then 1 else max 1 total in
+  let rec sweep i wt wc =
+    if i >= total then
+      Done
+        [
+          ("status", Json.Str "ok");
+          ("type", Json.Str "worst");
+          ("graph", Json.Str w.Proto.w_graph);
+          ("algorithm", Json.Str w.Proto.w_algorithm);
+          ("explorer", Json.Str w.Proto.w_explorer);
+          ("space", Json.Int space);
+          ("pairs_swept", Json.Int total);
+          ("delays_swept", Json.Int (List.length delays));
+          ("e", Json.Int e);
+          ("time", Json.Int wt);
+          ("cost", Json.Int wc);
+          ("proven_time", Json.Int (R.proven_time_bound algorithm ~e ~space));
+          ("proven_cost", Json.Int (R.proven_cost_bound algorithm ~e ~space));
+        ]
+    else if past_deadline deadline_us then
+      Failed
+        ( Proto.Deadline_exceeded,
+          Printf.sprintf "deadline exceeded after %d of %d label pairs" i total,
+          progress i wt wc )
+    else begin
+      let len = min chunk (total - i) in
+      match
+        W.worst_for ?pool ~graph_spec:w.Proto.w_graph ~g:gs.Spec.g ~algorithm
+          ~space ~explorer:ex
+          ~pairs:(Array.to_list (Array.sub pairs i len))
+          ~positions:`Fixed_first ~delays ()
+      with
+      | Error msg -> Failed (Proto.Failed_rendezvous, msg, progress i wt wc)
+      | Ok (t, c) -> sweep (i + len) (max wt t) (max wc c)
+    end
+  in
+  sweep 0 0 0
+
+(* --- run --------------------------------------------------------------- *)
+
+let eval_run ~deadline_us (r : Proto.run_q) =
+  parse_specs ~graph:r.Proto.r_graph ~explorer:r.Proto.r_explorer
+    ~algorithm:r.Proto.r_algorithm
+  @@ fun gs ex algorithm ->
+  if past_deadline deadline_us then
+    Failed (Proto.Deadline_exceeded, "deadline exceeded before simulation", [])
+  else begin
+    let n = Rv_graph.Port_graph.n gs.Spec.g in
+    let space = r.Proto.r_space in
+    let start_b =
+      if r.Proto.r_start_b < 0 then (r.Proto.r_start_a + (n / 2)) mod n
+      else r.Proto.r_start_b
+    in
+    let model = if r.Proto.r_parachute then Rv_sim.Sim.Parachute else Rv_sim.Sim.Waiting in
+    let out =
+      R.run ~model ~g:gs.Spec.g ~explorer:ex ~algorithm ~space
+        { R.label = r.Proto.r_label_a; start = r.Proto.r_start_a; delay = r.Proto.r_delay_a }
+        { R.label = r.Proto.r_label_b; start = start_b; delay = r.Proto.r_delay_b }
+    in
+    let e = W.e_of ex in
+    Done
+      [
+        ("status", Json.Str "ok");
+        ("type", Json.Str "run");
+        ("graph", Json.Str r.Proto.r_graph);
+        ("algorithm", Json.Str r.Proto.r_algorithm);
+        ("explorer", Json.Str r.Proto.r_explorer);
+        ("space", Json.Int space);
+        ("label_a", Json.Int r.Proto.r_label_a);
+        ("label_b", Json.Int r.Proto.r_label_b);
+        ("start_a", Json.Int r.Proto.r_start_a);
+        ("start_b", Json.Int start_b);
+        ("delay_a", Json.Int r.Proto.r_delay_a);
+        ("delay_b", Json.Int r.Proto.r_delay_b);
+        ("model", Json.Str (if r.Proto.r_parachute then "parachute" else "waiting"));
+        ("met", Json.Bool out.Rv_sim.Sim.met);
+        ( "time",
+          Json.Int
+            (match out.Rv_sim.Sim.meeting_round with
+            | Some t -> t
+            | None -> out.Rv_sim.Sim.rounds_run) );
+        ( "meeting_node",
+          match out.Rv_sim.Sim.meeting_node with
+          | Some node -> Json.Int node
+          | None -> Json.Null );
+        ("cost", Json.Int out.Rv_sim.Sim.cost);
+        ("cost_a", Json.Int out.Rv_sim.Sim.cost_a);
+        ("cost_b", Json.Int out.Rv_sim.Sim.cost_b);
+        ("crossings", Json.Int out.Rv_sim.Sim.crossings);
+        ("rounds_run", Json.Int out.Rv_sim.Sim.rounds_run);
+        ("proven_time", Json.Int (R.proven_time_bound algorithm ~e ~space));
+        ("proven_cost", Json.Int (R.proven_cost_bound algorithm ~e ~space));
+      ]
+  end
+
+(* --- entry ------------------------------------------------------------- *)
+
+let eval ?pool ~deadline_us (q : Proto.query) =
+  try
+    Rv_obs.Obs.span ~cat:"serve" "serve.compute" @@ fun () ->
+    match q with
+    | Proto.Worst w -> eval_worst ?pool ~deadline_us w
+    | Proto.Run r -> eval_run ~deadline_us r
+  with
+  | Invalid_argument msg -> Failed (Proto.Bad_request, msg, [])
+  | exn -> Failed (Proto.Internal, Printexc.to_string exn, [])

@@ -1,0 +1,26 @@
+(** Evaluate one parsed query into response fields.
+
+    The handler is where an untrusted-but-validated request meets the
+    simulation stack: specs are parsed through {!Rv_experiments.Spec}
+    exactly as the CLI does (except [file:] graphs, which are refused —
+    a remote peer must not name local paths), worst-case sweeps reuse
+    {!Rv_experiments.Workload.worst_for} one label pair at a time so the
+    deadline is checked between pairs, and every [Invalid_argument]
+    raised by the stack surfaces as a [bad_request] reply instead of a
+    dead connection.
+
+    Deadline semantics: [deadline_us] is an absolute wall-clock instant.
+    A sweep that overruns it stops at the next pair boundary and reports
+    [deadline_exceeded] with partial progress ([pairs_done],
+    [pairs_total], [partial_time], [partial_cost]); requests that spent
+    their whole budget queueing report [pairs_done = 0]. *)
+
+type outcome =
+  | Done of (string * Rv_obs.Json.t) list
+      (** cacheable success fields, starting with [("status", Str "ok")] *)
+  | Failed of Proto.code * string * (string * Rv_obs.Json.t) list
+      (** error code, message, structured extras (never cached) *)
+
+val eval :
+  ?pool:Rv_engine.Pool.t -> deadline_us:float option -> Proto.query -> outcome
+(** Never raises. *)

@@ -1,0 +1,268 @@
+module Json = Rv_obs.Json
+
+type mix = Cached | Mixed | Heavy
+
+let mix_to_string = function
+  | Cached -> "cached"
+  | Mixed -> "mixed"
+  | Heavy -> "heavy"
+
+let mix_of_string = function
+  | "cached" -> Ok Cached
+  | "mixed" -> Ok Mixed
+  | "heavy" -> Ok Heavy
+  | other ->
+      Error
+        (Printf.sprintf "unknown mix %S (accepted: cached, mixed, heavy)" other)
+
+type summary = {
+  requests : int;
+  ok : int;
+  errors : int;
+  overloaded : int;
+  deadline_exceeded : int;
+  elapsed_s : float;
+  throughput_rps : float;
+  lat_p50_us : int;
+  lat_p90_us : int;
+  lat_p99_us : int;
+  lat_max_us : int;
+  transcript : string list;
+}
+
+(* --- request generation ------------------------------------------------- *)
+
+let worst_line ~id ~graph ~algorithm ~space ~pairs =
+  Json.to_string
+    (Json.Obj
+       [
+         ("type", Json.Str "worst");
+         ("id", Json.Int id);
+         ("graph", Json.Str graph);
+         ("algorithm", Json.Str algorithm);
+         ("space", Json.Int space);
+         ("pairs", Json.Int pairs);
+       ])
+
+let run_line ~id ~graph ~algorithm ~space ~label_a ~label_b =
+  Json.to_string
+    (Json.Obj
+       [
+         ("type", Json.Str "run");
+         ("id", Json.Int id);
+         ("graph", Json.Str graph);
+         ("algorithm", Json.Str algorithm);
+         ("space", Json.Int space);
+         ("label_a", Json.Int label_a);
+         ("label_b", Json.Int label_b);
+       ])
+
+(* The cached mix cycles through a small set of distinct questions, so
+   after one lap every reply is a cache hit. *)
+let cached_line ~id k =
+  match k mod 6 with
+  | 0 -> worst_line ~id ~graph:"ring:6" ~algorithm:"cheap" ~space:8 ~pairs:4
+  | 1 -> worst_line ~id ~graph:"ring:8" ~algorithm:"fast-sim" ~space:8 ~pairs:4
+  | 2 -> run_line ~id ~graph:"ring:8" ~algorithm:"cheap" ~space:8 ~label_a:1 ~label_b:2
+  | 3 -> run_line ~id ~graph:"ring:10" ~algorithm:"fast" ~space:8 ~label_a:3 ~label_b:5
+  | 4 -> worst_line ~id ~graph:"path:6" ~algorithm:"cheap" ~space:8 ~pairs:4
+  | _ -> run_line ~id ~graph:"star:5" ~algorithm:"cheap" ~space:8 ~label_a:2 ~label_b:7
+
+(* Every heavy request is a distinct compute-bound question: label pairs
+   walk the space so the canonical keys never repeat within a run. *)
+let heavy_line ~id k =
+  let la = 1 + (k mod 15) in
+  let lb = 1 + ((k + 1 + (k / 15)) mod 15) in
+  let lb = if lb = la then 1 + ((lb + 1) mod 15) else lb in
+  run_line ~id ~graph:"ring:16" ~algorithm:"fast" ~space:16 ~label_a:la
+    ~label_b:(if lb = la then la + 1 else lb)
+
+(* Pre-generate the whole request stream with one seeded generator, in
+   index order, before any thread starts: line [i] is a pure function of
+   (mix, seed, requests). *)
+let generate ~mix ~seed ~requests =
+  let rng = Rv_util.Rng.create ~seed in
+  Array.init requests (fun i ->
+      match mix with
+      | Cached -> cached_line ~id:i i
+      | Heavy -> heavy_line ~id:i i
+      | Mixed ->
+          if Rv_util.Rng.int_in rng 0 9 < 8 then
+            cached_line ~id:i (Rv_util.Rng.int_in rng 0 5)
+          else heavy_line ~id:i (Rv_util.Rng.int_in rng 0 1000))
+
+(* --- driving ------------------------------------------------------------ *)
+
+let connect ~host ~port =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let rec go attempt =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if attempt >= 50 then
+          Error
+            (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message e))
+        else begin
+          Thread.delay 0.1;
+          go (attempt + 1)
+        end
+  in
+  go 0
+
+type worker_result = {
+  mutable replies : (int * string) list;
+  mutable latencies : int list;
+  mutable failure : string option;
+}
+
+let drive_conn fd lines indices result =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  try
+    List.iter
+      (fun i ->
+        let t0 = Clock.now_us () in
+        output_string oc lines.(i);
+        output_char oc '\n';
+        flush oc;
+        match input_line ic with
+        | reply ->
+            let dt = int_of_float (Clock.now_us () -. t0) in
+            result.replies <- (i, reply) :: result.replies;
+            result.latencies <- dt :: result.latencies
+        | exception End_of_file ->
+            result.failure <- Some (Printf.sprintf "connection closed before reply to request %d" i);
+            raise Exit)
+      indices
+  with
+  | Exit -> ()
+  | Sys_error msg | Unix.Unix_error (_, msg, _) ->
+      result.failure <- Some ("connection error: " ^ msg)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let classify reply =
+  match Json.parse reply with
+  | Error _ -> `Error None
+  | Ok j -> (
+      match Json.member "status" j with
+      | Some (Json.Str "ok") -> `Ok
+      | _ -> (
+          match Json.member "code" j with
+          | Some (Json.Str c) -> `Error (Some c)
+          | _ -> `Error None))
+
+let run ?(host = "127.0.0.1") ~port ~conns ~requests ~seed ~mix () =
+  if conns < 1 then Error "loadgen: conns must be >= 1"
+  else if requests < 1 then Error "loadgen: requests must be >= 1"
+  else begin
+    let lines = generate ~mix ~seed ~requests in
+    let conns = min conns requests in
+    (* Round-robin deal, each connection's share in increasing id order. *)
+    let share k =
+      List.init ((requests - k + conns - 1) / conns) (fun j -> k + (j * conns))
+    in
+    let sockets = List.init conns (fun _ -> connect ~host ~port) in
+    match List.find_opt Result.is_error sockets with
+    | Some (Error e) ->
+        List.iter
+          (function
+            | Ok fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+            | Error _ -> ())
+          sockets;
+        Error e
+    | _ ->
+        let fds =
+          List.filter_map (function Ok fd -> Some fd | Error _ -> None) sockets
+        in
+        let results =
+          List.map
+            (fun _ -> { replies = []; latencies = []; failure = None })
+            fds
+        in
+        let t0 = Clock.now_us () in
+        let threads =
+          List.mapi
+            (fun k (fd, result) ->
+              Thread.create (fun () -> drive_conn fd lines (share k) result) ())
+            (List.combine fds results)
+        in
+        List.iter Thread.join threads;
+        let elapsed_s = (Clock.now_us () -. t0) /. 1_000_000. in
+        List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) fds;
+        match List.find_map (fun r -> r.failure) results with
+        | Some msg -> Error msg
+        | None ->
+            let replies = List.concat_map (fun r -> r.replies) results in
+            let transcript =
+              List.map snd
+                (List.sort
+                   (fun (a, _) (b, _) -> Rv_util.Ord.int a b)
+                   replies)
+            in
+            let lat =
+              Array.of_list (List.concat_map (fun r -> r.latencies) results)
+            in
+            Array.sort Rv_util.Ord.int lat;
+            let ok = ref 0
+            and errors = ref 0
+            and over = ref 0
+            and dead = ref 0 in
+            List.iter
+              (fun reply ->
+                match classify reply with
+                | `Ok -> incr ok
+                | `Error code ->
+                    incr errors;
+                    (match code with
+                    | Some "overloaded" -> incr over
+                    | Some "deadline_exceeded" -> incr dead
+                    | _ -> ()))
+              transcript;
+            Ok
+              {
+                requests;
+                ok = !ok;
+                errors = !errors;
+                overloaded = !over;
+                deadline_exceeded = !dead;
+                elapsed_s;
+                throughput_rps =
+                  (if elapsed_s > 0. then float_of_int requests /. elapsed_s
+                   else 0.);
+                lat_p50_us = percentile lat 0.50;
+                lat_p90_us = percentile lat 0.90;
+                lat_p99_us = percentile lat 0.99;
+                lat_max_us = (if Array.length lat = 0 then 0 else lat.(Array.length lat - 1));
+                transcript;
+              }
+  end
+
+let summary_json s =
+  Json.Obj
+    [
+      ("requests", Json.Int s.requests);
+      ("ok", Json.Int s.ok);
+      ("errors", Json.Int s.errors);
+      ("overloaded", Json.Int s.overloaded);
+      ("deadline_exceeded", Json.Int s.deadline_exceeded);
+      ("elapsed_s", Json.Float s.elapsed_s);
+      ("throughput_rps", Json.Float s.throughput_rps);
+      ("lat_p50_us", Json.Int s.lat_p50_us);
+      ("lat_p90_us", Json.Int s.lat_p90_us);
+      ("lat_p99_us", Json.Int s.lat_p99_us);
+      ("lat_max_us", Json.Int s.lat_max_us);
+    ]
+
+let print_summary out s =
+  Printf.fprintf out
+    "requests %d  ok %d  errors %d (overloaded %d, deadline %d)\n\
+     elapsed %.3fs  throughput %.0f req/s\n\
+     latency p50 %dus  p90 %dus  p99 %dus  max %dus\n"
+    s.requests s.ok s.errors s.overloaded s.deadline_exceeded s.elapsed_s
+    s.throughput_rps s.lat_p50_us s.lat_p90_us s.lat_p99_us s.lat_max_us

@@ -1,0 +1,53 @@
+(** Deterministic load harness for {!Server}.
+
+    A run opens [conns] TCP connections, deals a seeded request mix
+    across them round-robin, and drives each connection from its own
+    thread (write line, read reply, repeat).  Request ids are the global
+    request index, so the concatenation of all replies {e sorted by id}
+    is a pure function of [(mix, seed, requests)] — that sorted
+    transcript is what the determinism checks and the CI golden file
+    compare across [-j1]/[-j2] and cache on/off. *)
+
+type mix =
+  | Cached  (** a handful of distinct queries, endlessly repeated —
+                exercises the result-cache fast path *)
+  | Mixed  (** mostly repeats with a tail of fresh queries *)
+  | Heavy  (** every query distinct and compute-bound — exercises
+               admission control *)
+
+val mix_of_string : string -> (mix, string) result
+val mix_to_string : mix -> string
+
+type summary = {
+  requests : int;
+  ok : int;
+  errors : int;
+  overloaded : int;
+  deadline_exceeded : int;
+  elapsed_s : float;
+  throughput_rps : float;
+  lat_p50_us : int;
+  lat_p90_us : int;
+  lat_p99_us : int;
+  lat_max_us : int;
+  transcript : string list;
+      (** reply lines sorted by request id — the deterministic part *)
+}
+
+val run :
+  ?host:string ->
+  port:int ->
+  conns:int ->
+  requests:int ->
+  seed:int ->
+  mix:mix ->
+  unit ->
+  (summary, string) result
+(** Drive a server.  Connection failures during setup retry briefly
+    (the server may still be binding); a mid-run connection loss aborts
+    with [Error]. *)
+
+val summary_json : summary -> Rv_obs.Json.t
+(** For [BENCH_serve.json]; excludes the transcript. *)
+
+val print_summary : out_channel -> summary -> unit

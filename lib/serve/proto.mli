@@ -1,0 +1,91 @@
+(** The rv_serve wire protocol: newline-delimited JSON, one request
+    object per line, one response object per line.
+
+    Requests carry a ["type"] field selecting the query:
+
+    - ["worst"] — worst-case time/cost sweep over sampled label pairs
+      (fields: [graph], [algorithm], [explorer], [space], [pairs],
+      [max_delay])
+    - ["run"] — one rendezvous simulation (fields: [graph], [algorithm],
+      [explorer], [space], [label_a], [label_b], [start_a], [start_b],
+      [delay_a], [delay_b], [model])
+    - ["health"], ["metrics"], ["version"] — admin probes, answered
+      inline without touching the work queue
+
+    Every request may carry an ["id"] (echoed verbatim in the response)
+    and a ["deadline_ms"] budget.  The parser is strict — unknown or
+    duplicated fields, out-of-range values and non-object lines are
+    rejected with a [bad_request] reply — because the serve path makes
+    this the system's untrusted-input boundary.
+
+    Responses are [{"status":"ok", ...}] or
+    [{"status":"error","code":C,"message":M, ...}] with [C] one of
+    [bad_request], [overloaded], [deadline_exceeded],
+    [failed_rendezvous], [internal]. *)
+
+type worst_q = {
+  w_graph : string;
+  w_algorithm : string;
+  w_explorer : string;
+  w_space : int;
+  w_max_pairs : int;
+  w_max_delay : int;
+}
+
+type run_q = {
+  r_graph : string;
+  r_algorithm : string;
+  r_explorer : string;
+  r_space : int;
+  r_label_a : int;
+  r_label_b : int;
+  r_start_a : int;
+  r_start_b : int;  (** [-1] = antipode of [r_start_a] (resolved server-side) *)
+  r_delay_a : int;
+  r_delay_b : int;
+  r_parachute : bool;
+}
+
+type query = Worst of worst_q | Run of run_q
+type admin = Health | Metrics | Version
+
+type request = {
+  id : int option;  (** echoed in the response when present *)
+  deadline_ms : int option;
+  body : [ `Query of query | `Admin of admin ];
+}
+
+val max_line_len : int
+(** Longest accepted request line, in bytes; the server's reader stops
+    buffering there. *)
+
+val parse : string -> (request, string) result
+(** Parse and validate one request line.  Never raises. *)
+
+val canonical_key : query -> string
+(** The cache key: a canonical rendering of the resolved query, with
+    every defaultable field made explicit and [id]/[deadline_ms]
+    excluded — two requests that ask the same question share a key. *)
+
+type code =
+  | Bad_request
+  | Overloaded
+  | Deadline_exceeded
+  | Failed_rendezvous
+  | Internal
+
+val code_to_string : code -> string
+
+val ok_line : id:int option -> (string * Rv_obs.Json.t) list -> string
+(** Render a success response (no trailing newline).  [fields] must start
+    with [("status", Str "ok")]; the [id], when present, is prepended —
+    so a cached field list re-renders to byte-identical output. *)
+
+val error_line :
+  id:int option ->
+  ?extra:(string * Rv_obs.Json.t) list ->
+  code ->
+  string ->
+  string
+(** Render an error response (no trailing newline).  [extra] carries
+    structured context such as partial-progress counters. *)

@@ -1,0 +1,49 @@
+type t = {
+  lock : Mutex.t;
+  tbl : (int, Unix.file_descr) Hashtbl.t;
+  mutable next_token : int;
+  mutable total : int;
+}
+
+let create () =
+  { lock = Mutex.create (); tbl = Hashtbl.create 64; next_token = 0; total = 0 }
+
+let register t fd =
+  Mutex.lock t.lock;
+  let token = t.next_token in
+  t.next_token <- token + 1;
+  t.total <- t.total + 1;
+  Hashtbl.replace t.tbl token fd;
+  Mutex.unlock t.lock;
+  token
+
+let unregister t token =
+  Mutex.lock t.lock;
+  Hashtbl.remove t.tbl token;
+  Mutex.unlock t.lock
+
+let active t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.tbl in
+  Mutex.unlock t.lock;
+  n
+
+let total t =
+  Mutex.lock t.lock;
+  let n = t.total in
+  Mutex.unlock t.lock;
+  n
+
+let shutdown_all t =
+  Mutex.lock t.lock;
+  (* Sweep in token order: registration order, deterministic. *)
+  let tokens =
+    List.sort Rv_util.Ord.int (Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [])
+  in
+  let fds = List.filter_map (Hashtbl.find_opt t.tbl) tokens in
+  Mutex.unlock t.lock;
+  List.iter
+    (fun fd ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+      with Unix.Unix_error _ | Invalid_argument _ -> ())
+    fds

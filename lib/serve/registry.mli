@@ -1,0 +1,24 @@
+(** Live-connection registry, used by graceful drain.
+
+    Each accepted connection registers its socket; on drain the server
+    half-closes every registered socket for reading
+    ([Unix.SHUTDOWN_RECEIVE]) so connection threads blocked in a read see
+    end-of-file and exit cleanly — {e after} their in-flight responses
+    have been written, because the dispatcher finishes the admitted queue
+    before the registry is swept. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> Unix.file_descr -> int
+(** Returns a token for {!unregister}. *)
+
+val unregister : t -> int -> unit
+val active : t -> int
+val total : t -> int
+(** Connections accepted over the server's lifetime. *)
+
+val shutdown_all : t -> unit
+(** Half-close every registered socket for reading; safe to call while
+    connection threads are using them. *)

@@ -1,0 +1,499 @@
+module Json = Rv_obs.Json
+module Counter = Rv_obs.Counter
+module Histogram = Rv_obs.Histogram
+module Obs = Rv_obs.Obs
+
+type config = {
+  host : string;
+  port : int;
+  jobs : int;
+  cache_bytes : int;
+  queue_cap : int;
+  default_deadline_ms : int option;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    jobs = 1;
+    cache_bytes = 8 * 1024 * 1024;
+    queue_cap = 64;
+    default_deadline_ms = None;
+  }
+
+(* One accepted client.  [inflight] counts jobs handed to the dispatcher
+   whose replies have not been written yet; the connection thread waits
+   for it to reach zero before closing the socket, so the dispatcher
+   never writes to a recycled file descriptor. *)
+type conn = {
+  fd : Unix.file_descr;
+  oc : out_channel;
+  wlock : Mutex.t;
+  inflight : int Atomic.t;
+}
+
+type job = {
+  j_id : int option;
+  j_key : string;
+  j_query : Proto.query;
+  j_deadline_us : float option;
+  j_recv_us : float;
+  j_conn : conn;
+}
+
+type t = {
+  cfg : config;
+  lsock : Unix.file_descr;
+  srv_port : int;
+  cache : Cache.t;
+  queue : job Admission.t;
+  registry : Registry.t;
+  pool : Rv_engine.Pool.t option;
+  stop_flag : bool Atomic.t;
+  joined : bool Atomic.t;
+  conns_lock : Mutex.t;
+  mutable conn_threads : Thread.t list;
+  mutable acceptor : Thread.t option;
+  mutable dispatcher : Thread.t option;
+  started_us : float;
+  (* Per-server counters back the [metrics] reply: the Rv_obs registries
+     are process-global (tests run several servers in one process), so
+     the reply must come from state scoped to this server. *)
+  n_requests : int Atomic.t;
+  n_ok : int Atomic.t;
+  n_errors : int Atomic.t;
+  n_bad : int Atomic.t;
+  n_overloaded : int Atomic.t;
+  n_deadline : int Atomic.t;
+  n_cache_hits : int Atomic.t;
+  n_cache_misses : int Atomic.t;
+  (* Hoisted process-global instruments (exported alongside everything
+     else by [rv] metric dumps). *)
+  c_requests : Counter.t;
+  c_ok : Counter.t;
+  c_errors : Counter.t;
+  c_overloaded : Counter.t;
+  c_deadline : Counter.t;
+  c_cache_hits : Counter.t;
+  c_cache_misses : Counter.t;
+  h_latency : Histogram.t;
+  h_queue_wait : Histogram.t;
+}
+
+let port t = t.srv_port
+let cache_stats t = Cache.stats t.cache
+
+(* --- writing ----------------------------------------------------------- *)
+
+let write_conn conn line =
+  Mutex.lock conn.wlock;
+  (try
+     output_string conn.oc line;
+     output_char conn.oc '\n';
+     flush conn.oc
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  Mutex.unlock conn.wlock
+
+let observe_latency t recv_us =
+  Histogram.observe_t t.h_latency (int_of_float (Clock.now_us () -. recv_us))
+
+let reply_ok t conn ~id ~recv_us fields =
+  Atomic.incr t.n_ok;
+  Counter.add t.c_ok 1;
+  write_conn conn (Proto.ok_line ~id fields);
+  observe_latency t recv_us
+
+let reply_error t conn ~id ~recv_us ?extra code msg =
+  Atomic.incr t.n_errors;
+  Counter.add t.c_errors 1;
+  (match code with
+  | Proto.Bad_request -> Atomic.incr t.n_bad
+  | Proto.Overloaded ->
+      Atomic.incr t.n_overloaded;
+      Counter.add t.c_overloaded 1
+  | Proto.Deadline_exceeded ->
+      Atomic.incr t.n_deadline;
+      Counter.add t.c_deadline 1
+  | Proto.Failed_rendezvous | Proto.Internal -> ());
+  write_conn conn (Proto.error_line ~id ?extra code msg);
+  observe_latency t recv_us
+
+let cache_hit t =
+  Atomic.incr t.n_cache_hits;
+  Counter.add t.c_cache_hits 1
+
+let cache_miss t =
+  Atomic.incr t.n_cache_misses;
+  Counter.add t.c_cache_misses 1
+
+(* --- admin replies ----------------------------------------------------- *)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+  m > 0 && go 0
+
+let feature_flags () =
+  let fs = [ Json.Str "traj-cache" ] in
+  let fs =
+    if
+      contains_sub Build_meta.profile "tsan"
+      || contains_sub Build_meta.context "tsan"
+    then fs @ [ Json.Str "tsan" ]
+    else fs
+  in
+  let fs =
+    match Sys.getenv_opt "RV_NO_TRAJ" with
+    | Some _ -> fs @ [ Json.Str "no-traj-env" ]
+    | None -> fs
+  in
+  fs
+
+let version_fields () =
+  [
+    ("status", Json.Str "ok");
+    ("type", Json.Str "version");
+    ("version", Json.Str Build_meta.version);
+    ("ocaml", Json.Str Build_meta.ocaml_version);
+    ("profile", Json.Str Build_meta.profile);
+    ("features", Json.List (feature_flags ()));
+  ]
+
+let health_fields t =
+  [
+    ("status", Json.Str "ok");
+    ("type", Json.Str "health");
+    ("draining", Json.Bool (Admission.draining t.queue));
+    ("queue_depth", Json.Int (Admission.depth t.queue));
+    ("queue_cap", Json.Int t.cfg.queue_cap);
+    ("jobs", Json.Int (max 1 t.cfg.jobs));
+    ( "pool_pending",
+      Json.Int
+        (match t.pool with Some p -> Rv_engine.Pool.pending p | None -> 0) );
+    ("active_connections", Json.Int (Registry.active t.registry));
+    ("total_connections", Json.Int (Registry.total t.registry));
+    ("cache_entries", Json.Int (Cache.stats t.cache).Cache.entries);
+    ("cache_bytes", Json.Int (Cache.stats t.cache).Cache.bytes);
+    ("uptime_us", Json.Int (int_of_float (Clock.now_us () -. t.started_us)));
+  ]
+
+let metrics_fields t =
+  let cs = Cache.stats t.cache in
+  [
+    ("status", Json.Str "ok");
+    ("type", Json.Str "metrics");
+    ("requests", Json.Int (Atomic.get t.n_requests));
+    ("ok", Json.Int (Atomic.get t.n_ok));
+    ("errors", Json.Int (Atomic.get t.n_errors));
+    ("bad_request", Json.Int (Atomic.get t.n_bad));
+    ("overloaded", Json.Int (Atomic.get t.n_overloaded));
+    ("deadline_exceeded", Json.Int (Atomic.get t.n_deadline));
+    ("cache_hits", Json.Int (Atomic.get t.n_cache_hits));
+    ("cache_misses", Json.Int (Atomic.get t.n_cache_misses));
+    ("cache_entries", Json.Int cs.Cache.entries);
+    ("cache_bytes", Json.Int cs.Cache.bytes);
+    ("cache_evictions", Json.Int cs.Cache.evictions);
+    ("queue_depth", Json.Int (Admission.depth t.queue));
+    ("latency_count", Json.Int (Histogram.count t.h_latency));
+    ("latency_max_us", Json.Int (Histogram.max_value t.h_latency));
+    ("queue_wait_max_us", Json.Int (Histogram.max_value t.h_queue_wait));
+  ]
+
+let admin_fields t = function
+  | Proto.Health -> health_fields t
+  | Proto.Metrics -> metrics_fields t
+  | Proto.Version -> version_fields ()
+
+(* --- dispatcher -------------------------------------------------------- *)
+
+let process t job =
+  let conn = job.j_conn in
+  Histogram.observe_t t.h_queue_wait
+    (int_of_float (Clock.now_us () -. job.j_recv_us));
+  (match Cache.find t.cache job.j_key with
+  | Some fields ->
+      (* A concurrent identical request computed it while this one
+         queued. *)
+      cache_hit t;
+      reply_ok t conn ~id:job.j_id ~recv_us:job.j_recv_us fields
+  | None -> (
+      cache_miss t;
+      match
+        Handler.eval ?pool:t.pool ~deadline_us:job.j_deadline_us job.j_query
+      with
+      | Handler.Done fields ->
+          Cache.add t.cache job.j_key fields;
+          reply_ok t conn ~id:job.j_id ~recv_us:job.j_recv_us fields
+      | Handler.Failed (code, msg, extra) ->
+          reply_error t conn ~id:job.j_id ~recv_us:job.j_recv_us ~extra code msg));
+  Atomic.decr conn.inflight
+
+let dispatch_loop t =
+  let rec loop () =
+    match Admission.pop t.queue with
+    | None -> ()
+    | Some job ->
+        process t job;
+        loop ()
+  in
+  loop ()
+
+(* --- connections ------------------------------------------------------- *)
+
+let serve_line t conn ~recv_us line =
+  Atomic.incr t.n_requests;
+  Counter.add t.c_requests 1;
+  Obs.span ~cat:"serve" "serve.request" @@ fun () ->
+  match Proto.parse line with
+  | Error msg -> reply_error t conn ~id:None ~recv_us Proto.Bad_request msg
+  | Ok req -> (
+      match req.Proto.body with
+      | `Admin a -> reply_ok t conn ~id:req.Proto.id ~recv_us (admin_fields t a)
+      | `Query q -> (
+          let key = Proto.canonical_key q in
+          match Cache.find t.cache key with
+          | Some fields ->
+              cache_hit t;
+              reply_ok t conn ~id:req.Proto.id ~recv_us fields
+          | None -> (
+              let deadline_us =
+                match (req.Proto.deadline_ms, t.cfg.default_deadline_ms) with
+                | Some ms, _ | None, Some ms ->
+                    Some (recv_us +. (float_of_int ms *. 1000.))
+                | None, None -> None
+              in
+              let job =
+                {
+                  j_id = req.Proto.id;
+                  j_key = key;
+                  j_query = q;
+                  j_deadline_us = deadline_us;
+                  j_recv_us = recv_us;
+                  j_conn = conn;
+                }
+              in
+              Atomic.incr conn.inflight;
+              match Admission.submit t.queue job with
+              | `Accepted -> ()
+              | `Overloaded ->
+                  Atomic.decr conn.inflight;
+                  reply_error t conn ~id:req.Proto.id ~recv_us Proto.Overloaded
+                    "admission queue full"
+              | `Draining ->
+                  Atomic.decr conn.inflight;
+                  reply_error t conn ~id:req.Proto.id ~recv_us Proto.Overloaded
+                    "server draining")))
+
+(* Bounded line reader: a hostile peer must not make us buffer an
+   arbitrarily long line.  Overlong lines are consumed to their newline
+   and reported, so the connection survives. *)
+let read_line_bounded ic max_len =
+  let b = Buffer.create 256 in
+  let rec skip () =
+    match input_char ic with
+    | '\n' -> `Too_long
+    | _ -> skip ()
+    | exception (End_of_file | Sys_error _) -> `Too_long
+  in
+  let rec go () =
+    match input_char ic with
+    | '\n' -> `Line (Buffer.contents b)
+    | c ->
+        if Buffer.length b >= max_len then skip ()
+        else begin
+          Buffer.add_char b c;
+          go ()
+        end
+    | exception End_of_file ->
+        if Buffer.length b = 0 then `Eof else `Line (Buffer.contents b)
+    | exception Sys_error _ -> `Eof
+  in
+  go ()
+
+let handle_conn t fd =
+  let token = Registry.register t.registry fd in
+  let conn =
+    {
+      fd;
+      oc = Unix.out_channel_of_descr fd;
+      wlock = Mutex.create ();
+      inflight = Atomic.make 0;
+    }
+  in
+  let ic = Unix.in_channel_of_descr fd in
+  Fun.protect
+    ~finally:(fun () ->
+      Registry.unregister t.registry token;
+      (* Wait for the dispatcher to write any outstanding replies before
+         tearing the descriptor down. *)
+      let rec settle n =
+        if Atomic.get conn.inflight > 0 then begin
+          if n < 64 then Thread.yield () else Thread.delay 0.001;
+          settle (n + 1)
+        end
+      in
+      settle 0;
+      (try close_out conn.oc with Sys_error _ | Unix.Unix_error _ -> ());
+      try close_in ic with Sys_error _ | Unix.Unix_error _ -> ())
+    (fun () ->
+      let rec loop () =
+        match read_line_bounded ic Proto.max_line_len with
+        | `Eof -> ()
+        | `Too_long ->
+            Atomic.incr t.n_requests;
+            Counter.add t.c_requests 1;
+            reply_error t conn ~id:None ~recv_us:(Clock.now_us ())
+              Proto.Bad_request
+              (Printf.sprintf "request line exceeds %d bytes" Proto.max_line_len);
+            loop ()
+        | `Line line ->
+            (try serve_line t conn ~recv_us:(Clock.now_us ()) line
+             with exn ->
+               reply_error t conn ~id:None ~recv_us:(Clock.now_us ())
+                 Proto.Internal (Printexc.to_string exn));
+            loop ()
+      in
+      loop ())
+
+(* --- acceptor ---------------------------------------------------------- *)
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.accept t.lsock with
+    | fd, _ ->
+        let th = Thread.create (fun () -> handle_conn t fd) () in
+        Mutex.lock t.conns_lock;
+        t.conn_threads <- th :: t.conn_threads;
+        Mutex.unlock t.conns_lock;
+        loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        if Atomic.get t.stop_flag then () else loop ()
+    | exception Unix.Unix_error _ ->
+        (* [request_stop] shut the listening socket down; any other
+           accept failure backs off briefly and retries. *)
+        if Atomic.get t.stop_flag then ()
+        else begin
+          Thread.delay 0.01;
+          loop ()
+        end
+  in
+  loop ()
+
+(* --- lifecycle --------------------------------------------------------- *)
+
+let drain_signals = [ Sys.sigint; Sys.sigterm ]
+
+let start cfg =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* Every thread (and pool domain) spawned below inherits a mask with
+     the drain signals blocked, so the kernel can never pick one of them
+     for delivery — {!install_signals}' watcher is then the only
+     receiver.  The caller's own mask is restored on the way out. *)
+  let old_mask = Thread.sigmask Unix.SIG_BLOCK drain_signals in
+  Fun.protect
+    ~finally:(fun () -> ignore (Thread.sigmask Unix.SIG_SETMASK old_mask))
+  @@ fun () ->
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+     Unix.bind lsock
+       (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+     Unix.listen lsock 128
+   with exn ->
+     (try Unix.close lsock with Unix.Unix_error _ -> ());
+     raise exn);
+  let srv_port =
+    match Unix.getsockname lsock with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> cfg.port
+  in
+  let pool =
+    if cfg.jobs > 1 then Some (Rv_engine.Pool.create ~jobs:cfg.jobs ())
+    else None
+  in
+  let t =
+    {
+      cfg;
+      lsock;
+      srv_port;
+      cache = Cache.create ~max_bytes:cfg.cache_bytes;
+      queue = Admission.create ~cap:cfg.queue_cap;
+      registry = Registry.create ();
+      pool;
+      stop_flag = Atomic.make false;
+      joined = Atomic.make false;
+      conns_lock = Mutex.create ();
+      conn_threads = [];
+      acceptor = None;
+      dispatcher = None;
+      started_us = Clock.now_us ();
+      n_requests = Atomic.make 0;
+      n_ok = Atomic.make 0;
+      n_errors = Atomic.make 0;
+      n_bad = Atomic.make 0;
+      n_overloaded = Atomic.make 0;
+      n_deadline = Atomic.make 0;
+      n_cache_hits = Atomic.make 0;
+      n_cache_misses = Atomic.make 0;
+      c_requests = Counter.find "serve.requests";
+      c_ok = Counter.find "serve.ok";
+      c_errors = Counter.find "serve.errors";
+      c_overloaded = Counter.find "serve.overloaded";
+      c_deadline = Counter.find "serve.deadline_exceeded";
+      c_cache_hits = Counter.find "serve.cache_hits";
+      c_cache_misses = Counter.find "serve.cache_misses";
+      h_latency = Histogram.find "serve.latency_us";
+      h_queue_wait = Histogram.find "serve.queue_wait_us";
+    }
+  in
+  t.acceptor <- Some (Thread.create accept_loop t);
+  t.dispatcher <- Some (Thread.create dispatch_loop t);
+  t
+
+let request_stop t =
+  if Atomic.compare_and_set t.stop_flag false true then
+    (* Wakes the blocked [accept]; Linux returns [EINVAL] from [accept]
+       after [shutdown] on a listening socket. *)
+    try Unix.shutdown t.lsock Unix.SHUTDOWN_ALL
+    with Unix.Unix_error _ | Invalid_argument _ -> ()
+
+let join t =
+  if Atomic.compare_and_set t.joined false true then begin
+    (match t.acceptor with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.lsock with Unix.Unix_error _ -> ());
+    (* Admitted jobs finish and their responses are written before any
+       connection is torn down. *)
+    Admission.drain t.queue;
+    (match t.dispatcher with Some th -> Thread.join th | None -> ());
+    Registry.shutdown_all t.registry;
+    let conns =
+      Mutex.lock t.conns_lock;
+      let c = t.conn_threads in
+      Mutex.unlock t.conns_lock;
+      c
+    in
+    List.iter Thread.join conns;
+    match t.pool with Some p -> Rv_engine.Pool.shutdown p | None -> ()
+  end
+
+let stop t =
+  request_stop t;
+  join t
+
+(* [Sys.Signal_handle] handlers do not run while every thread is parked
+   in a blocking section (observed on OCaml 5.1: a handler installed
+   before [Thread.join] never fires), so drain signals are delivered the
+   reliable way: masked everywhere, consumed by a dedicated
+   [Thread.wait_signal] watcher. *)
+let install_signals t =
+  ignore (Thread.sigmask Unix.SIG_BLOCK drain_signals);
+  ignore
+    (Thread.create
+       (fun () ->
+         ignore (Thread.wait_signal drain_signals);
+         request_stop t;
+         (* A second signal abandons the drain. *)
+         ignore (Thread.wait_signal drain_signals);
+         exit 1)
+       ())

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for rv serve, as run by the CI serve-smoke job.
+#
+#   1. boot a server, drive it with the seeded mixed workload, and diff
+#      the reply transcript against test/golden/serve_mix.golden;
+#   2. repeat at --jobs 2: the transcript must be byte-identical;
+#   3. repeat with the cache disabled: byte-identical again;
+#   4. boot with --queue 0 and a heavy mix: every compute query must be
+#      shed with an "overloaded" reply while health stays answerable;
+#   5. SIGINT each server and require the "drained" line (graceful drain).
+#
+# Usage: scripts/serve_smoke.sh [path-to-rv.exe]
+# Runs from the repository root; leaves transcripts in $TMPDIR.
+
+set -euo pipefail
+
+RV=${1:-_build/default/bin/rv.exe}
+GOLDEN=test/golden/serve_mix.golden
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+SEED=7
+REQUESTS=60
+CONNS=3
+
+boot() { # boot <logfile> <extra-args...>; echoes "pid port"
+  local log=$1; shift
+  "$RV" serve --port 0 "$@" >"$log" 2>&1 &
+  local pid=$!
+  local port=""
+  for _ in $(seq 1 50); do
+    port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$log")
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  [ -n "$port" ] || { echo "server did not boot; log:" >&2; cat "$log" >&2; exit 1; }
+  echo "$pid $port"
+}
+
+drain() { # drain <pid> <logfile>: SIGINT, then poll for the drained line
+  # (the server is not a child of this shell -- it was spawned inside the
+  # boot process substitution -- so `wait` cannot be used here)
+  local pid=$1 log=$2
+  kill -INT "$pid"
+  for _ in $(seq 1 100); do
+    if grep -q "rv serve: drained" "$log"; then return 0; fi
+    sleep 0.1
+  done
+  echo "server did not drain gracefully; log:" >&2; cat "$log" >&2; exit 1
+}
+
+transcript() { # transcript <port> <outfile>
+  local port=$1 out=$2
+  # Full output to a file first: piping straight into head would SIGPIPE
+  # loadgen on the trailing summary line and trip pipefail.
+  "$RV" loadgen --port "$port" --conns $CONNS --requests $REQUESTS \
+    --seed $SEED --mix mixed --dump --json >"$out.full"
+  head -n $REQUESTS "$out.full" >"$out"
+}
+
+echo "== serve smoke: golden transcript at --jobs 1 =="
+read -r PID PORT < <(boot "$TMP/j1.log" --jobs 1)
+transcript "$PORT" "$TMP/j1.transcript"
+drain "$PID" "$TMP/j1.log"
+diff -u "$GOLDEN" "$TMP/j1.transcript"
+echo "ok: -j1 matches the golden"
+
+echo "== serve smoke: byte-identical at --jobs 2 =="
+read -r PID PORT < <(boot "$TMP/j2.log" --jobs 2)
+transcript "$PORT" "$TMP/j2.transcript"
+drain "$PID" "$TMP/j2.log"
+cmp "$TMP/j1.transcript" "$TMP/j2.transcript"
+echo "ok: -j2 transcript byte-identical"
+
+echo "== serve smoke: byte-identical with the cache disabled =="
+read -r PID PORT < <(boot "$TMP/nc.log" --jobs 1 --cache-mb 0)
+transcript "$PORT" "$TMP/nc.transcript"
+drain "$PID" "$TMP/nc.log"
+cmp "$TMP/j1.transcript" "$TMP/nc.transcript"
+echo "ok: cache-off transcript byte-identical"
+
+echo "== serve smoke: admission control sheds under --queue 0 =="
+read -r PID PORT < <(boot "$TMP/q0.log" --jobs 1 --queue 0)
+"$RV" loadgen --port "$PORT" --conns 2 --requests 40 --seed $SEED \
+  --mix heavy --json >"$TMP/q0.summary"
+drain "$PID" "$TMP/q0.log"
+python3 - "$TMP/q0.summary" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1]))
+assert s["overloaded"] == s["requests"], f"expected every request shed: {s}"
+print(f"ok: all {s['overloaded']} heavy requests answered 'overloaded'")
+EOF
+
+echo "serve smoke: all checks passed"

@@ -206,6 +206,48 @@ let test_sinks () =
   Alcotest.check_raises "emit after close" (Invalid_argument "Sink.emit: sink is closed")
     (fun () -> Sink.emit sink sample_record)
 
+(* File sinks write atomically: bytes land in a temp file and only the
+   [close] renames them into place, so an in-progress (or crashed) sweep
+   never clobbers the previous output at [path]. *)
+let test_sink_atomic_rename () =
+  let path = Filename.temp_file "rv_engine_atomic" ".jsonl" in
+  let oc = open_out path in
+  output_string oc "previous contents\n";
+  close_out oc;
+  let sink = Sink.file `Jsonl path in
+  Sink.emit sink sample_record;
+  (* Before close: the destination still holds the previous output and
+     the bytes sit in a .tmp sibling. *)
+  let ic = open_in path in
+  let before = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "path untouched before close" "previous contents" before;
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  Alcotest.(check bool) "tmp file exists before close" true (Sys.file_exists tmp);
+  Sink.close sink;
+  Alcotest.(check bool) "tmp file gone after close" false (Sys.file_exists tmp);
+  let ic = open_in path in
+  let after = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  (match Record.of_json after with
+  | Ok r -> Alcotest.(check bool) "renamed contents" true (r = sample_record)
+  | Error e -> Alcotest.fail ("renamed contents: " ^ e))
+
+let test_sink_fsync () =
+  (* The fsync flag must not change the bytes — only their durability. *)
+  let path = Filename.temp_file "rv_engine_fsync" ".csv" in
+  let sink = Sink.file ~fsync:true `Csv path in
+  Sink.emit sink sample_record;
+  Sink.close sink;
+  let ic = open_in path in
+  let header = input_line ic in
+  let row = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "csv header" Record.csv_header header;
+  Alcotest.(check string) "csv row" (Record.to_csv sample_record) row
+
 (* ---------------------------------------- parallel worst_for == sequential *)
 
 (* Three graph families x two algorithms; E differs per family (oriented
@@ -298,7 +340,12 @@ let () =
         ] );
       ( "record",
         [ tc "jsonl roundtrip" test_jsonl_roundtrip; tc "csv" test_csv ] );
-      ("sink", [ tc "memory/null/file sinks" test_sinks ]);
+      ( "sink",
+        [
+          tc "memory/null/file sinks" test_sinks;
+          tc "file sinks rename atomically on close" test_sink_atomic_rename;
+          tc "fsync-on-close leaves bytes unchanged" test_sink_fsync;
+        ] );
       ( "worst_for",
         [
           tc "parallel == sequential (3 families x 2 algorithms)"

@@ -139,6 +139,35 @@ let r5_balanced_ok () =
   in
   check_rules "lexically paired spans pass" [] (rules_of fs)
 
+(* Fixtures mirroring the rv_serve instrumentation: the closure-style
+   [Obs.span] the serve path uses is inherently balanced, while a
+   hand-rolled serve.* begin without its end must still be flagged. *)
+let r5_serve_span_closure_ok () =
+  let fs =
+    check
+      "let eval q = Obs.span ~cat:\"serve\" \"serve.compute\" (fun () -> run q)\n\
+       let admit j = Obs.span ~cat:\"serve\" \"serve.admit\" (fun () -> push j)\n"
+  in
+  check_rules "closure-style serve.* spans pass" [] (rules_of fs)
+
+let r5_serve_unpaired_flagged () =
+  let fs =
+    check
+      "let handle c =\n\
+      \  Obs.begin_span \"serve.request\";\n\
+      \  reply c\n"
+  in
+  check_rules "unpaired serve.request span flagged" [ "R5" ] (rules_of fs)
+
+let r5_serve_paired_ok () =
+  let fs =
+    check
+      "let handle c =\n\
+      \  Obs.begin_span \"serve.request\";\n\
+      \  Fun.protect ~finally:Obs.end_span (fun () -> reply c)\n"
+  in
+  check_rules "paired serve.request span passes" [] (rules_of fs)
+
 let r5_suppressed () =
   let fs, suppressed =
     check
@@ -249,6 +278,9 @@ let () =
           tc "typed ok" r4_typed_ok; tc "suppressed" r4_suppressed ] );
       ( "r5",
         [ tc "positive" r5_positive; tc "balanced ok" r5_balanced_ok;
+          tc "serve span closure ok" r5_serve_span_closure_ok;
+          tc "serve unpaired flagged" r5_serve_unpaired_flagged;
+          tc "serve paired ok" r5_serve_paired_ok;
           tc "suppressed" r5_suppressed ] );
       ( "suppression",
         [ tc "bare allow rejected" bare_allow_rejected;

@@ -1,0 +1,576 @@
+(* End-to-end tests for rv_serve over a real loopback socket: a server
+   per test on an ephemeral port, driven through actual TCP connections.
+   Unit tests for the cache / admission / proto layers ride along. *)
+
+module Json = Rv_obs.Json
+module Proto = Rv_serve.Proto
+module Server = Rv_serve.Server
+module Cache = Rv_serve.Cache
+module Admission = Rv_serve.Admission
+module Loadgen = Rv_serve.Loadgen
+module R = Rv_core.Rendezvous
+module Spec = Rv_experiments.Spec
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* --- harness ----------------------------------------------------------- *)
+
+let with_server ?(jobs = 1) ?(cache_bytes = 1024 * 1024) ?(queue_cap = 64)
+    ?default_deadline_ms f =
+  let server =
+    Server.start
+      {
+        Server.default_config with
+        jobs;
+        cache_bytes;
+        queue_cap;
+        default_deadline_ms;
+      }
+  in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server)
+
+type client = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect server =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server));
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let close_client c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let send c line =
+  output_string c.oc line;
+  output_char c.oc '\n';
+  flush c.oc
+
+let recv c = input_line c.ic
+
+let rpc c line =
+  send c line;
+  recv c
+
+let with_client server f =
+  let c = connect server in
+  Fun.protect ~finally:(fun () -> close_client c) (fun () -> f c)
+
+let get path reply =
+  match Json.parse reply with
+  | Error e -> Alcotest.failf "unparseable reply %s: %s" reply e
+  | Ok j -> (
+      match Json.member path j with
+      | Some v -> v
+      | None -> Alcotest.failf "reply lacks %S: %s" path reply)
+
+let get_int path reply =
+  match Json.to_int (get path reply) with
+  | Some i -> i
+  | None -> Alcotest.failf "field %S is not an int: %s" path reply
+
+let get_str path reply =
+  match Json.to_str (get path reply) with
+  | Some s -> s
+  | None -> Alcotest.failf "field %S is not a string: %s" path reply
+
+let check_ok reply = Alcotest.(check string) "status ok" "ok" (get_str "status" reply)
+
+let check_error code reply =
+  Alcotest.(check string) "status error" "error" (get_str "status" reply);
+  Alcotest.(check string) "error code" code (get_str "code" reply)
+
+(* --- end-to-end correctness -------------------------------------------- *)
+
+let run_query_matches_direct () =
+  with_server @@ fun server ->
+  with_client server @@ fun c ->
+  let reply =
+    rpc c
+      {|{"type":"run","id":3,"graph":"ring:10","algorithm":"fast","space":8,"label_a":3,"label_b":5,"start_a":0,"start_b":4}|}
+  in
+  check_ok reply;
+  (* Field-for-field against a direct simulation. *)
+  let gs = Result.get_ok (Spec.parse_graph "ring:10") in
+  let ex = Result.get_ok (Spec.parse_explorer gs "auto") in
+  let out =
+    R.run ~g:gs.Spec.g ~explorer:ex ~algorithm:R.Fast ~space:8
+      { R.label = 3; start = 0; delay = 0 }
+      { R.label = 5; start = 4; delay = 0 }
+  in
+  Alcotest.(check int) "id echoed" 3 (get_int "id" reply);
+  Alcotest.(check bool) "met" out.Rv_sim.Sim.met
+    (match get "met" reply with Json.Bool b -> b | _ -> false);
+  Alcotest.(check int) "time" (Rv_sim.Sim.time out) (get_int "time" reply);
+  Alcotest.(check int) "cost" out.Rv_sim.Sim.cost (get_int "cost" reply);
+  Alcotest.(check int) "cost_a" out.Rv_sim.Sim.cost_a (get_int "cost_a" reply);
+  Alcotest.(check int) "cost_b" out.Rv_sim.Sim.cost_b (get_int "cost_b" reply);
+  Alcotest.(check int) "rounds_run" out.Rv_sim.Sim.rounds_run
+    (get_int "rounds_run" reply);
+  let e = Rv_experiments.Workload.e_of ex in
+  Alcotest.(check int) "proven_time"
+    (R.proven_time_bound R.Fast ~e ~space:8)
+    (get_int "proven_time" reply);
+  Alcotest.(check int) "proven_cost"
+    (R.proven_cost_bound R.Fast ~e ~space:8)
+    (get_int "proven_cost" reply)
+
+let worst_query_matches_direct () =
+  with_server @@ fun server ->
+  with_client server @@ fun c ->
+  let reply =
+    rpc c
+      {|{"type":"worst","graph":"ring:8","algorithm":"cheap","space":8,"pairs":4,"max_delay":6}|}
+  in
+  check_ok reply;
+  (* Mirror the handler's sweep directly (same pair sampling, same delay
+     derivation for a delay-tolerant algorithm). *)
+  let gs = Result.get_ok (Spec.parse_graph "ring:8") in
+  let ex = Result.get_ok (Spec.parse_explorer gs "auto") in
+  let pairs = Rv_experiments.Workload.sample_pairs ~space:8 ~max_pairs:4 in
+  let delays =
+    List.sort_uniq
+      Rv_util.Ord.(pair int int)
+      [ (0, 0); (0, 1); (0, 6); (1, 0); (6, 0) ]
+  in
+  let wt, wc =
+    Result.get_ok
+      (Rv_experiments.Workload.worst_for ~graph_spec:"ring:8" ~g:gs.Spec.g
+         ~algorithm:R.Cheap ~space:8 ~explorer:ex ~pairs
+         ~positions:`Fixed_first ~delays ())
+  in
+  Alcotest.(check int) "worst time" wt (get_int "time" reply);
+  Alcotest.(check int) "worst cost" wc (get_int "cost" reply);
+  Alcotest.(check int) "pairs_swept" (List.length pairs)
+    (get_int "pairs_swept" reply);
+  Alcotest.(check int) "delays_swept" (List.length delays)
+    (get_int "delays_swept" reply)
+
+let antipode_default_start () =
+  with_server @@ fun server ->
+  with_client server @@ fun c ->
+  let reply =
+    rpc c {|{"type":"run","graph":"ring:12","algorithm":"cheap","label_a":1,"label_b":2}|}
+  in
+  check_ok reply;
+  Alcotest.(check int) "start_b defaults to the antipode" 6
+    (get_int "start_b" reply)
+
+(* --- cache ------------------------------------------------------------- *)
+
+let cache_hit_on_repeat () =
+  with_server @@ fun server ->
+  with_client server @@ fun c ->
+  let q = {|{"type":"worst","graph":"ring:6","algorithm":"cheap","space":8,"pairs":4}|} in
+  let first = rpc c q in
+  check_ok first;
+  let m1 = rpc c {|{"type":"metrics"}|} in
+  let second = rpc c q in
+  let m2 = rpc c {|{"type":"metrics"}|} in
+  Alcotest.(check string) "byte-identical on repeat" first second;
+  Alcotest.(check int) "one more cache hit"
+    (get_int "cache_hits" m1 + 1)
+    (get_int "cache_hits" m2);
+  Alcotest.(check int) "no more misses" (get_int "cache_misses" m1)
+    (get_int "cache_misses" m2);
+  (* Same question under a different id: cache hit, different id echo. *)
+  let third =
+    rpc c
+      {|{"type":"worst","id":42,"graph":"ring:6","algorithm":"cheap","space":8,"pairs":4}|}
+  in
+  check_ok third;
+  Alcotest.(check int) "id echoed on cached reply" 42 (get_int "id" third)
+
+let cache_disabled_identical_bytes () =
+  (* The same stream with the cache off answers byte-identically. *)
+  let qs =
+    [
+      {|{"type":"worst","id":0,"graph":"ring:6","algorithm":"cheap","space":8,"pairs":4}|};
+      {|{"type":"worst","id":1,"graph":"ring:6","algorithm":"cheap","space":8,"pairs":4}|};
+      {|{"type":"run","id":2,"graph":"ring:8","algorithm":"fast","space":8,"label_a":1,"label_b":3}|};
+      {|{"type":"run","id":3,"graph":"ring:8","algorithm":"fast","space":8,"label_a":1,"label_b":3}|};
+    ]
+  in
+  let drive ~cache_bytes =
+    with_server ~cache_bytes @@ fun server ->
+    with_client server @@ fun c -> List.map (rpc c) qs
+  in
+  let cached = drive ~cache_bytes:(1024 * 1024) in
+  let uncached = drive ~cache_bytes:0 in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check string) (Printf.sprintf "reply %d identical" i) a b)
+    (List.combine cached uncached)
+
+(* --- resilience -------------------------------------------------------- *)
+
+let malformed_input_keeps_connection () =
+  with_server @@ fun server ->
+  with_client server @@ fun c ->
+  check_error "bad_request" (rpc c "this is not json");
+  check_error "bad_request" (rpc c {|[1,2,3]|});
+  check_error "bad_request" (rpc c {|{"type":"teleport"}|});
+  check_error "bad_request" (rpc c {|{"type":"run","graph":"ring:8"}|});
+  check_error "bad_request"
+    (rpc c {|{"type":"run","graph":"ring:8","algorithm":"cheap","label_a":1,"label_b":2,"surprise":1}|});
+  check_error "bad_request"
+    (rpc c {|{"type":"worst","graph":"file:/etc/passwd","algorithm":"cheap"}|});
+  check_error "bad_request"
+    (rpc c {|{"type":"run","graph":"ring:8","algorithm":"cheap","label_a":1,"label_b":1}|});
+  (* ... and the connection still answers real queries afterwards. *)
+  let reply =
+    rpc c {|{"type":"run","graph":"ring:8","algorithm":"cheap","label_a":1,"label_b":2}|}
+  in
+  check_ok reply
+
+let oversized_line_keeps_connection () =
+  with_server @@ fun server ->
+  with_client server @@ fun c ->
+  let huge = String.make (Proto.max_line_len + 64) 'x' in
+  check_error "bad_request" (rpc c huge);
+  check_ok (rpc c {|{"type":"health"}|})
+
+(* --- admission control ------------------------------------------------- *)
+
+let queue_full_overloaded () =
+  (* Capacity 0 sheds every uncached query deterministically. *)
+  with_server ~queue_cap:0 @@ fun server ->
+  with_client server @@ fun c ->
+  let reply =
+    rpc c {|{"type":"run","id":9,"graph":"ring:8","algorithm":"cheap","label_a":1,"label_b":2}|}
+  in
+  check_error "overloaded" reply;
+  Alcotest.(check int) "id echoed on overload" 9 (get_int "id" reply);
+  (* Admin probes bypass the queue and still answer. *)
+  check_ok (rpc c {|{"type":"health"}|});
+  let m = rpc c {|{"type":"metrics"}|} in
+  Alcotest.(check int) "overload counted" 1 (get_int "overloaded" m)
+
+let queue_contention_overloads_some () =
+  (* Capacity 1 with a pile of pipelined distinct requests: at least one
+     is shed, admitted ones all complete. *)
+  with_server ~queue_cap:1 @@ fun server ->
+  with_client server @@ fun c ->
+  let n = 16 in
+  for i = 0 to n - 1 do
+    send c
+      (Printf.sprintf
+         {|{"type":"run","id":%d,"graph":"ring:16","algorithm":"fast","space":16,"label_a":%d,"label_b":%d}|}
+         i ((i mod 8) + 1) (((i + 1) mod 8) + 2))
+  done;
+  let replies = List.init n (fun _ -> recv c) in
+  let ok = List.filter (fun r -> String.equal (get_str "status" r) "ok") replies in
+  let over =
+    List.filter
+      (fun r ->
+        String.equal (get_str "status" r) "error"
+        && String.equal (get_str "code" r) "overloaded")
+      replies
+  in
+  Alcotest.(check int) "every reply is ok or overloaded" n
+    (List.length ok + List.length over);
+  Alcotest.(check bool) "some requests served" true (List.length ok > 0);
+  Alcotest.(check bool) "some requests shed" true (List.length over > 0)
+
+(* --- deadlines --------------------------------------------------------- *)
+
+let deadline_exceeded_in_queue () =
+  with_server @@ fun server ->
+  with_client server @@ fun c ->
+  (* A compute-bound request occupies the dispatcher... *)
+  send c
+    {|{"type":"worst","id":0,"graph":"ring:24","algorithm":"fast","space":64,"pairs":16}|};
+  (* ...so this one's 1ms budget burns away in the queue. *)
+  send c
+    {|{"type":"worst","id":1,"deadline_ms":1,"graph":"ring:12","algorithm":"cheap","space":8,"pairs":4}|};
+  let r0 = recv c in
+  let r1 = recv c in
+  check_ok r0;
+  check_error "deadline_exceeded" r1;
+  Alcotest.(check int) "id echoed" 1 (get_int "id" r1);
+  Alcotest.(check int) "no pairs completed" 0 (get_int "pairs_done" r1);
+  Alcotest.(check int) "total reported" (get_int "pairs_total" r1)
+    (get_int "pairs_total" r1);
+  let m = rpc c {|{"type":"metrics"}|} in
+  Alcotest.(check int) "deadline counted" 1 (get_int "deadline_exceeded" m)
+
+let default_deadline_applies () =
+  with_server ~default_deadline_ms:1 @@ fun server ->
+  with_client server @@ fun c ->
+  (* Burn the dispatcher so the probe's default budget expires in queue. *)
+  send c
+    {|{"type":"worst","id":0,"deadline_ms":60000,"graph":"ring:24","algorithm":"fast","space":64,"pairs":16}|};
+  send c
+    {|{"type":"run","id":1,"graph":"ring:8","algorithm":"cheap","label_a":1,"label_b":2}|};
+  let r0 = recv c in
+  let r1 = recv c in
+  check_ok r0;
+  check_error "deadline_exceeded" r1
+
+(* --- graceful drain ---------------------------------------------------- *)
+
+let drain_completes_in_flight () =
+  let server =
+    Server.start { Server.default_config with jobs = 1; queue_cap = 64 }
+  in
+  let c = connect server in
+  let n = 6 in
+  for i = 0 to n - 1 do
+    send c
+      (Printf.sprintf
+         {|{"type":"run","id":%d,"graph":"ring:12","algorithm":"fast","space":8,"label_a":%d,"label_b":%d}|}
+         i (i + 1) (i + 2))
+  done;
+  (* Give the connection thread time to admit all six, then drain. *)
+  Thread.delay 0.3;
+  Server.stop server;
+  (* Every admitted request was answered before the socket closed. *)
+  let replies = List.init n (fun _ -> recv c) in
+  List.iteri
+    (fun i r ->
+      check_ok r;
+      Alcotest.(check int) (Printf.sprintf "id %d" i) i (get_int "id" r))
+    replies;
+  (match input_line c.ic with
+  | line -> Alcotest.failf "expected EOF after drain, got %s" line
+  | exception End_of_file -> ());
+  close_client c
+
+let stop_is_idempotent () =
+  let server = Server.start Server.default_config in
+  Server.stop server;
+  Server.stop server;
+  Server.request_stop server;
+  Server.join server
+
+(* --- determinism across jobs ------------------------------------------- *)
+
+let loadgen_deterministic_j1_j2_cache () =
+  let transcript ~jobs ~cache_bytes =
+    with_server ~jobs ~cache_bytes @@ fun server ->
+    match
+      Loadgen.run ~port:(Server.port server) ~conns:3 ~requests:60 ~seed:7
+        ~mix:Loadgen.Mixed ()
+    with
+    | Error e -> Alcotest.fail e
+    | Ok s ->
+        Alcotest.(check int) "all ok" 60 s.Loadgen.ok;
+        s.Loadgen.transcript
+  in
+  let a = transcript ~jobs:1 ~cache_bytes:(1024 * 1024) in
+  let b = transcript ~jobs:2 ~cache_bytes:(1024 * 1024) in
+  let d = transcript ~jobs:1 ~cache_bytes:0 in
+  Alcotest.(check (list string)) "-j1 == -j2" a b;
+  Alcotest.(check (list string)) "cache on == cache off" a d
+
+(* --- admin ------------------------------------------------------------- *)
+
+let health_and_version () =
+  with_server ~jobs:2 ~queue_cap:17 @@ fun server ->
+  with_client server @@ fun c ->
+  let h = rpc c {|{"type":"health"}|} in
+  check_ok h;
+  Alcotest.(check string) "health type" "health" (get_str "type" h);
+  Alcotest.(check int) "queue cap" 17 (get_int "queue_cap" h);
+  Alcotest.(check int) "jobs" 2 (get_int "jobs" h);
+  Alcotest.(check bool) "not draining" false
+    (match get "draining" h with Json.Bool b -> b | _ -> true);
+  Alcotest.(check bool) "connections counted" true
+    (get_int "active_connections" h >= 1);
+  let v = rpc c {|{"type":"version","id":5}|} in
+  check_ok v;
+  Alcotest.(check int) "id echoed" 5 (get_int "id" v);
+  Alcotest.(check bool) "version nonempty" true
+    (String.length (get_str "version" v) > 0);
+  Alcotest.(check bool) "ocaml version present" true
+    (String.length (get_str "ocaml" v) > 0)
+
+(* --- unit: proto ------------------------------------------------------- *)
+
+let proto_parse_and_keys () =
+  (* Defaults are made explicit in the canonical key. *)
+  let p line =
+    match Proto.parse line with
+    | Ok { Proto.body = `Query q; _ } -> q
+    | Ok _ -> Alcotest.failf "expected a query: %s" line
+    | Error e -> Alcotest.failf "parse %s: %s" line e
+  in
+  let k1 = Proto.canonical_key (p {|{"type":"worst","graph":"ring:8","algorithm":"cheap"}|}) in
+  let k2 =
+    Proto.canonical_key
+      (p
+         {|{"type":"worst","id":9,"deadline_ms":500,"graph":"ring:8","algorithm":"cheap","explorer":"auto","space":16,"pairs":8,"max_delay":8}|})
+  in
+  Alcotest.(check string) "defaults explicit; id/deadline excluded" k1 k2;
+  let k3 = Proto.canonical_key (p {|{"type":"worst","graph":"ring:8","algorithm":"cheap","space":8}|}) in
+  Alcotest.(check bool) "different space, different key" true
+    (not (String.equal k1 k3));
+  (* Bad requests never raise. *)
+  List.iter
+    (fun line ->
+      match Proto.parse line with
+      | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" line
+      | Error e ->
+          Alcotest.(check bool) "message nonempty" true (String.length e > 0)
+      | exception e ->
+          Alcotest.failf "parse %S raised %s" line (Printexc.to_string e))
+    [
+      {|{"type":"worst"}|};
+      {|{"type":"worst","graph":"ring:8","algorithm":"cheap","space":1}|};
+      {|{"type":"worst","graph":"ring:8","algorithm":"cheap","space":999999999}|};
+      {|{"type":"worst","graph":"ring:8","algorithm":"cheap","pairs":0}|};
+      {|{"type":"run","graph":"ring:8","algorithm":"cheap","label_a":0,"label_b":2}|};
+      {|{"type":"run","graph":"ring:8","algorithm":"cheap","label_a":1,"label_b":2,"delay_a":-1}|};
+      {|{"type":"run","graph":"ring:8","algorithm":"cheap","label_a":1,"label_b":2,"model":"sideways"}|};
+      {|{"type":"run","graph":"ring:8","algorithm":"cheap","label_a":1,"label_b":2,"label_a":3}|};
+      {|{"type":"health","extra":true}|};
+      {|{"deadline_ms":0,"type":"health"}|};
+      {|{"id":-1,"type":"health"}|};
+      "";
+      "null";
+      "42";
+    ]
+
+(* --- unit: cache ------------------------------------------------------- *)
+
+let cache_lru_eviction () =
+  let fields n = [ ("status", Json.Str "ok"); ("n", Json.Int n) ] in
+  (* Budget for roughly two entries. *)
+  let entry = String.length (Json.to_string (Json.Obj (fields 0))) + 3 + 64 in
+  let c = Cache.create ~max_bytes:(2 * entry) in
+  Cache.add c "aaa" (fields 1);
+  Cache.add c "bbb" (fields 2);
+  Alcotest.(check bool) "aaa present" true (Option.is_some (Cache.find c "aaa"));
+  (* aaa is now most-recent; inserting ccc evicts bbb. *)
+  Cache.add c "ccc" (fields 3);
+  Alcotest.(check bool) "bbb evicted" true (Option.is_none (Cache.find c "bbb"));
+  Alcotest.(check bool) "aaa survived" true (Option.is_some (Cache.find c "aaa"));
+  Alcotest.(check bool) "ccc present" true (Option.is_some (Cache.find c "ccc"));
+  let s = Cache.stats c in
+  Alcotest.(check int) "entries" 2 s.Cache.entries;
+  Alcotest.(check int) "evictions" 1 s.Cache.evictions;
+  Alcotest.(check bool) "bytes within budget" true (s.Cache.bytes <= s.Cache.capacity)
+
+let cache_replace_same_key () =
+  let c = Cache.create ~max_bytes:(1024 * 1024) in
+  Cache.add c "k" [ ("v", Json.Int 1) ];
+  Cache.add c "k" [ ("v", Json.Int 2) ];
+  (match Cache.find c "k" with
+  | Some [ ("v", Json.Int 2) ] -> ()
+  | other ->
+      Alcotest.failf "expected replaced value, got %s"
+        (match other with
+        | Some fs -> Json.to_string (Json.Obj fs)
+        | None -> "nothing"));
+  Alcotest.(check int) "one entry" 1 (Cache.stats c).Cache.entries
+
+let cache_zero_capacity () =
+  let c = Cache.create ~max_bytes:0 in
+  Cache.add c "k" [ ("v", Json.Int 1) ];
+  Alcotest.(check bool) "never stores" true (Option.is_none (Cache.find c "k"));
+  Alcotest.(check int) "no entries" 0 (Cache.stats c).Cache.entries
+
+(* --- unit: admission --------------------------------------------------- *)
+
+let admission_basics () =
+  let q = Admission.create ~cap:2 in
+  Alcotest.(check bool) "accept 1" true
+    (match Admission.submit q 1 with `Accepted -> true | _ -> false);
+  Alcotest.(check bool) "accept 2" true
+    (match Admission.submit q 2 with `Accepted -> true | _ -> false);
+  Alcotest.(check bool) "shed 3" true
+    (match Admission.submit q 3 with `Overloaded -> true | _ -> false);
+  Alcotest.(check int) "depth" 2 (Admission.depth q);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Admission.pop q);
+  Alcotest.(check bool) "accept again" true
+    (match Admission.submit q 4 with `Accepted -> true | _ -> false);
+  Admission.drain q;
+  Alcotest.(check bool) "draining rejects" true
+    (match Admission.submit q 5 with `Draining -> true | _ -> false);
+  (* Drained queue still yields what was admitted, then None. *)
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Admission.pop q);
+  Alcotest.(check (option int)) "pop 4" (Some 4) (Admission.pop q);
+  Alcotest.(check (option int)) "pop end" None (Admission.pop q)
+
+let admission_pop_blocks_until_submit () =
+  let q = Admission.create ~cap:4 in
+  let got = Atomic.make (-1) in
+  let th = Thread.create (fun () ->
+      match Admission.pop q with
+      | Some v -> Atomic.set got v
+      | None -> Atomic.set got (-2)) ()
+  in
+  Thread.delay 0.05;
+  Alcotest.(check int) "still blocked" (-1) (Atomic.get got);
+  ignore (Admission.submit q 7);
+  Thread.join th;
+  Alcotest.(check int) "woke with value" 7 (Atomic.get got)
+
+(* --- unit: histogram percentile ---------------------------------------- *)
+
+let histogram_percentile () =
+  let h = Rv_obs.Histogram.find "test_serve.percentile" in
+  for v = 1 to 100 do
+    Rv_obs.Histogram.observe_t h v
+  done;
+  let p50 = Rv_obs.Histogram.percentile h 0.5 in
+  let p99 = Rv_obs.Histogram.percentile h 0.99 in
+  (* Log-bucketed: upper bound of the covering bucket. *)
+  Alcotest.(check bool) "p50 covers the median" true (p50 >= 50 && p50 <= 63);
+  Alcotest.(check bool) "p99 near max" true (p99 >= 99 && p99 <= 100);
+  Alcotest.(check int) "p100 is max" 100 (Rv_obs.Histogram.percentile h 1.0);
+  let empty = Rv_obs.Histogram.find "test_serve.percentile.empty" in
+  Alcotest.(check int) "empty is 0" 0 (Rv_obs.Histogram.percentile empty 0.9)
+
+(* --- run --------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "rv_serve"
+    [
+      ( "end-to-end",
+        [
+          tc "run query matches direct simulation" run_query_matches_direct;
+          tc "worst query matches direct sweep" worst_query_matches_direct;
+          tc "start_b defaults to the antipode" antipode_default_start;
+        ] );
+      ( "cache",
+        [
+          tc "repeat is a byte-identical cache hit" cache_hit_on_repeat;
+          tc "cache off answers identical bytes" cache_disabled_identical_bytes;
+        ] );
+      ( "resilience",
+        [
+          tc "malformed input keeps the connection" malformed_input_keeps_connection;
+          tc "oversized line keeps the connection" oversized_line_keeps_connection;
+        ] );
+      ( "admission",
+        [
+          tc "queue_cap=0 sheds every query" queue_full_overloaded;
+          tc "contention sheds some, serves the rest" queue_contention_overloads_some;
+        ] );
+      ( "deadline",
+        [
+          tc "budget burned in queue" deadline_exceeded_in_queue;
+          tc "server default deadline applies" default_deadline_applies;
+        ] );
+      ( "drain",
+        [
+          tc "in-flight requests complete" drain_completes_in_flight;
+          tc "stop is idempotent" stop_is_idempotent;
+        ] );
+      ( "determinism",
+        [ tc "loadgen transcript: j1 == j2 == cache-off" loadgen_deterministic_j1_j2_cache ] );
+      ("admin", [ tc "health and version" health_and_version ]);
+      ( "proto",
+        [ tc "canonical keys and strict parsing" proto_parse_and_keys ] );
+      ( "cache-unit",
+        [
+          tc "LRU eviction order" cache_lru_eviction;
+          tc "replace same key" cache_replace_same_key;
+          tc "zero capacity disables" cache_zero_capacity;
+        ] );
+      ( "admission-unit",
+        [
+          tc "submit/pop/drain" admission_basics;
+          tc "pop blocks until submit" admission_pop_blocks_until_submit;
+        ] );
+      ("histogram", [ tc "percentile" histogram_percentile ]);
+    ]

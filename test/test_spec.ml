@@ -1,0 +1,245 @@
+(* Spec parsing round-trips: one concrete instance of every advertised
+   graph, explorer and algorithm form parses Ok, and a battery of
+   adversarial inputs comes back Error — never an exception.  The serve
+   layer feeds network bytes straight into these parsers, so "never
+   raises" is a load-bearing property, not a style preference. *)
+
+module Spec = Rv_experiments.Spec
+module R = Rv_core.Rendezvous
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* One concrete, parseable instance per advertised form, in the order of
+   [Spec.graph_forms]; keep in sync when a form is added. *)
+let graph_instances =
+  [
+    ("ring:N", "ring:8");
+    ("scrambled-ring:N[:SEED]", "scrambled-ring:8:3");
+    ("path:N", "path:5");
+    ("star:N", "star:6");
+    ("tree:N[:SEED]", "tree:7:2");
+    ("binary:DEPTH", "binary:3");
+    ("grid:RxC", "grid:3x4");
+    ("torus:RxC", "torus:4x4");
+    ("hypercube:D", "hypercube:3");
+    ("complete:N", "complete:5");
+    ("wheel:N", "wheel:6");
+    ("petersen", "petersen");
+    ("lollipop:CLIQUE:TAIL", "lollipop:4:3");
+    ("barbell:CLIQUE:BRIDGE", "barbell:4:2");
+    ("theta:LEN", "theta:4");
+    ("random:N:EXTRA[:SEED]", "random:8:3:1");
+    ("file:PATH", "skip");  (* needs a fixture file; exercised separately *)
+  ]
+
+let explorer_instances =
+  [
+    ("auto", "auto");
+    ("ring", "ring");
+    ("dfs", "dfs");
+    ("dfs-nr", "dfs-nr");
+    ("unmarked", "unmarked");
+    ("euler", "euler");
+    ("ham", "ham");
+    ("uxs[:SEED]", "uxs:1");
+  ]
+
+let algorithm_instances =
+  [
+    ("cheap", "cheap");
+    ("cheap-sim", "cheap-sim");
+    ("fast", "fast");
+    ("fast-sim", "fast-sim");
+    ("fwr:W", "fwr:2");
+    ("fwr-sim:W", "fwr-sim:2");
+  ]
+
+let forms_covered () =
+  (* Every advertised form has an instance in the tables above. *)
+  let check kind forms instances =
+    List.iter
+      (fun form ->
+        if not (List.exists (fun (f, _) -> String.equal f form) instances) then
+          Alcotest.failf "%s form %S has no test instance" kind form)
+      forms
+  in
+  check "graph" Spec.graph_forms graph_instances;
+  check "explorer" Spec.explorer_forms explorer_instances;
+  check "algorithm" Spec.algorithm_forms algorithm_instances;
+  (* ... and no stale instances for forms that no longer exist. *)
+  List.iter
+    (fun (f, _) ->
+      if not (List.exists (String.equal f) Spec.graph_forms) then
+        Alcotest.failf "stale graph instance for %S" f)
+    graph_instances
+
+let all_graph_forms_parse () =
+  List.iter
+    (fun (form, inst) ->
+      if not (String.equal inst "skip") then
+        match Spec.parse_graph inst with
+        | Ok g ->
+            Alcotest.(check bool)
+              (form ^ " has nodes") true
+              (Rv_graph.Port_graph.n g.Spec.g >= 2)
+        | Error e -> Alcotest.failf "%s (%s): %s" form inst e)
+    graph_instances
+
+let file_graph_roundtrip () =
+  let ring = Result.get_ok (Spec.parse_graph "ring:6") in
+  let path = Filename.temp_file "rv_spec" ".graph" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      output_string oc (Rv_graph.Serial.to_string ring.Spec.g);
+      close_out oc;
+      match Spec.parse_graph ("file:" ^ path) with
+      | Ok g ->
+          Alcotest.(check int) "same size" 6 (Rv_graph.Port_graph.n g.Spec.g)
+      | Error e -> Alcotest.failf "file: round-trip failed: %s" e)
+
+let all_explorer_forms_parse () =
+  (* Each explorer form needs a graph it is valid on. *)
+  let graph_for = function
+    | "ring" -> "ring:8"
+    | "euler" -> "ring:8"  (* every vertex of a ring has even degree *)
+    | "ham" -> "ring:8"
+    | _ -> "ring:8"
+  in
+  List.iter
+    (fun (form, inst) ->
+      if not (String.equal inst "skip") then begin
+        let g = Result.get_ok (Spec.parse_graph (graph_for form)) in
+        match Spec.parse_explorer g inst with
+        | Ok ex ->
+            Alcotest.(check bool)
+              (form ^ " declares a bound") true
+              (Rv_experiments.Workload.e_of ex > 0)
+        | Error e -> Alcotest.failf "%s (%s): %s" form inst e
+      end)
+    explorer_instances
+
+let all_algorithm_forms_parse () =
+  List.iter
+    (fun (form, inst) ->
+      match Spec.parse_algorithm inst with
+      | Ok a ->
+          Alcotest.(check bool)
+            (form ^ " has a name") true
+            (String.length (R.name a) > 0)
+      | Error e -> Alcotest.failf "%s (%s): %s" form inst e)
+    algorithm_instances
+
+(* Adversarial inputs: every one must come back [Error _], not raise. *)
+
+let bad_graphs () =
+  List.iter
+    (fun spec ->
+      match Spec.parse_graph spec with
+      | Ok _ -> Alcotest.failf "parse_graph %S unexpectedly succeeded" spec
+      | Error e ->
+          Alcotest.(check bool) (spec ^ " has a message") true (String.length e > 0)
+      | exception e ->
+          Alcotest.failf "parse_graph %S raised %s" spec (Printexc.to_string e))
+    [
+      "";
+      "ring";
+      "ring:";
+      "ring:2";  (* oriented ring needs n >= 3 *)
+      "ring:-5";
+      "ring:abc";
+      "ring:8:9:10";
+      "grid:3";
+      "grid:3x";
+      "grid:0x4";
+      "torus:1x1";
+      "hypercube:-1";
+      "binary:99";  (* astronomically large tree *)
+      "ring:999999999";  (* over the node ceiling *)
+      "complete:100000";  (* over the clique ceiling *)
+      "grid:2000x2000";  (* product over the node ceiling *)
+      "hypercube:50";
+      "complete:1";
+      "lollipop:4";
+      "barbell::";
+      "random:2";
+      "file:/nonexistent/rv-test-no-such-file";
+      "nonsense:8";
+      "ring:🦆";
+    ]
+
+let bad_explorers () =
+  let ring = Result.get_ok (Spec.parse_graph "ring:8") in
+  let path = Result.get_ok (Spec.parse_graph "path:5") in
+  let cases =
+    [
+      (ring, "");
+      (ring, "nope");
+      (ring, "uxs:");
+      (ring, "dfs:extra");
+      (path, "ring");  (* ring walk needs an oriented ring *)
+      (path, "euler");  (* paths are not Eulerian *)
+      (path, "ham");  (* no Hamiltonian certificate for a path *)
+    ]
+  in
+  List.iter
+    (fun (g, spec) ->
+      match Spec.parse_explorer g spec with
+      | Ok _ ->
+          Alcotest.failf "parse_explorer %S on %s unexpectedly succeeded" spec
+            g.Spec.spec
+      | Error _ -> ()
+      | exception e ->
+          Alcotest.failf "parse_explorer %S raised %s" spec (Printexc.to_string e))
+    cases
+
+let bad_algorithms () =
+  List.iter
+    (fun spec ->
+      match Spec.parse_algorithm spec with
+      | Ok _ -> Alcotest.failf "parse_algorithm %S unexpectedly succeeded" spec
+      | Error _ -> ()
+      | exception e ->
+          Alcotest.failf "parse_algorithm %S raised %s" spec (Printexc.to_string e))
+    [ ""; "fastest"; "fwr"; "fwr:"; "fwr:0"; "fwr:-3"; "fwr:two"; "cheap:1" ]
+
+let explorers_run () =
+  (* Parsed explorers actually explore: every family/explorer pair that
+     parses also meets under the Cheap algorithm on its graph. *)
+  let pairs =
+    [ ("ring:8", "ring"); ("ring:8", "dfs"); ("path:5", "dfs-nr");
+      ("complete:5", "dfs"); ("torus:3x3", "dfs") ]
+  in
+  List.iter
+    (fun (gspec, espec) ->
+      let g = Result.get_ok (Spec.parse_graph gspec) in
+      let ex = Result.get_ok (Spec.parse_explorer g espec) in
+      let out =
+        R.run ~g:g.Spec.g ~explorer:ex ~algorithm:R.Cheap ~space:4
+          { R.label = 1; start = 0; delay = 0 }
+          { R.label = 2; start = 2; delay = 0 }
+      in
+      Alcotest.(check bool) (gspec ^ "/" ^ espec ^ " meets") true
+        out.Rv_sim.Sim.met)
+    pairs
+
+let () =
+  Alcotest.run "rv_spec"
+    [
+      ( "forms",
+        [
+          tc "every advertised form has a test instance" forms_covered;
+          tc "all graph forms parse" all_graph_forms_parse;
+          tc "file: graphs round-trip" file_graph_roundtrip;
+          tc "all explorer forms parse" all_explorer_forms_parse;
+          tc "all algorithm forms parse" all_algorithm_forms_parse;
+        ] );
+      ( "adversarial",
+        [
+          tc "bad graph specs error, never raise" bad_graphs;
+          tc "bad explorer specs error, never raise" bad_explorers;
+          tc "bad algorithm specs error, never raise" bad_algorithms;
+        ] );
+      ("behaviour", [ tc "parsed explorers meet under Cheap" explorers_run ]);
+    ]
