@@ -550,10 +550,186 @@ let serve_bench () =
   close_out oc;
   print_endline "wrote BENCH_serve.json"
 
+(* --- rv_index: bake throughput + index-hit latency ---------------------
+
+   Bakes the loadgen index-mix lattice to a temp file, then measures the
+   two numbers the index subsystem exists for:
+
+   1. index-hit latency — the full serve hit path (mmap binary search,
+      record decode, field rendering, JSON line) timed in-process per
+      lookup; the acceptance target is single-digit microseconds and
+      >= 10x faster than the cached-LRU serve path it short-circuits;
+   2. bake throughput — records/sec for the offline sweep+write, which
+      bounds how large a lattice an overnight bake can cover.
+
+   The LRU baseline is the over-the-wire p50 of the same request mix
+   against a warmed index-less server: that is the latency a client
+   actually stops paying per request when the index answers at the
+   socket.  The transcript of the indexed server is asserted identical
+   to the index-less one before any number is reported.  Results land in
+   BENCH_index.json; `main.exe index` runs only this section. *)
+
+let index_bench () =
+  let module Server = Rv_serve.Server in
+  let module Loadgen = Rv_serve.Loadgen in
+  let module Handler = Rv_serve.Handler in
+  let module Proto = Rv_serve.Proto in
+  print_endline "==================================================================";
+  print_endline " rv_index (bake throughput + index-hit latency)";
+  print_endline "==================================================================";
+  let lattice =
+    match
+      Rv_index.Lattice.of_args ~graphs:Loadgen.index_mix_graphs
+        ~algorithms:Loadgen.index_mix_algorithms ~spaces:Loadgen.index_mix_spaces
+        ~pairs:Loadgen.index_mix_pairs ~max_delays:Loadgen.index_mix_max_delays
+        ~run_labels:"1:2,3:5,2:7" ()
+    with
+    | Ok l -> l
+    | Error e -> failwith ("index bench lattice: " ^ e)
+  in
+  let cells = Rv_index.Lattice.cells lattice in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rv_bench_index_%d.rvi" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  (* 1. bake: evaluate every cell and write, timed end to end. *)
+  let t0 = Unix.gettimeofday () in
+  let entries =
+    List.map
+      (fun q ->
+        match Handler.eval_vals ~deadline_us:None q with
+        | Ok v -> (Rv_index.Key.render q, Handler.values_of_vals v)
+        | Error (_, msg, _) -> failwith ("index bench bake: " ^ msg))
+      cells
+  in
+  let records =
+    match
+      Rv_index.Writer.write ~path ~generation:1
+        ~meta:(Rv_index.Lattice.describe lattice) entries
+    with
+    | Ok n -> n
+    | Error e -> failwith ("index bench write: " ^ e)
+  in
+  let bake_s = Unix.gettimeofday () -. t0 in
+  let bake_rps = float_of_int records /. bake_s in
+  Printf.printf "bake: %d records in %.3fs = %.0f records/s\n" records bake_s
+    bake_rps;
+  (* 2. index-hit latency: the full hit path per lookup, min of reps to
+     filter scheduler noise (allocation cost is part of the path, so the
+     measured loop still allocates every reply line). *)
+  let reader =
+    match Rv_index.Reader.open_ path with
+    | Ok t -> t
+    | Error e -> failwith ("index bench open: " ^ e)
+  in
+  (* Cycle exactly the cells the loadgen Index mix requests (the worst
+     cells), so the per-lookup number faces the same workload as the
+     over-the-wire baseline below. *)
+  let queries =
+    Array.of_list
+      (List.filter_map
+         (fun q ->
+           match q with
+           | Rv_index.Key.Worst _ -> Some (q, Rv_index.Key.render q)
+           | Rv_index.Key.Run _ -> None)
+         cells)
+  in
+  let lookups = 50_000 in
+  let hit_path k =
+    let q, key = queries.(k mod Array.length queries) in
+    match Rv_index.Reader.lookup reader key with
+    | None -> failwith "index bench: baked key missing"
+    | Some values -> (
+        match Handler.vals_of_values q values with
+        | None -> failwith "index bench: record failed to decode"
+        | Some v ->
+            Proto.ok_line ~id:(Some k) (Handler.fields_of_vals q v))
+  in
+  let sink = ref 0 in
+  let time_hits () =
+    let t0 = Unix.gettimeofday () in
+    for k = 0 to lookups - 1 do
+      sink := !sink + String.length (hit_path k)
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int lookups *. 1e6
+  in
+  ignore (time_hits ()) (* warmup *);
+  let reps = 5 in
+  let hit_us = ref infinity in
+  for _ = 1 to reps do
+    hit_us := min !hit_us (time_hits ())
+  done;
+  let hit_us = !hit_us in
+  Printf.printf "index hit: %.2fus per lookup (full path, min of %d x %d)\n"
+    hit_us reps lookups;
+  (* 3. LRU baseline + transcript identity: the same index-mix traffic
+     over the wire, with and without the index. *)
+  let drive ?index_path () =
+    let server =
+      Server.start { Server.default_config with index_path }
+    in
+    Fun.protect
+      ~finally:(fun () -> Server.stop server)
+      (fun () ->
+        let port = Server.port server in
+        (match
+           Loadgen.run ~port ~conns:1 ~requests:32 ~seed:7 ~mix:Loadgen.Index ()
+         with
+        | Ok _ -> () (* warm the LRU / fault the mapping in *)
+        | Error e -> failwith ("index bench warmup: " ^ e));
+        match
+          Loadgen.run ~port ~conns:2 ~requests:2000 ~seed:7 ~mix:Loadgen.Index ()
+        with
+        | Ok s -> s
+        | Error e -> failwith ("index bench loadgen: " ^ e))
+  in
+  let lru = drive () in
+  let indexed = drive ~index_path:path () in
+  let identical =
+    List.equal String.equal lru.Loadgen.transcript indexed.Loadgen.transcript
+  in
+  if not identical then failwith "index bench: indexed transcript diverged";
+  Printf.printf "transcripts: index on == index off over %d requests\n"
+    (List.length lru.Loadgen.transcript);
+  let lru_p50 = lru.Loadgen.lat_p50_us in
+  let speedup = float_of_int lru_p50 /. hit_us in
+  Printf.printf
+    "LRU-serve p50 %dus vs index hit %.2fus = %.1fx (floor 10x, single-digit us target: %s)\n"
+    lru_p50 hit_us speedup
+    (if hit_us < 10. then "met" else "MISSED");
+  let meets = speedup >= 10. in
+  if not meets then Printf.printf "WARNING: below the 10x acceptance floor\n";
+  let oc = open_out "BENCH_index.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "rv_index bake throughput and index-hit latency",
+  "bake": {"records": %d, "seconds": %.4f, "records_per_s": %.0f},
+  "index_hit": {"lookups": %d, "reps": %d, "us_per_lookup": %.3f, "single_digit_us": %b},
+  "lru_baseline": {"requests": %d, "p50_us": %d, "p99_us": %d, "throughput_rps": %.0f},
+  "indexed": {"requests": %d, "p50_us": %d, "p99_us": %d, "throughput_rps": %.0f},
+  "transcripts_identical_index_on_off": %b,
+  "speedup_vs_lru_p50": %.1f,
+  "speedup_floor": 10.0,
+  "meets_floor": %b
+}
+|}
+    records bake_s bake_rps lookups reps hit_us (hit_us < 10.)
+    lru.Loadgen.requests lru_p50 lru.Loadgen.lat_p99_us
+    lru.Loadgen.throughput_rps indexed.Loadgen.requests
+    indexed.Loadgen.lat_p50_us indexed.Loadgen.lat_p99_us
+    indexed.Loadgen.throughput_rps identical speedup meets;
+  close_out oc;
+  ignore !sink;
+  print_endline "wrote BENCH_index.json"
+
 let () =
   match Sys.argv with
   | [| _; "traj" |] -> traj_speedup ()
   | [| _; "serve" |] -> serve_bench ()
+  | [| _; "index" |] -> index_bench ()
   | _ ->
       print_tables ();
       print_newline ();
@@ -565,4 +741,6 @@ let () =
       print_newline ();
       traj_speedup ();
       print_newline ();
-      serve_bench ()
+      serve_bench ();
+      print_newline ();
+      index_bench ()

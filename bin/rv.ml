@@ -10,7 +10,8 @@
      async    adversarial-scheduler analysis (asynchronous model)
      gather   k-agent gathering with merge-on-meet semantics
      dot      emit a Graphviz rendering of a graph spec
-     serve    TCP query server (admission control, result cache, drain)
+     bake     precompute a worst-case index over a parameter lattice
+     serve    TCP query server (index, admission control, result cache, drain)
      loadgen  deterministic load harness for a running serve instance
      version  build identity and feature flags *)
 
@@ -753,6 +754,106 @@ let dot_cmd =
   in
   Cmd.v (Cmd.info "dot" ~doc:"Emit Graphviz for a graph spec") Term.(const dot $ graph_arg)
 
+(* bake *)
+
+let bake_cmd =
+  let bake out graphs algorithms explorers spaces pairs max_delays run_labels
+      generation jobs =
+    let lattice =
+      or_die
+        (Rv_index.Lattice.of_args ~graphs ~algorithms ~explorers ~spaces ~pairs
+           ~max_delays ~run_labels ())
+    in
+    let cells = Rv_index.Lattice.cells lattice in
+    with_pool jobs @@ fun pool ->
+    let entries =
+      List.map
+        (fun q ->
+          let key = Rv_index.Key.render q in
+          match Rv_serve.Handler.eval_vals ?pool ~deadline_us:None q with
+          | Ok v -> (key, Rv_serve.Handler.values_of_vals v)
+          | Error (_, msg, _) ->
+              prerr_endline (Printf.sprintf "rv bake: %s: %s" key msg);
+              exit 1)
+        cells
+    in
+    match
+      Rv_index.Writer.write ~path:out ~generation
+        ~meta:(Rv_index.Lattice.describe lattice)
+        entries
+    with
+    | Error msg ->
+        prerr_endline ("rv bake: " ^ msg);
+        exit 1
+    | Ok n ->
+        Printf.printf
+          "rv bake: wrote %s (%d records, generation %d, format v%d)\n" out n
+          generation Rv_index.Format.version
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Index file to write.")
+  in
+  let graphs =
+    Arg.(
+      value
+      & opt string "ring:16"
+      & info [ "graphs" ] ~docv:"SPEC,..."
+          ~doc:"Comma-separated graph specs to bake.")
+  in
+  let algorithms =
+    Arg.(
+      value & opt string "fast"
+      & info [ "algorithms" ] ~docv:"ALGO,..."
+          ~doc:"Comma-separated rendezvous algorithms.")
+  in
+  let explorers =
+    Arg.(
+      value & opt string "auto"
+      & info [ "explorers" ] ~docv:"SPEC,..."
+          ~doc:"Comma-separated exploration procedures.")
+  in
+  let spaces =
+    Arg.(
+      value & opt string "16"
+      & info [ "spaces" ] ~docv:"L,..." ~doc:"Comma-separated label-space sizes.")
+  in
+  let pairs =
+    Arg.(
+      value & opt string "8"
+      & info [ "pairs" ] ~docv:"N,..." ~doc:"Comma-separated label-pair budgets.")
+  in
+  let max_delays =
+    Arg.(
+      value & opt string "8"
+      & info [ "max-delays" ] ~docv:"D,..."
+          ~doc:"Comma-separated largest wake-up delays.")
+  in
+  let run_labels =
+    Arg.(
+      value & opt string ""
+      & info [ "run-labels" ] ~docv:"A:B,..."
+          ~doc:
+            "Also bake run cells for these label pairs (start 0 vs antipode, \
+             zero delays, waiting model — the wire protocol's defaults).")
+  in
+  let generation =
+    Arg.(
+      value & opt int 1
+      & info [ "generation" ] ~docv:"N"
+          ~doc:"Generation number stamped into the index header.")
+  in
+  Cmd.v
+    (Cmd.info "bake"
+       ~doc:
+         "Precompute a worst-case index over a parameter lattice and write \
+          it as a versioned binary file for rv serve --index")
+    Term.(
+      const bake $ out $ graphs $ algorithms $ explorers $ spaces $ pairs
+      $ max_delays $ run_labels $ generation $ jobs_arg)
+
 (* serve *)
 
 let port_arg =
@@ -761,7 +862,8 @@ let port_arg =
     & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port to listen on (0 = ephemeral).")
 
 let serve_cmd =
-  let serve port jobs cache_mb queue_cap deadline_ms metrics =
+  let serve port jobs cache_mb queue_cap deadline_ms index index_backfill
+      metrics =
     with_metrics metrics @@ fun () ->
     let jobs = if jobs > 0 then jobs else Domain.recommended_domain_count () in
     let server =
@@ -773,13 +875,21 @@ let serve_cmd =
           cache_bytes = cache_mb * 1024 * 1024;
           queue_cap;
           default_deadline_ms = (if deadline_ms > 0 then Some deadline_ms else None);
+          index_path = index;
+          index_backfill;
         }
     in
     Rv_serve.Server.install_signals server;
-    Printf.printf "rv serve: listening on 127.0.0.1:%d (jobs %d, cache %d MiB, queue %d%s)\n%!"
+    Printf.printf "rv serve: listening on 127.0.0.1:%d (jobs %d, cache %d MiB, queue %d%s%s)\n%!"
       (Rv_serve.Server.port server) jobs cache_mb queue_cap
-      (if deadline_ms > 0 then Printf.sprintf ", deadline %dms" deadline_ms else "");
-    (* Blocks until SIGINT/SIGTERM triggers the drain. *)
+      (if deadline_ms > 0 then Printf.sprintf ", deadline %dms" deadline_ms else "")
+      (match index with
+      | Some path ->
+          Printf.sprintf ", index %s%s" path
+            (if index_backfill then "+backfill" else "")
+      | None -> "");
+    (* Blocks until SIGINT/SIGTERM triggers the drain; SIGHUP reloads
+       the index in place. *)
     Rv_serve.Server.join server;
     Printf.printf "rv serve: drained\n%!"
   in
@@ -800,12 +910,33 @@ let serve_cmd =
       & info [ "deadline-ms" ] ~docv:"MS"
           ~doc:"Default per-request deadline (0 = none; requests may set their own).")
   in
+  let index =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "index" ] ~docv:"FILE"
+          ~doc:
+            "Consult this baked rv_index file before the result cache.  A \
+             missing or corrupt file is a warning, not a failure; SIGHUP \
+             reloads it live.")
+  in
+  let index_backfill =
+    Arg.(
+      value & flag
+      & info [ "index-backfill" ]
+          ~doc:
+            "Accumulate computed index misses and periodically republish \
+             --index as the next generation (requires --index).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve rendezvous queries over TCP (newline-delimited JSON) with \
-          admission control, a result cache and graceful drain")
-    Term.(const serve $ port_arg $ jobs_arg $ cache_mb $ queue_cap $ deadline_ms $ metrics_arg)
+          admission control, a precomputed index, a result cache and \
+          graceful drain")
+    Term.(
+      const serve $ port_arg $ jobs_arg $ cache_mb $ queue_cap $ deadline_ms
+      $ index $ index_backfill $ metrics_arg)
 
 (* loadgen *)
 
@@ -832,7 +963,10 @@ let loadgen_cmd =
   let mix =
     Arg.(
       value & opt string "cached"
-      & info [ "mix" ] ~docv:"MIX" ~doc:"Request mix: cached, mixed or heavy.")
+      & info [ "mix" ] ~docv:"MIX"
+          ~doc:
+            "Request mix: cached, mixed, heavy or index (index cycles the \
+             canonical bake lattice — see rv bake).")
   in
   let dump =
     Arg.(
@@ -866,6 +1000,7 @@ let version_cmd =
     else begin
       Printf.printf "rv %s (ocaml %s, profile %s)\n" Rv_serve.Build_meta.version
         Rv_serve.Build_meta.ocaml_version Rv_serve.Build_meta.profile;
+      Printf.printf "index format: v%d\n" Rv_index.Format.version;
       let features =
         match List.assoc_opt "features" fields with
         | Some (Rv_obs.Json.List fs) ->
@@ -890,4 +1025,4 @@ let () =
   end;
   let doc = "deterministic rendezvous in networks (Miller & Pelc, PODC 2014)" in
   let info = Cmd.info "rv" ~version:Rv_serve.Build_meta.version ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; trace_cmd; sweep_cmd; explore_cmd; lb_cmd; exp_cmd; selftest_cmd; async_cmd; gather_cmd; lint_cmd; dot_cmd; serve_cmd; loadgen_cmd; version_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; trace_cmd; sweep_cmd; explore_cmd; lb_cmd; exp_cmd; selftest_cmd; async_cmd; gather_cmd; lint_cmd; dot_cmd; bake_cmd; serve_cmd; loadgen_cmd; version_cmd ]))

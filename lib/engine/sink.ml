@@ -78,6 +78,23 @@ let records t =
   Mutex.unlock t.lock;
   rs
 
+(* The same temp+rename discipline as [file], packaged for writers that
+   produce whole artifacts (e.g. rv_index bakes): the callback sees only
+   an out_channel, the final path appears in one [rename]. *)
+let write_file_atomic ?(fsync = false) path f =
+  let tmp_path = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp_path in
+  match f oc with
+  | () ->
+      flush oc;
+      if fsync then Unix.fsync (Unix.descr_of_out_channel oc);
+      close_out oc;
+      Unix.rename tmp_path path
+  | exception exn ->
+      (try close_out oc with Sys_error _ -> ());
+      (try Sys.remove tmp_path with Sys_error _ -> ());
+      raise exn
+
 let rec close t =
   Mutex.lock t.lock;
   if not t.closed then begin

@@ -34,6 +34,14 @@ val file : ?fsync:bool -> [ `Jsonl | `Csv ] -> string -> t
 val tee : t list -> t
 (** Broadcasts every record to each sub-sink. *)
 
+val write_file_atomic : ?fsync:bool -> string -> (out_channel -> unit) -> unit
+(** [write_file_atomic path f] runs [f] on a fresh [<path>.tmp.<pid>]
+    channel (binary mode) and renames it to [path] on success — the same
+    publication discipline as {!file}, for callers that write whole
+    artifacts themselves (the rv_index baker).  On exception the temp
+    file is removed and the exception re-raised; [fsync] (default false)
+    flushes to stable storage before the rename. *)
+
 val emit : t -> Record.t -> unit
 (** Raises [Invalid_argument] on a closed sink. *)
 

@@ -1,0 +1,55 @@
+(* On-disk layout of a baked index (all integers little-endian):
+
+     offset  size  field
+     0       4     magic "RVIX"
+     4       4     format version (u32)
+     8       8     generation (i64)
+     16      8     record count (i64)
+     24      4     key width in bytes (u32, multiple of 8)
+     28      4     values per record (u32)
+     32      8     FNV-1a 64 checksum of every byte after the header
+     40      4     meta length in bytes (u32)
+     44      20    reserved, must be zero
+     64      -     meta string, NUL-padded to an 8-byte boundary
+     -       -     records: key NUL-padded to [key width], then
+                   [values per record] signed 64-bit values
+
+   Records are sorted by Key.compare (equivalently: memcmp on the padded
+   keys, since NUL sorts below every key byte), so lookup is a binary
+   search directly over the mapping — no deserialization on the hot
+   path.  The header is fixed-width so a reader can validate the exact
+   expected file size before trusting any of it. *)
+
+let magic = "RVIX"
+let version = 1
+let header_size = 64
+let reserved_off = 44
+
+let off_magic = 0
+let off_version = 4
+let off_generation = 8
+let off_record_count = 16
+let off_key_width = 24
+let off_value_count = 28
+let off_checksum = 32
+let off_meta_len = 40
+
+let max_key_len = 4096
+let max_meta_len = 65536
+
+let round8 n = (n + 7) land lnot 7
+
+(* FNV-1a, 64-bit: simple, dependency-free, and plenty to catch
+   truncation and bit rot — this is an integrity check, not a MAC. *)
+let fnv_offset_basis = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv64 get len =
+  let h = ref fnv_offset_basis in
+  for i = 0 to len - 1 do
+    h :=
+      Int64.mul
+        (Int64.logxor !h (Int64.of_int (Char.code (get i))))
+        fnv_prime
+  done;
+  !h

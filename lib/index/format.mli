@@ -1,0 +1,39 @@
+(** Binary layout constants for the baked index file (see format.ml for
+    the byte-by-byte map).  {!Writer} emits it, {!Reader} validates and
+    maps it; both go through these constants so the layout lives in one
+    place. *)
+
+val magic : string
+(** ["RVIX"], bytes 0–3 of every index file. *)
+
+val version : int
+(** Current format version; a reader refuses any other value. *)
+
+val header_size : int
+(** Fixed header width in bytes (64). *)
+
+val reserved_off : int
+(** First reserved header byte; everything from here to
+    [header_size - 1] must be zero. *)
+
+val off_magic : int
+val off_version : int
+val off_generation : int
+val off_record_count : int
+val off_key_width : int
+val off_value_count : int
+val off_checksum : int
+val off_meta_len : int
+
+val max_key_len : int
+(** Longest key the writer accepts (4096 bytes). *)
+
+val max_meta_len : int
+(** Longest meta string the writer accepts (64 KiB). *)
+
+val round8 : int -> int
+(** Round up to a multiple of 8 — key width and meta padding. *)
+
+val fnv64 : (int -> char) -> int -> int64
+(** [fnv64 get len] — FNV-1a 64-bit hash of bytes [get 0 .. get (len-1)];
+    the checksum covering every byte after the header. *)

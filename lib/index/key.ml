@@ -1,0 +1,48 @@
+(* The one canonical key for a rendezvous query.  Both the serve result
+   cache and the baked index address answers by [render]ed strings, and
+   both sort/search with [compare] — keeping the two in one module is
+   what guarantees a binary search over index records agrees with the
+   cache about which requests are "the same question". *)
+
+type worst = {
+  w_graph : string;
+  w_algorithm : string;
+  w_explorer : string;
+  w_space : int;
+  w_max_pairs : int;
+  w_max_delay : int;
+}
+
+type run = {
+  r_graph : string;
+  r_algorithm : string;
+  r_explorer : string;
+  r_space : int;
+  r_label_a : int;
+  r_label_b : int;
+  r_start_a : int;
+  r_start_b : int;
+  r_delay_a : int;
+  r_delay_b : int;
+  r_parachute : bool;
+}
+
+type query = Worst of worst | Run of run
+
+let render = function
+  | Worst w ->
+      Printf.sprintf "worst g=%s a=%s e=%s L=%d pairs=%d maxd=%d" w.w_graph
+        w.w_algorithm w.w_explorer w.w_space w.w_max_pairs w.w_max_delay
+  | Run r ->
+      Printf.sprintf
+        "run g=%s a=%s e=%s L=%d la=%d lb=%d sa=%d sb=%d da=%d db=%d m=%s"
+        r.r_graph r.r_algorithm r.r_explorer r.r_space r.r_label_a r.r_label_b
+        r.r_start_a r.r_start_b r.r_delay_a r.r_delay_b
+        (if r.r_parachute then "parachute" else "waiting")
+
+(* Byte-lexicographic.  The index writer pads keys with NUL (which never
+   appears in a rendered key and sorts below every other byte), so
+   fixed-width record comparison in the mmap'd file induces exactly this
+   order — see Reader. *)
+let compare = String.compare
+let equal = String.equal

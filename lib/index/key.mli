@@ -1,0 +1,45 @@
+(** Canonical query keys, shared by the serve result cache and the baked
+    index.
+
+    [Rv_serve.Proto] re-exports these record types, so a parsed wire
+    request {e is} a key record; {!render} produces the canonical string
+    (every defaultable field explicit, [id]/[deadline_ms] excluded) and
+    {!compare} is the one total order both the LRU cache and the index's
+    sorted records use.  Splitting either would invite silent
+    binary-search misses — test_index property-checks that an index
+    written from any key set reads back in exactly [List.sort compare]
+    order. *)
+
+type worst = {
+  w_graph : string;
+  w_algorithm : string;
+  w_explorer : string;
+  w_space : int;
+  w_max_pairs : int;
+  w_max_delay : int;
+}
+
+type run = {
+  r_graph : string;
+  r_algorithm : string;
+  r_explorer : string;
+  r_space : int;
+  r_label_a : int;
+  r_label_b : int;
+  r_start_a : int;
+  r_start_b : int;  (** [-1] = antipode of [r_start_a], resolved at eval time *)
+  r_delay_a : int;
+  r_delay_b : int;
+  r_parachute : bool;
+}
+
+type query = Worst of worst | Run of run
+
+val render : query -> string
+(** Canonical rendering; never contains a NUL byte. *)
+
+val compare : string -> string -> int
+(** Byte-lexicographic order on rendered keys — the index's record order
+    and the order every cache/index consumer must use. *)
+
+val equal : string -> string -> bool

@@ -1,0 +1,156 @@
+(* A lattice spec is the offline mirror of the wire protocol's
+   defaulting: every cell it enumerates renders to exactly the canonical
+   key a live request for the same question would produce (worst cells
+   carry the explicit explorer/space/pairs/max_delay; run cells pin
+   start_a=0, start_b=antipode, zero delays, waiting model — the proto
+   defaults). *)
+
+type t = {
+  graphs : string list;
+  algorithms : string list;
+  explorers : string list;
+  spaces : int list;
+  pairs : int list;
+  max_delays : int list;
+  run_labels : (int * int) list;
+}
+
+let ( let* ) = Result.bind
+
+let split_commas s =
+  List.filter
+    (fun x -> String.length x > 0)
+    (String.split_on_char ',' (String.trim s))
+
+let parse_strings name s =
+  match split_commas s with
+  | [] -> Error (Printf.sprintf "%s: expected a comma-separated list" name)
+  | xs -> Ok xs
+
+let parse_ints name ~lo s =
+  let* xs = parse_strings name s in
+  List.fold_left
+    (fun acc x ->
+      let* acc = acc in
+      match int_of_string_opt x with
+      | None -> Error (Printf.sprintf "%s: %S is not an integer" name x)
+      | Some i ->
+          if i < lo then
+            Error (Printf.sprintf "%s: %d is below the minimum %d" name i lo)
+          else Ok (acc @ [ i ]))
+    (Ok []) xs
+
+let parse_label_pairs s =
+  match split_commas s with
+  | [] -> Ok []
+  | xs ->
+      List.fold_left
+        (fun acc x ->
+          let* acc = acc in
+          match String.split_on_char ':' x with
+          | [ a; b ] -> (
+              match (int_of_string_opt a, int_of_string_opt b) with
+              | Some la, Some lb when la >= 1 && lb >= 1 && la <> lb ->
+                  Ok (acc @ [ (la, lb) ])
+              | Some la, Some lb when la = lb ->
+                  Error
+                    (Printf.sprintf
+                       "run_labels: %S names two equal labels (agents must \
+                        differ)"
+                       x)
+              | _ ->
+                  Error
+                    (Printf.sprintf "run_labels: %S is not LABEL_A:LABEL_B" x))
+          | _ -> Error (Printf.sprintf "run_labels: %S is not LABEL_A:LABEL_B" x))
+        (Ok []) xs
+
+let of_args ~graphs ~algorithms ?(explorers = "auto") ~spaces ~pairs ~max_delays
+    ?(run_labels = "") () =
+  let* graphs = parse_strings "graphs" graphs in
+  let* algorithms = parse_strings "algorithms" algorithms in
+  let* explorers = parse_strings "explorers" explorers in
+  let* spaces = parse_ints "spaces" ~lo:2 spaces in
+  let* pairs = parse_ints "pairs" ~lo:1 pairs in
+  let* max_delays = parse_ints "max_delays" ~lo:0 max_delays in
+  let* run_labels = parse_label_pairs run_labels in
+  Ok { graphs; algorithms; explorers; spaces; pairs; max_delays; run_labels }
+
+let cells t =
+  let worst =
+    List.concat_map
+      (fun w_graph ->
+        List.concat_map
+          (fun w_algorithm ->
+            List.concat_map
+              (fun w_explorer ->
+                List.concat_map
+                  (fun w_space ->
+                    List.concat_map
+                      (fun w_max_pairs ->
+                        List.map
+                          (fun w_max_delay ->
+                            Key.Worst
+                              {
+                                Key.w_graph;
+                                w_algorithm;
+                                w_explorer;
+                                w_space;
+                                w_max_pairs;
+                                w_max_delay;
+                              })
+                          t.max_delays)
+                      t.pairs)
+                  t.spaces)
+              t.explorers)
+          t.algorithms)
+      t.graphs
+  in
+  let runs =
+    List.concat_map
+      (fun r_graph ->
+        List.concat_map
+          (fun r_algorithm ->
+            List.concat_map
+              (fun r_explorer ->
+                List.concat_map
+                  (fun r_space ->
+                    List.map
+                      (fun (r_label_a, r_label_b) ->
+                        Key.Run
+                          {
+                            Key.r_graph;
+                            r_algorithm;
+                            r_explorer;
+                            r_space;
+                            r_label_a;
+                            r_label_b;
+                            r_start_a = 0;
+                            r_start_b = -1;
+                            r_delay_a = 0;
+                            r_delay_b = 0;
+                            r_parachute = false;
+                          })
+                      t.run_labels)
+                  t.spaces)
+              t.explorers)
+          t.algorithms)
+      t.graphs
+  in
+  worst @ runs
+
+let size t = List.length (cells t)
+
+let describe t =
+  let ints xs = String.concat "," (List.map string_of_int xs) in
+  let labels xs =
+    String.concat "," (List.map (fun (a, b) -> Printf.sprintf "%d:%d" a b) xs)
+  in
+  Printf.sprintf
+    "graphs=%s algorithms=%s explorers=%s spaces=%s pairs=%s max_delays=%s%s"
+    (String.concat "," t.graphs)
+    (String.concat "," t.algorithms)
+    (String.concat "," t.explorers)
+    (ints t.spaces) (ints t.pairs) (ints t.max_delays)
+    (match t.run_labels with
+    | [] -> ""
+    | ls -> " run_labels=" ^ labels ls)

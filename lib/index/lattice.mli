@@ -1,0 +1,43 @@
+(** Declarative bake lattices: the cross-product of graph families ×
+    algorithms × explorers × label-space sizes × pair budgets × delay
+    caps (worst cells), plus optional [la:lb] label pairs (run cells
+    with the wire protocol's defaults: start 0 vs antipode, zero delays,
+    waiting model).
+
+    Every cell renders to the canonical key a live request for the same
+    question produces, so baking a lattice pre-answers exactly that
+    request set. *)
+
+type t = {
+  graphs : string list;
+  algorithms : string list;
+  explorers : string list;
+  spaces : int list;
+  pairs : int list;
+  max_delays : int list;
+  run_labels : (int * int) list;
+}
+
+val of_args :
+  graphs:string ->
+  algorithms:string ->
+  ?explorers:string ->
+  spaces:string ->
+  pairs:string ->
+  max_delays:string ->
+  ?run_labels:string ->
+  unit ->
+  (t, string) result
+(** Parse comma-separated CLI arguments ([explorers] defaults to
+    ["auto"], [run_labels] to none).  Validation is shallow — spec
+    strings are checked by the evaluator at bake time. *)
+
+val cells : t -> Key.query list
+(** Deterministic enumeration order (worst cells first); the writer
+    re-sorts by key anyway. *)
+
+val size : t -> int
+
+val describe : t -> string
+(** Canonical one-line spec, embedded as the index's meta string — no
+    timestamps, so re-baking the same lattice is byte-reproducible. *)

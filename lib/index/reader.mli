@@ -1,0 +1,30 @@
+(** Read side of the baked index: validate once, mmap, then O(log n)
+    zero-deserialization lookups.
+
+    {!open_} maps the file and checks magic, format version, exact file
+    size and the FNV-1a checksum before returning; a corrupt, truncated
+    or future-versioned file is a clean [Error], never a crash and never
+    a wrong answer.  A [t] is immutable and safe to share across
+    threads; swapping a fresh [t] into an [Atomic.t] is the whole
+    reload story (readers of the old mapping keep working until GC). *)
+
+type t
+
+val open_ : string -> (t, string) result
+(** Never raises.  The file descriptor is closed before returning; the
+    mapping lives as long as [t]. *)
+
+val lookup : t -> string -> int array option
+(** Binary search by {!Key.compare} order.  [None] = key not baked. *)
+
+val generation : t -> int
+val record_count : t -> int
+val key_width : t -> int
+val value_count : t -> int
+
+val meta : t -> string
+(** The build description the writer embedded (lattice spec etc.). *)
+
+val entries : t -> (string * int array) list
+(** Every record, in key order — the cold path used to merge an existing
+    index with backfilled entries into the next generation. *)

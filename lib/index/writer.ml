@@ -1,0 +1,85 @@
+exception Invalid of string
+
+let check cond msg = if not cond then raise (Invalid msg)
+
+let write ?(fsync = false) ~path ~generation ~meta entries =
+  try
+    check (generation >= 0) "generation must be >= 0";
+    check
+      (String.length meta <= Format.max_meta_len)
+      (Printf.sprintf "meta longer than %d bytes" Format.max_meta_len);
+    let value_count =
+      match entries with
+      | [] -> raise (Invalid "refusing to write an empty index")
+      | (_, v) :: _ -> Array.length v
+    in
+    check (value_count >= 1) "records need at least one value";
+    List.iter
+      (fun (k, v) ->
+        check (String.length k > 0) "empty key";
+        check
+          (String.length k <= Format.max_key_len)
+          (Printf.sprintf "key longer than %d bytes" Format.max_key_len);
+        check (not (String.contains k '\000')) "key contains a NUL byte";
+        check
+          (Array.length v = value_count)
+          (Printf.sprintf "key %S: expected %d values, got %d" k value_count
+             (Array.length v)))
+      entries;
+    let sorted = List.sort (fun (a, _) (b, _) -> Key.compare a b) entries in
+    (* Identical duplicates collapse (the backfill merge resubmits known
+       entries); conflicting duplicates are a caller bug and poison. *)
+    let rec dedup = function
+      | [] -> []
+      | [ e ] -> [ e ]
+      | (k1, v1) :: ((k2, v2) :: _ as rest) ->
+          if Key.equal k1 k2 then
+            if Array.for_all2 (fun a b -> a = b) v1 v2 then dedup rest
+            else
+              raise
+                (Invalid
+                   (Printf.sprintf "duplicate key with conflicting values: %S"
+                      k1))
+          else (k1, v1) :: dedup rest
+    in
+    let sorted = dedup sorted in
+    let record_count = List.length sorted in
+    let key_width =
+      Format.round8
+        (List.fold_left (fun acc (k, _) -> max acc (String.length k)) 1 sorted)
+    in
+    let body = Buffer.create 4096 in
+    Buffer.add_string body meta;
+    for _ = 1 to Format.round8 (String.length meta) - String.length meta do
+      Buffer.add_char body '\000'
+    done;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string body k;
+        for _ = 1 to key_width - String.length k do
+          Buffer.add_char body '\000'
+        done;
+        Array.iter (fun x -> Buffer.add_int64_le body (Int64.of_int x)) v)
+      sorted;
+    let checksum = Format.fnv64 (Buffer.nth body) (Buffer.length body) in
+    let header = Bytes.make Format.header_size '\000' in
+    Bytes.blit_string Format.magic 0 header Format.off_magic 4;
+    Bytes.set_int32_le header Format.off_version (Int32.of_int Format.version);
+    Bytes.set_int64_le header Format.off_generation (Int64.of_int generation);
+    Bytes.set_int64_le header Format.off_record_count
+      (Int64.of_int record_count);
+    Bytes.set_int32_le header Format.off_key_width (Int32.of_int key_width);
+    Bytes.set_int32_le header Format.off_value_count
+      (Int32.of_int value_count);
+    Bytes.set_int64_le header Format.off_checksum checksum;
+    Bytes.set_int32_le header Format.off_meta_len
+      (Int32.of_int (String.length meta));
+    Rv_engine.Sink.write_file_atomic ~fsync path (fun oc ->
+        output_bytes oc header;
+        Buffer.output_buffer oc body);
+    Ok record_count
+  with
+  | Invalid msg -> Error ("rv_index: " ^ msg)
+  | Sys_error msg -> Error ("rv_index: " ^ msg)
+  | Unix.Unix_error (e, fn, arg) ->
+      Error (Printf.sprintf "rv_index: %s %s: %s" fn arg (Unix.error_message e))

@@ -1,0 +1,22 @@
+(** Bake an index file.
+
+    Entries are [(key, values)] pairs — keys from {!Key.render}, values
+    a uniform-width array of 63-bit integers (the serve layer's
+    {!val:Rv_serve.Handler.values_of_vals} encoding, though the writer
+    is agnostic).  The writer sorts by {!Key.compare}, pads every key
+    with NUL to a common width, and publishes through
+    {!Rv_engine.Sink.write_file_atomic} — the finished file appears at
+    [path] in one [rename], so a live server rereading the path never
+    observes a torn index. *)
+
+val write :
+  ?fsync:bool ->
+  path:string ->
+  generation:int ->
+  meta:string ->
+  (string * int array) list ->
+  (int, string) result
+(** Returns the record count written.  Identical duplicate entries are
+    collapsed; duplicates with conflicting values, empty/oversized/NUL
+    keys, ragged value widths and empty entry lists are all refused with
+    [Error].  Never raises. *)

@@ -7,21 +7,37 @@ type t =
   | List of t list
   | Obj of (string * t) list
 
-let escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+(* Escaping writes straight into the output buffer; the common case — no
+   character needs escaping — is a single scan plus one [add_string],
+   with no intermediate allocation (serve replies render one of these
+   per field, so this is on the index/cache hit path). *)
+let needs_escape s =
+  let n = String.length s in
+  let rec go i =
+    i < n
+    &&
+    match String.unsafe_get s i with
+    | '"' | '\\' -> true
+    | c when Char.code c < 0x20 -> true
+    | _ -> go (i + 1)
+  in
+  go 0
+
+let add_escaped b s =
+  if not (needs_escape s) then Buffer.add_string b s
+  else
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s
 
 let float_to_string f =
   if
@@ -31,16 +47,24 @@ let float_to_string f =
   else if Float.is_integer f then Printf.sprintf "%.1f" f
   else Printf.sprintf "%.12g" f
 
+(* Serve replies are mostly small non-negative ints; rendering them from
+   a fixed table skips a string_of_int allocation per field. *)
+let small_int_strings = Array.init 1024 string_of_int
+
+let add_int b i =
+  if i >= 0 && i < 1024 then Buffer.add_string b (Array.unsafe_get small_int_strings i)
+  else Buffer.add_string b (string_of_int i)
+
 let to_string t =
-  let b = Buffer.create 256 in
+  let b = Buffer.create 512 in
   let rec go = function
     | Null -> Buffer.add_string b "null"
     | Bool x -> Buffer.add_string b (if x then "true" else "false")
-    | Int i -> Buffer.add_string b (string_of_int i)
+    | Int i -> add_int b i
     | Float f -> Buffer.add_string b (float_to_string f)
     | Str s ->
         Buffer.add_char b '"';
-        Buffer.add_string b (escape s);
+        add_escaped b s;
         Buffer.add_char b '"'
     | List xs ->
         Buffer.add_char b '[';
@@ -56,7 +80,7 @@ let to_string t =
           (fun i (k, v) ->
             if i > 0 then Buffer.add_char b ',';
             Buffer.add_char b '"';
-            Buffer.add_string b (escape k);
+            add_escaped b k;
             Buffer.add_string b "\":";
             go v)
           kvs;

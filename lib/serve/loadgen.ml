@@ -1,19 +1,31 @@
 module Json = Rv_obs.Json
 
-type mix = Cached | Mixed | Heavy
+type mix = Cached | Mixed | Heavy | Index
 
 let mix_to_string = function
   | Cached -> "cached"
   | Mixed -> "mixed"
   | Heavy -> "heavy"
+  | Index -> "index"
 
 let mix_of_string = function
   | "cached" -> Ok Cached
   | "mixed" -> Ok Mixed
   | "heavy" -> Ok Heavy
+  | "index" -> Ok Index
   | other ->
       Error
-        (Printf.sprintf "unknown mix %S (accepted: cached, mixed, heavy)" other)
+        (Printf.sprintf "unknown mix %S (accepted: cached, mixed, heavy, index)"
+           other)
+
+(* The bake lattice the index mix hits — `rv bake` with exactly these
+   arguments pre-answers every request the mix generates, so against an
+   index-backed server the whole run is index hits. *)
+let index_mix_graphs = "ring:6,ring:8,ring:10,ring:12"
+let index_mix_algorithms = "cheap,fast"
+let index_mix_spaces = "8"
+let index_mix_pairs = "4"
+let index_mix_max_delays = "8"
 
 type summary = {
   requests : int;
@@ -68,6 +80,16 @@ let cached_line ~id k =
   | 4 -> worst_line ~id ~graph:"path:6" ~algorithm:"cheap" ~space:8 ~pairs:4
   | _ -> run_line ~id ~graph:"star:5" ~algorithm:"cheap" ~space:8 ~label_a:2 ~label_b:7
 
+(* The index mix cycles the 8 worst-case cells of the lattice above
+   (explorer and max_delay ride on their protocol defaults, matching the
+   bake's explorers=auto / max_delays=8). *)
+let index_line ~id k =
+  let graphs = [| "ring:6"; "ring:8"; "ring:10"; "ring:12" |] in
+  let algorithms = [| "cheap"; "fast" |] in
+  worst_line ~id ~graph:graphs.(k mod 4)
+    ~algorithm:algorithms.(k / 4 mod 2)
+    ~space:8 ~pairs:4
+
 (* Every heavy request is a distinct compute-bound question: label pairs
    walk the space so the canonical keys never repeat within a run. *)
 let heavy_line ~id k =
@@ -86,6 +108,7 @@ let generate ~mix ~seed ~requests =
       match mix with
       | Cached -> cached_line ~id:i i
       | Heavy -> heavy_line ~id:i i
+      | Index -> index_line ~id:i i
       | Mixed ->
           if Rv_util.Rng.int_in rng 0 9 < 8 then
             cached_line ~id:i (Rv_util.Rng.int_in rng 0 5)

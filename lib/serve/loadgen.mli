@@ -14,9 +14,22 @@ type mix =
   | Mixed  (** mostly repeats with a tail of fresh queries *)
   | Heavy  (** every query distinct and compute-bound — exercises
                admission control *)
+  | Index  (** cycles the 8 worst-case cells of the canonical bake
+               lattice (see the [index_mix_*] constants) — all-index-hit
+               traffic against a server started with that index *)
 
 val mix_of_string : string -> (mix, string) result
 val mix_to_string : mix -> string
+
+(** The bake lattice matching the [Index] mix: pass these five strings
+    to [rv bake] (or {!Rv_index.Lattice.of_args}) and every request the
+    mix generates is pre-answered. *)
+
+val index_mix_graphs : string
+val index_mix_algorithms : string
+val index_mix_spaces : string
+val index_mix_pairs : string
+val index_mix_max_delays : string
 
 type summary = {
   requests : int;

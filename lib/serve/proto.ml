@@ -4,8 +4,14 @@
    here with a message precise enough to fix the request. *)
 
 module Json = Rv_obs.Json
+module Key = Rv_index.Key
 
-type worst_q = {
+(* The query records ARE the canonical-key records: re-exporting
+   {!Rv_index.Key}'s types means a parsed request, a cache key and an
+   index record key are the same value rendered by the same function —
+   there is no second total order to drift out of sync. *)
+
+type worst_q = Key.worst = {
   w_graph : string;
   w_algorithm : string;
   w_explorer : string;
@@ -14,7 +20,7 @@ type worst_q = {
   w_max_delay : int;
 }
 
-type run_q = {
+type run_q = Key.run = {
   r_graph : string;
   r_algorithm : string;
   r_explorer : string;
@@ -28,7 +34,7 @@ type run_q = {
   r_parachute : bool;
 }
 
-type query = Worst of worst_q | Run of run_q
+type query = Key.query = Worst of worst_q | Run of run_q
 type admin = Health | Metrics | Version
 
 type request = {
@@ -208,16 +214,7 @@ let parse line =
 
 (* --- canonical keys ---------------------------------------------------- *)
 
-let canonical_key = function
-  | Worst w ->
-      Printf.sprintf "worst g=%s a=%s e=%s L=%d pairs=%d maxd=%d" w.w_graph
-        w.w_algorithm w.w_explorer w.w_space w.w_max_pairs w.w_max_delay
-  | Run r ->
-      Printf.sprintf
-        "run g=%s a=%s e=%s L=%d la=%d lb=%d sa=%d sb=%d da=%d db=%d m=%s"
-        r.r_graph r.r_algorithm r.r_explorer r.r_space r.r_label_a r.r_label_b
-        r.r_start_a r.r_start_b r.r_delay_a r.r_delay_b
-        (if r.r_parachute then "parachute" else "waiting")
+let canonical_key = Key.render
 
 (* --- response rendering ------------------------------------------------ *)
 

@@ -23,7 +23,7 @@
     [bad_request], [overloaded], [deadline_exceeded],
     [failed_rendezvous], [internal]. *)
 
-type worst_q = {
+type worst_q = Rv_index.Key.worst = {
   w_graph : string;
   w_algorithm : string;
   w_explorer : string;
@@ -31,8 +31,11 @@ type worst_q = {
   w_max_pairs : int;
   w_max_delay : int;
 }
+(** Re-exported from {!Rv_index.Key}: a parsed request is the same value
+    the index baker keys records by, so cache and index can never
+    disagree about key identity or order. *)
 
-type run_q = {
+type run_q = Rv_index.Key.run = {
   r_graph : string;
   r_algorithm : string;
   r_explorer : string;
@@ -46,7 +49,7 @@ type run_q = {
   r_parachute : bool;
 }
 
-type query = Worst of worst_q | Run of run_q
+type query = Rv_index.Key.query = Worst of worst_q | Run of run_q
 type admin = Health | Metrics | Version
 
 type request = {
@@ -65,7 +68,9 @@ val parse : string -> (request, string) result
 val canonical_key : query -> string
 (** The cache key: a canonical rendering of the resolved query, with
     every defaultable field made explicit and [id]/[deadline_ms]
-    excluded — two requests that ask the same question share a key. *)
+    excluded — two requests that ask the same question share a key.
+    This is {!Rv_index.Key.render}, the same function that keys baked
+    index records. *)
 
 type code =
   | Bad_request

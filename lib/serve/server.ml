@@ -10,6 +10,9 @@ type config = {
   cache_bytes : int;
   queue_cap : int;
   default_deadline_ms : int option;
+  index_path : string option;
+  index_backfill : bool;
+  backfill_flush_s : float;
 }
 
 let default_config =
@@ -20,6 +23,9 @@ let default_config =
     cache_bytes = 8 * 1024 * 1024;
     queue_cap = 64;
     default_deadline_ms = None;
+    index_path = None;
+    index_backfill = false;
+    backfill_flush_s = 5.0;
   }
 
 (* One accepted client.  [inflight] counts jobs handed to the dispatcher
@@ -68,6 +74,9 @@ type t = {
   n_deadline : int Atomic.t;
   n_cache_hits : int Atomic.t;
   n_cache_misses : int Atomic.t;
+  n_index_hits : int Atomic.t;
+  n_index_misses : int Atomic.t;
+  n_index_backfilled : int Atomic.t;
   (* Hoisted process-global instruments (exported alongside everything
      else by [rv] metric dumps). *)
   c_requests : Counter.t;
@@ -77,8 +86,19 @@ type t = {
   c_deadline : Counter.t;
   c_cache_hits : Counter.t;
   c_cache_misses : Counter.t;
+  c_index_hits : Counter.t;
+  c_index_misses : Counter.t;
+  c_index_backfilled : Counter.t;
   h_latency : Histogram.t;
   h_queue_wait : Histogram.t;
+  (* The live index.  Swapped whole on reload/backfill; readers of a
+     displaced generation keep answering from the old mapping, so a swap
+     is never observable mid-lookup. *)
+  index : Rv_index.Reader.t option Atomic.t;
+  backfill_lock : Mutex.t;
+  backfill_pending : (string, int array) Hashtbl.t;
+  backfill_stop : bool Atomic.t;
+  mutable backfill_thread : Thread.t option;
 }
 
 let port t = t.srv_port
@@ -127,6 +147,137 @@ let cache_miss t =
   Atomic.incr t.n_cache_misses;
   Counter.add t.c_cache_misses 1
 
+(* --- index ------------------------------------------------------------- *)
+
+let index_hit t =
+  Atomic.incr t.n_index_hits;
+  Counter.add t.c_index_hits 1
+
+let index_miss t =
+  Atomic.incr t.n_index_misses;
+  Counter.add t.c_index_misses 1
+
+(* Consult the baked index.  A hit re-renders through the same
+   [Handler.fields_of_vals] printer the compute path uses, so the reply
+   bytes cannot depend on which path answered.  Decode failures (stale
+   kind tag, wrong width) count as misses and fall through.
+   [count_miss:false] is for the dispatcher's re-check of an already
+   counted-as-missed request, so each request scores at most one miss. *)
+let index_answer ?(count_miss = true) t q key =
+  match Atomic.get t.index with
+  | None -> None
+  | Some reader -> (
+      match Rv_index.Reader.lookup reader key with
+      | None ->
+          if count_miss then index_miss t;
+          None
+      | Some values -> (
+          match Handler.vals_of_values q values with
+          | None ->
+              if count_miss then index_miss t;
+              None
+          | Some v ->
+              index_hit t;
+              Some (Handler.fields_of_vals q v)))
+
+let reload_index t =
+  match t.cfg.index_path with
+  | None -> Error "no index path configured"
+  | Some path -> (
+      match Rv_index.Reader.open_ path with
+      | Ok r ->
+          Atomic.set t.index (Some r);
+          Ok ()
+      | Error msg -> Error msg)
+
+(* Misses evaluated by the dispatcher accumulate here (bounded) until
+   the backfill thread folds them, together with the current index's
+   entries, into generation+1 and swaps the reader. *)
+let backfill_cap = 4096
+
+let note_backfill t key values =
+  if t.cfg.index_backfill && Option.is_some t.cfg.index_path then begin
+    Mutex.lock t.backfill_lock;
+    if
+      Hashtbl.length t.backfill_pending < backfill_cap
+      && not (Hashtbl.mem t.backfill_pending key)
+    then Hashtbl.add t.backfill_pending key values;
+    Mutex.unlock t.backfill_lock
+  end
+
+let publish_backfill t =
+  match t.cfg.index_path with
+  | None -> ()
+  | Some path -> (
+      let pending =
+        Mutex.lock t.backfill_lock;
+        let kvs =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.backfill_pending []
+        in
+        Hashtbl.reset t.backfill_pending;
+        Mutex.unlock t.backfill_lock;
+        (* Hashtbl fold order is unspecified; sort so the writer's input
+           (and therefore the published file) is deterministic. *)
+        List.sort (fun (a, _) (b, _) -> Rv_index.Key.compare a b) kvs
+      in
+      match pending with
+      | [] -> ()
+      | _ :: _ -> (
+          let existing, generation, meta =
+            match Atomic.get t.index with
+            | Some r ->
+                ( Rv_index.Reader.entries r,
+                  Rv_index.Reader.generation r,
+                  Rv_index.Reader.meta r )
+            | None -> ([], 0, "rv_serve backfill")
+          in
+          let module SS = Set.Make (String) in
+          let have =
+            List.fold_left (fun s (k, _) -> SS.add k s) SS.empty existing
+          in
+          let fresh = List.filter (fun (k, _) -> not (SS.mem k have)) pending in
+          match fresh with
+          | [] -> ()
+          | _ :: _ -> (
+              match
+                Rv_index.Writer.write ~path ~generation:(generation + 1) ~meta
+                  (existing @ fresh)
+              with
+              | Error msg ->
+                  Printf.eprintf "rv serve: backfill write failed: %s\n%!" msg
+              | Ok _ -> (
+                  match Rv_index.Reader.open_ path with
+                  | Error msg ->
+                      Printf.eprintf "rv serve: backfill reload failed: %s\n%!"
+                        msg
+                  | Ok r ->
+                      Atomic.set t.index (Some r);
+                      let n = List.length fresh in
+                      ignore (Atomic.fetch_and_add t.n_index_backfilled n);
+                      Counter.add t.c_index_backfilled n))))
+
+let backfill_loop t =
+  let interval =
+    if t.cfg.backfill_flush_s > 0. then t.cfg.backfill_flush_s else 5.
+  in
+  (* Nap in small slices so a drain never waits long for the thread; no
+     wall-clock reads needed, only accumulated sleep. *)
+  let slice = 0.02 in
+  let rec loop () =
+    if not (Atomic.get t.backfill_stop) then begin
+      let rec nap remaining =
+        if remaining > 0. && not (Atomic.get t.backfill_stop) then begin
+          Thread.delay (if remaining < slice then remaining else slice);
+          nap (remaining -. slice)
+        end
+      in
+      nap interval;
+      if not (Atomic.get t.backfill_stop) then publish_backfill t;
+      loop ()
+    end
+  in
+  loop ()
+
 (* --- admin replies ----------------------------------------------------- *)
 
 let contains_sub s sub =
@@ -157,8 +308,24 @@ let version_fields () =
     ("version", Json.Str Build_meta.version);
     ("ocaml", Json.Str Build_meta.ocaml_version);
     ("profile", Json.Str Build_meta.profile);
+    ("index_format", Json.Int Rv_index.Format.version);
     ("features", Json.List (feature_flags ()));
   ]
+
+let index_status_fields t =
+  match Atomic.get t.index with
+  | None ->
+      [
+        ("index_loaded", Json.Bool false);
+        ("index_generation", Json.Int 0);
+        ("index_records", Json.Int 0);
+      ]
+  | Some r ->
+      [
+        ("index_loaded", Json.Bool true);
+        ("index_generation", Json.Int (Rv_index.Reader.generation r));
+        ("index_records", Json.Int (Rv_index.Reader.record_count r));
+      ]
 
 let health_fields t =
   [
@@ -177,6 +344,7 @@ let health_fields t =
     ("cache_bytes", Json.Int (Cache.stats t.cache).Cache.bytes);
     ("uptime_us", Json.Int (int_of_float (Clock.now_us () -. t.started_us)));
   ]
+  @ index_status_fields t
 
 let metrics_fields t =
   let cs = Cache.stats t.cache in
@@ -191,6 +359,9 @@ let metrics_fields t =
     ("deadline_exceeded", Json.Int (Atomic.get t.n_deadline));
     ("cache_hits", Json.Int (Atomic.get t.n_cache_hits));
     ("cache_misses", Json.Int (Atomic.get t.n_cache_misses));
+    ("index_hits", Json.Int (Atomic.get t.n_index_hits));
+    ("index_misses", Json.Int (Atomic.get t.n_index_misses));
+    ("index_backfilled", Json.Int (Atomic.get t.n_index_backfilled));
     ("cache_entries", Json.Int cs.Cache.entries);
     ("cache_bytes", Json.Int cs.Cache.bytes);
     ("cache_evictions", Json.Int cs.Cache.evictions);
@@ -203,7 +374,7 @@ let metrics_fields t =
 let admin_fields t = function
   | Proto.Health -> health_fields t
   | Proto.Metrics -> metrics_fields t
-  | Proto.Version -> version_fields ()
+  | Proto.Version -> version_fields () @ index_status_fields t
 
 (* --- dispatcher -------------------------------------------------------- *)
 
@@ -211,22 +382,32 @@ let process t job =
   let conn = job.j_conn in
   Histogram.observe_t t.h_queue_wait
     (int_of_float (Clock.now_us () -. job.j_recv_us));
-  (match Cache.find t.cache job.j_key with
+  (match index_answer ~count_miss:false t job.j_query job.j_key with
   | Some fields ->
-      (* A concurrent identical request computed it while this one
+      (* A backfill or reload published the answer while this job
          queued. *)
-      cache_hit t;
       reply_ok t conn ~id:job.j_id ~recv_us:job.j_recv_us fields
   | None -> (
-      cache_miss t;
-      match
-        Handler.eval ?pool:t.pool ~deadline_us:job.j_deadline_us job.j_query
-      with
-      | Handler.Done fields ->
-          Cache.add t.cache job.j_key fields;
+      match Cache.find t.cache job.j_key with
+      | Some fields ->
+          (* A concurrent identical request computed it while this one
+             queued. *)
+          cache_hit t;
           reply_ok t conn ~id:job.j_id ~recv_us:job.j_recv_us fields
-      | Handler.Failed (code, msg, extra) ->
-          reply_error t conn ~id:job.j_id ~recv_us:job.j_recv_us ~extra code msg));
+      | None -> (
+          cache_miss t;
+          match
+            Handler.eval_vals ?pool:t.pool ~deadline_us:job.j_deadline_us
+              job.j_query
+          with
+          | Ok v ->
+              let fields = Handler.fields_of_vals job.j_query v in
+              Cache.add t.cache job.j_key fields;
+              note_backfill t job.j_key (Handler.values_of_vals v);
+              reply_ok t conn ~id:job.j_id ~recv_us:job.j_recv_us fields
+          | Error (code, msg, extra) ->
+              reply_error t conn ~id:job.j_id ~recv_us:job.j_recv_us ~extra code
+                msg)));
   Atomic.decr conn.inflight
 
 let dispatch_loop t =
@@ -252,6 +433,12 @@ let serve_line t conn ~recv_us line =
       | `Admin a -> reply_ok t conn ~id:req.Proto.id ~recv_us (admin_fields t a)
       | `Query q -> (
           let key = Proto.canonical_key q in
+          (* index -> LRU cache -> simulation.  Index lookups are pure
+             reads of an immutable mapping, so answering here on the
+             connection thread is safe and skips the queue entirely. *)
+          match index_answer t q key with
+          | Some fields -> reply_ok t conn ~id:req.Proto.id ~recv_us fields
+          | None -> (
           match Cache.find t.cache key with
           | Some fields ->
               cache_hit t;
@@ -283,7 +470,7 @@ let serve_line t conn ~recv_us line =
               | `Draining ->
                   Atomic.decr conn.inflight;
                   reply_error t conn ~id:req.Proto.id ~recv_us Proto.Overloaded
-                    "server draining")))
+                    "server draining"))))
 
 (* Bounded line reader: a hostile peer must not make us buffer an
    arbitrarily long line.  Overlong lines are consumed to their newline
@@ -383,14 +570,15 @@ let accept_loop t =
 (* --- lifecycle --------------------------------------------------------- *)
 
 let drain_signals = [ Sys.sigint; Sys.sigterm ]
+let watched_signals = Sys.sighup :: drain_signals
 
 let start cfg =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   (* Every thread (and pool domain) spawned below inherits a mask with
-     the drain signals blocked, so the kernel can never pick one of them
-     for delivery — {!install_signals}' watcher is then the only
+     the watched signals blocked, so the kernel can never pick one of
+     them for delivery — {!install_signals}' watcher is then the only
      receiver.  The caller's own mask is restored on the way out. *)
-  let old_mask = Thread.sigmask Unix.SIG_BLOCK drain_signals in
+  let old_mask = Thread.sigmask Unix.SIG_BLOCK watched_signals in
   Fun.protect
     ~finally:(fun () -> ignore (Thread.sigmask Unix.SIG_SETMASK old_mask))
   @@ fun () ->
@@ -443,10 +631,33 @@ let start cfg =
       c_deadline = Counter.find "serve.deadline_exceeded";
       c_cache_hits = Counter.find "serve.cache_hits";
       c_cache_misses = Counter.find "serve.cache_misses";
+      c_index_hits = Counter.find "serve.index_hits";
+      c_index_misses = Counter.find "serve.index_misses";
+      c_index_backfilled = Counter.find "serve.index_backfilled";
       h_latency = Histogram.find "serve.latency_us";
       h_queue_wait = Histogram.find "serve.queue_wait_us";
+      n_index_hits = Atomic.make 0;
+      n_index_misses = Atomic.make 0;
+      n_index_backfilled = Atomic.make 0;
+      index = Atomic.make None;
+      backfill_lock = Mutex.create ();
+      backfill_pending = Hashtbl.create 64;
+      backfill_stop = Atomic.make false;
+      backfill_thread = None;
     }
   in
+  (* A missing or corrupt index is a degraded start, not a failed one:
+     every query still computes, only slower. *)
+  (match cfg.index_path with
+  | None -> ()
+  | Some path -> (
+      match Rv_index.Reader.open_ path with
+      | Ok r -> Atomic.set t.index (Some r)
+      | Error msg ->
+          Printf.eprintf
+            "rv serve: index not loaded (%s); serving without it\n%!" msg));
+  if cfg.index_backfill && Option.is_some cfg.index_path then
+    t.backfill_thread <- Some (Thread.create backfill_loop t);
   t.acceptor <- Some (Thread.create accept_loop t);
   t.dispatcher <- Some (Thread.create dispatch_loop t);
   t
@@ -466,6 +677,11 @@ let join t =
        connection is torn down. *)
     Admission.drain t.queue;
     (match t.dispatcher with Some th -> Thread.join th | None -> ());
+    (* The dispatcher has stopped feeding the pending table; one final
+       publish persists whatever the last interval accumulated. *)
+    Atomic.set t.backfill_stop true;
+    (match t.backfill_thread with Some th -> Thread.join th | None -> ());
+    if t.cfg.index_backfill then publish_backfill t;
     Registry.shutdown_all t.registry;
     let conns =
       Mutex.lock t.conns_lock;
@@ -483,17 +699,35 @@ let stop t =
 
 (* [Sys.Signal_handle] handlers do not run while every thread is parked
    in a blocking section (observed on OCaml 5.1: a handler installed
-   before [Thread.join] never fires), so drain signals are delivered the
+   before [Thread.join] never fires), so signals are delivered the
    reliable way: masked everywhere, consumed by a dedicated
-   [Thread.wait_signal] watcher. *)
+   [Thread.wait_signal] watcher.  SIGHUP reloads the index in place;
+   SIGINT/SIGTERM begin the drain. *)
 let install_signals t =
-  ignore (Thread.sigmask Unix.SIG_BLOCK drain_signals);
+  ignore (Thread.sigmask Unix.SIG_BLOCK watched_signals);
   ignore
     (Thread.create
        (fun () ->
-         ignore (Thread.wait_signal drain_signals);
-         request_stop t;
-         (* A second signal abandons the drain. *)
+         let rec watch () =
+           let s = Thread.wait_signal watched_signals in
+           if s = Sys.sighup then begin
+             (match reload_index t with
+             | Ok () ->
+                 let generation =
+                   match Atomic.get t.index with
+                   | Some r -> Rv_index.Reader.generation r
+                   | None -> 0
+                 in
+                 Printf.eprintf "rv serve: index reloaded (generation %d)\n%!"
+                   generation
+             | Error msg ->
+                 Printf.eprintf "rv serve: index reload failed: %s\n%!" msg);
+             watch ()
+           end
+           else request_stop t
+         in
+         watch ();
+         (* A second INT/TERM abandons the drain. *)
          ignore (Thread.wait_signal drain_signals);
          exit 1)
        ())

@@ -31,11 +31,19 @@ type config = {
           immediately ([0] sheds every uncached query — used by tests) *)
   default_deadline_ms : int option;
       (** applied to requests that carry no [deadline_ms] of their own *)
+  index_path : string option;
+      (** baked {!Rv_index} file consulted before the LRU cache; a
+          missing or corrupt file degrades to serving without it *)
+  index_backfill : bool;
+      (** accumulate computed misses and periodically republish
+          [index_path] as the next generation (requires [index_path]) *)
+  backfill_flush_s : float;
+      (** backfill publish interval; [<= 0] means the 5s default *)
 }
 
 val default_config : config
 (** [127.0.0.1:0], [jobs = 1], 8 MiB cache, queue capacity 64, no
-    default deadline. *)
+    default deadline, no index. *)
 
 type t
 
@@ -62,11 +70,20 @@ val stop : t -> unit
 (** [request_stop t; join t]. *)
 
 val install_signals : t -> unit
-(** Route [SIGINT] and [SIGTERM] to {!request_stop}. *)
+(** Route [SIGINT]/[SIGTERM] to {!request_stop} and [SIGHUP] to
+    {!reload_index} (live index swap, no drain). *)
+
+val reload_index : t -> (unit, string) result
+(** Re-open [config.index_path] and atomically swap the live reader.
+    On [Error] (missing/corrupt file, or no path configured) the
+    previous index, if any, stays in service.  In-flight lookups on a
+    displaced reader finish against the old mapping — a swap is never
+    observable mid-request. *)
 
 val cache_stats : t -> Cache.stats
 
 val version_fields : unit -> (string * Rv_obs.Json.t) list
-(** The [version] admin reply's fields — also what [rv version] prints
-    (build identity from the dune-embedded {!Build_meta}, plus feature
-    flags). *)
+(** The [version] admin reply's build-identity fields — also what
+    [rv version] prints (dune-embedded {!Build_meta}, index format
+    version, feature flags).  The served [version] probe appends the
+    live index's load state, generation and record count. *)

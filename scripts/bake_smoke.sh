@@ -1,0 +1,148 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for rv bake + indexed serving, as run by the CI
+# bake-smoke job.
+#
+#   1. bake the loadgen index-mix lattice twice: the two files must be
+#      byte-identical (bake determinism);
+#   2. boot an index-less server and capture the index-mix and mixed-mix
+#      transcripts -- the compute/LRU reference;
+#   3. boot with --index at --jobs 1 and --jobs 2: both transcripts must
+#      be byte-identical to the reference, and the index-mix run must be
+#      all index hits (metrics probe);
+#   4. probe health/version for the index fields (loaded, generation,
+#      record count, format version);
+#   5. boot against a corrupt index file: the server must degrade to
+#      compute (health says index_loaded false) and still answer;
+#   6. SIGINT each server and require the "drained" line.
+#
+# Usage: scripts/bake_smoke.sh [path-to-rv.exe]
+# Runs from the repository root; leaves artifacts in $TMPDIR.
+
+set -euo pipefail
+
+RV=${1:-_build/default/bin/rv.exe}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+SEED=7
+REQUESTS=32
+CONNS=2
+
+# The lattice matching `rv loadgen --mix index` (see Loadgen.index_mix_*).
+bake() { # bake <outfile>
+  "$RV" bake -o "$1" \
+    --graphs ring:6,ring:8,ring:10,ring:12 \
+    --algorithms cheap,fast \
+    --spaces 8 --pairs 4 --max-delays 8
+}
+
+boot() { # boot <logfile> <extra-args...>; echoes "pid port"
+  local log=$1; shift
+  "$RV" serve --port 0 "$@" >"$log" 2>&1 &
+  local pid=$!
+  local port=""
+  for _ in $(seq 1 50); do
+    port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$log")
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  [ -n "$port" ] || { echo "server did not boot; log:" >&2; cat "$log" >&2; exit 1; }
+  echo "$pid $port"
+}
+
+drain() { # drain <pid> <logfile>
+  local pid=$1 log=$2
+  kill -INT "$pid"
+  for _ in $(seq 1 100); do
+    if grep -q "rv serve: drained" "$log"; then return 0; fi
+    sleep 0.1
+  done
+  echo "server did not drain gracefully; log:" >&2; cat "$log" >&2; exit 1
+}
+
+transcript() { # transcript <port> <mix> <outfile>
+  local port=$1 mix=$2 out=$3
+  "$RV" loadgen --port "$port" --conns $CONNS --requests $REQUESTS \
+    --seed $SEED --mix "$mix" --dump --json >"$out.full"
+  head -n $REQUESTS "$out.full" >"$out"
+}
+
+probe() { # probe <port> <request-line>; prints the reply line
+  python3 - "$1" "$2" <<'EOF'
+import socket, sys
+s = socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=10)
+s.sendall(sys.argv[2].encode() + b"\n")
+buf = b""
+while not buf.endswith(b"\n"):
+    chunk = s.recv(4096)
+    if not chunk:
+        break
+    buf += chunk
+s.close()
+sys.stdout.write(buf.decode())
+EOF
+}
+
+echo "== bake smoke: bake is byte-reproducible =="
+bake "$TMP/a.rvi"
+bake "$TMP/b.rvi"
+cmp "$TMP/a.rvi" "$TMP/b.rvi"
+echo "ok: two bakes of the same lattice are byte-identical"
+
+echo "== bake smoke: reference transcripts without an index =="
+read -r PID PORT < <(boot "$TMP/ref.log" --jobs 1)
+transcript "$PORT" index "$TMP/ref.index"
+transcript "$PORT" mixed "$TMP/ref.mixed"
+drain "$PID" "$TMP/ref.log"
+
+echo "== bake smoke: indexed replies byte-identical at --jobs 1 =="
+read -r PID PORT < <(boot "$TMP/i1.log" --jobs 1 --index "$TMP/a.rvi")
+transcript "$PORT" index "$TMP/i1.index"
+transcript "$PORT" mixed "$TMP/i1.mixed"
+METRICS=$(probe "$PORT" '{"type":"metrics"}')
+HEALTH=$(probe "$PORT" '{"type":"health"}')
+VERSION=$(probe "$PORT" '{"type":"version"}')
+drain "$PID" "$TMP/i1.log"
+cmp "$TMP/ref.index" "$TMP/i1.index"
+cmp "$TMP/ref.mixed" "$TMP/i1.mixed"
+echo "ok: index-on transcripts byte-identical to compute"
+
+REQUESTS=$REQUESTS python3 - <<EOF
+import json, os
+m = json.loads('''$METRICS''')
+n = int(os.environ["REQUESTS"])
+assert m["index_hits"] >= n, f"expected >= {n} index hits: {m}"
+h = json.loads('''$HEALTH''')
+assert h["index_loaded"] is True, f"index not loaded: {h}"
+assert h["index_generation"] == 1, f"unexpected generation: {h}"
+assert h["index_records"] == 8, f"unexpected record count: {h}"
+v = json.loads('''$VERSION''')
+assert isinstance(v["index_format"], int) and v["index_format"] >= 1, v
+print(f"ok: {m['index_hits']} index hits; generation {h['index_generation']},"
+      f" {h['index_records']} records, format v{v['index_format']}")
+EOF
+
+echo "== bake smoke: indexed replies byte-identical at --jobs 2 =="
+read -r PID PORT < <(boot "$TMP/i2.log" --jobs 2 --index "$TMP/a.rvi")
+transcript "$PORT" index "$TMP/i2.index"
+transcript "$PORT" mixed "$TMP/i2.mixed"
+drain "$PID" "$TMP/i2.log"
+cmp "$TMP/ref.index" "$TMP/i2.index"
+cmp "$TMP/ref.mixed" "$TMP/i2.mixed"
+echo "ok: -j2 indexed transcripts byte-identical"
+
+echo "== bake smoke: corrupt index degrades to compute =="
+printf 'RVIXnot really an index file, just some bytes' >"$TMP/corrupt.rvi"
+read -r PID PORT < <(boot "$TMP/c.log" --jobs 1 --index "$TMP/corrupt.rvi")
+transcript "$PORT" index "$TMP/c.index"
+HEALTH=$(probe "$PORT" '{"type":"health"}')
+drain "$PID" "$TMP/c.log"
+cmp "$TMP/ref.index" "$TMP/c.index"
+python3 - <<EOF
+import json
+h = json.loads('''$HEALTH''')
+assert h["index_loaded"] is False, f"corrupt index claimed loaded: {h}"
+print("ok: corrupt index refused, server computed every answer")
+EOF
+
+echo "bake smoke: all checks passed"

@@ -1,0 +1,423 @@
+(* Tests for rv_index: the Key render/order contract shared with the
+   serve protocol, Writer/Reader round-trips (including a qcheck
+   property over random key sets), writer input validation, and the
+   corruption suite — every damaged file must come back as a clean
+   [Error], never an exception and never a wrong answer. *)
+
+module Key = Rv_index.Key
+module Format_ = Rv_index.Format
+module Writer = Rv_index.Writer
+module Reader = Rv_index.Reader
+module Lattice = Rv_index.Lattice
+module Proto = Rv_serve.Proto
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let prop ?(count = 200) name arb p =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb p)
+
+let tmp_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rv_test_index_%d_%d.rvi" (Unix.getpid ()) !n)
+
+let with_tmp f =
+  let path = tmp_path () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let write_ok ?(generation = 1) ?(meta = "test") path entries =
+  match Writer.write ~path ~generation ~meta entries with
+  | Ok n -> n
+  | Error e -> Alcotest.failf "write %s: %s" path e
+
+let open_ok path =
+  match Reader.open_ path with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "open %s: %s" path e
+
+(* --- keys -------------------------------------------------------------- *)
+
+let worst_q =
+  Key.Worst
+    {
+      Key.w_graph = "ring:8";
+      w_algorithm = "cheap";
+      w_explorer = "auto";
+      w_space = 8;
+      w_max_pairs = 4;
+      w_max_delay = 8;
+    }
+
+let run_q =
+  Key.Run
+    {
+      Key.r_graph = "ring:10";
+      r_algorithm = "fast";
+      r_explorer = "auto";
+      r_space = 8;
+      r_label_a = 3;
+      r_label_b = 5;
+      r_start_a = 0;
+      r_start_b = -1;
+      r_delay_a = 0;
+      r_delay_b = 0;
+      r_parachute = false;
+    }
+
+let key_render_golden () =
+  (* The rendered forms are the serve cache's canonical keys; changing
+     them invalidates every baked index, so they are pinned here. *)
+  Alcotest.(check string) "worst key"
+    "worst g=ring:8 a=cheap e=auto L=8 pairs=4 maxd=8"
+    (Key.render worst_q);
+  Alcotest.(check string) "run key"
+    "run g=ring:10 a=fast e=auto L=8 la=3 lb=5 sa=0 sb=-1 da=0 db=0 m=waiting"
+    (Key.render run_q);
+  (match run_q with
+  | Key.Run r ->
+      Alcotest.(check string) "parachute model rendered"
+        "run g=ring:10 a=fast e=auto L=8 la=3 lb=5 sa=0 sb=-1 da=0 db=0 m=parachute"
+        (Key.render (Key.Run { r with Key.r_parachute = true }))
+  | _ -> assert false);
+  Alcotest.(check bool) "no NUL in keys" true
+    (not (String.contains (Key.render worst_q) '\000'))
+
+let key_matches_proto () =
+  (* A parsed wire request renders to the same key the index was baked
+     under — the whole index-hit story depends on this. *)
+  let parse line =
+    match Proto.parse line with
+    | Ok { Proto.body = `Query q; _ } -> q
+    | Ok _ -> Alcotest.failf "expected query: %s" line
+    | Error e -> Alcotest.failf "parse %s: %s" line e
+  in
+  let q =
+    parse
+      {|{"type":"worst","graph":"ring:8","algorithm":"cheap","space":8,"pairs":4,"max_delay":8}|}
+  in
+  Alcotest.(check string) "wire worst = index key" (Key.render worst_q)
+    (Proto.canonical_key q);
+  let r =
+    parse
+      {|{"type":"run","graph":"ring:10","algorithm":"fast","space":8,"label_a":3,"label_b":5}|}
+  in
+  Alcotest.(check string) "wire run = index key" (Key.render run_q)
+    (Proto.canonical_key r)
+
+let key_compare_is_byte_order () =
+  Alcotest.(check bool) "equal" true (Key.equal "abc" "abc");
+  Alcotest.(check int) "compare = String.compare" 0 (Key.compare "x" "x");
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S < %S" a b)
+        true
+        (Key.compare a b < 0 && Key.compare b a > 0))
+    [ ("a", "b"); ("a", "aa"); ("run", "worst"); ("", "a") ]
+
+(* --- round-trip -------------------------------------------------------- *)
+
+let entries_basic =
+  [
+    ("worst g=ring:8 a=cheap e=auto L=8 pairs=4 maxd=8", [| 1; 4; 5; 3; 10; 20; 99; 88; 0; 0; 0; 0; 0 |]);
+    ("run g=ring:10 a=fast e=auto L=8 la=3 lb=5 sa=0 sb=-1 da=0 db=0 m=waiting", [| 2; 5; 1; 7; -1; 14; 7; 7; 3; 7; 50; 60; 0 |]);
+    ("worst g=ring:6 a=cheap e=auto L=8 pairs=4 maxd=8", [| 1; 4; 5; 3; 8; 16; 99; 88; 0; 0; 0; 0; 0 |]);
+  ]
+
+let roundtrip_basic () =
+  with_tmp @@ fun path ->
+  let n = write_ok ~generation:7 ~meta:"lattice: test" path entries_basic in
+  Alcotest.(check int) "record count returned" 3 n;
+  let t = open_ok path in
+  Alcotest.(check int) "generation" 7 (Reader.generation t);
+  Alcotest.(check int) "record_count" 3 (Reader.record_count t);
+  Alcotest.(check string) "meta" "lattice: test" (Reader.meta t);
+  Alcotest.(check int) "value_count" 13 (Reader.value_count t);
+  Alcotest.(check bool) "key_width is a multiple of 8" true
+    (Reader.key_width t mod 8 = 0);
+  List.iter
+    (fun (k, vs) ->
+      match Reader.lookup t k with
+      | Some got -> Alcotest.(check (array int)) ("lookup " ^ k) vs got
+      | None -> Alcotest.failf "key %S not found" k)
+    entries_basic;
+  Alcotest.(check bool) "absent key is None" true
+    (Option.is_none (Reader.lookup t "worst g=ring:99 a=cheap e=auto L=8 pairs=4 maxd=8"));
+  Alcotest.(check bool) "prefix of a real key is None" true
+    (Option.is_none (Reader.lookup t "worst g=ring:8"));
+  Alcotest.(check bool) "extension of a real key is None" true
+    (Option.is_none
+       (Reader.lookup t "worst g=ring:8 a=cheap e=auto L=8 pairs=4 maxd=8 x"));
+  (* entries comes back sorted by Key.compare. *)
+  let expect =
+    List.sort (fun (a, _) (b, _) -> Key.compare a b) entries_basic
+  in
+  List.iter2
+    (fun (ek, ev) (gk, gv) ->
+      Alcotest.(check string) "entry key order" ek gk;
+      Alcotest.(check (array int)) "entry values" ev gv)
+    expect (Reader.entries t)
+
+let bake_is_deterministic () =
+  with_tmp @@ fun p1 ->
+  with_tmp @@ fun p2 ->
+  (* Same entries in two different input orders: identical bytes. *)
+  ignore (write_ok p1 entries_basic);
+  ignore (write_ok p2 (List.rev entries_basic));
+  let slurp p =
+    let ic = open_in_bin p in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Alcotest.(check string) "byte-identical bake" (slurp p1) (slurp p2)
+
+let identical_duplicates_collapse () =
+  with_tmp @@ fun path ->
+  let n = write_ok path (entries_basic @ [ List.hd entries_basic ]) in
+  Alcotest.(check int) "duplicate collapsed" 3 n
+
+let long_keys_pad () =
+  with_tmp @@ fun path ->
+  (* Lengths straddling the 8-byte padding boundary. *)
+  let entries =
+    List.map
+      (fun len -> (String.make len 'k', [| len |]))
+      [ 1; 7; 8; 9; 15; 16; 17; 100 ]
+  in
+  ignore (write_ok path entries);
+  let t = open_ok path in
+  Alcotest.(check int) "width fits longest" 104 (Reader.key_width t);
+  List.iter
+    (fun (k, vs) ->
+      Alcotest.(check (option (array int))) ("len " ^ string_of_int (String.length k))
+        (Some vs) (Reader.lookup t k))
+    entries;
+  Alcotest.(check bool) "shorter sibling absent" true
+    (Option.is_none (Reader.lookup t (String.make 99 'k')))
+
+let qcheck_roundtrip =
+  let key_gen =
+    QCheck.Gen.(
+      map
+        (fun cs -> String.concat "" (List.map (String.make 1) cs))
+        (list_size (1 -- 40) (char_range 'a' 'z')))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun ks -> String.concat "," ks)
+      QCheck.Gen.(list_size (1 -- 50) key_gen)
+  in
+  prop ~count:100 "writer->reader preserves sort order and every lookup" arb
+    (fun keys ->
+      let uniq = List.sort_uniq Key.compare keys in
+      let entries = List.mapi (fun i k -> (k, [| i; i * 7; -i |])) uniq in
+      with_tmp @@ fun path ->
+      match Writer.write ~path ~generation:1 ~meta:"prop" entries with
+      | Error e -> QCheck.Test.fail_reportf "write: %s" e
+      | Ok n ->
+          n = List.length uniq
+          &&
+          let t = open_ok path in
+          (* Read-back order is exactly List.sort Key.compare. *)
+          List.for_all2
+            (fun (ek, ev) (gk, gv) -> Key.equal ek gk && ev = gv)
+            (List.sort (fun (a, _) (b, _) -> Key.compare a b) entries)
+            (Reader.entries t)
+          && List.for_all
+               (fun (k, vs) -> Reader.lookup t k = Some vs)
+               entries
+          && Reader.lookup t "THIS KEY WAS NEVER BAKED" = None)
+
+(* --- writer validation ------------------------------------------------- *)
+
+let writer_rejects () =
+  let refused name entries =
+    with_tmp @@ fun path ->
+    match Writer.write ~path ~generation:1 ~meta:"t" entries with
+    | Ok _ -> Alcotest.failf "%s: write unexpectedly succeeded" name
+    | Error e ->
+        Alcotest.(check bool) (name ^ ": message nonempty") true
+          (String.length e > 0);
+        Alcotest.(check bool) (name ^ ": no file left behind") false
+          (Sys.file_exists path)
+  in
+  refused "empty entry list" [];
+  refused "conflicting duplicates" [ ("k", [| 1 |]); ("k", [| 2 |]) ];
+  refused "empty key" [ ("", [| 1 |]) ];
+  refused "NUL in key" [ ("a\000b", [| 1 |]) ];
+  refused "oversized key" [ (String.make (Format_.max_key_len + 1) 'k', [| 1 |]) ];
+  refused "ragged value widths" [ ("a", [| 1 |]); ("b", [| 1; 2 |]) ];
+  (with_tmp @@ fun path ->
+   match Writer.write ~path ~generation:(-1) ~meta:"t" [ ("k", [| 1 |]) ] with
+   | Ok _ -> Alcotest.fail "negative generation accepted"
+   | Error _ -> ());
+  with_tmp @@ fun path ->
+  match
+    Writer.write ~path ~generation:1
+      ~meta:(String.make (Format_.max_meta_len + 1) 'm')
+      [ ("k", [| 1 |]) ]
+  with
+  | Ok _ -> Alcotest.fail "oversized meta accepted"
+  | Error _ -> ()
+
+(* --- corruption suite -------------------------------------------------- *)
+
+(* Write a valid file, then hand its bytes to [mutate] and open the
+   mutated copy: every case must be [Error] (with the expected fragment
+   when given) and must never raise. *)
+let corrupt name ?expect mutate =
+  with_tmp @@ fun good ->
+  ignore (write_ok good entries_basic);
+  let ic = open_in_bin good in
+  let bytes =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        Bytes.of_string (really_input_string ic (in_channel_length ic)))
+  in
+  with_tmp @@ fun bad ->
+  let mutated = mutate bytes in
+  let oc = open_out_bin bad in
+  Fun.protect
+    ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
+    (fun () -> output_bytes oc mutated);
+  close_out_noerr oc;
+  match Reader.open_ bad with
+  | Ok _ -> Alcotest.failf "%s: open unexpectedly succeeded" name
+  | Error e -> (
+      Alcotest.(check bool) (name ^ ": message nonempty") true
+        (String.length e > 0);
+      match expect with
+      | None -> ()
+      | Some frag ->
+          let contains s sub =
+            let n = String.length s and m = String.length sub in
+            let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+            go 0
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: error %S mentions %S" name e frag)
+            true (contains e frag))
+  | exception e -> Alcotest.failf "%s: open raised %s" name (Printexc.to_string e)
+
+let corruption_refused () =
+  (match Reader.open_ "/nonexistent/rv_index_test.rvi" with
+  | Ok _ -> Alcotest.fail "nonexistent file opened"
+  | Error _ -> ()
+  | exception e -> Alcotest.failf "nonexistent raised %s" (Printexc.to_string e));
+  corrupt "empty file" (fun _ -> Bytes.create 0);
+  corrupt "truncated header" (fun b -> Bytes.sub b 0 17);
+  corrupt "truncated mid-records" (fun b -> Bytes.sub b 0 (Bytes.length b - 5));
+  corrupt "trailing garbage" (fun b -> Bytes.cat b (Bytes.of_string "junk"));
+  corrupt "wrong magic" ~expect:"magic" (fun b ->
+      Bytes.set b 0 'X';
+      b);
+  corrupt "future version"
+    ~expect:(Printf.sprintf "this build reads v%d" Format_.version)
+    (fun b ->
+      Bytes.set_int32_le b Format_.off_version
+        (Int32.of_int (Format_.version + 1));
+      b);
+  corrupt "flipped record byte" ~expect:"checksum" (fun b ->
+      let i = Bytes.length b - 3 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+      b);
+  corrupt "flipped meta byte" ~expect:"checksum" (fun b ->
+      let i = Format_.header_size in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+      b);
+  corrupt "nonzero reserved byte" (fun b ->
+      Bytes.set b (Format_.reserved_off + 2) '\001';
+      b);
+  corrupt "absurd record count" (fun b ->
+      Bytes.set_int64_le b Format_.off_record_count 1_000_000_000L;
+      b);
+  corrupt "negative record count" (fun b ->
+      Bytes.set_int64_le b Format_.off_record_count (-1L);
+      b)
+
+(* --- format helpers ---------------------------------------------------- *)
+
+let format_helpers () =
+  List.iter
+    (fun (n, want) -> Alcotest.(check int) (Printf.sprintf "round8 %d" n) want (Format_.round8 n))
+    [ (0, 0); (1, 8); (7, 8); (8, 8); (9, 16); (63, 64); (64, 64) ];
+  (* FNV-1a test vectors. *)
+  let fnv s = Format_.fnv64 (String.get s) (String.length s) in
+  Alcotest.(check int64) "fnv64 empty" 0xcbf29ce484222325L (fnv "");
+  Alcotest.(check int64) "fnv64 'a'" 0xaf63dc4c8601ec8cL (fnv "a");
+  Alcotest.(check int64) "fnv64 'foobar'" 0x85944171f73967e8L (fnv "foobar")
+
+(* --- lattice ----------------------------------------------------------- *)
+
+let lattice_cells_and_describe () =
+  let l =
+    match
+      Lattice.of_args ~graphs:"ring:6,ring:8" ~algorithms:"cheap,fast"
+        ~spaces:"8" ~pairs:"4" ~max_delays:"8" ~run_labels:"1:2,3:5" ()
+    with
+    | Ok l -> l
+    | Error e -> Alcotest.failf "of_args: %s" e
+  in
+  (* 2 graphs x 2 algorithms x 1 explorer x 1 space x 1 pairs x 1 delay
+     worst cells, plus the same cross-product for each label pair. *)
+  Alcotest.(check int) "size" (Lattice.size l) (List.length (Lattice.cells l));
+  Alcotest.(check int) "worst+run cells" (4 + 8) (Lattice.size l);
+  (* Every cell's key is distinct, and enumeration is deterministic. *)
+  let keys = List.map Key.render (Lattice.cells l) in
+  Alcotest.(check int) "all keys distinct" (List.length keys)
+    (List.length (List.sort_uniq Key.compare keys));
+  Alcotest.(check (list string)) "stable enumeration" keys
+    (List.map Key.render (Lattice.cells l));
+  Alcotest.(check bool) "describe has no timestamp digits-colon" true
+    (String.length (Lattice.describe l) > 0);
+  (* Bad args are refused. *)
+  List.iter
+    (fun (g, a, s, p, d, r) ->
+      match
+        Lattice.of_args ~graphs:g ~algorithms:a ~spaces:s ~pairs:p
+          ~max_delays:d ~run_labels:r ()
+      with
+      | Ok _ -> Alcotest.failf "of_args (%s %s %s %s %s %s) accepted" g a s p d r
+      | Error _ -> ())
+    [
+      ("", "cheap", "8", "4", "8", "");
+      ("ring:8", "cheap", "1", "4", "8", "");
+      ("ring:8", "cheap", "8", "0", "8", "");
+      ("ring:8", "cheap", "8", "4", "-1", "");
+      ("ring:8", "cheap", "8", "4", "8", "3:3");
+      ("ring:8", "cheap", "8", "4", "8", "0:2");
+      ("ring:8", "cheap", "8", "4", "8", "nonsense");
+      ("ring:8", "cheap", "notanint", "4", "8", "");
+    ]
+
+(* --- run --------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "rv_index"
+    [
+      ( "key",
+        [
+          tc "golden renderings" key_render_golden;
+          tc "wire request renders to the baked key" key_matches_proto;
+          tc "compare is byte order" key_compare_is_byte_order;
+        ] );
+      ( "roundtrip",
+        [
+          tc "write then read back" roundtrip_basic;
+          tc "bake is input-order independent" bake_is_deterministic;
+          tc "identical duplicates collapse" identical_duplicates_collapse;
+          tc "key padding across width boundaries" long_keys_pad;
+          qcheck_roundtrip;
+        ] );
+      ("writer", [ tc "invalid inputs refused" writer_rejects ]);
+      ("corruption", [ tc "damaged files refused cleanly" corruption_refused ]);
+      ("format", [ tc "round8 and fnv64 vectors" format_helpers ]);
+      ("lattice", [ tc "cells, determinism, bad args" lattice_cells_and_describe ]);
+    ]

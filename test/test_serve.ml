@@ -8,6 +8,7 @@ module Server = Rv_serve.Server
 module Cache = Rv_serve.Cache
 module Admission = Rv_serve.Admission
 module Loadgen = Rv_serve.Loadgen
+module Handler = Rv_serve.Handler
 module R = Rv_core.Rendezvous
 module Spec = Rv_experiments.Spec
 
@@ -16,7 +17,8 @@ let tc name f = Alcotest.test_case name `Quick f
 (* --- harness ----------------------------------------------------------- *)
 
 let with_server ?(jobs = 1) ?(cache_bytes = 1024 * 1024) ?(queue_cap = 64)
-    ?default_deadline_ms f =
+    ?default_deadline_ms ?index_path ?(index_backfill = false)
+    ?(backfill_flush_s = 5.0) f =
   let server =
     Server.start
       {
@@ -25,6 +27,9 @@ let with_server ?(jobs = 1) ?(cache_bytes = 1024 * 1024) ?(queue_cap = 64)
         cache_bytes;
         queue_cap;
         default_deadline_ms;
+        index_path;
+        index_backfill;
+        backfill_flush_s;
       }
   in
   Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server)
@@ -504,6 +509,275 @@ let admission_pop_blocks_until_submit () =
   Thread.join th;
   Alcotest.(check int) "woke with value" 7 (Atomic.get got)
 
+(* --- baked index -------------------------------------------------------- *)
+
+let index_tmp =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rv_test_serve_%d_%d.rvi" (Unix.getpid ()) !n)
+
+let with_index_file f =
+  let path = index_tmp () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let parse_query line =
+  match Proto.parse line with
+  | Ok { Proto.body = `Query q; _ } -> q
+  | Ok _ -> Alcotest.failf "expected a query: %s" line
+  | Error e -> Alcotest.failf "parse %s: %s" line e
+
+(* Bake the given wire queries into an index file, evaluating each
+   in-process — exactly what `rv bake` does for a lattice. *)
+let bake_index ?(generation = 1) path lines =
+  let entries =
+    List.map
+      (fun line ->
+        let q = parse_query line in
+        match Handler.eval_vals ~deadline_us:None q with
+        | Ok v -> (Proto.canonical_key q, Handler.values_of_vals v)
+        | Error (_, msg, _) -> Alcotest.failf "bake eval %s: %s" line msg)
+      lines
+  in
+  match
+    Rv_index.Writer.write ~path ~generation ~meta:"test_serve bake" entries
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "bake write: %s" e
+
+let iq =
+  {|{"type":"worst","graph":"ring:6","algorithm":"cheap","space":8,"pairs":4}|}
+
+let iq_run =
+  {|{"type":"run","graph":"ring:10","algorithm":"fast","space":8,"label_a":3,"label_b":5}|}
+
+let index_hit_identical_bytes () =
+  with_index_file @@ fun path ->
+  bake_index path [ iq; iq_run ];
+  (* Path 1+2: direct compute, then LRU hit, on an index-less server. *)
+  let computed, cached =
+    with_server @@ fun server ->
+    with_client server @@ fun c -> (rpc c iq, rpc c iq)
+  in
+  (* Path 3: index hit — no compute, no cache involvement. *)
+  let indexed, indexed_run, m =
+    with_server ~index_path:path @@ fun server ->
+    with_client server @@ fun c ->
+    let a = rpc c iq in
+    let b = rpc c iq_run in
+    (a, b, rpc c {|{"type":"metrics"}|})
+  in
+  check_ok computed;
+  Alcotest.(check string) "compute == LRU hit" computed cached;
+  Alcotest.(check string) "compute == index hit" computed indexed;
+  check_ok indexed_run;
+  Alcotest.(check int) "both replies were index hits" 2 (get_int "index_hits" m);
+  Alcotest.(check int) "no index misses" 0 (get_int "index_misses" m);
+  Alcotest.(check int) "cache never consulted" 0
+    (get_int "cache_hits" m + get_int "cache_misses" m)
+
+let index_miss_falls_through () =
+  with_index_file @@ fun path ->
+  bake_index path [ iq ];
+  with_server ~index_path:path @@ fun server ->
+  with_client server @@ fun c ->
+  (* Not baked: computed as usual, counted as an index miss. *)
+  let reply =
+    rpc c {|{"type":"worst","graph":"ring:8","algorithm":"cheap","space":8,"pairs":4}|}
+  in
+  check_ok reply;
+  let m = rpc c {|{"type":"metrics"}|} in
+  Alcotest.(check int) "one index miss" 1 (get_int "index_misses" m);
+  Alcotest.(check int) "computed, so one cache miss" 1 (get_int "cache_misses" m)
+
+let corrupt_index_serves_without () =
+  with_index_file @@ fun path ->
+  let oc = open_out_bin path in
+  output_string oc "RVIXgarbage that is long enough to not be a header";
+  close_out oc;
+  with_server ~index_path:path @@ fun server ->
+  with_client server @@ fun c ->
+  (* Server boots and answers by computing. *)
+  check_ok (rpc c iq);
+  let h = rpc c {|{"type":"health"}|} in
+  Alcotest.(check bool) "health says index not loaded" false
+    (match get "index_loaded" h with Json.Bool b -> b | _ -> true)
+
+let index_probe_fields () =
+  with_index_file @@ fun path ->
+  bake_index ~generation:3 path [ iq ];
+  with_server ~index_path:path @@ fun server ->
+  with_client server @@ fun c ->
+  let h = rpc c {|{"type":"health"}|} in
+  Alcotest.(check bool) "index loaded" true
+    (match get "index_loaded" h with Json.Bool b -> b | _ -> false);
+  Alcotest.(check int) "generation" 3 (get_int "index_generation" h);
+  Alcotest.(check int) "records" 1 (get_int "index_records" h);
+  let v = rpc c {|{"type":"version"}|} in
+  Alcotest.(check int) "format version advertised" Rv_index.Format.version
+    (get_int "index_format" v);
+  Alcotest.(check int) "version carries generation too" 3
+    (get_int "index_generation" v)
+
+let index_reload_and_atomic_swap () =
+  with_index_file @@ fun path ->
+  bake_index ~generation:1 path [ iq; iq_run ];
+  with_server ~index_path:path @@ fun server ->
+  (* A client hammers index-hit queries while generations swap under it:
+     every reply must be byte-identical to the first — a torn or
+     half-swapped index would produce garbage or a crash. *)
+  let stop = Atomic.make false in
+  let failure = Atomic.make None in
+  let baseline =
+    with_client server @@ fun c -> rpc c iq
+  in
+  check_ok baseline;
+  let reader =
+    Thread.create
+      (fun () ->
+        with_client server @@ fun c ->
+        while not (Atomic.get stop) do
+          let r = rpc c iq in
+          if not (String.equal r baseline) then
+            Atomic.set failure (Some r)
+        done)
+      ()
+  in
+  for gen = 2 to 10 do
+    bake_index ~generation:gen path [ iq; iq_run ];
+    match Server.reload_index server with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "reload generation %d: %s" gen e
+  done;
+  Atomic.set stop true;
+  Thread.join reader;
+  (match Atomic.get failure with
+  | Some r -> Alcotest.failf "reply changed across swaps: %s" r
+  | None -> ());
+  with_client server @@ fun c ->
+  Alcotest.(check int) "final generation live" 10
+    (get_int "index_generation" (rpc c {|{"type":"health"}|}))
+
+let index_reload_errors () =
+  (* No index configured: reload is a clean error, not a crash. *)
+  (with_server @@ fun server ->
+   match Server.reload_index server with
+   | Ok () -> Alcotest.fail "reload without a path succeeded"
+   | Error _ -> ());
+  (* Reload to a missing file keeps the old index serving. *)
+  with_index_file @@ fun path ->
+  bake_index path [ iq ];
+  with_server ~index_path:path @@ fun server ->
+  Sys.remove path;
+  (match Server.reload_index server with
+  | Ok () -> Alcotest.fail "reload of a deleted file succeeded"
+  | Error _ -> ());
+  with_client server @@ fun c ->
+  let h = rpc c {|{"type":"health"}|} in
+  Alcotest.(check bool) "old index still serving" true
+    (match get "index_loaded" h with Json.Bool b -> b | _ -> false);
+  let m0 = rpc c {|{"type":"metrics"}|} in
+  check_ok (rpc c iq);
+  let m1 = rpc c {|{"type":"metrics"}|} in
+  Alcotest.(check int) "still answering from the old mapping"
+    (get_int "index_hits" m0 + 1)
+    (get_int "index_hits" m1)
+
+let backfill_publishes_next_generation () =
+  with_index_file @@ fun path ->
+  (* No file yet: the server starts index-less but with backfill on. *)
+  with_server ~index_path:path ~index_backfill:true ~backfill_flush_s:0.2
+  @@ fun server ->
+  with_client server @@ fun c ->
+  check_ok (rpc c iq);
+  check_ok (rpc c iq_run);
+  (* Wait for the backfill thread to publish and self-reload. *)
+  let deadline = 50 in
+  let rec wait n =
+    let h = rpc c {|{"type":"health"}|} in
+    match get "index_loaded" h with
+    | Json.Bool true -> h
+    | _ when n >= deadline -> Alcotest.fail "backfill never published"
+    | _ ->
+        Thread.delay 0.1;
+        wait (n + 1)
+  in
+  let h = wait 0 in
+  Alcotest.(check int) "first backfilled generation" 1
+    (get_int "index_generation" h);
+  Alcotest.(check int) "both computed answers baked" 2
+    (get_int "index_records" h);
+  let m = rpc c {|{"type":"metrics"}|} in
+  Alcotest.(check int) "backfill counted" 2 (get_int "index_backfilled" m);
+  (* The published file is a valid index holding the computed answers,
+     and repeats now hit it. *)
+  (match Rv_index.Reader.open_ path with
+  | Error e -> Alcotest.failf "published index invalid: %s" e
+  | Ok t -> Alcotest.(check int) "records on disk" 2 (Rv_index.Reader.record_count t));
+  let m0 = rpc c {|{"type":"metrics"}|} in
+  let again = rpc c iq in
+  check_ok again;
+  let m1 = rpc c {|{"type":"metrics"}|} in
+  Alcotest.(check int) "repeat is an index hit"
+    (get_int "index_hits" m0 + 1)
+    (get_int "index_hits" m1)
+
+let index_loadgen_all_hits () =
+  (* The loadgen index mix against its matching bake: pure index traffic,
+     transcript identical to an index-less server's. *)
+  with_index_file @@ fun path ->
+  let lattice =
+    match
+      Rv_index.Lattice.of_args ~graphs:Loadgen.index_mix_graphs
+        ~algorithms:Loadgen.index_mix_algorithms
+        ~spaces:Loadgen.index_mix_spaces ~pairs:Loadgen.index_mix_pairs
+        ~max_delays:Loadgen.index_mix_max_delays ()
+    with
+    | Ok l -> l
+    | Error e -> Alcotest.failf "lattice: %s" e
+  in
+  let entries =
+    List.map
+      (fun q ->
+        match Handler.eval_vals ~deadline_us:None q with
+        | Ok v -> (Rv_index.Key.render q, Handler.values_of_vals v)
+        | Error (_, msg, _) -> Alcotest.failf "bake: %s" msg)
+      (Rv_index.Lattice.cells lattice)
+  in
+  (match Rv_index.Writer.write ~path ~generation:1 ~meta:"t" entries with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "write: %s" e);
+  let transcript ?index_path () =
+    with_server ?index_path @@ fun server ->
+    match
+      Loadgen.run ~port:(Server.port server) ~conns:2 ~requests:24 ~seed:3
+        ~mix:Loadgen.Index ()
+    with
+    | Error e -> Alcotest.fail e
+    | Ok s ->
+        Alcotest.(check int) "all ok" 24 s.Loadgen.ok;
+        (s.Loadgen.transcript, Server.port server)
+  in
+  let with_index, _ = transcript ~index_path:path () in
+  let without, _ = transcript () in
+  Alcotest.(check (list string)) "index on == index off" without with_index;
+  (* And against the indexed server every request was a hit. *)
+  with_server ~index_path:path @@ fun server ->
+  (match
+     Loadgen.run ~port:(Server.port server) ~conns:2 ~requests:24 ~seed:3
+       ~mix:Loadgen.Index ()
+   with
+  | Error e -> Alcotest.fail e
+  | Ok _ -> ());
+  with_client server @@ fun c ->
+  let m = rpc c {|{"type":"metrics"}|} in
+  Alcotest.(check int) "24 index hits" 24 (get_int "index_hits" m);
+  Alcotest.(check int) "0 index misses" 0 (get_int "index_misses" m)
+
 (* --- unit: histogram percentile ---------------------------------------- *)
 
 let histogram_percentile () =
@@ -559,6 +833,18 @@ let () =
       ( "determinism",
         [ tc "loadgen transcript: j1 == j2 == cache-off" loadgen_deterministic_j1_j2_cache ] );
       ("admin", [ tc "health and version" health_and_version ]);
+      ( "index",
+        [
+          tc "index hit == LRU hit == compute, byte for byte"
+            index_hit_identical_bytes;
+          tc "unbaked key falls through to compute" index_miss_falls_through;
+          tc "corrupt index file degrades to compute" corrupt_index_serves_without;
+          tc "probes report format, generation, records" index_probe_fields;
+          tc "reload swaps atomically under load" index_reload_and_atomic_swap;
+          tc "reload failures keep the old index" index_reload_errors;
+          tc "backfill publishes the next generation" backfill_publishes_next_generation;
+          tc "loadgen index mix is all hits and identical" index_loadgen_all_hits;
+        ] );
       ( "proto",
         [ tc "canonical keys and strict parsing" proto_parse_and_keys ] );
       ( "cache-unit",
