@@ -191,7 +191,61 @@ let sweep_speedup () =
    scheduler hiccups.  The claim under test is the no-op fast path: with
    instrumentation off, the hooks compiled into every layer must cost
    nothing measurable, so the disabled/disabled delta stays within the
-   noise threshold.  Numbers land in BENCH_obs.json. *)
+   noise threshold.  Numbers land in BENCH_obs.json.
+
+   The serve tier gets its own row with the same A/B/enabled structure:
+   the cached fast path driven over the wire against telemetry-off
+   servers twice (their spread is the over-the-wire noise floor — the
+   "hooks off cost nothing" claim at the serve tier) and a telemetry-on
+   server, interleaved per round and min-of-reps.  Telemetry must never
+   change reply bytes — the transcripts are asserted identical before
+   the timing is believed.  The enabled delta is the true cost of
+   always-on tracing per cached hit (a few hundred ns of clock reads,
+   window atomics and the recorder ring) expressed against the
+   cheapest request the server can serve, i.e. its worst case; on
+   compute-bound queries the same absolute cost vanishes.  A loaded
+   single-core CI container jitters far more than an in-process kernel,
+   so the JSON records the verdict for trend-watching rather than
+   hard-failing a noisy run. *)
+
+let obs_serve_overhead () =
+  let module Server = Rv_serve.Server in
+  let module Loadgen = Rv_serve.Loadgen in
+  let drive ~telemetry =
+    let server =
+      Server.start { Server.default_config with jobs = 1; telemetry }
+    in
+    Fun.protect
+      ~finally:(fun () -> Server.stop server)
+      (fun () ->
+        let port = Server.port server in
+        (match
+           Loadgen.run ~port ~conns:1 ~requests:64 ~seed:7 ~mix:Loadgen.Cached ()
+         with
+        | Ok _ -> () (* warm the result cache *)
+        | Error e -> failwith ("serve overhead warmup: " ^ e));
+        match
+          Loadgen.run ~port ~conns:2 ~requests:4000 ~seed:7 ~mix:Loadgen.Cached ()
+        with
+        | Ok s -> s
+        | Error e -> failwith ("serve overhead loadgen: " ^ e))
+  in
+  let reps = 7 in
+  let off_a = ref infinity and off_b = ref infinity and on = ref infinity in
+  let t_off = ref [] and t_on = ref [] in
+  for _ = 1 to reps do
+    let s_a = drive ~telemetry:false in
+    let s_b = drive ~telemetry:false in
+    let s_on = drive ~telemetry:true in
+    off_a := min !off_a s_a.Loadgen.elapsed_s;
+    off_b := min !off_b s_b.Loadgen.elapsed_s;
+    on := min !on s_on.Loadgen.elapsed_s;
+    t_off := s_a.Loadgen.transcript;
+    t_on := s_on.Loadgen.transcript
+  done;
+  if not (List.equal String.equal !t_on !t_off) then
+    failwith "serve overhead: telemetry on/off transcripts differ";
+  (!off_a, !off_b, !on, List.length !t_on)
 
 let obs_overhead () =
   let n = 64 and space = 64 and max_pairs = 16 in
@@ -269,6 +323,24 @@ let obs_overhead () =
            Printf.sprintf "%+.2f%%" enabled_overhead_pct;
          ];
        ]);
+  let srv_off_a, srv_off_b, srv_on, srv_requests = obs_serve_overhead () in
+  let srv_reps = 7 in
+  let srv_base = min srv_off_a srv_off_b in
+  let srv_off_delta_pct =
+    abs_float (srv_off_a -. srv_off_b) /. srv_base *. 100.
+  in
+  let srv_overhead_pct = (srv_on -. srv_base) /. srv_base *. 100. in
+  let srv_within_noise = srv_off_delta_pct < threshold_pct in
+  let srv_on_per_req_ns =
+    (srv_on -. srv_base) /. float_of_int srv_requests *. 1e9
+  in
+  Printf.printf
+    "serve telemetry: off %.3fs/%.3fs (spread %.2f%%, threshold %.1f%%: %s), \
+     on %.3fs = %+.2f%% (%+.0fns per cached hit) over %d requests; \
+     transcripts identical\n"
+    srv_off_a srv_off_b srv_off_delta_pct threshold_pct
+    (if srv_within_noise then "off hooks are free" else "NOISY RUN")
+    srv_on srv_overhead_pct srv_on_per_req_ns srv_requests;
   let oc = open_out "BENCH_obs.json" in
   Printf.fprintf oc
     {|{
@@ -281,11 +353,27 @@ let obs_overhead () =
   "disabled_delta_pct": %.2f,
   "enabled_overhead_pct": %.2f,
   "threshold_pct": %.1f,
-  "within_noise": %b
+  "within_noise": %b,
+  "serve": {
+    "workload": "cached mix over loopback, 2 conns, min of reps",
+    "requests": %d,
+    "reps": %d,
+    "telemetry_off_a_seconds": %.4f,
+    "telemetry_off_b_seconds": %.4f,
+    "telemetry_on_seconds": %.4f,
+    "off_delta_pct": %.2f,
+    "on_overhead_pct": %.2f,
+    "on_overhead_ns_per_request": %.0f,
+    "threshold_pct": %.1f,
+    "within_noise": %b,
+    "transcripts_identical_telemetry_on_off": true
+  }
 }
 |}
     n space configs reps disabled_a disabled_b enabled disabled_delta_pct
-    enabled_overhead_pct threshold_pct within_noise;
+    enabled_overhead_pct threshold_pct within_noise srv_requests srv_reps
+    srv_off_a srv_off_b srv_on srv_off_delta_pct srv_overhead_pct
+    srv_on_per_req_ns threshold_pct srv_within_noise;
   close_out oc;
   print_endline "wrote BENCH_obs.json";
   (* A wildly divergent disabled pair means the measurement itself is
@@ -728,6 +816,7 @@ let index_bench () =
 let () =
   match Sys.argv with
   | [| _; "traj" |] -> traj_speedup ()
+  | [| _; "obs" |] -> obs_overhead ()
   | [| _; "serve" |] -> serve_bench ()
   | [| _; "index" |] -> index_bench ()
   | _ ->

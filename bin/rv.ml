@@ -13,6 +13,7 @@
      bake     precompute a worst-case index over a parameter lattice
      serve    TCP query server (index, admission control, result cache, drain)
      loadgen  deterministic load harness for a running serve instance
+     obs      tail/watch/dump a running serve's anomaly flight recorder
      version  build identity and feature flags *)
 
 open Cmdliner
@@ -863,7 +864,7 @@ let port_arg =
 
 let serve_cmd =
   let serve port jobs cache_mb queue_cap deadline_ms index index_backfill
-      metrics =
+      no_telemetry slow_us metrics =
     with_metrics metrics @@ fun () ->
     let jobs = if jobs > 0 then jobs else Domain.recommended_domain_count () in
     let server =
@@ -877,6 +878,8 @@ let serve_cmd =
           default_deadline_ms = (if deadline_ms > 0 then Some deadline_ms else None);
           index_path = index;
           index_backfill;
+          telemetry = not no_telemetry;
+          slow_us;
         }
     in
     Rv_serve.Server.install_signals server;
@@ -928,6 +931,24 @@ let serve_cmd =
             "Accumulate computed index misses and periodically republish \
              --index as the next generation (requires --index).")
   in
+  let no_telemetry =
+    Arg.(
+      value & flag
+      & info [ "no-telemetry" ]
+          ~doc:
+            "Disable the always-on serving telemetry (sliding latency \
+             windows, flight recorder, gauge sampler).  Reply bytes are \
+             identical either way; this exists for overhead measurement.")
+  in
+  let slow_us =
+    Arg.(
+      value & opt int 10_000
+      & info [ "slow-us" ] ~docv:"US"
+          ~doc:
+            "Flag requests slower than this as slow in the flight recorder \
+             (only when the request carries no deadline; with one, the \
+             threshold is half the budget).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -936,7 +957,7 @@ let serve_cmd =
           graceful drain")
     Term.(
       const serve $ port_arg $ jobs_arg $ cache_mb $ queue_cap $ deadline_ms
-      $ index $ index_backfill $ metrics_arg)
+      $ index $ index_backfill $ no_telemetry $ slow_us $ metrics_arg)
 
 (* loadgen *)
 
@@ -949,7 +970,15 @@ let loadgen_cmd =
     if dump then List.iter print_endline s.Rv_serve.Loadgen.transcript;
     if json then
       print_endline (Rv_obs.Json.to_string (Rv_serve.Loadgen.summary_json s))
-    else Rv_serve.Loadgen.print_summary stdout s
+    else Rv_serve.Loadgen.print_summary stdout s;
+    (* Server-measured latency must nest inside the client-measured one;
+       a violation is a clock or accounting bug, never rounding. *)
+    match Rv_serve.Loadgen.server_clock_check s with
+    | Ok () -> ()
+    | Error msg ->
+        Printf.eprintf "rv loadgen: SERVER/CLIENT CLOCK CHECK FAILED: %s\n%!"
+          msg;
+        exit 1
   in
   let conns =
     Arg.(value & opt int 4 & info [ "c"; "conns" ] ~docv:"N" ~doc:"Concurrent connections.")
@@ -984,6 +1013,130 @@ let loadgen_cmd =
     (Cmd.info "loadgen"
        ~doc:"Drive a running rv serve instance with a seeded deterministic load")
     Term.(const loadgen $ port_arg $ conns $ requests $ seed $ mix $ dump $ json)
+
+(* obs — flight-recorder client *)
+
+let obs_scrape ~host ~port ~last =
+  let req = Printf.sprintf {|{"type":"obs","last":%d}|} last in
+  match Rv_serve.Loadgen.rpc ~host ~port req with
+  | Error e -> Error e
+  | Ok line -> (
+      match Rv_obs.Json.parse line with
+      | Error e -> Error (Printf.sprintf "unparseable obs reply: %s" e)
+      | Ok j -> (
+          match Rv_obs.Json.member "records" j with
+          | Some (Rv_obs.Json.List rs) ->
+              Ok (List.filter_map Rv_serve.Recorder.of_json rs)
+          | _ ->
+              Error
+                (Printf.sprintf "unexpected obs reply: %s"
+                   (String.sub line 0 (min 200 (String.length line))))))
+
+let obs_record_line (r : Rv_serve.Recorder.record) =
+  Printf.sprintf "#%-6d %-5s %-6s %-9s %-14s %8d us  %s" r.rr_id r.rr_kind
+    r.rr_path r.rr_status
+    (Rv_serve.Recorder.flag_to_string r.rr_flag)
+    r.rr_total_us
+    (String.concat " "
+       (List.map
+          (fun (name, _, dur) -> Printf.sprintf "%s=%.0fus" name dur)
+          r.rr_stages))
+
+let obs_cmd =
+  let obs action host port last chrome interval =
+    let scrape_or_die () =
+      match obs_scrape ~host ~port ~last with
+      | Ok rs -> rs
+      | Error e ->
+          Printf.eprintf "rv obs: %s\n%!" e;
+          exit 1
+    in
+    match action with
+    | `Tail ->
+        let rs = scrape_or_die () in
+        if rs = [] then print_endline "rv obs: recorder is empty"
+        else List.iter (fun r -> print_endline (obs_record_line r)) rs
+    | `Watch ->
+        (* Poll the recorder, printing only records newer than the last
+           one seen.  The obs probe itself is admin traffic and is never
+           recorded, so watching does not pollute what it watches. *)
+        let newest = ref min_int in
+        let rec loop () =
+          let rs = scrape_or_die () in
+          List.iter
+            (fun (r : Rv_serve.Recorder.record) ->
+              if r.rr_id > !newest then begin
+                newest := r.rr_id;
+                print_endline (obs_record_line r)
+              end)
+            rs;
+          flush stdout;
+          Unix.sleepf interval;
+          loop ()
+        in
+        loop ()
+    | `Dump -> (
+        let rs = scrape_or_die () in
+        match chrome with
+        | Some file ->
+            let oc = open_out file in
+            output_string oc
+              (Rv_obs.Json.to_string (Rv_serve.Recorder.chrome_json rs));
+            output_char oc '\n';
+            close_out oc;
+            Printf.printf "rv obs: wrote %d request lane(s) to %s\n%!"
+              (List.length rs) file
+        | None ->
+            List.iter
+              (fun r ->
+                print_endline
+                  (Rv_obs.Json.to_string (Rv_serve.Recorder.to_json r)))
+              rs)
+  in
+  let action =
+    Arg.(
+      value
+      & pos 0 (enum [ ("tail", `Tail); ("watch", `Watch); ("dump", `Dump) ])
+          `Tail
+      & info [] ~docv:"ACTION"
+          ~doc:
+            "$(b,tail) prints the retained records once; $(b,watch) polls \
+             and prints new ones as they appear; $(b,dump) emits records as \
+             JSON lines, or a Chrome trace with $(b,--chrome).")
+  in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Server host.")
+  in
+  let last =
+    Arg.(
+      value & opt int 64
+      & info [ "last" ] ~docv:"N"
+          ~doc:"Fetch at most the newest N records (server caps at 4096).")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "With $(b,dump): write a Chrome/Perfetto trace, one lane per \
+             request with its stage waterfall, instead of JSON lines.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Poll period for $(b,watch).")
+  in
+  Cmd.v
+    (Cmd.info "obs"
+       ~doc:
+         "Inspect a running rv serve's anomaly flight recorder: tail or \
+          watch the retained requests, or dump them as a Chrome trace of \
+          per-stage waterfalls")
+    Term.(const obs $ action $ host $ port_arg $ last $ chrome $ interval)
 
 (* version *)
 
@@ -1025,4 +1178,4 @@ let () =
   end;
   let doc = "deterministic rendezvous in networks (Miller & Pelc, PODC 2014)" in
   let info = Cmd.info "rv" ~version:Rv_serve.Build_meta.version ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; trace_cmd; sweep_cmd; explore_cmd; lb_cmd; exp_cmd; selftest_cmd; async_cmd; gather_cmd; lint_cmd; dot_cmd; bake_cmd; serve_cmd; loadgen_cmd; version_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; trace_cmd; sweep_cmd; explore_cmd; lb_cmd; exp_cmd; selftest_cmd; async_cmd; gather_cmd; lint_cmd; dot_cmd; bake_cmd; serve_cmd; loadgen_cmd; obs_cmd; version_cmd ]))

@@ -10,7 +10,11 @@
      then assumed to be normalised before it can reach output).
    - R3 looks only at structure-level bindings (module toplevels).
    - R5 balances begin_span/end_span occurrence counts per structure item
-     (a reference passed to [Fun.protect ~finally:] counts as an end). *)
+     (a reference passed to [Fun.protect ~finally:] counts as an end).
+     The request-span API is held to the same discipline: stage_begin /
+     stage_end calls are counted as their own pair, so a stage opened in
+     one definition and closed in another needs a reasoned allow (the
+     queue stage crossing the connection/dispatcher hand-off). *)
 
 open Parsetree
 
@@ -94,6 +98,8 @@ let check ~config ~path (structure : Parsetree.structure) =
   let saw_sort = ref false in
   let span_begins = ref 0 in
   let span_ends = ref 0 in
+  let stage_begins = ref 0 in
+  let stage_ends = ref 0 in
 
   let on_ident loc p =
     if enabled Report.R1 && not r1_allowed then begin
@@ -114,7 +120,9 @@ let check ~config ~path (structure : Parsetree.structure) =
          hash a canonical projection instead";
     if List.mem p sort_idents then saw_sort := true;
     if String.ends_with ~suffix:"begin_span" p then incr span_begins;
-    if String.ends_with ~suffix:"end_span" p then incr span_ends
+    if String.ends_with ~suffix:"end_span" p then incr span_ends;
+    if String.ends_with ~suffix:"stage_begin" p then incr stage_begins;
+    if String.ends_with ~suffix:"stage_end" p then incr stage_ends
   in
 
   let on_apply loc fn args =
@@ -208,6 +216,8 @@ let check ~config ~path (structure : Parsetree.structure) =
       saw_sort := false;
       span_begins := 0;
       span_ends := 0;
+      stage_begins := 0;
+      stage_ends := 0;
       expr_iterator.structure_item expr_iterator item;
       if enabled Report.R2 && not !saw_sort then
         List.iter
@@ -226,6 +236,16 @@ let check ~config ~path (structure : Parsetree.structure) =
           (Printf.sprintf
              "unbalanced spans in this definition (%d begin_span, %d end_span); pair them \
               lexically or wrap the scope in Obs.span"
-             !span_begins !span_ends))
+             !span_begins !span_ends);
+      if
+        enabled Report.R5 && (not r5_allowed)
+        && !stage_begins <> !stage_ends
+      then
+        add item.pstr_loc Report.R5
+          (Printf.sprintf
+             "unbalanced request stages in this definition (%d stage_begin, %d \
+              stage_end); close every stage lexically or carry a reasoned allow \
+              where the stage crosses a thread hand-off"
+             !stage_begins !stage_ends))
     structure;
   List.rev !findings

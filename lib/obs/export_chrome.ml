@@ -41,16 +41,20 @@ let event_json (e : Obs.event) =
             ("args", Json.Obj (round e.Obs.round "round" @ e.Obs.args));
           ])
 
-let to_json () =
-  let events = Obs.events () in
+let events_json ?(lane_names = []) events =
   let tids =
     List.sort_uniq Int.compare (List.map (fun (e : Obs.event) -> e.Obs.tid) events)
+  in
+  let lane_name tid =
+    match List.assoc_opt tid lane_names with
+    | Some n -> n
+    | None -> Obs.lane_name tid
   in
   let metas =
     meta ~name:"process_name" ~tid:0 [ ("name", Json.Str "rv") ]
     :: List.map
          (fun tid ->
-           meta ~name:"thread_name" ~tid [ ("name", Json.Str (Obs.lane_name tid)) ])
+           meta ~name:"thread_name" ~tid [ ("name", Json.Str (lane_name tid)) ])
          tids
   in
   Json.Obj
@@ -58,6 +62,8 @@ let to_json () =
       ("traceEvents", Json.List (metas @ List.map event_json events));
       ("displayTimeUnit", Json.Str "ms");
     ]
+
+let to_json () = events_json (Obs.events ())
 
 let write oc = output_string oc (Json.to_string (to_json ()) ^ "\n")
 

@@ -6,8 +6,14 @@
     lane per domain / synthetic lane (engine workers and, in deep mode,
     the two agents each get their own lane). *)
 
+val events_json : ?lane_names:(int * string) list -> Obs.event list -> Json.t
+(** Render an explicit event list (e.g. synthetic events rebuilt from a
+    flight-recorder dump).  [lane_names] overrides the display name of a
+    lane; unlisted lanes fall back to {!Obs.lane_name}. *)
+
 val to_json : unit -> Json.t
-(** The whole trace for the current event buffer. *)
+(** The whole trace for the current event buffer
+    ([events_json (Obs.events ())]). *)
 
 val write : out_channel -> unit
 

@@ -1,0 +1,73 @@
+type typ = Counter_t | Gauge_t | Summary_t
+
+type sample = { labels : (string * string) list; value : float }
+
+type family = { fname : string; help : string; typ : typ; samples : sample list }
+
+let typ_string = function
+  | Counter_t -> "counter"
+  | Gauge_t -> "gauge"
+  | Summary_t -> "summary"
+
+(* Label values escape backslash, double quote, and newline; HELP text
+   escapes backslash and newline (exposition format rules). *)
+let escape ~quote s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '"' when quote -> Buffer.add_string buf "\\\""
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let value_string v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    string_of_int (int_of_float v)
+  else if Float.is_nan v then "NaN"
+  else if Float.equal v Float.infinity then "+Inf"
+  else if Float.equal v Float.neg_infinity then "-Inf"
+  else Printf.sprintf "%.17g" v
+
+let label_string labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      let labels =
+        List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+      in
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape ~quote:true v))
+             labels)
+      ^ "}"
+
+let sample_line fname s =
+  Printf.sprintf "%s%s %s" fname (label_string s.labels) (value_string s.value)
+
+let render_family buf f =
+  Buffer.add_string buf
+    (Printf.sprintf "# HELP %s %s\n" f.fname (escape ~quote:false f.help));
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" f.fname (typ_string f.typ));
+  (* Stable output: samples sorted by their rendered label string. *)
+  let lines = List.map (sample_line f.fname) f.samples in
+  let lines = List.sort String.compare lines in
+  List.iter
+    (fun l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n')
+    lines
+
+let render families =
+  let families =
+    List.sort (fun a b -> String.compare a.fname b.fname) families
+  in
+  let buf = Buffer.create 4096 in
+  List.iter (render_family buf) families;
+  Buffer.contents buf
+
+let single ?(labels = []) name help typ value =
+  { fname = name; help; typ; samples = [ { labels; value } ] }

@@ -1,0 +1,35 @@
+type t = { name : string; value : int Atomic.t }
+
+let registry_mutex = Mutex.create ()
+
+(* rv_lint: allow R3 -- every access goes through registry_mutex *)
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+let find name =
+  Mutex.lock registry_mutex;
+  let g =
+    match Hashtbl.find_opt registry name with
+    | Some g -> g
+    | None ->
+        let g = { name; value = Atomic.make 0 } in
+        Hashtbl.add registry name g;
+        g
+  in
+  Mutex.unlock registry_mutex;
+  g
+
+let set t v = Atomic.set t.value v
+let set_name name v = set (find name) v
+let value t = Atomic.get t.value
+let name t = t.name
+
+let all () =
+  Mutex.lock registry_mutex;
+  let xs = Hashtbl.fold (fun name g acc -> (name, Atomic.get g.value) :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) xs
+
+let reset () =
+  Mutex.lock registry_mutex;
+  Hashtbl.reset registry;
+  Mutex.unlock registry_mutex

@@ -1,0 +1,27 @@
+(** Named last-value gauges, atomic and process-global.
+
+    Same registry pattern as {!Counter}, but {!set} {e replaces} the
+    value instead of accumulating: gauges carry sampled state (heap
+    words, queue depth, registry size, index generation) published by a
+    periodic sampler.  Sets are unconditional — whether to sample at all
+    is the sampler's decision, not a per-call {!Obs.enabled} check. *)
+
+type t
+
+val find : string -> t
+(** Find or create.  Use to hoist the registry lookup out of a loop. *)
+
+val set : t -> int -> unit
+(** Unconditional atomic store. *)
+
+val set_name : string -> int -> unit
+(** [set_name name v] is [set (find name) v]. *)
+
+val value : t -> int
+val name : t -> string
+
+val all : unit -> (string * int) list
+(** Every registered gauge with its current value, sorted by name. *)
+
+val reset : unit -> unit
+(** Drop the whole registry. *)

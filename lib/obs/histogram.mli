@@ -9,6 +9,13 @@
 
 type t
 
+val nbuckets : int
+(** Number of log2 buckets (shared with {!Window}). *)
+
+val bucket_of : int -> int
+(** [bucket_of v] is the bucket index of [v]: [0] for [v <= 0], else
+    [1 + floor (log2 v)] capped at [nbuckets - 1]. *)
+
 val find : string -> t
 val observe_t : t -> int -> unit
 (** Unconditional (no enabled check — the caller hoisted it). *)

@@ -27,6 +27,14 @@ let index_mix_spaces = "8"
 let index_mix_pairs = "4"
 let index_mix_max_delays = "8"
 
+type server_stats = {
+  srv_count : int;
+  srv_p50_us : int;
+  srv_p90_us : int;
+  srv_p99_us : int;
+  srv_max_us : int;
+}
+
 type summary = {
   requests : int;
   ok : int;
@@ -39,6 +47,7 @@ type summary = {
   lat_p90_us : int;
   lat_p99_us : int;
   lat_max_us : int;
+  server : server_stats option;
   transcript : string list;
 }
 
@@ -134,6 +143,54 @@ let connect ~host ~port =
   in
   go 0
 
+(* One-shot request/reply on a fresh connection: what the post-run
+   scrape and the `rv obs` client use. *)
+let rpc ?(host = "127.0.0.1") ~port line =
+  match connect ~host ~port with
+  | Error e -> Error e
+  | Ok fd -> (
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let finally () =
+        (try close_out oc with Sys_error _ | Unix.Unix_error _ -> ());
+        try close_in ic with Sys_error _ | Unix.Unix_error _ -> ()
+      in
+      Fun.protect ~finally @@ fun () ->
+      try
+        output_string oc line;
+        output_char oc '\n';
+        flush oc;
+        match input_line ic with
+        | reply -> Ok reply
+        | exception End_of_file -> Error "connection closed before reply"
+      with Sys_error msg | Unix.Unix_error (_, msg, _) ->
+        Error ("connection error: " ^ msg))
+
+(* Read back the server's own view of the run: the 5m sliding window
+   covers everything this load run observed client-side. *)
+let scrape_server_stats ~host ~port =
+  match rpc ~host ~port {|{"type":"metrics"}|} with
+  | Error e -> Error e
+  | Ok reply -> (
+      match Json.parse reply with
+      | Error e -> Error ("metrics reply: " ^ e)
+      | Ok j -> (
+          let geti name = Option.bind (Json.member name j) Json.to_int in
+          match
+            (geti "lat5m_count", geti "lat5m_p50_us", geti "lat5m_p90_us",
+             geti "lat5m_p99_us", geti "lat5m_max_us")
+          with
+          | Some c, Some p50, Some p90, Some p99, Some mx ->
+              Ok
+                {
+                  srv_count = c;
+                  srv_p50_us = p50;
+                  srv_p90_us = p90;
+                  srv_p99_us = p99;
+                  srv_max_us = mx;
+                }
+          | _ -> Error "metrics reply missing lat5m_* window fields"))
+
 type worker_result = {
   mutable replies : (int * string) list;
   mutable latencies : int list;
@@ -221,6 +278,9 @@ let run ?(host = "127.0.0.1") ~port ~conns ~requests ~seed ~mix () =
         match List.find_map (fun r -> r.failure) results with
         | Some msg -> Error msg
         | None ->
+            (* Post-run scrape on its own connection; a failure degrades
+               to [server = None] rather than failing the run. *)
+            let server = Result.to_option (scrape_server_stats ~host ~port) in
             let replies = List.concat_map (fun r -> r.replies) results in
             let transcript =
               List.map snd
@@ -262,13 +322,35 @@ let run ?(host = "127.0.0.1") ~port ~conns ~requests ~seed ~mix () =
                 lat_p90_us = percentile lat 0.90;
                 lat_p99_us = percentile lat 0.99;
                 lat_max_us = (if Array.length lat = 0 then 0 else lat.(Array.length lat - 1));
+                server;
                 transcript;
               }
   end
 
+(* A server should never report a higher p50 than its clients measured:
+   the server interval (parse to reply-render) nests strictly inside the
+   client interval (write to read).  Comparison is at log2-bucket
+   resolution — the window reports bucket upper bounds, the client exact
+   microseconds — so only a genuine clock or accounting bug trips it. *)
+let server_clock_check s =
+  match s.server with
+  | None -> Ok ()
+  | Some srv ->
+      if srv.srv_count = 0 then Ok ()
+      else if
+        Rv_obs.Histogram.bucket_of srv.srv_p50_us
+        > Rv_obs.Histogram.bucket_of s.lat_p50_us
+      then
+        Error
+          (Printf.sprintf
+             "server p50 (%dus) exceeds client p50 (%dus): server-side \
+              latency accounting is broken"
+             srv.srv_p50_us s.lat_p50_us)
+      else Ok ()
+
 let summary_json s =
   Json.Obj
-    [
+    ([
       ("requests", Json.Int s.requests);
       ("ok", Json.Int s.ok);
       ("errors", Json.Int s.errors);
@@ -281,11 +363,35 @@ let summary_json s =
       ("lat_p99_us", Json.Int s.lat_p99_us);
       ("lat_max_us", Json.Int s.lat_max_us);
     ]
+    @
+    match s.server with
+    | None -> []
+    | Some srv ->
+        [
+          ( "server",
+            Json.Obj
+              [
+                ("count", Json.Int srv.srv_count);
+                ("p50_us", Json.Int srv.srv_p50_us);
+                ("p90_us", Json.Int srv.srv_p90_us);
+                ("p99_us", Json.Int srv.srv_p99_us);
+                ("max_us", Json.Int srv.srv_max_us);
+              ] );
+        ])
 
 let print_summary out s =
   Printf.fprintf out
     "requests %d  ok %d  errors %d (overloaded %d, deadline %d)\n\
      elapsed %.3fs  throughput %.0f req/s\n\
-     latency p50 %dus  p90 %dus  p99 %dus  max %dus\n"
+     client  latency p50 %dus  p90 %dus  p99 %dus  max %dus\n"
     s.requests s.ok s.errors s.overloaded s.deadline_exceeded s.elapsed_s
-    s.throughput_rps s.lat_p50_us s.lat_p90_us s.lat_p99_us s.lat_max_us
+    s.throughput_rps s.lat_p50_us s.lat_p90_us s.lat_p99_us s.lat_max_us;
+  match s.server with
+  | None ->
+      Printf.fprintf out "server  window stats unavailable (scrape failed)\n"
+  | Some srv ->
+      Printf.fprintf out
+        "server  latency p50 %dus  p90 %dus  p99 %dus  max %dus  (5m \
+         sliding window, %d samples)\n"
+        srv.srv_p50_us srv.srv_p90_us srv.srv_p99_us srv.srv_max_us
+        srv.srv_count

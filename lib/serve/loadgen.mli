@@ -31,6 +31,17 @@ val index_mix_spaces : string
 val index_mix_pairs : string
 val index_mix_max_delays : string
 
+type server_stats = {
+  srv_count : int;
+  srv_p50_us : int;
+  srv_p90_us : int;
+  srv_p99_us : int;
+  srv_max_us : int;
+}
+(** The server's own latency view, scraped from its [metrics] probe
+    after the run: the 5-minute sliding window (which covers the whole
+    run), at log2-bucket resolution. *)
+
 type summary = {
   requests : int;
   ok : int;
@@ -43,6 +54,8 @@ type summary = {
   lat_p90_us : int;
   lat_p99_us : int;
   lat_max_us : int;
+  server : server_stats option;
+      (** [None] when the post-run scrape failed (e.g. server gone) *)
   transcript : string list;
       (** reply lines sorted by request id — the deterministic part *)
 }
@@ -60,7 +73,22 @@ val run :
     (the server may still be binding); a mid-run connection loss aborts
     with [Error]. *)
 
+val rpc : ?host:string -> port:int -> string -> (string, string) result
+(** Send one request line on a fresh connection and return the reply
+    line — the building block for scrapes and the [rv obs] client. *)
+
+val server_clock_check : summary -> (unit, string) result
+(** Server p50 must not exceed client p50: the server measures parse to
+    reply-render, strictly inside the client's write-to-read interval.
+    Compared at log2-bucket resolution (the server reports bucket upper
+    bounds), so an [Error] means a real clock or accounting bug, not
+    rounding.  [Ok] when no server stats were scraped or the window is
+    empty. *)
+
 val summary_json : summary -> Rv_obs.Json.t
-(** For [BENCH_serve.json]; excludes the transcript. *)
+(** For [BENCH_serve.json]; excludes the transcript.  Includes a
+    ["server"] object when the post-run scrape succeeded. *)
 
 val print_summary : out_channel -> summary -> unit
+(** Client percentiles and, when scraped, the server's sliding-window
+    view side by side. *)

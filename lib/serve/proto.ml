@@ -35,11 +35,14 @@ type run_q = Key.run = {
 }
 
 type query = Key.query = Worst of worst_q | Run of run_q
-type admin = Health | Metrics | Version
+type metrics_format = Fmt_json | Fmt_prometheus
+type obs_q = { o_last : int }
+type admin = Health | Metrics of metrics_format | Version | Obs of obs_q
 
 type request = {
   id : int option;
   deadline_ms : int option;
+  debug : bool;
   body : [ `Query of query | `Admin of admin ];
 }
 
@@ -101,6 +104,12 @@ let get_int fields ~default ~lo ~hi name =
             Error (Printf.sprintf "%s: %d out of range [%d, %d]" name i lo hi)
           else Ok i)
 
+let get_bool fields ~default name =
+  match find_field fields name with
+  | None -> Ok default
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "%s: expected a boolean" name)
+
 let get_opt_int fields ~lo ~hi name =
   match find_field fields name with
   | None -> Ok None
@@ -124,7 +133,8 @@ let check_fields fields ~allowed =
            (String.concat ", " allowed))
   | None -> Ok ()
 
-let common_fields = [ "type"; "id"; "deadline_ms" ]
+let common_fields = [ "type"; "id"; "deadline_ms"; "debug" ]
+let max_obs_last = 4_096
 
 let parse_worst fields =
   let* () =
@@ -185,6 +195,20 @@ let parse_admin fields admin =
   let* () = check_fields fields ~allowed:common_fields in
   Ok admin
 
+let parse_metrics fields =
+  let* () = check_fields fields ~allowed:(common_fields @ [ "format" ]) in
+  let* fmt = get_str fields ~default:(Some "json") "format" in
+  match fmt with
+  | "json" -> Ok (Metrics Fmt_json)
+  | "prometheus" -> Ok (Metrics Fmt_prometheus)
+  | other ->
+      Error (Printf.sprintf "format: %S is not \"json\" or \"prometheus\"" other)
+
+let parse_obs fields =
+  let* () = check_fields fields ~allowed:(common_fields @ [ "last" ]) in
+  let* o_last = get_int fields ~default:(Some 64) ~lo:1 ~hi:max_obs_last "last" in
+  Ok (Obs { o_last })
+
 let parse line =
   if String.length line > max_line_len then
     Error (Printf.sprintf "request line longer than %d bytes" max_line_len)
@@ -194,22 +218,24 @@ let parse line =
     | Ok (Json.Obj fields) ->
         let* id = get_opt_int fields ~lo:0 ~hi:max_int "id" in
         let* deadline_ms = get_opt_int fields ~lo:1 ~hi:max_deadline_ms "deadline_ms" in
+        let* debug = get_bool fields ~default:false "debug" in
         let* typ = get_str fields ~default:None "type" in
         let* body =
           match typ with
           | "worst" -> Result.map (fun q -> `Query q) (parse_worst fields)
           | "run" -> Result.map (fun q -> `Query q) (parse_run fields)
           | "health" -> Result.map (fun a -> `Admin a) (parse_admin fields Health)
-          | "metrics" -> Result.map (fun a -> `Admin a) (parse_admin fields Metrics)
+          | "metrics" -> Result.map (fun a -> `Admin a) (parse_metrics fields)
           | "version" -> Result.map (fun a -> `Admin a) (parse_admin fields Version)
+          | "obs" -> Result.map (fun a -> `Admin a) (parse_obs fields)
           | other ->
               Error
                 (Printf.sprintf
                    "type: unknown request type %S (accepted: worst, run, health, \
-                    metrics, version)"
+                    metrics, version, obs)"
                    other)
         in
-        Ok { id; deadline_ms; body }
+        Ok { id; deadline_ms; debug; body }
     | Ok _ -> Error "request must be a JSON object"
 
 (* --- canonical keys ---------------------------------------------------- *)

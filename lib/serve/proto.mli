@@ -9,11 +9,18 @@
     - ["run"] — one rendezvous simulation (fields: [graph], [algorithm],
       [explorer], [space], [label_a], [label_b], [start_a], [start_b],
       [delay_a], [delay_b], [model])
-    - ["health"], ["metrics"], ["version"] — admin probes, answered
-      inline without touching the work queue
+    - ["health"], ["metrics"], ["version"], ["obs"] — admin probes,
+      answered inline without touching the work queue.  ["metrics"]
+      accepts [format]: ["json"] (default) or ["prometheus"] (the reply
+      carries the text exposition in a ["body"] string field, since the
+      transport is line-delimited).  ["obs"] returns the newest [last]
+      (default 64) flight-recorder records.
 
-    Every request may carry an ["id"] (echoed verbatim in the response)
-    and a ["deadline_ms"] budget.  The parser is strict — unknown or
+    Every request may carry an ["id"] (echoed verbatim in the response),
+    a ["deadline_ms"] budget, and a ["debug"] boolean — when true the
+    reply gains a ["debug"] object with the request's id, answer path
+    and per-stage timing breakdown (non-deterministic by nature, so
+    never part of the cached/golden reply).  The parser is strict — unknown or
     duplicated fields, out-of-range values and non-object lines are
     rejected with a [bad_request] reply — because the serve path makes
     this the system's untrusted-input boundary.
@@ -50,11 +57,18 @@ type run_q = Rv_index.Key.run = {
 }
 
 type query = Rv_index.Key.query = Worst of worst_q | Run of run_q
-type admin = Health | Metrics | Version
+
+type metrics_format = Fmt_json | Fmt_prometheus
+
+type obs_q = { o_last : int }
+(** How many of the newest flight-recorder records to return. *)
+
+type admin = Health | Metrics of metrics_format | Version | Obs of obs_q
 
 type request = {
   id : int option;  (** echoed in the response when present *)
   deadline_ms : int option;
+  debug : bool;  (** append a per-stage timing breakdown to the reply *)
   body : [ `Query of query | `Admin of admin ];
 }
 

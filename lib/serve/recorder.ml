@@ -1,0 +1,189 @@
+module Json = Rv_obs.Json
+module Obs = Rv_obs.Obs
+module Export_chrome = Rv_obs.Export_chrome
+
+type flag = Healthy | Slow | Shed | Errored | Index_fallback
+
+let flag_to_string = function
+  | Healthy -> "healthy"
+  | Slow -> "slow"
+  | Shed -> "shed"
+  | Errored -> "error"
+  | Index_fallback -> "index_fallback"
+
+let flag_of_string = function
+  | "healthy" -> Some Healthy
+  | "slow" -> Some Slow
+  | "shed" -> Some Shed
+  | "error" -> Some Errored
+  | "index_fallback" -> Some Index_fallback
+  | _ -> None
+
+type record = {
+  rr_id : int;
+  rr_kind : string;
+  rr_path : string;
+  rr_status : string;
+  rr_flag : flag;
+  rr_recv_us : float;
+  rr_total_us : int;
+  rr_stages : (string * float * float) list;  (* name, start, dur — µs from recv *)
+}
+
+type t = {
+  cap : int;
+  mutex : Mutex.t;
+  healthy : record Queue.t;
+  flagged : record Queue.t;
+  mutable evicted_healthy : int;
+  mutable evicted_flagged : int;
+}
+
+let create ?(cap = 256) () =
+  {
+    cap = max 1 cap;
+    mutex = Mutex.create ();
+    healthy = Queue.create ();
+    flagged = Queue.create ();
+    evicted_healthy = 0;
+    evicted_flagged = 0;
+  }
+
+let cap t = t.cap
+
+(* Anomalies survive load: when the ring is full, the oldest *healthy*
+   record goes first; only when every slot holds an anomaly does the
+   oldest anomaly get evicted. *)
+let add t r =
+  Mutex.lock t.mutex;
+  (match r.rr_flag with
+  | Healthy -> Queue.push r t.healthy
+  | _ -> Queue.push r t.flagged);
+  if Queue.length t.healthy + Queue.length t.flagged > t.cap then
+    if not (Queue.is_empty t.healthy) then begin
+      ignore (Queue.pop t.healthy);
+      t.evicted_healthy <- t.evicted_healthy + 1
+    end
+    else begin
+      ignore (Queue.pop t.flagged);
+      t.evicted_flagged <- t.evicted_flagged + 1
+    end;
+  Mutex.unlock t.mutex
+
+let records ?last t =
+  Mutex.lock t.mutex;
+  let all =
+    List.sort
+      (fun a b -> Int.compare a.rr_id b.rr_id)
+      (List.of_seq (Seq.append (Queue.to_seq t.healthy) (Queue.to_seq t.flagged)))
+  in
+  Mutex.unlock t.mutex;
+  match last with
+  | None -> all
+  | Some n ->
+      let len = List.length all in
+      if len <= n then all else List.filteri (fun i _ -> i >= len - n) all
+
+let counts t =
+  Mutex.lock t.mutex;
+  let h = Queue.length t.healthy and f = Queue.length t.flagged in
+  let eh = t.evicted_healthy and ef = t.evicted_flagged in
+  Mutex.unlock t.mutex;
+  (h, f, eh, ef)
+
+(* --- JSON codec (served by the obs admin probe, read by `rv obs`) ------ *)
+
+let stage_fields (name, start, dur) =
+  Json.Obj
+    [
+      ("stage", Json.Str name);
+      ("start_us", Json.Float start);
+      ("dur_us", Json.Float dur);
+    ]
+
+let to_fields r =
+  [
+    ("req_id", Json.Int r.rr_id);
+    ("kind", Json.Str r.rr_kind);
+    ("path", Json.Str r.rr_path);
+    ("status", Json.Str r.rr_status);
+    ("flag", Json.Str (flag_to_string r.rr_flag));
+    ("recv_us", Json.Float r.rr_recv_us);
+    ("total_us", Json.Int r.rr_total_us);
+    ("stages", Json.List (List.map stage_fields r.rr_stages));
+  ]
+
+let to_json r = Json.Obj (to_fields r)
+
+let of_json j =
+  let ( let* ) = Option.bind in
+  let mem k j = Json.member k j in
+  let* rr_id = Option.bind (mem "req_id" j) Json.to_int in
+  let* rr_kind = Option.bind (mem "kind" j) Json.to_str in
+  let* rr_path = Option.bind (mem "path" j) Json.to_str in
+  let* rr_status = Option.bind (mem "status" j) Json.to_str in
+  let* flag_s = Option.bind (mem "flag" j) Json.to_str in
+  let* rr_flag = flag_of_string flag_s in
+  let* rr_recv_us = Option.bind (mem "recv_us" j) Json.to_float in
+  let* rr_total_us = Option.bind (mem "total_us" j) Json.to_int in
+  let* stage_list = Option.bind (mem "stages" j) Json.to_list in
+  let* rr_stages =
+    List.fold_left
+      (fun acc s ->
+        let* acc = acc in
+        let* name = Option.bind (mem "stage" s) Json.to_str in
+        let* start = Option.bind (mem "start_us" s) Json.to_float in
+        let* dur = Option.bind (mem "dur_us" s) Json.to_float in
+        Some ((name, start, dur) :: acc))
+      (Some []) stage_list
+  in
+  Some { rr_id; rr_kind; rr_path; rr_status; rr_flag; rr_recv_us; rr_total_us;
+         rr_stages = List.rev rr_stages }
+
+(* --- Chrome trace rendering ------------------------------------------- *)
+
+(* Each record becomes its own lane: a whole-request span plus one span
+   per stage, at the record's absolute receive time — so Perfetto shows
+   a waterfall per request. *)
+let chrome_events rs =
+  let lanes = List.map (fun r ->
+      ( r.rr_id,
+        Printf.sprintf "req %d %s/%s [%s]" r.rr_id r.rr_kind r.rr_path
+          (flag_to_string r.rr_flag) ))
+      rs
+  in
+  let events =
+    List.concat_map
+      (fun r ->
+        let base_args =
+          [ ("status", Json.Str r.rr_status);
+            ("flag", Json.Str (flag_to_string r.rr_flag)) ]
+        in
+        {
+          Obs.name = Printf.sprintf "%s.%s" r.rr_kind r.rr_path;
+          cat = "request";
+          ts_us = r.rr_recv_us;
+          tid = r.rr_id;
+          round = -1;
+          args = base_args;
+          kind = Obs.Span { dur_us = float_of_int r.rr_total_us; round_end = -1 };
+        }
+        :: List.map
+             (fun (name, start, dur) ->
+               {
+                 Obs.name;
+                 cat = "stage";
+                 ts_us = r.rr_recv_us +. start;
+                 tid = r.rr_id;
+                 round = -1;
+                 args = [];
+                 kind = Obs.Span { dur_us = dur; round_end = -1 };
+               })
+             r.rr_stages)
+      rs
+  in
+  (events, lanes)
+
+let chrome_json rs =
+  let events, lanes = chrome_events rs in
+  Export_chrome.events_json ~lane_names:lanes events

@@ -1,6 +1,10 @@
 module Json = Rv_obs.Json
 module Counter = Rv_obs.Counter
 module Histogram = Rv_obs.Histogram
+module Window = Rv_obs.Window
+module Gauge = Rv_obs.Gauge
+module Gc_snapshot = Rv_obs.Gc_snapshot
+module Prom = Rv_obs.Export_prometheus
 module Obs = Rv_obs.Obs
 
 type config = {
@@ -13,6 +17,10 @@ type config = {
   index_path : string option;
   index_backfill : bool;
   backfill_flush_s : float;
+  telemetry : bool;
+  recorder_cap : int;
+  slow_us : int;
+  sampler_period_s : float;
 }
 
 let default_config =
@@ -26,6 +34,10 @@ let default_config =
     index_path = None;
     index_backfill = false;
     backfill_flush_s = 5.0;
+    telemetry = true;
+    recorder_cap = 256;
+    slow_us = 10_000;
+    sampler_period_s = 1.0;
   }
 
 (* One accepted client.  [inflight] counts jobs handed to the dispatcher
@@ -44,8 +56,19 @@ type job = {
   j_key : string;
   j_query : Proto.query;
   j_deadline_us : float option;
-  j_recv_us : float;
+  j_sp : Rspan.t;
   j_conn : conn;
+}
+
+(* The sampler thread's last reading, published whole so the metrics
+   renderers see one consistent snapshot. *)
+type sampled = {
+  sm_gc : Gc_snapshot.t;
+  sm_queue_depth : int;
+  sm_registry_active : int;
+  sm_registry_total : int;
+  sm_index_generation : int;
+  sm_index_records : int;
 }
 
 type t = {
@@ -91,6 +114,18 @@ type t = {
   c_index_backfilled : Counter.t;
   h_latency : Histogram.t;
   h_queue_wait : Histogram.t;
+  (* Always-on telemetry (per-server for the same registry-scoping
+     reason as the counters above): a request-id sequence, sliding
+     latency windows over query replies — one per (kind, answer path),
+     with the "all" aggregate derived at read time via
+     [Window.stats_many] so the hot path pays one observe — the anomaly
+     flight recorder, and the sampler's last gauge snapshot. *)
+  req_seq : int Atomic.t;
+  w_kind_path : (string * Window.t) array;
+  recorder : Recorder.t;
+  sampled : sampled Atomic.t;
+  sampler_stop : bool Atomic.t;
+  mutable sampler_thread : Thread.t option;
   (* The live index.  Swapped whole on reload/backfill; readers of a
      displaced generation keep answering from the old mapping, so a swap
      is never observable mid-lookup. *)
@@ -103,6 +138,7 @@ type t = {
 
 let port t = t.srv_port
 let cache_stats t = Cache.stats t.cache
+let recorder t = t.recorder
 
 (* --- writing ----------------------------------------------------------- *)
 
@@ -115,16 +151,114 @@ let write_conn conn line =
    with Sys_error _ | Unix.Unix_error _ -> ());
   Mutex.unlock conn.wlock
 
-let observe_latency t recv_us =
-  Histogram.observe_t t.h_latency (int_of_float (Clock.now_us () -. recv_us))
+let new_rspan t =
+  Rspan.create
+    ~id:(Atomic.fetch_and_add t.req_seq 1)
+    ~recv_us:(Clock.now_us ()) ~enabled:t.cfg.telemetry ()
 
-let reply_ok t conn ~id ~recv_us fields =
+let is_query_kind kind = String.equal kind "worst" || String.equal kind "run"
+
+let window_for t ~kind ~path =
+  let key = kind ^ ":" ^ path in
+  Array.find_opt (fun (k, _) -> String.equal k key) t.w_kind_path
+  |> Option.map snd
+
+(* The aggregate over every query reply — including shed/error paths,
+   which have windows of their own precisely so this derived view keeps
+   the same population the old single "all" window had. *)
+let stats_all t ~now_s ~horizon_s =
+  Window.stats_many
+    (Array.to_list (Array.map snd t.w_kind_path))
+    ~now_s ~horizon_s
+
+(* Slow means "used more than half its budget": half the request's
+   deadline window when one was set, else the configured threshold. *)
+let classify t sp ~code =
+  match code with
+  | Some Proto.Overloaded -> Recorder.Shed
+  | Some _ -> Recorder.Errored
+  | None ->
+      let total = Rspan.total_us sp in
+      let slow =
+        match Rspan.deadline_us sp with
+        | Some d -> float_of_int total > (d -. Rspan.recv_us sp) /. 2.
+        | None -> total > t.cfg.slow_us
+      in
+      if slow then Recorder.Slow
+      else if
+        Option.is_some (Atomic.get t.index)
+        && String.equal (Rspan.path sp) "sim"
+      then Recorder.Index_fallback
+      else Recorder.Healthy
+
+let record_of sp ~status ~flag =
+  let recv = Rspan.recv_us sp in
+  {
+    Recorder.rr_id = Rspan.id sp;
+    rr_kind = Rspan.kind sp;
+    rr_path = Rspan.path sp;
+    rr_status = status;
+    rr_flag = flag;
+    rr_recv_us = recv;
+    rr_total_us = Rspan.total_us sp;
+    rr_stages =
+      List.map (fun (n, t0, t1) -> (n, t0 -. recv, t1 -. t0)) (Rspan.stages sp);
+  }
+
+(* Stamp completion; feed the whole-process latency histogram (always,
+   as before) and — for query requests with telemetry on — the sliding
+   windows and the flight recorder.  Admin probes stay out of both: they
+   answer inline in microseconds and the `rv obs` poller's own scrapes
+   must not flood the ring it is reading. *)
+let finalize t sp ~status ~code =
+  let now_us = Clock.now_us () in
+  Rspan.finish sp ~now_us;
+  let total = Rspan.total_us sp in
+  Histogram.observe_t t.h_latency total;
+  let kind = Rspan.kind sp in
+  if t.cfg.telemetry && is_query_kind kind then begin
+    let now_s = int_of_float (now_us /. 1_000_000.) in
+    (match window_for t ~kind ~path:(Rspan.path sp) with
+    | Some w -> Window.observe w ~now_s total
+    | None -> ());
+    Recorder.add t.recorder (record_of sp ~status ~flag:(classify t sp ~code))
+  end
+
+let debug_fields sp =
+  let recv = Rspan.recv_us sp in
+  [
+    ( "debug",
+      Json.Obj
+        [
+          ("req_id", Json.Int (Rspan.id sp));
+          ("kind", Json.Str (Rspan.kind sp));
+          ("path", Json.Str (Rspan.path sp));
+          ("total_us", Json.Int (Rspan.total_us sp));
+          ( "stages",
+            Json.List
+              (List.map
+                 (fun (n, t0, t1) ->
+                   Json.Obj
+                     [
+                       ("stage", Json.Str n);
+                       ("start_us", Json.Float (t0 -. recv));
+                       ("dur_us", Json.Float (t1 -. t0));
+                     ])
+                 (Rspan.stages sp)) );
+        ] );
+  ]
+
+(* Debug timing fields are appended at render time, after the cached /
+   canonical field list — so they never enter the cache and replies
+   without [debug:true] stay byte-identical across paths. *)
+let reply_ok t conn ~sp ~id fields =
   Atomic.incr t.n_ok;
   Counter.add t.c_ok 1;
-  write_conn conn (Proto.ok_line ~id fields);
-  observe_latency t recv_us
+  finalize t sp ~status:"ok" ~code:None;
+  let fields = if Rspan.debug sp then fields @ debug_fields sp else fields in
+  write_conn conn (Proto.ok_line ~id fields)
 
-let reply_error t conn ~id ~recv_us ?extra code msg =
+let reply_error t conn ~sp ~id ?extra code msg =
   Atomic.incr t.n_errors;
   Counter.add t.c_errors 1;
   (match code with
@@ -136,8 +270,15 @@ let reply_error t conn ~id ~recv_us ?extra code msg =
       Atomic.incr t.n_deadline;
       Counter.add t.c_deadline 1
   | Proto.Failed_rendezvous | Proto.Internal -> ());
-  write_conn conn (Proto.error_line ~id ?extra code msg);
-  observe_latency t recv_us
+  if String.equal (Rspan.path sp) "none" then
+    Rspan.set_path sp
+      (match code with Proto.Overloaded -> "shed" | _ -> "error");
+  finalize t sp ~status:(Proto.code_to_string code) ~code:(Some code);
+  let extra =
+    if Rspan.debug sp then Option.value extra ~default:[] @ debug_fields sp
+    else Option.value extra ~default:[]
+  in
+  write_conn conn (Proto.error_line ~id ~extra code msg)
 
 let cache_hit t =
   Atomic.incr t.n_cache_hits;
@@ -327,7 +468,26 @@ let index_status_fields t =
         ("index_records", Json.Int (Rv_index.Reader.record_count r));
       ]
 
+(* Sliding-window latency summaries.  These replaced fields computed
+   from the unbounded whole-process histogram: a cold-start or burst
+   spike now ages out of the percentiles after the horizon instead of
+   skewing them for the life of the process ([latency_count] /
+   [latency_max_us] keep the whole-process semantics — they are the
+   monotone counters scrape checks rely on). *)
+let horizons = [| ("10s", 10); ("1m", 60); ("5m", 300) |]
+
+let window_fields prefix (st : Window.stats) =
+  [
+    (prefix ^ "_count", Json.Int st.Window.w_count);
+    (prefix ^ "_p50_us", Json.Int st.Window.w_p50);
+    (prefix ^ "_p90_us", Json.Int st.Window.w_p90);
+    (prefix ^ "_p99_us", Json.Int st.Window.w_p99);
+    (prefix ^ "_max_us", Json.Int st.Window.w_max);
+  ]
+
 let health_fields t =
+  let now_s = int_of_float (Clock.now_s ()) in
+  let w1m = stats_all t ~now_s ~horizon_s:60 in
   [
     ("status", Json.Str "ok");
     ("type", Json.Str "health");
@@ -342,12 +502,15 @@ let health_fields t =
     ("total_connections", Json.Int (Registry.total t.registry));
     ("cache_entries", Json.Int (Cache.stats t.cache).Cache.entries);
     ("cache_bytes", Json.Int (Cache.stats t.cache).Cache.bytes);
+    ("lat1m_p50_us", Json.Int w1m.Window.w_p50);
+    ("lat1m_p99_us", Json.Int w1m.Window.w_p99);
     ("uptime_us", Json.Int (int_of_float (Clock.now_us () -. t.started_us)));
   ]
   @ index_status_fields t
 
 let metrics_fields t =
   let cs = Cache.stats t.cache in
+  let now_s = int_of_float (Clock.now_s ()) in
   [
     ("status", Json.Str "ok");
     ("type", Json.Str "metrics");
@@ -370,44 +533,276 @@ let metrics_fields t =
     ("latency_max_us", Json.Int (Histogram.max_value t.h_latency));
     ("queue_wait_max_us", Json.Int (Histogram.max_value t.h_queue_wait));
   ]
+  @ List.concat_map
+      (fun (tag, horizon_s) ->
+        window_fields ("lat" ^ tag) (stats_all t ~now_s ~horizon_s))
+      (Array.to_list horizons)
+
+(* --- Prometheus exposition --------------------------------------------- *)
+
+let prometheus_body t =
+  let s = Atomic.get t.sampled in
+  let cs = Cache.stats t.cache in
+  let counter name help v =
+    Prom.single ("rv_serve_" ^ name) help Prom.Counter_t (float_of_int v)
+  in
+  let gauge name help v =
+    Prom.single ("rv_serve_" ^ name) help Prom.Gauge_t (float_of_int v)
+  in
+  let now_s = int_of_float (Clock.now_s ()) in
+  let wsets =
+    ("all", "all", fun horizon_s -> stats_all t ~now_s ~horizon_s)
+    :: List.map (fun (key, w) ->
+           let stats horizon_s = Window.stats w ~now_s ~horizon_s in
+           match String.index_opt key ':' with
+           | Some i ->
+               ( String.sub key 0 i,
+                 String.sub key (i + 1) (String.length key - i - 1),
+                 stats )
+           | None -> (key, key, stats))
+         (Array.to_list t.w_kind_path)
+  in
+  let latency_samples, count_samples, max_samples =
+    List.fold_left
+      (fun (qs, cs, ms) (kind, path, stats) ->
+        List.fold_left
+          (fun (qs, cs, ms) (tag, horizon_s) ->
+            let st = stats horizon_s in
+            let labels = [ ("kind", kind); ("path", path); ("window", tag) ] in
+            let q quant v =
+              { Prom.labels = ("quantile", quant) :: labels;
+                value = float_of_int v }
+            in
+            ( q "0.5" st.Window.w_p50 :: q "0.9" st.Window.w_p90
+              :: q "0.99" st.Window.w_p99 :: qs,
+              { Prom.labels; value = float_of_int st.Window.w_count } :: cs,
+              { Prom.labels; value = float_of_int st.Window.w_max } :: ms ))
+          (qs, cs, ms)
+          (Array.to_list horizons))
+      ([], [], []) wsets
+  in
+  let healthy, flagged, _, _ = Recorder.counts t.recorder in
+  Prom.render
+    [
+      counter "requests_total" "Requests received" (Atomic.get t.n_requests);
+      counter "ok_total" "Successful replies" (Atomic.get t.n_ok);
+      counter "errors_total" "Error replies" (Atomic.get t.n_errors);
+      counter "bad_request_total" "Malformed requests" (Atomic.get t.n_bad);
+      counter "overloaded_total" "Requests shed by admission control"
+        (Atomic.get t.n_overloaded);
+      counter "deadline_exceeded_total" "Requests past their deadline"
+        (Atomic.get t.n_deadline);
+      counter "cache_hits_total" "LRU result-cache hits"
+        (Atomic.get t.n_cache_hits);
+      counter "cache_misses_total" "LRU result-cache misses"
+        (Atomic.get t.n_cache_misses);
+      counter "cache_evictions_total" "LRU result-cache evictions"
+        cs.Cache.evictions;
+      counter "index_hits_total" "Baked-index hits" (Atomic.get t.n_index_hits);
+      counter "index_misses_total" "Baked-index misses"
+        (Atomic.get t.n_index_misses);
+      counter "index_backfilled_total" "Records added by backfill"
+        (Atomic.get t.n_index_backfilled);
+      counter "connections_total" "Connections accepted since start"
+        s.sm_registry_total;
+      counter "gc_minor_collections_total" "Minor GC collections (process)"
+        s.sm_gc.Gc_snapshot.minor_collections;
+      counter "gc_major_collections_total" "Major GC collections (process)"
+        s.sm_gc.Gc_snapshot.major_collections;
+      counter "gc_compactions_total" "Heap compactions (process)"
+        s.sm_gc.Gc_snapshot.compactions;
+      gauge "gc_heap_words" "Major heap size in words (process)"
+        s.sm_gc.Gc_snapshot.heap_words;
+      gauge "gc_top_heap_words" "Peak major heap size in words (process)"
+        s.sm_gc.Gc_snapshot.top_heap_words;
+      gauge "queue_depth" "Admission queue depth (sampled)" s.sm_queue_depth;
+      gauge "active_connections" "Open connections (sampled)"
+        s.sm_registry_active;
+      gauge "cache_entries" "LRU result-cache entries" cs.Cache.entries;
+      gauge "cache_bytes" "LRU result-cache bytes" cs.Cache.bytes;
+      gauge "index_loaded" "1 when a baked index is mmapped"
+        (match Atomic.get t.index with Some _ -> 1 | None -> 0);
+      gauge "index_generation" "Generation of the live index"
+        s.sm_index_generation;
+      gauge "index_records" "Records in the live index" s.sm_index_records;
+      gauge "uptime_seconds" "Seconds since server start"
+        (int_of_float ((Clock.now_us () -. t.started_us) /. 1e6));
+      {
+        Prom.fname = "rv_serve_recorder_records";
+        help = "Flight-recorder occupancy by class";
+        typ = Prom.Gauge_t;
+        samples =
+          [
+            { Prom.labels = [ ("class", "healthy") ];
+              value = float_of_int healthy };
+            { Prom.labels = [ ("class", "flagged") ];
+              value = float_of_int flagged };
+          ];
+      };
+      {
+        Prom.fname = "rv_serve_latency_us";
+        help =
+          "Reply latency quantiles over sliding windows (log2-bucket upper \
+           bounds)";
+        typ = Prom.Summary_t;
+        samples = latency_samples;
+      };
+      {
+        Prom.fname = "rv_serve_latency_us_count";
+        help = "Observations inside each sliding window";
+        typ = Prom.Gauge_t;
+        samples = count_samples;
+      };
+      {
+        Prom.fname = "rv_serve_latency_us_max";
+        help = "Largest latency inside each sliding window";
+        typ = Prom.Gauge_t;
+        samples = max_samples;
+      };
+    ]
+
+(* The transport is one JSON object per line, so the exposition text
+   travels inside the reply as a ["body"] string — `rv obs`/smoke
+   scripts unwrap it before handing it to promtool-style checks. *)
+let prometheus_fields t =
+  [
+    ("status", Json.Str "ok");
+    ("type", Json.Str "metrics");
+    ("format", Json.Str "prometheus");
+    ("body", Json.Str (prometheus_body t));
+  ]
+
+let obs_fields t { Proto.o_last } =
+  let records = Recorder.records ~last:o_last t.recorder in
+  let healthy, flagged, evicted_healthy, evicted_flagged =
+    Recorder.counts t.recorder
+  in
+  [
+    ("status", Json.Str "ok");
+    ("type", Json.Str "obs");
+    ("telemetry", Json.Bool t.cfg.telemetry);
+    ("recorder_cap", Json.Int (Recorder.cap t.recorder));
+    ("healthy", Json.Int healthy);
+    ("flagged", Json.Int flagged);
+    ("evicted_healthy", Json.Int evicted_healthy);
+    ("evicted_flagged", Json.Int evicted_flagged);
+    ("records", Json.List (List.map Recorder.to_json records));
+  ]
 
 let admin_fields t = function
   | Proto.Health -> health_fields t
-  | Proto.Metrics -> metrics_fields t
+  | Proto.Metrics Proto.Fmt_json -> metrics_fields t
+  | Proto.Metrics Proto.Fmt_prometheus -> prometheus_fields t
   | Proto.Version -> version_fields () @ index_status_fields t
+  | Proto.Obs q -> obs_fields t q
+
+(* --- sampler ----------------------------------------------------------- *)
+
+let take_sample t =
+  {
+    sm_gc = Gc_snapshot.take ();
+    sm_queue_depth = Admission.depth t.queue;
+    sm_registry_active = Registry.active t.registry;
+    sm_registry_total = Registry.total t.registry;
+    sm_index_generation =
+      (match Atomic.get t.index with
+      | Some r -> Rv_index.Reader.generation r
+      | None -> 0);
+    sm_index_records =
+      (match Atomic.get t.index with
+      | Some r -> Rv_index.Reader.record_count r
+      | None -> 0);
+  }
+
+(* Publish to this server's snapshot (backing the prometheus reply) and
+   mirror into the process-global gauge registry — the soak harness's
+   drift signals.  With several servers in one process (tests) the
+   global mirror is last-writer-wins; the per-server snapshot is the
+   authoritative scrape. *)
+let publish_sample t s =
+  Atomic.set t.sampled s;
+  Gauge.set_name "serve.gc_heap_words" s.sm_gc.Gc_snapshot.heap_words;
+  Gauge.set_name "serve.gc_top_heap_words" s.sm_gc.Gc_snapshot.top_heap_words;
+  Gauge.set_name "serve.gc_major_collections"
+    s.sm_gc.Gc_snapshot.major_collections;
+  Gauge.set_name "serve.queue_depth" s.sm_queue_depth;
+  Gauge.set_name "serve.active_connections" s.sm_registry_active;
+  Gauge.set_name "serve.total_connections" s.sm_registry_total;
+  Gauge.set_name "serve.index_generation" s.sm_index_generation;
+  Gauge.set_name "serve.index_records" s.sm_index_records
+
+let sampler_loop t =
+  let interval =
+    if t.cfg.sampler_period_s > 0. then t.cfg.sampler_period_s else 1.
+  in
+  (* Same sliced-nap shape as [backfill_loop]: a drain never waits more
+     than a slice for this thread to notice the stop flag. *)
+  let slice = 0.02 in
+  let rec loop () =
+    if not (Atomic.get t.sampler_stop) then begin
+      let rec nap remaining =
+        if remaining > 0. && not (Atomic.get t.sampler_stop) then begin
+          Thread.delay (if remaining < slice then remaining else slice);
+          nap (remaining -. slice)
+        end
+      in
+      nap interval;
+      if not (Atomic.get t.sampler_stop) then publish_sample t (take_sample t);
+      loop ()
+    end
+  in
+  loop ()
 
 (* --- dispatcher -------------------------------------------------------- *)
 
+(* rv_lint: allow R5 -- the queue stage opens on the connection thread
+   (serve_line) and closes here once the dispatcher dequeues the job *)
 let process t job =
   let conn = job.j_conn in
+  let sp = job.j_sp in
+  (* One clock read serves the queue-wait histogram, the queue stage's
+     close and the index stage's open. *)
+  let dequeued_us = Clock.now_us () in
+  Rspan.stage_end ~now_us:dequeued_us sp "queue";
   Histogram.observe_t t.h_queue_wait
-    (int_of_float (Clock.now_us () -. job.j_recv_us));
-  (match index_answer ~count_miss:false t job.j_query job.j_key with
+    (int_of_float (dequeued_us -. Rspan.recv_us sp));
+  Rspan.stage_begin ~now_us:dequeued_us sp "index";
+  let from_index = index_answer ~count_miss:false t job.j_query job.j_key in
+  Rspan.stage_end sp "index";
+  (match from_index with
   | Some fields ->
       (* A backfill or reload published the answer while this job
          queued. *)
-      reply_ok t conn ~id:job.j_id ~recv_us:job.j_recv_us fields
+      Rspan.set_path sp "index";
+      reply_ok t conn ~sp ~id:job.j_id fields
   | None -> (
-      match Cache.find t.cache job.j_key with
+      Rspan.stage_begin sp "cache";
+      let from_cache = Cache.find t.cache job.j_key in
+      Rspan.stage_end sp "cache";
+      match from_cache with
       | Some fields ->
           (* A concurrent identical request computed it while this one
              queued. *)
           cache_hit t;
-          reply_ok t conn ~id:job.j_id ~recv_us:job.j_recv_us fields
+          Rspan.set_path sp "cache";
+          reply_ok t conn ~sp ~id:job.j_id fields
       | None -> (
           cache_miss t;
-          match
+          Rspan.set_path sp "sim";
+          Rspan.stage_begin sp "compute";
+          let result =
             Handler.eval_vals ?pool:t.pool ~deadline_us:job.j_deadline_us
               job.j_query
-          with
+          in
+          Rspan.stage_end sp "compute";
+          match result with
           | Ok v ->
               let fields = Handler.fields_of_vals job.j_query v in
               Cache.add t.cache job.j_key fields;
               note_backfill t job.j_key (Handler.values_of_vals v);
-              reply_ok t conn ~id:job.j_id ~recv_us:job.j_recv_us fields
+              reply_ok t conn ~sp ~id:job.j_id fields
           | Error (code, msg, extra) ->
-              reply_error t conn ~id:job.j_id ~recv_us:job.j_recv_us ~extra code
-                msg)));
+              reply_error t conn ~sp ~id:job.j_id ~extra code msg)));
   Atomic.decr conn.inflight
 
 let dispatch_loop t =
@@ -422,55 +817,86 @@ let dispatch_loop t =
 
 (* --- connections ------------------------------------------------------- *)
 
-let serve_line t conn ~recv_us line =
+let admin_kind = function
+  | Proto.Health -> "health"
+  | Proto.Metrics _ -> "metrics"
+  | Proto.Version -> "version"
+  | Proto.Obs _ -> "obs"
+
+let serve_line t conn ~sp line =
   Atomic.incr t.n_requests;
   Counter.add t.c_requests 1;
   Obs.span ~cat:"serve" "serve.request" @@ fun () ->
-  match Proto.parse line with
-  | Error msg -> reply_error t conn ~id:None ~recv_us Proto.Bad_request msg
+  Rspan.stage_begin sp "parse";
+  let parsed = Proto.parse line in
+  Rspan.stage_end sp "parse";
+  match parsed with
+  | Error msg ->
+      Rspan.set_kind sp "invalid";
+      reply_error t conn ~sp ~id:None Proto.Bad_request msg
   | Ok req -> (
+      Rspan.set_debug sp req.Proto.debug;
       match req.Proto.body with
-      | `Admin a -> reply_ok t conn ~id:req.Proto.id ~recv_us (admin_fields t a)
+      | `Admin a ->
+          Rspan.set_kind sp (admin_kind a);
+          Rspan.set_path sp "admin";
+          reply_ok t conn ~sp ~id:req.Proto.id (admin_fields t a)
       | `Query q -> (
           let key = Proto.canonical_key q in
+          Rspan.set_kind sp
+            (match q with Proto.Worst _ -> "worst" | Proto.Run _ -> "run");
           (* index -> LRU cache -> simulation.  Index lookups are pure
              reads of an immutable mapping, so answering here on the
              connection thread is safe and skips the queue entirely. *)
-          match index_answer t q key with
-          | Some fields -> reply_ok t conn ~id:req.Proto.id ~recv_us fields
+          Rspan.stage_begin sp "index";
+          let from_index = index_answer t q key in
+          Rspan.stage_end sp "index";
+          match from_index with
+          | Some fields ->
+              Rspan.set_path sp "index";
+              reply_ok t conn ~sp ~id:req.Proto.id fields
           | None -> (
-          match Cache.find t.cache key with
+          Rspan.stage_begin sp "cache";
+          let from_cache = Cache.find t.cache key in
+          Rspan.stage_end sp "cache";
+          match from_cache with
           | Some fields ->
               cache_hit t;
-              reply_ok t conn ~id:req.Proto.id ~recv_us fields
+              Rspan.set_path sp "cache";
+              reply_ok t conn ~sp ~id:req.Proto.id fields
           | None -> (
               let deadline_us =
                 match (req.Proto.deadline_ms, t.cfg.default_deadline_ms) with
                 | Some ms, _ | None, Some ms ->
-                    Some (recv_us +. (float_of_int ms *. 1000.))
+                    Some (Rspan.recv_us sp +. (float_of_int ms *. 1000.))
                 | None, None -> None
               in
+              (match deadline_us with
+              | Some d -> Rspan.set_deadline_us sp d
+              | None -> ());
               let job =
                 {
                   j_id = req.Proto.id;
                   j_key = key;
                   j_query = q;
                   j_deadline_us = deadline_us;
-                  j_recv_us = recv_us;
+                  j_sp = sp;
                   j_conn = conn;
                 }
               in
               Atomic.incr conn.inflight;
+              (* The queue stage closes in [process] once the dispatcher
+                 picks the job up — or right here when admission sheds it. *)
+              let shed reason =
+                Atomic.decr conn.inflight;
+                Rspan.stage_end sp "queue";
+                reply_error t conn ~sp ~id:req.Proto.id Proto.Overloaded reason
+              in
+              Rspan.stage_begin sp "queue";
               match Admission.submit t.queue job with
               | `Accepted -> ()
-              | `Overloaded ->
-                  Atomic.decr conn.inflight;
-                  reply_error t conn ~id:req.Proto.id ~recv_us Proto.Overloaded
-                    "admission queue full"
-              | `Draining ->
-                  Atomic.decr conn.inflight;
-                  reply_error t conn ~id:req.Proto.id ~recv_us Proto.Overloaded
-                    "server draining"))))
+              | `Overloaded -> shed "admission queue full"
+              | `Draining -> shed "server draining"))))
 
 (* Bounded line reader: a hostile peer must not make us buffer an
    arbitrarily long line.  Overlong lines are consumed to their newline
@@ -530,15 +956,17 @@ let handle_conn t fd =
         | `Too_long ->
             Atomic.incr t.n_requests;
             Counter.add t.c_requests 1;
-            reply_error t conn ~id:None ~recv_us:(Clock.now_us ())
-              Proto.Bad_request
+            let sp = new_rspan t in
+            Rspan.set_kind sp "invalid";
+            reply_error t conn ~sp ~id:None Proto.Bad_request
               (Printf.sprintf "request line exceeds %d bytes" Proto.max_line_len);
             loop ()
         | `Line line ->
-            (try serve_line t conn ~recv_us:(Clock.now_us ()) line
+            let sp = new_rspan t in
+            (try serve_line t conn ~sp line
              with exn ->
-               reply_error t conn ~id:None ~recv_us:(Clock.now_us ())
-                 Proto.Internal (Printexc.to_string exn));
+               reply_error t conn ~sp ~id:None Proto.Internal
+                 (Printexc.to_string exn));
             loop ()
       in
       loop ())
@@ -639,6 +1067,32 @@ let start cfg =
       n_index_hits = Atomic.make 0;
       n_index_misses = Atomic.make 0;
       n_index_backfilled = Atomic.make 0;
+      req_seq = Atomic.make 0;
+      w_kind_path =
+        (* shed/error windows are rarely interesting alone but keep the
+           derived "all" aggregate covering every query reply. *)
+        Array.of_list
+          (List.concat_map
+             (fun kind ->
+               List.map
+                 (fun path ->
+                   let key = kind ^ ":" ^ path in
+                   (key, Window.create ("serve.latency." ^ key)))
+                 [ "index"; "cache"; "sim"; "shed"; "error" ])
+             [ "worst"; "run" ]);
+      recorder = Recorder.create ~cap:cfg.recorder_cap ();
+      sampled =
+        Atomic.make
+          {
+            sm_gc = Gc_snapshot.take ();
+            sm_queue_depth = 0;
+            sm_registry_active = 0;
+            sm_registry_total = 0;
+            sm_index_generation = 0;
+            sm_index_records = 0;
+          };
+      sampler_stop = Atomic.make false;
+      sampler_thread = None;
       index = Atomic.make None;
       backfill_lock = Mutex.create ();
       backfill_pending = Hashtbl.create 64;
@@ -658,6 +1112,11 @@ let start cfg =
             "rv serve: index not loaded (%s); serving without it\n%!" msg));
   if cfg.index_backfill && Option.is_some cfg.index_path then
     t.backfill_thread <- Some (Thread.create backfill_loop t);
+  if cfg.telemetry then begin
+    (* One synchronous sample so the first scrape never sees zeros. *)
+    publish_sample t (take_sample t);
+    t.sampler_thread <- Some (Thread.create sampler_loop t)
+  end;
   t.acceptor <- Some (Thread.create accept_loop t);
   t.dispatcher <- Some (Thread.create dispatch_loop t);
   t
@@ -682,6 +1141,8 @@ let join t =
     Atomic.set t.backfill_stop true;
     (match t.backfill_thread with Some th -> Thread.join th | None -> ());
     if t.cfg.index_backfill then publish_backfill t;
+    Atomic.set t.sampler_stop true;
+    (match t.sampler_thread with Some th -> Thread.join th | None -> ());
     Registry.shutdown_all t.registry;
     let conns =
       Mutex.lock t.conns_lock;

@@ -7,10 +7,17 @@
 #   3. repeat with the cache disabled: byte-identical again;
 #   4. boot with --queue 0 and a heavy mix: every compute query must be
 #      shed with an "overloaded" reply while health stays answerable;
-#   5. SIGINT each server and require the "drained" line (graceful drain).
+#   5. scrape the Prometheus exposition twice around extra traffic: the
+#      body must parse, carry no duplicate series, declare a TYPE for
+#      every sample, and every counter must be monotone;
+#   6. with --slow-us 0 every query is a retained anomaly: `rv obs tail`
+#      must list them and `rv obs dump --chrome` must write a parseable
+#      Chrome trace (kept as flight_dump.json for the CI artifact);
+#   7. SIGINT each server and require the "drained" line (graceful drain).
 #
 # Usage: scripts/serve_smoke.sh [path-to-rv.exe]
-# Runs from the repository root; leaves transcripts in $TMPDIR.
+# Runs from the repository root; leaves transcripts in $TMPDIR and the
+# flight-recorder dump in ./flight_dump.json.
 
 set -euo pipefail
 
@@ -89,6 +96,82 @@ import json, sys
 s = json.load(open(sys.argv[1]))
 assert s["overloaded"] == s["requests"], f"expected every request shed: {s}"
 print(f"ok: all {s['overloaded']} heavy requests answered 'overloaded'")
+EOF
+
+echo "== serve smoke: prometheus scrape is well-formed and monotone =="
+read -r PID PORT < <(boot "$TMP/prom.log" --jobs 1)
+"$RV" loadgen --port "$PORT" --conns 2 --requests 30 --seed $SEED \
+  --mix cached --json >"$TMP/prom.summary"
+python3 - "$PORT" <<'EOF'
+import json, socket, sys
+
+port = int(sys.argv[1])
+
+def rpc(line):
+    with socket.create_connection(("127.0.0.1", port)) as s:
+        f = s.makefile("rw")
+        f.write(line + "\n")
+        f.flush()
+        return json.loads(f.readline())
+
+def scrape():
+    r = rpc('{"type":"metrics","format":"prometheus"}')
+    assert r["status"] == "ok", r
+    families, series = {}, {}
+    for ln in r["body"].splitlines():
+        if ln.startswith("# TYPE "):
+            _, _, name, typ = ln.split(" ")
+            assert name not in families, f"duplicate family {name}"
+            families[name] = typ
+        elif ln and not ln.startswith("#"):
+            key, val = ln.rsplit(" ", 1)
+            assert key not in series, f"duplicate series {key}"
+            series[key] = float(val)  # also rejects unparseable values
+    for key in series:
+        fam = key.split("{", 1)[0]
+        assert fam in families, f"series {key} has no TYPE declaration"
+    for fam in ("rv_serve_requests_total", "rv_serve_latency_us",
+                "rv_serve_recorder_records", "rv_serve_queue_depth"):
+        assert fam in families, f"missing family {fam}"
+    return families, series
+
+fam1, s1 = scrape()
+# more traffic between the scrapes, then: counters never move backwards
+rpc('{"type":"run","graph":"ring:8","algorithm":"cheap","label_a":1,"label_b":2}')
+fam2, s2 = scrape()
+assert fam1 == fam2, "family set changed between scrapes"
+for key, v1 in s1.items():
+    if fam1[key.split("{", 1)[0]] == "counter":
+        assert s2.get(key, -1.0) >= v1, f"counter {key} went backwards"
+assert s2["rv_serve_requests_total"] > s1["rv_serve_requests_total"]
+print(f"ok: {len(s1)} series, {len(fam1)} families, counters monotone")
+EOF
+drain "$PID" "$TMP/prom.log"
+
+echo "== serve smoke: flight recorder tail + chrome dump =="
+# --slow-us 0 turns every query into a retained "slow" anomaly, so the
+# recorder is guaranteed non-empty after any traffic at all.
+read -r PID PORT < <(boot "$TMP/obs.log" --jobs 1 --slow-us 0)
+"$RV" loadgen --port "$PORT" --conns 2 --requests 20 --seed $SEED \
+  --mix cached --json >"$TMP/obs.summary"
+"$RV" obs tail --port "$PORT" --last 8 | tee "$TMP/obs.tail"
+grep -q "slow" "$TMP/obs.tail" || {
+  echo "rv obs tail shows no slow-flagged records" >&2; exit 1; }
+"$RV" obs dump --port "$PORT" --chrome flight_dump.json
+drain "$PID" "$TMP/obs.log"
+python3 - flight_dump.json <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert events, "empty traceEvents"
+spans = [e for e in events if e["ph"] == "X"]
+lanes = [e for e in events if e["ph"] == "M" and e["name"] == "thread_name"]
+assert spans, "no request spans"
+assert all("dur" in e for e in spans), "span without dur"
+assert lanes, "no per-request lane names"
+cats = {e.get("cat") for e in spans}
+assert "request" in cats and "stage" in cats, f"missing cats: {sorted(cats)}"
+print(f"ok: flight_dump.json has {len(spans)} spans in {len(lanes)} lanes")
 EOF
 
 echo "serve smoke: all checks passed"

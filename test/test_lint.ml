@@ -177,6 +177,47 @@ let r5_suppressed () =
   check_rules "reasoned allow silences R5" [] (rules_of (fs, suppressed));
   check_int "one finding suppressed" 1 suppressed
 
+(* The request-span API (Rspan.stage_begin/stage_end) is held to the
+   same lexical-balance discipline as Obs spans, as its own pair: a
+   stage_begin never balances an end_span and vice versa. *)
+
+let r5_stage_positive () =
+  let fs =
+    check "let f sp = Rspan.stage_begin sp \"parse\"; parse ()\n"
+  in
+  check_rules "stage opened without close flagged" [ "R5" ] (rules_of fs)
+
+let r5_stage_balanced_ok () =
+  let fs =
+    check
+      "let f sp =\n\
+      \  Rspan.stage_begin sp \"parse\";\n\
+      \  let r = parse () in\n\
+      \  Rspan.stage_end sp \"parse\";\n\
+      \  r\n"
+  in
+  check_rules "balanced stage passes" [] (rules_of fs)
+
+let r5_stage_not_span () =
+  (* One stage_begin plus one end_span: both pairs are unbalanced and
+     each reports — the counters must not cancel across APIs. *)
+  let fs =
+    check
+      "let f sp = Rspan.stage_begin sp \"parse\"; Obs.end_span ()\n"
+  in
+  check_rules "stage and span pairs counted separately" [ "R5"; "R5" ]
+    (rules_of fs)
+
+let r5_stage_suppressed () =
+  let fs, suppressed =
+    check
+      "(* rv_lint: allow R5 -- queue stage closes on the dispatcher *)\n\
+       let enqueue sp = Rspan.stage_begin sp \"queue\"; submit sp\n"
+  in
+  check_rules "reasoned allow silences a crossing stage" []
+    (rules_of (fs, suppressed));
+  check_int "one stage finding suppressed" 1 suppressed
+
 (* ----------------------------------------------------------- suppression *)
 
 let bare_allow_rejected () =
@@ -281,7 +322,11 @@ let () =
           tc "serve span closure ok" r5_serve_span_closure_ok;
           tc "serve unpaired flagged" r5_serve_unpaired_flagged;
           tc "serve paired ok" r5_serve_paired_ok;
-          tc "suppressed" r5_suppressed ] );
+          tc "suppressed" r5_suppressed;
+          tc "stage positive" r5_stage_positive;
+          tc "stage balanced ok" r5_stage_balanced_ok;
+          tc "stage not span" r5_stage_not_span;
+          tc "stage suppressed" r5_stage_suppressed ] );
       ( "suppression",
         [ tc "bare allow rejected" bare_allow_rejected;
           tc "unknown rule rejected" unknown_rule_rejected;

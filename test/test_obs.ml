@@ -260,6 +260,140 @@ let test_sim_deep_mode =
       Alcotest.(check bool) "meeting counted" true
         (Counter.value (Counter.find "sim.meetings") = 1))
 
+(* ---------------------------------------------------------------- window *)
+
+module Window = Rv_obs.Window
+
+(* Seeded LCG so the "random" streams are reproducible without Random. *)
+let stream ~seed n =
+  let s = ref (max 1 seed) in
+  List.init n (fun _ ->
+      s := !s * 48271 mod 0x7fffffff;
+      1 + (!s mod 200_000))
+
+(* The exact value the window must report for percentile [p] over
+   [values]: the log2-bucket upper bound of the rank-th smallest value,
+   clamped to the observed max — 0 when the rank lands in bucket 0.
+   This mirrors the documented contract, computed offline from the raw
+   values instead of the ring. *)
+let exact_window_percentile values p =
+  let sorted = List.sort Int.compare values in
+  let n = List.length sorted in
+  if n = 0 then 0
+  else begin
+    let rank = max 1 (int_of_float (ceil (p *. float_of_int n))) in
+    let v = List.nth sorted (rank - 1) in
+    let b = Histogram.bucket_of v in
+    if b = 0 then 0
+    else
+      min
+        (snd (Histogram.bucket_bounds b))
+        (List.fold_left max 0 sorted)
+  end
+
+let check_window_stats label (st : Window.stats) values =
+  let n = List.length values in
+  Alcotest.(check int) (label ^ " count") n st.Window.w_count;
+  Alcotest.(check int)
+    (label ^ " sum")
+    (List.fold_left ( + ) 0 values)
+    st.Window.w_sum;
+  Alcotest.(check int)
+    (label ^ " max")
+    (List.fold_left max 0 values)
+    st.Window.w_max;
+  List.iter
+    (fun (tag, p, got) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s %s" label tag)
+        (exact_window_percentile values p)
+        got)
+    [
+      ("p50", 0.5, st.Window.w_p50);
+      ("p90", 0.9, st.Window.w_p90);
+      ("p99", 0.99, st.Window.w_p99);
+    ]
+
+let test_window_vs_offline () =
+  (* Several seeded streams, spread over a few seconds inside the
+     horizon: the merged window stats must equal the offline reference
+     on every stream. *)
+  List.iter
+    (fun seed ->
+      let w = Window.create "t" in
+      let values = stream ~seed 500 in
+      List.iteri
+        (fun i v -> Window.observe w ~now_s:(1000 + (i mod 5)) v)
+        values;
+      check_window_stats
+        (Printf.sprintf "seed %d" seed)
+        (Window.stats w ~now_s:1004 ~horizon_s:10)
+        values)
+    [ 1; 7; 42; 12345 ]
+
+let test_window_horizons () =
+  let w = Window.create "t" in
+  let old_batch = stream ~seed:3 100 and new_batch = stream ~seed:9 50 in
+  List.iter (fun v -> Window.observe w ~now_s:100 v) old_batch;
+  List.iter (fun v -> Window.observe w ~now_s:105 v) new_batch;
+  (* A wide horizon sees both batches, a narrow one only the newer. *)
+  check_window_stats "both batches"
+    (Window.stats w ~now_s:105 ~horizon_s:10)
+    (old_batch @ new_batch);
+  check_window_stats "narrow horizon"
+    (Window.stats w ~now_s:105 ~horizon_s:3)
+    new_batch;
+  (* The window covers the half-open interval (now - horizon, now]: at
+     now = 114 the batch from second 100 has aged out but second 105 is
+     still the oldest covered second; one second later it is gone too. *)
+  check_window_stats "old batch aged out"
+    (Window.stats w ~now_s:114 ~horizon_s:10)
+    new_batch;
+  check_window_stats "everything aged out"
+    (Window.stats w ~now_s:115 ~horizon_s:10)
+    [];
+  (* A slot whose second is *ahead* of now_s (clock skew) is excluded. *)
+  check_window_stats "future slot excluded"
+    (Window.stats w ~now_s:100 ~horizon_s:10)
+    old_batch
+
+let test_window_empty () =
+  let w = Window.create "t" in
+  Alcotest.(check bool) "empty stats" true
+    (Window.stats w ~now_s:50 ~horizon_s:60 = Window.empty_stats);
+  Window.observe w ~now_s:50 7;
+  Alcotest.(check bool) "drained after horizon" true
+    (Window.stats w ~now_s:5000 ~horizon_s:60 = Window.empty_stats)
+
+let test_window_wrap () =
+  (* Reusing a slot a full ring-rotation later must clear the old
+     second's samples rather than merge them. *)
+  let w = Window.create ~slots:330 "t" in
+  List.iter (fun v -> Window.observe w ~now_s:10 v) (stream ~seed:5 40);
+  let fresh = stream ~seed:11 30 in
+  List.iter (fun v -> Window.observe w ~now_s:(10 + 330) v) fresh;
+  check_window_stats "after wrap"
+    (Window.stats w ~now_s:(10 + 330) ~horizon_s:300)
+    fresh
+
+let test_window_stats_many () =
+  (* Splitting a stream across windows and merging with stats_many must
+     equal observing everything in one window. *)
+  let parts = [ Window.create "a"; Window.create "b"; Window.create "c" ] in
+  let whole = Window.create "whole" in
+  let values = stream ~seed:77 300 in
+  List.iteri
+    (fun i v ->
+      Window.observe (List.nth parts (i mod 3)) ~now_s:200 v;
+      Window.observe whole ~now_s:200 v)
+    values;
+  let merged = Window.stats_many parts ~now_s:200 ~horizon_s:60 in
+  check_window_stats "merged" merged values;
+  Alcotest.(check bool) "merged = single" true
+    (merged = Window.stats whole ~now_s:200 ~horizon_s:60);
+  Alcotest.(check bool) "stats_many [] is empty" true
+    (Window.stats_many [] ~now_s:200 ~horizon_s:60 = Window.empty_stats)
+
 let () =
   Alcotest.run "rv_obs"
     [
@@ -280,4 +414,12 @@ let () =
         ] );
       ("disabled", [ tc "everything is a no-op" test_disabled_noop ]);
       ("sim", [ tc "deep mode: lanes, phases, round clock" test_sim_deep_mode ]);
+      ( "window",
+        [
+          tc "percentiles match offline reference" test_window_vs_offline;
+          tc "horizons and rotation edges" test_window_horizons;
+          tc "empty window" test_window_empty;
+          tc "ring wrap clears stale slots" test_window_wrap;
+          tc "stats_many merges like one window" test_window_stats_many;
+        ] );
     ]

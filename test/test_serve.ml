@@ -9,6 +9,7 @@ module Cache = Rv_serve.Cache
 module Admission = Rv_serve.Admission
 module Loadgen = Rv_serve.Loadgen
 module Handler = Rv_serve.Handler
+module Recorder = Rv_serve.Recorder
 module R = Rv_core.Rendezvous
 module Spec = Rv_experiments.Spec
 
@@ -18,7 +19,9 @@ let tc name f = Alcotest.test_case name `Quick f
 
 let with_server ?(jobs = 1) ?(cache_bytes = 1024 * 1024) ?(queue_cap = 64)
     ?default_deadline_ms ?index_path ?(index_backfill = false)
-    ?(backfill_flush_s = 5.0) f =
+    ?(backfill_flush_s = 5.0) ?(telemetry = true)
+    ?(recorder_cap = Server.default_config.Server.recorder_cap)
+    ?(slow_us = Server.default_config.Server.slow_us) f =
   let server =
     Server.start
       {
@@ -30,6 +33,9 @@ let with_server ?(jobs = 1) ?(cache_bytes = 1024 * 1024) ?(queue_cap = 64)
         index_path;
         index_backfill;
         backfill_flush_s;
+        telemetry;
+        recorder_cap;
+        slow_us;
       }
   in
   Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server)
@@ -778,6 +784,456 @@ let index_loadgen_all_hits () =
   Alcotest.(check int) "24 index hits" 24 (get_int "index_hits" m);
   Alcotest.(check int) "0 index misses" 0 (get_int "index_misses" m)
 
+(* --- unit: flight recorder ---------------------------------------------- *)
+
+let mk_record ?(kind = "worst") ?(path = "sim") ?(status = "ok") id flag =
+  {
+    Recorder.rr_id = id;
+    rr_kind = kind;
+    rr_path = path;
+    rr_status = status;
+    rr_flag = flag;
+    rr_recv_us = float_of_int (1_000 * id);
+    rr_total_us = 40 + id;
+    rr_stages = [ ("parse", 1.0, 2.0); ("compute", 3.0, float_of_int (30 + id)) ];
+  }
+
+let recorder_retention () =
+  let t = Recorder.create ~cap:4 () in
+  (* Fill: healthy 1,2,4 and flagged 3. *)
+  Recorder.add t (mk_record 1 Recorder.Healthy);
+  Recorder.add t (mk_record 2 Recorder.Healthy);
+  Recorder.add t (mk_record 3 Recorder.Slow);
+  Recorder.add t (mk_record 4 Recorder.Healthy);
+  let ids rs = List.map (fun r -> r.Recorder.rr_id) rs in
+  Alcotest.(check (list int)) "full ring, id order" [ 1; 2; 3; 4 ]
+    (ids (Recorder.records t));
+  (* Overflow evicts the oldest *healthy* record, never an anomaly. *)
+  Recorder.add t (mk_record 5 Recorder.Healthy);
+  Alcotest.(check (list int)) "healthy 1 evicted first" [ 2; 3; 4; 5 ]
+    (ids (Recorder.records t));
+  Recorder.add t (mk_record 6 Recorder.Shed);
+  Recorder.add t (mk_record 7 Recorder.Errored);
+  Recorder.add t (mk_record 8 Recorder.Index_fallback);
+  Alcotest.(check (list int)) "anomalies displace every healthy record"
+    [ 3; 6; 7; 8 ]
+    (ids (Recorder.records t));
+  (* Only an all-anomaly ring evicts an anomaly (the oldest). *)
+  Recorder.add t (mk_record 9 Recorder.Slow);
+  Alcotest.(check (list int)) "oldest anomaly goes last" [ 6; 7; 8; 9 ]
+    (ids (Recorder.records t));
+  let healthy, flagged, evicted_healthy, evicted_flagged = Recorder.counts t in
+  Alcotest.(check int) "no healthy left" 0 healthy;
+  Alcotest.(check int) "ring full of anomalies" 4 flagged;
+  Alcotest.(check int) "healthy evictions" 4 evicted_healthy;
+  Alcotest.(check int) "flagged evictions" 1 evicted_flagged;
+  Alcotest.(check (list int)) "?last keeps the newest" [ 8; 9 ]
+    (ids (Recorder.records ~last:2 t));
+  Alcotest.(check int) "cap floored to 1" 1 (Recorder.cap (Recorder.create ~cap:0 ()))
+
+let recorder_json_roundtrip () =
+  let r = mk_record ~kind: "run" ~path:"cache" ~status:"ok" 17 Recorder.Slow in
+  (* Through the wire codec and back: the dump client rebuilds exactly
+     what the probe serialised. *)
+  match Recorder.of_json (Recorder.to_json r) with
+  | None -> Alcotest.fail "of_json rejected to_json output"
+  | Some r' ->
+      Alcotest.(check int) "id" r.Recorder.rr_id r'.Recorder.rr_id;
+      Alcotest.(check string) "kind" r.Recorder.rr_kind r'.Recorder.rr_kind;
+      Alcotest.(check string) "path" r.Recorder.rr_path r'.Recorder.rr_path;
+      Alcotest.(check string) "flag"
+        (Recorder.flag_to_string r.Recorder.rr_flag)
+        (Recorder.flag_to_string r'.Recorder.rr_flag);
+      Alcotest.(check int) "total" r.Recorder.rr_total_us r'.Recorder.rr_total_us;
+      Alcotest.(check int) "stage count"
+        (List.length r.Recorder.rr_stages)
+        (List.length r'.Recorder.rr_stages)
+
+(* --- telemetry over the wire -------------------------------------------- *)
+
+let known_stages = [ "parse"; "queue"; "index"; "cache"; "compute" ]
+
+let obs_records reply =
+  match get "records" reply with
+  | Json.List l -> List.filter_map Recorder.of_json l
+  | other ->
+      Alcotest.failf "records is not a list: %s" (Json.to_string other)
+
+let telemetry_queries =
+  [
+    {|{"type":"worst","graph":"ring:6","algorithm":"cheap","space":8,"pairs":4}|};
+    {|{"type":"run","graph":"ring:8","algorithm":"fast","space":8,"label_a":1,"label_b":3}|};
+    {|{"type":"run","graph":"ring:10","algorithm":"cheap","label_a":2,"label_b":5}|};
+  ]
+
+let obs_probe_flags_slow () =
+  (* slow_us = 0: every query (any total > 0µs) is flagged slow, so the
+     recorder retains all of them regardless of load. *)
+  with_server ~slow_us:0 @@ fun server ->
+  with_client server @@ fun c ->
+  List.iter (fun q -> check_ok (rpc c q)) telemetry_queries;
+  check_ok (rpc c (List.hd telemetry_queries));
+  (* a repeat: cache path *)
+  let reply = rpc c {|{"type":"obs"}|} in
+  check_ok reply;
+  Alcotest.(check string) "reply type" "obs" (get_str "type" reply);
+  Alcotest.(check bool) "telemetry on" true
+    (match get "telemetry" reply with Json.Bool b -> b | _ -> false);
+  let rs = obs_records reply in
+  Alcotest.(check int) "all four queries recorded" 4 (List.length rs);
+  let ids = List.map (fun r -> r.Recorder.rr_id) rs in
+  Alcotest.(check (list int)) "sorted by request id" (List.sort Int.compare ids) ids;
+  List.iter
+    (fun r ->
+      Alcotest.(check string)
+        (Printf.sprintf "req %d flagged slow" r.Recorder.rr_id)
+        "slow"
+        (Recorder.flag_to_string r.Recorder.rr_flag);
+      Alcotest.(check string) "status ok" "ok" r.Recorder.rr_status;
+      Alcotest.(check bool) "has stages" true (r.Recorder.rr_stages <> []);
+      List.iter
+        (fun (name, start, dur) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "stage %S is a known stage" name)
+            true
+            (List.mem name known_stages);
+          Alcotest.(check bool) "stage start after receive" true (start >= 0.);
+          Alcotest.(check bool) "stage duration non-negative" true (dur >= 0.))
+        r.Recorder.rr_stages)
+    rs;
+  let paths = List.map (fun r -> r.Recorder.rr_path) rs in
+  Alcotest.(check (list string)) "three computed, the repeat cached"
+    [ "sim"; "sim"; "sim"; "cache" ] paths;
+  (* The obs/metrics/health probes themselves never enter the ring:
+     watching the recorder must not fill it. *)
+  check_ok (rpc c {|{"type":"health"}|});
+  check_ok (rpc c {|{"type":"metrics"}|});
+  let again = rpc c {|{"type":"obs"}|} in
+  check_ok again;
+  Alcotest.(check int) "admin probes not recorded" 4
+    (List.length (obs_records again));
+  (* ?last is honored and keeps the newest records. *)
+  let last2 = rpc c {|{"type":"obs","last":2}|} in
+  let newest = obs_records last2 in
+  Alcotest.(check int) "last=2 returns 2" 2 (List.length newest);
+  Alcotest.(check (list int)) "the two newest ids"
+    (match List.rev ids with b :: a :: _ -> [ a; b ] | _ -> [])
+    (List.map (fun r -> r.Recorder.rr_id) newest)
+
+let obs_shed_is_retained () =
+  (* queue_cap = 0 sheds every query; shed records are anomalies. *)
+  with_server ~queue_cap:0 @@ fun server ->
+  with_client server @@ fun c ->
+  check_error "overloaded"
+    (rpc c {|{"type":"run","graph":"ring:8","algorithm":"cheap","label_a":1,"label_b":2}|});
+  let reply = rpc c {|{"type":"obs"}|} in
+  check_ok reply;
+  (match obs_records reply with
+  | [ r ] ->
+      Alcotest.(check string) "flag" "shed"
+        (Recorder.flag_to_string r.Recorder.rr_flag);
+      Alcotest.(check string) "path" "shed" r.Recorder.rr_path;
+      Alcotest.(check string) "status" "overloaded" r.Recorder.rr_status
+  | rs -> Alcotest.failf "expected 1 shed record, got %d" (List.length rs));
+  Alcotest.(check int) "counted flagged" 1 (get_int "flagged" reply);
+  Alcotest.(check int) "no healthy" 0 (get_int "healthy" reply)
+
+let telemetry_off_no_records_same_bytes () =
+  let drive ~telemetry =
+    with_server ~telemetry @@ fun server ->
+    with_client server @@ fun c ->
+    let replies = List.map (rpc c) telemetry_queries in
+    let obs = rpc c {|{"type":"obs"}|} in
+    (replies, obs)
+  in
+  let on_replies, _ = drive ~telemetry:true in
+  let off_replies, off_obs = drive ~telemetry:false in
+  (* Telemetry switches measurement only — never reply bytes. *)
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check string) (Printf.sprintf "reply %d identical" i) a b)
+    (List.combine on_replies off_replies);
+  check_ok off_obs;
+  Alcotest.(check bool) "probe says telemetry off" false
+    (match get "telemetry" off_obs with Json.Bool b -> b | _ -> true);
+  Alcotest.(check int) "no records collected" 0
+    (List.length (obs_records off_obs))
+
+let debug_reply_breakdown () =
+  with_server @@ fun server ->
+  with_client server @@ fun c ->
+  let q fields =
+    Printf.sprintf
+      {|{"type":"worst",%s"graph":"ring:6","algorithm":"cheap","space":8,"pairs":4}|}
+      fields
+  in
+  let plain = rpc c (q "") in
+  check_ok plain;
+  let debugged = rpc c (q {|"debug":true,|}) in
+  check_ok debugged;
+  let d = get "debug" debugged in
+  let dmem path =
+    match Json.member path d with
+    | Some v -> v
+    | None -> Alcotest.failf "debug lacks %S: %s" path debugged
+  in
+  Alcotest.(check string) "debug answer path is the cache"
+    (Json.to_string (Json.Str "cache"))
+    (Json.to_string (dmem "path"));
+  Alcotest.(check string) "debug kind" "\"worst\"" (Json.to_string (dmem "kind"));
+  (match dmem "stages" with
+  | Json.List (_ :: _ as stages) ->
+      List.iter
+        (fun s ->
+          match Json.member "stage" s with
+          | Some (Json.Str name) ->
+              Alcotest.(check bool) "known stage" true (List.mem name known_stages)
+          | _ -> Alcotest.failf "stage without a name: %s" (Json.to_string s))
+        stages
+  | other -> Alcotest.failf "debug stages: %s" (Json.to_string other));
+  (* The debug object is appended at render time: it never enters the
+     cache, so the next plain request is byte-identical to the first. *)
+  Alcotest.(check string) "debug never pollutes the cached bytes" plain
+    (rpc c (q ""))
+
+let chrome_dump_from_obs_scrape () =
+  with_server ~slow_us:0 @@ fun server ->
+  let rs =
+    with_client server @@ fun c ->
+    List.iter (fun q -> check_ok (rpc c q)) telemetry_queries;
+    obs_records (rpc c {|{"type":"obs"}|})
+  in
+  Alcotest.(check int) "scraped all records" 3 (List.length rs);
+  (* What `rv obs dump --chrome` writes must be a parseable Chrome trace
+     with one named lane and one whole-request span per record. *)
+  let doc = Json.to_string (Recorder.chrome_json rs) in
+  match Json.parse doc with
+  | Error e -> Alcotest.failf "chrome trace is not valid JSON: %s" e
+  | Ok j -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.List events) ->
+          let phase e =
+            match Json.member "ph" e with Some (Json.Str p) -> p | _ -> "?"
+          in
+          let spans = List.filter (fun e -> String.equal (phase e) "X") events in
+          let lanes =
+            List.filter
+              (fun e ->
+                String.equal (phase e) "M"
+                && (match Json.member "name" e with
+                   | Some (Json.Str "thread_name") -> true
+                   | _ -> false))
+              events
+          in
+          Alcotest.(check bool) "a span per record and stage" true
+            (List.length spans
+            >= List.length rs
+               + List.fold_left
+                   (fun n r -> n + List.length r.Recorder.rr_stages)
+                   0 rs);
+          Alcotest.(check int) "one named lane per request" (List.length rs)
+            (List.length lanes)
+      | _ -> Alcotest.failf "no traceEvents array in %s" doc)
+
+(* --- prometheus exposition ---------------------------------------------- *)
+
+(* Split the exposition body into (comment, sample) lines and index the
+   samples as series key (name + sorted labels) -> float value. *)
+let prom_series body =
+  let lines = String.split_on_char '\n' body in
+  List.filter_map
+    (fun line ->
+      if String.length line = 0 || line.[0] = '#' then None
+      else
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "unparseable sample line %S" line
+        | Some i ->
+            let key = String.sub line 0 i in
+            let v = String.sub line (i + 1) (String.length line - i - 1) in
+            let value =
+              try float_of_string v
+              with Failure _ -> Alcotest.failf "bad sample value %S in %S" v line
+            in
+            Some (key, value))
+    lines
+
+let prom_families body =
+  List.filter_map
+    (fun line ->
+      if String.starts_with ~prefix:"# TYPE " line then
+        match String.split_on_char ' ' line with
+        | [ _; _; name; typ ] -> Some (name, typ)
+        | _ -> Alcotest.failf "malformed TYPE line %S" line
+      else None)
+    (String.split_on_char '\n' body)
+
+let series_family key =
+  match String.index_opt key '{' with
+  | Some i -> String.sub key 0 i
+  | None -> key
+
+let prometheus_scrape_valid () =
+  with_server @@ fun server ->
+  with_client server @@ fun c ->
+  List.iter (fun q -> check_ok (rpc c q)) telemetry_queries;
+  let scrape () =
+    let reply = rpc c {|{"type":"metrics","format":"prometheus"}|} in
+    check_ok reply;
+    Alcotest.(check string) "format echoed" "prometheus" (get_str "format" reply);
+    get_str "body" reply
+  in
+  let body = scrape () in
+  let families = prom_families body in
+  let fnames = List.map fst families in
+  Alcotest.(check (list string)) "no duplicate family"
+    (List.sort_uniq String.compare fnames)
+    (List.sort String.compare fnames);
+  List.iter
+    (fun (f, t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "family %s present as %s" f t)
+        true
+        (List.exists
+           (fun (f', t') -> String.equal f f' && String.equal t t')
+           families))
+    [
+      ("rv_serve_requests_total", "counter");
+      ("rv_serve_cache_hits_total", "counter");
+      ("rv_serve_queue_depth", "gauge");
+      ("rv_serve_recorder_records", "gauge");
+      ("rv_serve_latency_us", "summary");
+      ("rv_serve_latency_us_count", "gauge");
+    ];
+  let series = prom_series body in
+  let keys = List.map fst series in
+  Alcotest.(check (list string)) "no duplicate series"
+    (List.sort_uniq String.compare keys)
+    (List.sort String.compare keys);
+  (* Every sample belongs to a declared family, every family has samples,
+     and the whole exposition is stably sorted (byte order = replay order). *)
+  List.iter
+    (fun key ->
+      Alcotest.(check bool)
+        (Printf.sprintf "series %s has a TYPE declaration" key)
+        true
+        (List.mem_assoc (series_family key) families))
+    keys;
+  List.iter
+    (fun (f, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "family %s has samples" f)
+        true
+        (List.exists (fun k -> String.equal (series_family k) f) keys))
+    families;
+  Alcotest.(check (list string)) "families sorted by name" (List.sort String.compare fnames) fnames;
+  (* Counters are monotone across scrapes; the extra query in between
+     must show up in requests_total. *)
+  check_ok (rpc c (List.hd telemetry_queries));
+  let body2 = scrape () in
+  let series2 = prom_series body2 in
+  let counter_families =
+    List.filter_map
+      (fun (f, t) -> if String.equal t "counter" then Some f else None)
+      families
+  in
+  List.iter
+    (fun (key, v1) ->
+      if List.mem (series_family key) counter_families then
+        match List.assoc_opt key series2 with
+        | None -> Alcotest.failf "counter series %s vanished" key
+        | Some v2 ->
+            Alcotest.(check bool)
+              (Printf.sprintf "counter %s monotone (%g -> %g)" key v1 v2)
+              true (v2 >= v1))
+    series;
+  let requests key series =
+    match List.assoc_opt key series with
+    | Some v -> v
+    | None -> Alcotest.failf "no %s sample" key
+  in
+  Alcotest.(check bool) "extra query counted" true
+    (requests "rv_serve_requests_total" series2
+    > requests "rv_serve_requests_total" series)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A fixed family list exercising every rendering rule: family and label
+   ordering, escaping in HELP and label values, and the integer /
+   fractional / non-finite value formats.  Regenerate the golden with
+   RV_UPDATE_GOLDEN=1 (run from the test source directory). *)
+let prometheus_render_golden () =
+  let module P = Rv_obs.Export_prometheus in
+  let families =
+    [
+      P.single "zeta_total" "Families are sorted, this renders last"
+        P.Counter_t 3.0;
+      {
+        P.fname = "alpha_latency_us";
+        help = "Help text with a\nnewline and a back\\slash";
+        typ = P.Summary_t;
+        samples =
+          [
+            { P.labels = [ ("quantile", "0.9"); ("kind", "worst") ]; value = 12.5 };
+            { P.labels = [ ("quantile", "0.5"); ("kind", "worst") ]; value = 8.0 };
+            {
+              P.labels = [ ("kind", "odd \"quoted\"\nvalue\\x"); ("quantile", "0.99") ];
+              value = Float.infinity;
+            };
+          ];
+      };
+      P.single ~labels:[ ("b", "2"); ("a", "1") ] "middle_gauge"
+        "Label keys render sorted" P.Gauge_t (-0.25);
+      P.single "large_integral" "Big integral floats stay integral"
+        P.Gauge_t 1e14;
+      P.single "not_a_number" "NaN renders as NaN" P.Gauge_t Float.nan;
+    ]
+  in
+  let rendered = P.render families in
+  let path = "golden/prometheus_render.golden" in
+  if
+    (match Sys.getenv_opt "RV_UPDATE_GOLDEN" with
+    | Some "1" -> true
+    | _ -> false)
+  then begin
+    let oc = open_out_bin path in
+    output_string oc rendered;
+    close_out oc
+  end;
+  Alcotest.(check string) "exposition renders byte-stably" (read_file path)
+    rendered
+
+(* --- loadgen server-side scrape ----------------------------------------- *)
+
+let loadgen_scrapes_server_window () =
+  with_server @@ fun server ->
+  match
+    Loadgen.run ~port:(Server.port server) ~conns:2 ~requests:30 ~seed:5
+      ~mix:Loadgen.Cached ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok s -> (
+      Alcotest.(check int) "all ok" 30 s.Loadgen.ok;
+      match s.Loadgen.server with
+      | None -> Alcotest.fail "post-run server scrape missing"
+      | Some sv ->
+          (* The 5-minute window easily covers the run: the server saw
+             exactly the requests the client timed. *)
+          Alcotest.(check int) "server counted every request" 30
+            sv.Loadgen.srv_count;
+          Alcotest.(check bool) "percentiles ordered" true
+            (sv.Loadgen.srv_p50_us <= sv.Loadgen.srv_p90_us
+            && sv.Loadgen.srv_p90_us <= sv.Loadgen.srv_p99_us
+            && sv.Loadgen.srv_p99_us <= sv.Loadgen.srv_max_us);
+          (* The invariant `rv loadgen` enforces after every run: the
+             server-side interval nests inside the client-side one. *)
+          (match Loadgen.server_clock_check s with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "clock check: %s" msg))
+
 (* --- unit: histogram percentile ---------------------------------------- *)
 
 let histogram_percentile () =
@@ -845,6 +1301,27 @@ let () =
           tc "backfill publishes the next generation" backfill_publishes_next_generation;
           tc "loadgen index mix is all hits and identical" index_loadgen_all_hits;
         ] );
+      ( "recorder-unit",
+        [
+          tc "anomalies outlive healthy records" recorder_retention;
+          tc "wire codec round-trips" recorder_json_roundtrip;
+        ] );
+      ( "telemetry",
+        [
+          tc "obs probe serves slow-flagged records" obs_probe_flags_slow;
+          tc "shed requests are retained anomalies" obs_shed_is_retained;
+          tc "telemetry off: no records, same bytes"
+            telemetry_off_no_records_same_bytes;
+          tc "debug:true appends a stage breakdown" debug_reply_breakdown;
+          tc "obs scrape renders a valid Chrome trace" chrome_dump_from_obs_scrape;
+        ] );
+      ( "prometheus",
+        [
+          tc "scrape is well-formed and monotone" prometheus_scrape_valid;
+          tc "renderer matches the golden exposition" prometheus_render_golden;
+        ] );
+      ( "loadgen",
+        [ tc "post-run scrape and clock check" loadgen_scrapes_server_window ] );
       ( "proto",
         [ tc "canonical keys and strict parsing" proto_parse_and_keys ] );
       ( "cache-unit",
