@@ -1,6 +1,6 @@
 # Convenience entry points; every target is a thin wrapper over dune.
 
-.PHONY: all build test lint tsan bench clean
+.PHONY: all build test lint baseline tsan bench clean
 
 all: build
 
@@ -10,13 +10,20 @@ build:
 test:
 	dune runtest
 
-# Determinism/domain-safety static analysis over lib/ bin/ bench/.
-# Fails on any unsuppressed finding; see README "Static analysis".
+# Determinism + concurrency static analysis (both passes, R1..R9) over
+# lib/ bin/ bench/ test/ examples/, diffed against lint_baseline.json.
+# Fails on any new unsuppressed finding; see README "Static analysis".
 lint:
 	dune build @lint
 
-# 2-domain sweep under ThreadSanitizer.  Skips (exit 0) on switches
-# without TSan support (needs OCaml >= 5.2 + ocaml-option-tsan).
+# Regenerate the accepted-debt baseline after reviewing new findings.
+baseline:
+	dune build @all bin/rv_lint.exe
+	dune exec bin/rv_lint.exe -- --write-baseline lint_baseline.json
+
+# 2-domain sweep under ThreadSanitizer (runs the lint gate first).
+# Skips the sweep (exit 0) on switches without TSan support (needs
+# OCaml >= 5.2 + ocaml-option-tsan).
 tsan:
 	dune build @tsan
 

@@ -712,18 +712,23 @@ let gather_cmd =
 (* lint *)
 
 let lint_cmd =
-  let lint paths json rules catalog =
+  let lint paths json rules catalog scope no_typed build_dir hotpaths baseline
+      write_baseline sarif =
     if catalog then begin
       print_string (Rv_lint.Cli.catalog ());
       exit 0
     end;
-    exit (Rv_lint.Cli.run ~json ~rules ~paths ())
+    exit
+      (Rv_lint.Cli.run ~scope ~typed:(not no_typed) ~build_dir ~hotpaths
+         ~baseline ~write_baseline ~sarif ~json ~rules ~paths ())
   in
   let paths =
     Arg.(
       value & pos_all string []
       & info [] ~docv:"PATH"
-          ~doc:"Files or directories to lint (default: lib bin bench).")
+          ~doc:
+            "Files or directories to lint (default: the roots selected by \
+             $(b,--scope)).")
   in
   let json =
     Arg.(
@@ -732,19 +737,77 @@ let lint_cmd =
   in
   let rules =
     Arg.(
-      value & opt (some string) None
+      value
+      & opt ~vopt:(Some "list") (some string) None
       & info [ "rules" ] ~docv:"R1,R2,..."
-          ~doc:"Comma-separated subset of rules to run (default: all of R1..R5).")
+          ~doc:
+            "Comma-separated subset of rules to run (default: all of R1..R9). \
+             With no value, list the full catalog and exit.")
   in
   let catalog =
     Arg.(
       value & flag
       & info [ "catalog" ] ~doc:"Print the rule catalog with rationale and exit.")
   in
+  let scope =
+    Arg.(
+      value & opt string "full"
+      & info [ "scope" ] ~docv:"full|core"
+          ~doc:
+            "Default path set when no PATH is given: $(b,full) = lib bin \
+             bench test examples; $(b,core) = lib bin bench (the pre-v2 \
+             walk).")
+  in
+  let no_typed =
+    Arg.(
+      value & flag
+      & info [ "no-typed" ]
+          ~doc:"Skip the typed pass (R6..R9); run only the source pass.")
+  in
+  let build_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "build-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory holding dune's .cmt artifacts for the typed pass \
+             (default: _build/default).")
+  in
+  let hotpaths =
+    Arg.(
+      value & opt (some string) None
+      & info [ "hotpaths" ] ~docv:"FILE"
+          ~doc:
+            "Hot-path manifest for R8/dispatcher-R7 (default: \
+             lint_hotpaths.txt when present).")
+  in
+  let baseline =
+    Arg.(
+      value & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Diff mode: fail only on findings not in this checked-in \
+             baseline.")
+  in
+  let write_baseline =
+    Arg.(
+      value & opt (some string) None
+      & info [ "write-baseline" ] ~docv:"FILE"
+          ~doc:"Write the current findings as a fresh baseline and exit 0.")
+  in
+  let sarif =
+    Arg.(
+      value & opt (some string) None
+      & info [ "sarif" ] ~docv:"FILE"
+          ~doc:
+            "Additionally write the full (pre-baseline) report as SARIF \
+             2.1.0 to FILE.")
+  in
   Cmd.v
     (Cmd.info "lint"
-       ~doc:"Static determinism & domain-safety checks (same engine as rv_lint)")
-    Term.(const lint $ paths $ json $ rules $ catalog)
+       ~doc:"Static determinism & concurrency checks (same engine as rv_lint)")
+    Term.(
+      const lint $ paths $ json $ rules $ catalog $ scope $ no_typed $ build_dir
+      $ hotpaths $ baseline $ write_baseline $ sarif)
 
 (* dot *)
 

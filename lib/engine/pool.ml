@@ -14,6 +14,8 @@ type t = {
 }
 
 let rec worker_loop t =
+  (* rv_lint: allow R7 -- condition-variable protocol: Condition.wait
+     atomically releases t.lock while parked; nothing else blocks here *)
   Mutex.lock t.lock;
   let rec next () =
     if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue, Queue.length t.queue)
@@ -126,6 +128,9 @@ let run t ?chunk ~total f =
               ("jobs", Rv_obs.Json.Int t.jobs);
             ]
           "pool.submit";
+      (* rv_lint: allow R7 -- completion-latch protocol: Condition.wait
+         releases the latch while parked; the submitter must block until
+         all chunks drain *)
       Mutex.lock latch;
       while !pending > 0 do
         Condition.wait all_done latch

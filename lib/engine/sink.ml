@@ -96,6 +96,9 @@ let write_file_atomic ?(fsync = false) path f =
       raise exn
 
 let rec close t =
+  (* rv_lint: allow R7 -- close-time flush/fsync under the sink lock is
+     the design: the lock is what serialises the final write against
+     concurrent emitters, and close runs once on shutdown *)
   Mutex.lock t.lock;
   if not t.closed then begin
     t.closed <- true;

@@ -12,6 +12,11 @@ val default : t
     (R3) scoped to [lib/], span hygiene (R5) exempting the span
     implementation itself. *)
 
+val normalize : string -> string
+(** Forward slashes, no leading "./" — the canonical form used for all
+    suffix/prefix path matching (and for pairing typed findings with
+    source-pass suppression directives). *)
+
 val with_rules : t -> Report.rule list -> t
 val rule_enabled : t -> Report.rule -> bool
 

@@ -61,3 +61,168 @@ let to_string t =
   let b = Buffer.create 256 in
   write b t;
   Buffer.contents b
+
+(* --- parsing ----------------------------------------------------------- *)
+
+(* A small recursive-descent parser, enough to read back what [write]
+   produces (plus whitespace and escapes); used by the baseline loader.
+   Returns [Error] rather than raising so a corrupt baseline is a usage
+   error, not a crash. *)
+
+exception Bad of string
+
+let of_string s =
+  let n = String.length s in
+  let i = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !i)) in
+  let skip_ws () =
+    while !i < n && (s.[!i] = ' ' || s.[!i] = '\t' || s.[!i] = '\n' || s.[!i] = '\r') do
+      incr i
+    done
+  in
+  let expect c =
+    if !i < n && s.[!i] = c then incr i
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    if !i + String.length word <= n && String.sub s !i (String.length word) = word
+    then begin
+      i := !i + String.length word;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let fin = ref false in
+    while not !fin do
+      if !i >= n then fail "unterminated string";
+      (match s.[!i] with
+      | '"' -> fin := true
+      | '\\' ->
+          if !i + 1 >= n then fail "dangling escape";
+          incr i;
+          (match s.[!i] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              if !i + 4 >= n then fail "short \\u escape";
+              let hex = String.sub s (!i + 1) 4 in
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> fail "bad \\u escape"
+              in
+              (* ASCII only — all the emitter ever writes. *)
+              if code < 0x80 then Buffer.add_char b (Char.chr code)
+              else Buffer.add_string b (Printf.sprintf "\\u%s" hex);
+              i := !i + 4
+          | c -> fail (Printf.sprintf "bad escape %C" c))
+      | c -> Buffer.add_char b c);
+      incr i
+    done;
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !i in
+    if !i < n && (s.[!i] = '-' || s.[!i] = '+') then incr i;
+    let is_float = ref false in
+    while
+      !i < n
+      && (match s.[!i] with
+         | '0' .. '9' -> true
+         | '.' | 'e' | 'E' | '-' | '+' ->
+             is_float := true;
+             true
+         | _ -> false)
+    do
+      incr i
+    done;
+    let tok = String.sub s start (!i - start) in
+    if !is_float then
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail "bad number"
+    else
+      match int_of_string_opt tok with
+      | Some v -> Int v
+      | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    if !i >= n then fail "unexpected end of input";
+    match s.[!i] with
+    | '{' ->
+        incr i;
+        skip_ws ();
+        if !i < n && s.[!i] = '}' then begin
+          incr i;
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let fin = ref false in
+          while not !fin do
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            if !i < n && s.[!i] = ',' then incr i
+            else begin
+              expect '}';
+              fin := true
+            end
+          done;
+          Obj (List.rev !fields)
+        end
+    | '[' ->
+        incr i;
+        skip_ws ();
+        if !i < n && s.[!i] = ']' then begin
+          incr i;
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let fin = ref false in
+          while not !fin do
+            items := parse_value () :: !items;
+            skip_ws ();
+            if !i < n && s.[!i] = ',' then incr i
+            else begin
+              expect ']';
+              fin := true
+            end
+          done;
+          List (List.rev !items)
+        end
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !i <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad msg -> Error msg
+
+(* --- accessors for decoded documents ----------------------------------- *)
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+let to_list = function List xs -> Some xs | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_int = function Int v -> Some v | _ -> None

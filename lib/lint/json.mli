@@ -1,4 +1,5 @@
-(** Minimal JSON emitter for [--json] reports. *)
+(** Minimal JSON emitter + parser for [--json] reports, baselines and
+    SARIF artifacts. *)
 
 type t =
   | Null
@@ -10,3 +11,11 @@ type t =
   | Obj of (string * t) list
 
 val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parse a document; corrupt input is an [Error], never an exception. *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_str : t -> string option
+val to_int : t -> int option

@@ -1,0 +1,23 @@
+(** The checked-in hot-path manifest consumed by the typed pass.
+
+    Format: one [hot Module.func [source-suffix]] or
+    [dispatcher Module.func [source-suffix]] declaration per line;
+    ['#'] comments and blank lines are ignored. *)
+
+type entry = { e_func : string; e_file : string option }
+
+type t = {
+  hot : entry list;  (** functions held to the R8 no-allocation discipline *)
+  dispatchers : entry list;  (** functions R7 treats as dispatcher hot paths *)
+}
+
+val empty : t
+
+val is_hot : t -> func:string -> file:string -> bool
+val is_dispatcher : t -> func:string -> file:string -> bool
+
+val parse : path:string -> string -> t * Report.finding list
+(** Malformed lines become unsuppressable [Lint] findings, never
+    exceptions. *)
+
+val load : string -> t * Report.finding list

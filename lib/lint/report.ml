@@ -1,10 +1,11 @@
 (* Findings and the rule catalog.
 
-   Every check in Rules maps to one of the R1..R5 rules below; [Lint] is
-   reserved for defects in the lint input itself (unparseable file, bare
-   or malformed allow directive) and can never be suppressed. *)
+   R1..R5 come from the syntactic source pass (Rules); R6..R9 come from
+   the typed pass over dune's .cmt artifacts (Typed).  [Lint] is reserved
+   for defects in the lint input itself (unparseable file, bare or
+   malformed allow directive) and can never be suppressed. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | Lint
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | Lint
 
 let rule_to_string = function
   | R1 -> "R1"
@@ -12,6 +13,10 @@ let rule_to_string = function
   | R3 -> "R3"
   | R4 -> "R4"
   | R5 -> "R5"
+  | R6 -> "R6"
+  | R7 -> "R7"
+  | R8 -> "R8"
+  | R9 -> "R9"
   | Lint -> "lint"
 
 let rule_of_string s =
@@ -21,10 +26,16 @@ let rule_of_string s =
   | "R3" -> Some R3
   | "R4" -> Some R4
   | "R5" -> Some R5
+  | "R6" -> Some R6
+  | "R7" -> Some R7
+  | "R8" -> Some R8
+  | "R9" -> Some R9
   | "LINT" -> Some Lint
   | _ -> None
 
-let all_rules = [ R1; R2; R3; R4; R5 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8; R9 ]
+
+let typed_rules = [ R6; R7; R8; R9 ]
 
 let rule_title = function
   | R1 -> "nondeterminism source"
@@ -32,6 +43,10 @@ let rule_title = function
   | R3 -> "unsynchronised top-level mutable state"
   | R4 -> "polymorphic compare/hash"
   | R5 -> "unbalanced observability span"
+  | R6 -> "lock-order cycle"
+  | R7 -> "blocking under lock / in dispatcher hot path"
+  | R8 -> "allocation in a hot loop"
+  | R9 -> "exception escapes a thread entrypoint"
   | Lint -> "lint input defect"
 
 let rule_doc = function
@@ -55,6 +70,28 @@ let rule_doc = function
       "Every Obs.begin_span must be lexically paired with an Obs.end_span in \
        the same top-level binding (or use Obs.with_span/Obs.span), or span \
        stacks leak across tasks."
+  | R6 ->
+      "The static mutex-acquisition graph (every Mutex.lock reached while \
+       another mutex is held, one level of intra-library calls deep) must be \
+       acyclic and consistently ordered; a cycle or an A-then-B / B-then-A \
+       pair is a potential deadlock under adversarial thread timing."
+  | R7 ->
+      "Unix I/O, channel writes, Thread.delay, a nested Mutex.lock or \
+       Condition.wait while a mutex is held — or any of these inside a \
+       dispatcher hot path named in the manifest — stalls every thread \
+       queued behind the lock; move the blocking call outside the critical \
+       section or carry a reasoned allow where the hold is the design."
+  | R8 ->
+      "Functions named in the hot-path manifest (lint_hotpaths.txt) must not \
+       construct closures, tuples, records, arrays, boxed constructors or \
+       boxed floats — nor call polymorphic compare/equality on non-immediate \
+       values — inside their loop bodies; each such allocation is paid per \
+       sweep cell or per served request."
+  | R9 ->
+      "A raise that can escape a Thread.create/Domain.spawn entrypoint \
+       without a wrapping handler kills the thread silently (the process \
+       keeps running minus its dispatcher/acceptor); wrap the entrypoint \
+       body in a handler that reports."
   | Lint -> "The lint input itself is defective; fix it, it cannot be allowed."
 
 type finding = {
@@ -65,7 +102,17 @@ type finding = {
   message : string;
 }
 
-let rule_rank = function R1 -> 1 | R2 -> 2 | R3 -> 3 | R4 -> 4 | R5 -> 5 | Lint -> 0
+let rule_rank = function
+  | Lint -> 0
+  | R1 -> 1
+  | R2 -> 2
+  | R3 -> 3
+  | R4 -> 4
+  | R5 -> 5
+  | R6 -> 6
+  | R7 -> 7
+  | R8 -> 8
+  | R9 -> 9
 
 let compare_finding a b =
   let c = String.compare a.file b.file in

@@ -1,12 +1,15 @@
 (** Findings and the rule catalog. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | Lint
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | Lint
 
 val rule_to_string : rule -> string
 val rule_of_string : string -> rule option
 
 val all_rules : rule list
-(** The user-facing rules, R1..R5 ([Lint] is internal and always on). *)
+(** The user-facing rules, R1..R9 ([Lint] is internal and always on). *)
+
+val typed_rules : rule list
+(** The subset implemented by the typed (.cmt) pass: R6..R9. *)
 
 val rule_title : rule -> string
 val rule_doc : rule -> string

@@ -165,7 +165,7 @@ let parse_directive ~path (c : comment) :
         in
         match Report.rule_of_string rule_tok with
         | None | Some Report.Lint ->
-            bad (Printf.sprintf "unknown rule %S in rv_lint directive (use R1..R5)" rule_tok)
+            bad (Printf.sprintf "unknown rule %S in rv_lint directive (use R1..R9)" rule_tok)
         | Some rule ->
             let reason =
               if String.starts_with ~prefix:"\xe2\x80\x94" rest then

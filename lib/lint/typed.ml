@@ -1,0 +1,760 @@
+(* The typed pass: R6..R9 over Typedtree structures read from the .cmt
+   artifacts dune already produces.
+
+   Working on the typedtree (rather than the parsetree the source pass
+   uses) gives every identifier a resolved [Path.t] — "Mutex.lock" in a
+   local alias, via [open], or fully qualified all normalise to the same
+   name — and every expression a type, which R8 uses to tell immediate
+   from boxed compares.
+
+   The analysis is deliberately a *static approximation*, tuned to be
+   sound-ish on this codebase's idioms and cheap to reason about:
+
+   - Lock tracking is lexical: a [Mutex.lock m] marks m's lock class held
+     until the matching [Mutex.unlock m] in traversal order (traversal
+     follows evaluation order for sequences, let-bindings and
+     applications; branches are visited in syntactic order, so a lock
+     released on every branch is treated as released).  Closures are
+     walked under the lock state of their definition point — right for
+     the [Mutex.lock; iter (fun ...); Mutex.unlock] shape, conservative
+     for stored callbacks.
+
+   - Call resolution is one level deep, within the analysed unit set:
+     each function's *direct* lock acquisitions, blocking primitives and
+     unguarded raises are summarised in a first pass; the second pass
+     consults the summary at every call site.
+
+   - Lock identity is [Module.field-or-ident-name] of the expression
+     passed to [Mutex.lock]: [t.lock] in cache.ml is "Cache.lock".  Two
+     different instances of one type share a class — exactly what a
+     lock-*order* analysis wants, since all instances are acquired by the
+     same code paths. *)
+
+open Typedtree
+
+let pos_of (loc : Location.t) =
+  (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+
+(* --- name normalisation ------------------------------------------------ *)
+
+(* "Rv_serve__Admission" -> "Admission"; dune's wrapping prefix is noise
+   for rule matching and lock-class naming. *)
+let short_component s =
+  let rec last_sep i acc =
+    if i + 2 > String.length s then acc
+    else if s.[i] = '_' && s.[i + 1] = '_' then last_sep (i + 2) (Some (i + 2))
+    else last_sep (i + 1) acc
+  in
+  match last_sep 0 None with
+  | Some j -> String.sub s j (String.length s - j)
+  | None -> s
+
+let normalize_name name =
+  let parts = String.split_on_char '.' name |> List.map short_component in
+  let parts = match parts with "Stdlib" :: (_ :: _ as rest) -> rest | ps -> ps in
+  String.concat "." parts
+
+let normalize_path p = normalize_name (Path.name p)
+
+let module_of_source file =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename file))
+
+(* --- primitive classification ------------------------------------------ *)
+
+let unix_blocking =
+  [
+    "accept"; "connect"; "read"; "write"; "single_write"; "select"; "sleep";
+    "sleepf"; "recv"; "recvfrom"; "send"; "sendto"; "wait"; "waitpid";
+    "system"; "open_connection"; "shutdown_connection"; "establish_server";
+  ]
+
+let channel_blocking =
+  [
+    "output_string"; "output_char"; "output_bytes"; "output"; "output_byte";
+    "flush"; "flush_all"; "input_char"; "input_line"; "input"; "really_input";
+    "really_input_string"; "input_byte"; "print_string"; "print_endline";
+    "print_newline"; "print_char"; "prerr_string"; "prerr_endline"; "read_line";
+  ]
+
+(* Is [name] (normalised) a primitive that can park or stall the calling
+   thread?  [Mutex.lock] is classified separately: it only blocks when
+   nested under another lock, which the caller knows and this predicate
+   does not. *)
+let blocking_kind name =
+  match String.index_opt name '.' with
+  | Some i -> (
+      let m = String.sub name 0 i in
+      let f = String.sub name (i + 1) (String.length name - i - 1) in
+      match m with
+      | "Unix" when List.mem f unix_blocking -> Some name
+      | "Thread" when List.mem f [ "delay"; "join"; "wait_signal" ] -> Some name
+      | "Condition" when String.equal f "wait" -> Some name
+      | "Printf" when List.mem f [ "printf"; "eprintf"; "fprintf" ] -> Some name
+      | _ -> None)
+  | None -> if List.mem name channel_blocking then Some name else None
+
+let raise_prims = [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ]
+
+let poly_prims = [ "compare"; "="; "<>"; "Hashtbl.hash" ]
+
+let is_immediate_type ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) ->
+      Path.same p Predef.path_int || Path.same p Predef.path_bool
+      || Path.same p Predef.path_char || Path.same p Predef.path_unit
+  | _ -> false
+
+(* --- function discovery ------------------------------------------------ *)
+
+(* Top-level value bindings of a unit, nested modules included; each is
+   reported as [Module.name] with [Module] the unit's short name, which
+   is how the manifest and cross-unit call sites refer to it. *)
+let rec fold_functions ~f acc (str : structure) =
+  List.fold_left
+    (fun acc item ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) ->
+          List.fold_left
+            (fun acc vb ->
+              match vb.vb_pat.pat_desc with
+              | Tpat_var (_, name) -> f acc name.Asttypes.txt vb.vb_expr
+              | _ -> acc)
+            acc vbs
+      | Tstr_module mb -> fold_module_functions ~f acc mb.mb_expr
+      | Tstr_recmodule mbs ->
+          List.fold_left
+            (fun acc mb -> fold_module_functions ~f acc mb.mb_expr)
+            acc mbs
+      | _ -> acc)
+    acc str.str_items
+
+and fold_module_functions ~f acc me =
+  match me.mod_desc with
+  | Tmod_structure str -> fold_functions ~f acc str
+  | Tmod_constraint (me, _, _, _) -> fold_module_functions ~f acc me
+  | _ -> acc
+
+(* --- pass 1: per-function summaries ------------------------------------ *)
+
+type summary = {
+  fs_locks : (string * int) list;  (* lock class, line — direct acquisitions *)
+  fs_blocking : (string * int) list;  (* blocking primitive, line *)
+  fs_raises : (string * int) list;  (* raise primitive, line, no handler above *)
+}
+
+(* Traversal state is mutable; one [summarize] call walks one function
+   body.  [try_depth] masks raises that a surrounding [try] already
+   catches inside the same function. *)
+let summarize expr0 =
+  let locks = ref [] and blocking = ref [] and raises = ref [] in
+  let try_depth = ref 0 in
+  let expr_iter self (e : expression) =
+    match e.exp_desc with
+    | Texp_apply (fn, args) ->
+        (match fn.exp_desc with
+        | Texp_ident (p, _, _) -> (
+            let name = normalize_path p in
+            let line, _ = pos_of e.exp_loc in
+            if String.equal name "Mutex.lock" then locks := (name, line) :: !locks
+            else
+              match blocking_kind name with
+              | Some desc -> blocking := (desc, line) :: !blocking
+              | None ->
+                  if List.mem name raise_prims && !try_depth = 0 then
+                    raises := (name, line) :: !raises)
+        | _ -> self.Tast_iterator.expr self fn);
+        List.iter (fun (_, a) -> Option.iter (self.Tast_iterator.expr self) a) args
+    | Texp_try (body, cases) ->
+        incr try_depth;
+        self.Tast_iterator.expr self body;
+        decr try_depth;
+        List.iter (fun c -> self.Tast_iterator.case self c) cases
+    | _ -> Tast_iterator.default_iterator.expr self e
+  in
+  let it = { Tast_iterator.default_iterator with expr = expr_iter } in
+  it.expr it expr0;
+  {
+    fs_locks = List.rev !locks;
+    fs_blocking = List.rev !blocking;
+    fs_raises = List.rev !raises;
+  }
+
+(* [Mutex.lock] lines are only interesting as "this callee takes a lock";
+   the class is refined at the call site by the caller's module — close
+   enough for edges via one level of calls.  To keep classes precise we
+   re-derive them here instead: summaries store the *final* lock class. *)
+
+let lock_class ~modname (arg : expression) =
+  match arg.exp_desc with
+  | Texp_field (_, _, lbl) -> modname ^ "." ^ lbl.Types.lbl_name
+  | Texp_ident (p, _, _) ->
+      let n = normalize_path p in
+      if String.contains n '.' then n else modname ^ "." ^ n
+  | _ -> modname ^ ".<dynamic>"
+
+let summarize_unit ~modname str tbl =
+  ignore
+    (fold_functions
+       ~f:(fun () name body ->
+         let s = summarize body in
+         (* Refine lock names: rewalk just the Mutex.lock sites for their
+            classes (cheap; function bodies are small). *)
+         let locks = ref [] in
+         let expr_iter self (e : expression) =
+           (match e.exp_desc with
+           | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+             when String.equal (normalize_path p) "Mutex.lock" -> (
+               match args with
+               | (_, Some m) :: _ ->
+                   let line, _ = pos_of e.exp_loc in
+                   locks := (lock_class ~modname m, line) :: !locks
+               | _ -> ())
+           | _ -> ());
+           Tast_iterator.default_iterator.expr self e
+         in
+         let it = { Tast_iterator.default_iterator with expr = expr_iter } in
+         it.expr it body;
+         Hashtbl.replace tbl
+           (modname ^ "." ^ name)
+           { s with fs_locks = List.rev !locks })
+       () str)
+
+(* Summaries are keyed "Unit.binding".  A call site may name the callee
+   bare (same unit), as "Unit.f", or through the library wrapper module
+   as "Lib.Unit.f" — so fall back to the last two components. *)
+let lookup_summary tbl ~modname name =
+  match String.split_on_char '.' name with
+  | [ _ ] -> Hashtbl.find_opt tbl (modname ^ "." ^ name)
+  | [] -> None
+  | parts -> (
+      match Hashtbl.find_opt tbl name with
+      | Some s -> Some s
+      | None ->
+          let rec last_two = function
+            | [ m; f ] -> Some (m ^ "." ^ f)
+            | _ :: rest -> last_two rest
+            | [] -> None
+          in
+          Option.bind (last_two parts) (Hashtbl.find_opt tbl))
+
+(* --- pass 2 ------------------------------------------------------------ *)
+
+type edge = {
+  ed_from : string;
+  ed_to : string;
+  ed_file : string;
+  ed_line : int;
+  ed_via : string option;  (* callee name when the edge crosses a call *)
+}
+
+type region = {
+  rg_class : string;
+  rg_line : int;
+  mutable rg_blocking : (string * int) list;  (* reversed *)
+}
+
+type acc = {
+  mutable edges : edge list;  (* reversed *)
+  mutable findings : Report.finding list;  (* reversed *)
+}
+
+let add_finding acc ~file ~line ~col rule message =
+  acc.findings <-
+    { Report.file; line; col; rule; message } :: acc.findings
+
+let describe_blocking events =
+  let events = List.rev events in
+  let shown = List.filteri (fun i _ -> i < 3) events in
+  let tail = List.length events - List.length shown in
+  String.concat ", "
+    (List.map (fun (d, l) -> Printf.sprintf "%s (line %d)" d l) shown)
+  ^ if tail > 0 then Printf.sprintf " and %d more" tail else ""
+
+(* Walk one function body tracking held locks, emitting R7 regions and
+   R6 edges; when [dispatcher] is set, blocking primitives are flagged
+   even with no lock held.  When [hot] is set, loop bodies are held to
+   the R8 no-allocation discipline. *)
+let analyze_function ~config ~acc ~summaries ~modname ~file ~fname ~dispatcher
+    ~hot body =
+  let enabled r = Config.rule_enabled config r in
+  let held : region list ref = ref [] in
+  let closed : region list ref = ref [] in
+  let loop_depth = ref 0 in
+  let qualified = modname ^ "." ^ fname in
+  let note_blocking desc line =
+    List.iter (fun rg -> rg.rg_blocking <- (desc, line) :: rg.rg_blocking) !held;
+    if dispatcher && !held = [] && enabled Report.R7 then
+      add_finding acc ~file ~line ~col:0 Report.R7
+        (Printf.sprintf
+           "%s is a dispatcher hot path (lint_hotpaths.txt) and reaches \
+            blocking %s; every queued request stalls behind it — move the \
+            blocking call off the dispatcher or carry a reasoned allow"
+           qualified desc)
+  in
+  let note_edges to_class ~line ~via =
+    List.iter
+      (fun rg ->
+        if not (String.equal rg.rg_class to_class) then
+          acc.edges <-
+            { ed_from = rg.rg_class; ed_to = to_class; ed_file = file;
+              ed_line = line; ed_via = via }
+            :: acc.edges)
+      !held
+  in
+  let alloc what line =
+    if enabled Report.R8 then
+      add_finding acc ~file ~line ~col:0 Report.R8
+        (Printf.sprintf
+           "hot path %s: %s in a loop body; hoist it out of the loop or \
+            restructure (every iteration pays the allocation)"
+           qualified what)
+  in
+  let rec expr_iter self (e : expression) =
+    let line, _ = pos_of e.exp_loc in
+    (if hot && !loop_depth > 0 then
+       match e.exp_desc with
+       | Texp_function _ -> alloc "closure construction" line
+       | Texp_tuple _ -> alloc "tuple allocation" line
+       | Texp_record _ -> alloc "record allocation" line
+       | Texp_array _ -> alloc "array allocation" line
+       | Texp_construct (_, cd, _ :: _) ->
+           alloc
+             (Printf.sprintf "constructor allocation (%s)" cd.Types.cstr_name)
+             line
+       | Texp_constant (Asttypes.Const_float _) -> alloc "boxed float literal" line
+       | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+         when List.mem (normalize_path p) poly_prims ->
+           let boxed =
+             List.exists
+               (fun (_, a) ->
+                 match a with
+                 | Some a -> not (is_immediate_type a.exp_type)
+                 | None -> false)
+               args
+           in
+           if boxed then
+             alloc
+               (Printf.sprintf "polymorphic %s on a non-immediate value"
+                  (normalize_path p))
+               line
+       | _ -> ());
+    match e.exp_desc with
+    | Texp_apply (fn, args) ->
+        (match fn.exp_desc with
+        | Texp_ident (p, _, _) -> handle_call (normalize_path p) e args
+        | _ -> expr_iter self fn);
+        List.iter (fun (_, a) -> Option.iter (expr_iter self) a) args
+    | Texp_while (cond, bodyexp) ->
+        expr_iter self cond;
+        incr loop_depth;
+        expr_iter self bodyexp;
+        decr loop_depth
+    | Texp_for (_, _, lo, hi, _, bodyexp) ->
+        expr_iter self lo;
+        expr_iter self hi;
+        incr loop_depth;
+        expr_iter self bodyexp;
+        decr loop_depth
+    | Texp_let (Asttypes.Recursive, vbs, bodyexp) when hot ->
+        (* A local [let rec] inside a hot function is its loop: the
+           recursive body re-executes per iteration. *)
+        incr loop_depth;
+        List.iter (fun vb -> expr_iter self vb.vb_expr) vbs;
+        decr loop_depth;
+        expr_iter self bodyexp
+    | _ -> Tast_iterator.default_iterator.expr self e
+  and handle_call name (app : expression) args =
+    let line, _ = pos_of app.exp_loc in
+    match name with
+    | "Mutex.lock" -> (
+        match args with
+        | (_, Some m) :: _ ->
+            let cls = lock_class ~modname m in
+            if !held <> [] then begin
+              note_edges cls ~line ~via:None;
+              note_blocking ("nested Mutex.lock of " ^ cls) line
+            end;
+            held := { rg_class = cls; rg_line = line; rg_blocking = [] } :: !held
+        | _ -> ())
+    | "Mutex.unlock" -> (
+        match args with
+        | (_, Some m) :: _ ->
+            let cls = lock_class ~modname m in
+            let rec release = function
+              | [] -> []
+              | rg :: rest when String.equal rg.rg_class cls ->
+                  closed := rg :: !closed;
+                  rest
+              | rg :: rest -> rg :: release rest
+            in
+            held := release !held
+        | _ -> ())
+    | _ -> (
+        (match blocking_kind name with
+        | Some desc -> note_blocking desc line
+        | None -> ());
+        match lookup_summary summaries ~modname name with
+        | None -> ()
+        | Some s ->
+            if !held <> [] then
+              List.iter
+                (fun (cls, _) -> note_edges cls ~line ~via:(Some name))
+                s.fs_locks;
+            if s.fs_blocking <> [] then
+              let desc, _ = List.hd s.fs_blocking in
+              let via = Printf.sprintf "a call to %s (which does %s)" name desc in
+              if !held <> [] then note_blocking via line
+              else if dispatcher && Config.rule_enabled config Report.R7 then
+                add_finding acc ~file ~line ~col:0 Report.R7
+                  (Printf.sprintf
+                     "%s is a dispatcher hot path (lint_hotpaths.txt) and \
+                      reaches blocking %s; every queued request stalls behind \
+                      it — move the blocking call off the dispatcher or carry \
+                      a reasoned allow"
+                     qualified via))
+  in
+  let it = { Tast_iterator.default_iterator with expr = expr_iter } in
+  it.expr it body;
+  if Config.rule_enabled config Report.R7 then
+    List.iter
+      (fun rg ->
+        if rg.rg_blocking <> [] then
+          add_finding acc ~file ~line:rg.rg_line ~col:0 Report.R7
+            (Printf.sprintf
+               "mutex %s is held across blocking %s; move the blocking call \
+                outside the critical section or carry a reasoned allow if the \
+                hold is the design"
+               rg.rg_class
+               (describe_blocking rg.rg_blocking)))
+      (List.rev_append (List.rev !closed) !held)
+
+(* --- R9: raises escaping thread entrypoints ---------------------------- *)
+
+let spawn_prims = [ "Thread.create"; "Domain.spawn" ]
+
+(* Walk a thread-entry closure body: a raise primitive (or a one-level
+   call to a function that raises directly) with no [try] above it inside
+   this body escapes the thread. *)
+let check_entry_body ~config ~acc ~summaries ~modname ~file ~entry body =
+  if Config.rule_enabled config Report.R9 then begin
+    let try_depth = ref 0 in
+    let expr_iter self (e : expression) =
+      match e.exp_desc with
+      | Texp_try (b, cases) ->
+          incr try_depth;
+          self.Tast_iterator.expr self b;
+          decr try_depth;
+          List.iter (fun c -> self.Tast_iterator.case self c) cases
+      | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) ->
+          let name = normalize_path p in
+          let line, _ = pos_of e.exp_loc in
+          if List.mem name raise_prims && !try_depth = 0 then
+            add_finding acc ~file ~line ~col:0 Report.R9
+              (Printf.sprintf
+                 "%s can escape the %s entrypoint with no wrapping handler; \
+                  an escaped exception kills the thread silently — wrap the \
+                  body in a reporting handler"
+                 name entry)
+          else if !try_depth = 0 then
+            (match lookup_summary summaries ~modname name with
+            | Some s when s.fs_raises <> [] ->
+                let prim, rline = List.hd s.fs_raises in
+                add_finding acc ~file ~line ~col:0 Report.R9
+                  (Printf.sprintf
+                     "call to %s (which can %s at line %d) can escape the %s \
+                      entrypoint with no wrapping handler; an escaped \
+                      exception kills the thread silently — wrap the body in \
+                      a reporting handler"
+                     name prim rline entry)
+            | _ -> ());
+          List.iter
+            (fun (_, a) -> Option.iter (self.Tast_iterator.expr self) a)
+            args
+      | _ -> Tast_iterator.default_iterator.expr self e
+    in
+    let it = { Tast_iterator.default_iterator with expr = expr_iter } in
+    it.expr it body
+  end
+
+(* Find Thread.create/Domain.spawn sites anywhere in a unit and analyse
+   the entry function they are given. *)
+let check_spawns ~config ~acc ~summaries ~modname ~file str =
+  let expr_iter self (e : expression) =
+    (match e.exp_desc with
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+      when List.mem (normalize_path p) spawn_prims -> (
+        let entry_of_arg = function
+          | Asttypes.Nolabel, Some a -> Some a
+          | _ -> None
+        in
+        match List.find_map entry_of_arg args with
+        | None -> ()
+        | Some arg -> (
+            let spawn = normalize_path p in
+            match arg.exp_desc with
+            | Texp_function { cases = [ c ]; _ } ->
+                check_entry_body ~config ~acc ~summaries ~modname ~file
+                  ~entry:spawn c.c_rhs
+            | Texp_ident (q, _, _) -> (
+                let name = normalize_path q in
+                match lookup_summary summaries ~modname name with
+                | Some s when s.fs_raises <> [] ->
+                    let prim, rline = List.hd s.fs_raises in
+                    let line, _ = pos_of e.exp_loc in
+                    if Config.rule_enabled config Report.R9 then
+                      add_finding acc ~file ~line ~col:0 Report.R9
+                        (Printf.sprintf
+                           "%s entrypoint %s can %s (line %d) with no \
+                            wrapping handler; an escaped exception kills the \
+                            thread silently — wrap the body in a reporting \
+                            handler"
+                           spawn name prim rline)
+                | _ -> ())
+            | _ -> ()))
+    | _ -> ());
+    Tast_iterator.default_iterator.expr self e
+  in
+  let it = { Tast_iterator.default_iterator with expr = expr_iter } in
+  it.structure it str
+
+(* --- R6 graph analysis ------------------------------------------------- *)
+
+let edge_compare a b =
+  let c = String.compare a.ed_from b.ed_from in
+  if c <> 0 then c
+  else
+    let c = String.compare a.ed_to b.ed_to in
+    if c <> 0 then c
+    else
+      let c = String.compare a.ed_file b.ed_file in
+      if c <> 0 then c else Int.compare a.ed_line b.ed_line
+
+let lock_order_findings ~config edges =
+  if not (Config.rule_enabled config Report.R6) then []
+  else begin
+    (* Dedupe to one representative site per (from, to), keeping the
+       lexicographically first — deterministic regardless of cmt order. *)
+    let sorted = List.sort edge_compare edges in
+    let reps = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        let k = (e.ed_from, e.ed_to) in
+        if not (Hashtbl.mem reps k) then Hashtbl.add reps k e)
+      sorted;
+    let pairs =
+      List.sort_uniq
+        (fun (a, b) (c, d) ->
+          let x = String.compare a c in
+          if x <> 0 then x else String.compare b d)
+        (List.map (fun e -> (e.ed_from, e.ed_to)) sorted)
+    in
+    let findings = ref [] in
+    (* Inconsistent two-lock order: both A-then-B and B-then-A exist. *)
+    List.iter
+      (fun (a, b) ->
+        if String.compare a b < 0 && Hashtbl.mem reps (b, a) then begin
+          let e_ab = Hashtbl.find reps (a, b) in
+          let e_ba = Hashtbl.find reps (b, a) in
+          let mk here there =
+            let via =
+              match here.ed_via with
+              | Some f -> Printf.sprintf " (via %s)" f
+              | None -> ""
+            in
+            {
+              Report.file = here.ed_file;
+              line = here.ed_line;
+              col = 0;
+              rule = Report.R6;
+              message =
+                Printf.sprintf
+                  "inconsistent lock order: %s acquired while holding %s \
+                   here%s, but the opposite order exists at %s:%d — a \
+                   potential deadlock; pick one global order"
+                  here.ed_to here.ed_from via there.ed_file there.ed_line;
+            }
+          in
+          findings := mk e_ab e_ba :: mk e_ba e_ab :: !findings
+        end)
+      pairs;
+    (* Self-loop: re-acquiring a class already held. *)
+    List.iter
+      (fun (a, b) ->
+        if String.equal a b then
+          let e = Hashtbl.find reps (a, b) in
+          findings :=
+            {
+              Report.file = e.ed_file;
+              line = e.ed_line;
+              col = 0;
+              rule = Report.R6;
+              message =
+                Printf.sprintf
+                  "mutex %s acquired while already held (same lock class); \
+                   OCaml Mutex.lock self-deadlocks on relock"
+                  a;
+            }
+            :: !findings)
+      pairs;
+    (* Longer cycles: DFS over the deduped graph; 2-cycles are already
+       reported above, so only surface cycles involving >= 3 classes. *)
+    let nodes =
+      List.sort_uniq String.compare
+        (List.concat_map (fun (a, b) -> [ a; b ]) pairs)
+    in
+    let succs n =
+      List.filter_map
+        (fun (a, b) -> if String.equal a n then Some b else None)
+        pairs
+    in
+    let reported = Hashtbl.create 4 in
+    let rec dfs trail n =
+      match List.find_opt (String.equal n) trail with
+      | Some _ ->
+          let cycle =
+            n
+            :: (List.filteri
+                  (fun i _ ->
+                    i
+                    <= (match
+                          List.find_index (String.equal n) trail
+                        with
+                       | Some j -> j
+                       | None -> -1)
+                  )
+                  trail)
+          in
+          if List.length cycle > 3 then begin
+            let key = String.concat "->" (List.sort String.compare cycle) in
+            if not (Hashtbl.mem reported key) then begin
+              Hashtbl.add reported key ();
+              let e = Hashtbl.find reps (List.nth cycle 1, n) in
+              findings :=
+                {
+                  Report.file = e.ed_file;
+                  line = e.ed_line;
+                  col = 0;
+                  rule = Report.R6;
+                  message =
+                    Printf.sprintf
+                      "lock-order cycle %s — a potential deadlock; break the \
+                       cycle by ordering acquisitions globally"
+                      (String.concat " -> " (List.rev cycle));
+                }
+                :: !findings
+            end
+          end
+      | None -> List.iter (dfs (n :: trail)) (succs n)
+    in
+    List.iter (dfs []) nodes;
+    !findings
+  end
+
+(* --- unit + driver entry points ----------------------------------------- *)
+
+type unit_info = {
+  u_file : string;  (* source path, as recorded at compile time *)
+  u_module : string;  (* short module name, e.g. "Server" *)
+  u_str : structure;
+}
+
+let analyze ~config ~manifest units =
+  let summaries = Hashtbl.create 256 in
+  List.iter (fun u -> summarize_unit ~modname:u.u_module u.u_str summaries) units;
+  let acc = { edges = []; findings = [] } in
+  List.iter
+    (fun u ->
+      ignore
+        (fold_functions
+           ~f:(fun () name body ->
+             let qualified = u.u_module ^ "." ^ name in
+             analyze_function ~config ~acc ~summaries ~modname:u.u_module
+               ~file:u.u_file ~fname:name
+               ~dispatcher:
+                 (Manifest.is_dispatcher manifest ~func:qualified ~file:u.u_file)
+               ~hot:(Manifest.is_hot manifest ~func:qualified ~file:u.u_file)
+               body)
+           () u.u_str);
+      check_spawns ~config ~acc ~summaries ~modname:u.u_module ~file:u.u_file
+        u.u_str)
+    units;
+  let findings = lock_order_findings ~config acc.edges @ List.rev acc.findings in
+  let enabled r = Config.rule_enabled config r in
+  List.filter (fun f -> enabled f.Report.rule) findings
+
+(* --- cmt discovery ------------------------------------------------------ *)
+
+(* Unlike the source walk this must descend into dot-directories: dune
+   keeps the artifacts under [.foo.objs/byte].  [_build] inside the
+   scanned tree is fine — the scan *targets* a build directory. *)
+let rec cmt_files acc path =
+  match Sys.is_directory path with
+  | true ->
+      Array.to_list (Sys.readdir path)
+      |> List.sort String.compare
+      |> List.fold_left
+           (fun acc entry -> cmt_files acc (Filename.concat path entry))
+           acc
+  | false -> if Filename.check_suffix path ".cmt" then path :: acc else acc
+  | exception Sys_error _ -> acc
+
+(* A unit is analysable when its annotations survived and its recorded
+   source is a real [.ml] file (dune's generated alias/wrapper modules
+   carry "__" names or a .ml-gen source and are skipped). *)
+let unit_of_cmt path =
+  match Cmt_format.read_cmt path with
+  | exception _ -> Error (Printf.sprintf "unreadable cmt (skipped): %s" path)
+  | cmt -> (
+      match (cmt.Cmt_format.cmt_annots, cmt.Cmt_format.cmt_sourcefile) with
+      | Cmt_format.Implementation str, Some src
+        when Filename.check_suffix src ".ml" ->
+          let base = Filename.remove_extension (Filename.basename src) in
+          let has_dunder =
+            let rec go i =
+              i + 2 <= String.length base
+              && ((base.[i] = '_' && base.[i + 1] = '_') || go (i + 1))
+            in
+            go 0
+          in
+          if has_dunder then Error ""
+          else
+            Ok { u_file = src; u_module = module_of_source src; u_str = str }
+      | _ -> Error "")
+
+type cmt_scan = {
+  cs_units : unit_info list;
+  cs_read : int;  (* cmt files successfully decoded into units *)
+  cs_notes : string list;  (* unreadable artifacts, deterministic order *)
+}
+
+let scan_cmts ~build_dir ~within =
+  let within = List.map Config.normalize within in
+  let in_scope src =
+    let src = Config.normalize src in
+    within = []
+    || List.exists
+         (fun p ->
+           String.equal src p || String.starts_with ~prefix:(p ^ "/") src)
+         within
+  in
+  let files = List.rev (cmt_files [] build_dir) in
+  let seen = Hashtbl.create 64 in
+  let units = ref [] and read = ref 0 and notes = ref [] in
+  List.iter
+    (fun path ->
+      match unit_of_cmt path with
+      | Error "" -> ()
+      | Error note -> notes := note :: !notes
+      | Ok u ->
+          incr read;
+          if in_scope u.u_file && not (Hashtbl.mem seen u.u_file) then begin
+            Hashtbl.add seen u.u_file ();
+            units := u :: !units
+          end)
+    files;
+  {
+    cs_units =
+      List.sort (fun a b -> String.compare a.u_file b.u_file) !units;
+    cs_read = !read;
+    cs_notes = List.rev !notes;
+  }

@@ -1,0 +1,32 @@
+(** The typed pass: R6..R9 over Typedtree structures from .cmt artifacts.
+
+    The analysis is a deliberate static approximation: lexical lock
+    tracking in evaluation order, one level of intra-unit-set call
+    resolution, lock identity by [Module.field] class.  See the rule
+    docs in {!Report.rule_doc}. *)
+
+type unit_info = {
+  u_file : string;  (** source path as recorded at compile time *)
+  u_module : string;  (** unit short name, e.g. "Server" *)
+  u_str : Typedtree.structure;
+}
+
+val module_of_source : string -> string
+(** ["lib/serve/cache.ml"] -> ["Cache"]. *)
+
+val analyze :
+  config:Config.t -> manifest:Manifest.t -> unit_info list -> Report.finding list
+(** Summarise every unit, then run R6..R9 over each; findings are
+    unsorted and unsuppressed — the driver merges, suppresses and sorts. *)
+
+type cmt_scan = {
+  cs_units : unit_info list;  (** deduped by source file, sorted *)
+  cs_read : int;  (** cmt artifacts successfully decoded *)
+  cs_notes : string list;  (** unreadable artifacts, deterministic order *)
+}
+
+val scan_cmts : build_dir:string -> within:string list -> cmt_scan
+(** Walk [build_dir] (descending into dune's dot-directories) for [.cmt]
+    files whose recorded source lies under one of [within] (all sources
+    when [within] is empty).  Never raises: a broken artifact becomes a
+    note, not an exception. *)

@@ -30,6 +30,9 @@ let submit t x =
   r
 
 let pop t =
+  (* rv_lint: allow R7 -- condition-variable protocol: Condition.wait
+     atomically releases t.lock while parked, so the dispatcher's wait
+     here is the designed parking point, not a stall under the lock *)
   Mutex.lock t.lock;
   let rec next () =
     if not (Queue.is_empty t.q) then Some (Queue.pop t.q)

@@ -143,6 +143,10 @@ let recorder t = t.recorder
 (* --- writing ----------------------------------------------------------- *)
 
 let write_conn conn line =
+  (* rv_lint: allow R7 -- the per-connection write lock exists precisely
+     to serialise whole reply frames onto the socket; holding it across
+     the buffered write + flush is the framing guarantee, and it is
+     per-connection, so one slow client stalls only itself *)
   Mutex.lock conn.wlock;
   (try
      output_string conn.oc line;
@@ -807,6 +811,9 @@ let process t job =
 
 let dispatch_loop t =
   let rec loop () =
+    (* rv_lint: allow R7 -- Admission.pop's Condition.wait is the
+       dispatcher's designed parking point when the queue is empty, not
+       a stall while holding work *)
     match Admission.pop t.queue with
     | None -> ()
     | Some job ->

@@ -15,6 +15,19 @@ set -u
 
 rv_exe="${1:?usage: tsan.sh <path-to-rv.exe>}"
 
+# The static concurrency gate (rv_lint R6/R7/R9) and this dynamic race
+# gate hunt the same bugs; keep them coupled so neither drifts.  When
+# dune invokes this script via `dune build @tsan`, the alias already
+# depends on @lint (and re-entrant dune would deadlock on the build
+# lock), so only run it when invoked directly.
+if [ -z "${INSIDE_DUNE:-}" ]; then
+  echo "tsan: running the lint gate first (dune build @lint)"
+  if ! dune build @lint; then
+    echo "tsan: ABORTED (lint gate failed)" >&2
+    exit 1
+  fi
+fi
+
 config="$(ocamlfind ocamlopt -config 2>/dev/null || ocamlopt -config 2>/dev/null || true)"
 
 if ! printf '%s\n' "$config" | grep -q '^tsan:[[:space:]]*true'; then

@@ -103,7 +103,9 @@ let prop_relabel_distinct_fixed_weight =
     (fun (space, weight) ->
       let s = Relabel.scheme ~space ~weight in
       let strings = List.init space (fun i -> Relabel.apply s (i + 1)) in
-      List.length (List.sort_uniq compare strings) = space
+      List.length
+        (List.sort_uniq (Rv_util.Ord.by Bitseq.to_string Rv_util.Ord.string) strings)
+      = space
       && List.for_all
            (fun b ->
              Array.length b = s.Relabel.t && Rv_util.Combinat.weight b = weight)

@@ -313,7 +313,8 @@ let test_sample_pairs_large_space () =
   Alcotest.(check int) "capped" 64 (List.length pairs);
   Alcotest.(check bool) "valid ordered pairs" true
     (List.for_all (fun (a, b) -> 1 <= a && a < b && b <= space) pairs);
-  Alcotest.(check int) "distinct" 64 (List.length (List.sort_uniq compare pairs));
+  Alcotest.(check int) "distinct" 64
+    (List.length (List.sort_uniq (Rv_util.Ord.pair Int.compare Int.compare) pairs));
   Alcotest.(check bool) "deterministic" true
     (pairs = W.sample_pairs ~space ~max_pairs:64)
 

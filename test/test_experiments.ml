@@ -29,7 +29,8 @@ let prop_sample_pairs =
       List.length pairs > 0
       && List.length pairs <= max (max_pairs) (space * (space - 1) / 2)
       && List.for_all (fun (a, b) -> 1 <= a && a < b && b <= space) pairs
-      && List.length (List.sort_uniq compare pairs) = List.length pairs)
+      && List.length (List.sort_uniq (Rv_util.Ord.pair Int.compare Int.compare) pairs)
+         = List.length pairs)
 
 let test_sample_pairs_exhaustive_when_small () =
   Alcotest.(check int) "L=4 all pairs" 6 (List.length (W.sample_pairs ~space:4 ~max_pairs:10))

@@ -192,7 +192,7 @@ let test_tournament_cheap () =
   let path = LB.Tournament.hamiltonian_path t in
   Alcotest.(check int) "path covers all vertices" 6 (List.length path);
   Alcotest.(check int) "path is a permutation" 6
-    (List.length (List.sort_uniq compare path));
+    (List.length (List.sort_uniq Int.compare path));
   let chain = LB.Tournament.chain t path in
   Alcotest.(check int) "chain length" 5 (List.length chain);
   let durations = List.map (fun (s : LB.Tournament.chain_step) -> s.duration) chain in

@@ -81,7 +81,7 @@ let prop_permutation =
     (fun (seed, n) ->
       let t = Rng.create ~seed in
       let p = Rng.permutation t n in
-      List.sort_uniq compare (Array.to_list p) = List.init n (fun i -> i))
+      List.sort_uniq Int.compare (Array.to_list p) = List.init n (fun i -> i))
 
 let prop_shuffle_preserves =
   qtest "Rng.shuffle preserves multiset"
@@ -90,7 +90,7 @@ let prop_shuffle_preserves =
       let t = Rng.create ~seed in
       let a = Array.of_list xs in
       Rng.shuffle t a;
-      List.sort compare (Array.to_list a) = List.sort compare xs)
+      List.sort Int.compare (Array.to_list a) = List.sort Int.compare xs)
 
 let prop_sample_distinct =
   qtest "Rng.sample_distinct yields k distinct in range"
@@ -102,7 +102,7 @@ let prop_sample_distinct =
       else begin
         let s = Rng.sample_distinct t k n in
         List.length s = k
-        && List.length (List.sort_uniq compare s) = k
+        && List.length (List.sort_uniq Int.compare s) = k
         && List.for_all (fun x -> 0 <= x && x < n) s
       end)
 
@@ -180,7 +180,9 @@ let test_all_subsets () =
   check "count" 10 (List.length subsets);
   Alcotest.(check bool) "all weight 2" true
     (List.for_all (fun s -> Combinat.weight s = 2) subsets);
-  check "distinct" 10 (List.length (List.sort_uniq compare subsets));
+  check "distinct" 10
+    (List.length
+       (List.sort_uniq (Rv_util.Ord.by Bitseq.to_string Rv_util.Ord.string) subsets));
   (* Lexicographically smallest string of weight 2 is 00011. *)
   Alcotest.(check string) "first" "00011" (Bitseq.to_string (List.hd subsets))
 
