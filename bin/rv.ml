@@ -312,8 +312,22 @@ let trace_cmd =
 
 (* sweep *)
 
+let sweep_stats_report () =
+  let s = Rv_experiments.Workload.Stats.snapshot () in
+  let c = Rv_sim.Traj_cache.stats () in
+  let module WS = Rv_experiments.Workload.Stats in
+  let lookups = c.Rv_sim.Traj_cache.hits + c.Rv_sim.Traj_cache.misses in
+  let ratio = if lookups = 0 then 0. else float_of_int c.Rv_sim.Traj_cache.hits /. float_of_int lookups in
+  Printf.sprintf
+    "symmetry %s (x%d coverage), %d configs covered / %d simulated \
+     (reference %d, traj %d, interval %d); traj cache %d/%d hits (%.0f%%)"
+    s.WS.sym_group s.WS.orbit_size s.WS.covered s.WS.simulated
+    s.WS.reference_cells s.WS.traj_cells s.WS.interval_cells
+    c.Rv_sim.Traj_cache.hits lookups (100. *. ratio)
+
 let sweep_cmd =
-  let sweep graph explorer algo space max_pairs max_delay jobs jsonl csv stats metrics =
+  let sweep graph explorer algo space max_pairs max_delay all_pairs jobs jsonl csv stats
+      metrics =
     let gs, ex, algorithm = parse_common ~graph ~explorer ~algo in
     let e = Rv_experiments.Workload.e_of ex in
     let delays =
@@ -334,16 +348,23 @@ let sweep_cmd =
       match sinks with [] -> None | [ s ] -> Some s | ss -> Some (Rv_engine.Sink.tee ss)
     in
     let progress = Rv_engine.Progress.create ~total:(List.length pairs) () in
+    if stats then begin
+      Rv_experiments.Workload.Stats.reset ();
+      Rv_sim.Traj_cache.reset_stats ()
+    end;
+    let positions = if all_pairs then `All_pairs else `Fixed_first in
     let outcome =
       with_metrics metrics (fun () ->
           with_pool jobs (fun pool ->
               Rv_experiments.Workload.worst_for ?pool ?sink ~progress
                 ~graph_spec:gs.Spec.spec ~g:gs.Spec.g ~algorithm ~space ~explorer:ex
-                ~pairs ~positions:`Fixed_first ~delays ()))
+                ~pairs ~positions ~delays ()))
     in
     Option.iter Rv_engine.Sink.close sink;
-    if stats then
+    if stats then begin
       Printf.eprintf "rv: sweep: %s\n%!" (Rv_engine.Progress.report progress);
+      Printf.eprintf "rv: sweep: %s\n%!" (sweep_stats_report ())
+    end;
     match outcome with
     | Error msg ->
         prerr_endline ("rv: rendezvous failure during sweep: " ^ msg);
@@ -374,6 +395,17 @@ let sweep_cmd =
     Arg.(value & opt int 8 & info [ "pairs" ] ~doc:"Maximum number of label pairs to sweep.")
   in
   let max_delay = Arg.(value & opt int 8 & info [ "max-delay" ] ~doc:"Largest wake-up delay.") in
+  let all_pairs =
+    Arg.(
+      value & flag
+      & info [ "all-pairs" ]
+          ~doc:
+            "Sweep every ordered starting-position pair instead of pinning \
+             agent A to node 0.  On vertex-transitive graphs the sweep \
+             evaluates only one representative per symmetry orbit and \
+             replays the rest (disable with RV_NO_SYM=1; the output is \
+             byte-identical either way).")
+  in
   let jsonl =
     Arg.(
       value & opt (some string) None
@@ -391,13 +423,17 @@ let sweep_cmd =
   let stats =
     Arg.(
       value & flag
-      & info [ "stats" ] ~doc:"Print sweep counters (tasks, worst-so-far, elapsed) to stderr.")
+      & info [ "stats" ]
+          ~doc:
+            "Print sweep counters to stderr: tasks and worst-so-far, plus the \
+             symmetry coverage multiplier, per-kernel cell counts (reference \
+             / trajectory / interval) and the trajectory-cache hit ratio.")
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Worst-case time/cost over starts, delays and labels")
     Term.(
       const sweep $ graph_arg $ explorer_arg $ algo_arg $ space_arg $ max_pairs $ max_delay
-      $ jobs_arg $ jsonl $ csv $ stats $ metrics_arg)
+      $ all_pairs $ jobs_arg $ jsonl $ csv $ stats $ metrics_arg)
 
 (* explore *)
 
@@ -513,35 +549,50 @@ let lb_cmd =
 (* exp *)
 
 let exp_cmd =
-  let exp ids all markdown jobs metrics =
+  let exp ids all markdown stats jobs metrics =
     let emit t =
       if markdown then print_string (Table.render_markdown t ^ "\n") else Table.print t
     in
-    with_metrics metrics @@ fun () ->
-    with_pool jobs (fun pool ->
-        if all then List.iter (fun (_, t) -> emit t) (Rv_experiments.Report.all ?pool ())
-        else if ids = [] then begin
-          Printf.printf "available experiments: %s\n"
-            (String.concat ", " Rv_experiments.Report.ids);
-          Printf.printf "use 'rv exp A B ...' or 'rv exp --all'\n"
-        end
-        else
-          List.iter
-            (fun id ->
-              match Rv_experiments.Report.by_id id with
-              | Some f -> emit (f ?pool ())
-              | None ->
-                  prerr_endline ("rv: unknown experiment " ^ id);
-                  exit 1)
-            ids)
+    if stats then begin
+      Rv_experiments.Workload.Stats.reset ();
+      Rv_sim.Traj_cache.reset_stats ()
+    end;
+    (with_metrics metrics @@ fun () ->
+     with_pool jobs (fun pool ->
+         if all then List.iter (fun (_, t) -> emit t) (Rv_experiments.Report.all ?pool ())
+         else if ids = [] then begin
+           Printf.printf "available experiments: %s\n"
+             (String.concat ", " Rv_experiments.Report.ids);
+           Printf.printf "use 'rv exp A B ...' or 'rv exp --all'\n"
+         end
+         else
+           List.iter
+             (fun id ->
+               match Rv_experiments.Report.by_id id with
+               | Some f -> emit (f ?pool ())
+               | None ->
+                   prerr_endline ("rv: unknown experiment " ^ id);
+                   exit 1)
+             ids));
+    if stats then Printf.eprintf "rv: exp: %s\n%!" (sweep_stats_report ())
   in
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (A..M, G2).") in
   let all = Arg.(value & flag & info [ "all" ] ~doc:"Print every experiment table.") in
   let markdown =
     Arg.(value & flag & info [ "md"; "markdown" ] ~doc:"Emit GitHub-flavoured markdown.")
   in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print sweep kernel counters to stderr after the tables: per-path \
+             cell counts (reference / trajectory / interval), the symmetry \
+             coverage multiplier and the trajectory-cache hit ratio, summed \
+             over every sweep the selected experiments ran.")
+  in
   Cmd.v (Cmd.info "exp" ~doc:"Print experiment tables from the DESIGN.md index")
-    Term.(const exp $ ids $ all $ markdown $ jobs_arg $ metrics_arg)
+    Term.(const exp $ ids $ all $ markdown $ stats $ jobs_arg $ metrics_arg)
 
 (* selftest *)
 

@@ -39,6 +39,30 @@ let map_array ?pool ?chunk n f =
           Array.map (function Some v -> v | None -> assert false) slots
       | Some _ | None -> sequential n f)
 
+let map_nested ?pool ?chunk counts f =
+  let outers = Array.length counts in
+  let total = Array.fold_left (fun acc c ->
+      if c < 0 then invalid_arg "Sweep.map_nested: negative count";
+      acc + c) 0 counts
+  in
+  (* Flatten the ragged (outer, inner) space onto one task index space so
+     the pool balances across outers of very different sizes — an
+     orbit-reduced sweep can concentrate most of its work in a few
+     outers.  The subtask count is [total], fixed by [counts] alone, so
+     the task decomposition (and hence the result) is identical for
+     every pool size. *)
+  let outer_of = Array.make (max total 1) 0 in
+  let off = Array.make (outers + 1) 0 in
+  for o = 0 to outers - 1 do
+    off.(o + 1) <- off.(o) + counts.(o);
+    Array.fill outer_of off.(o) counts.(o) o
+  done;
+  let flat = map_array ?pool ?chunk total (fun k ->
+      let o = outer_of.(k) in
+      f o (k - off.(o)))
+  in
+  Array.init outers (fun o -> Array.sub flat off.(o) counts.(o))
+
 let map_reduce ?pool ?chunk ~n ~map ~merge ~init () =
   Array.fold_left merge init (map_array ?pool ?chunk n map)
 

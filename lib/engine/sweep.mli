@@ -18,6 +18,18 @@ val map_array : ?pool:Pool.t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
     parallel when a multi-domain [pool] is supplied.  Sequentially the
     calls happen in increasing index order. *)
 
+val map_nested :
+  ?pool:Pool.t -> ?chunk:int -> int array -> (int -> int -> 'a) -> 'a array array
+(** [map_nested counts f] is the ragged array
+    [[| [| f 0 0; ... |]; [| f 1 0; ... |]; ... |]] with
+    [Array.length result.(o) = counts.(o)], evaluated over the
+    {e flattened} index space: the pool balances across all
+    [sum counts] cells rather than across the outer index alone.  An
+    orbit-reduced sweep uses this to split one label pair's
+    representative cells into subtasks without making the decomposition
+    (or the result) depend on the pool size — the subtask space is a
+    pure function of [counts]. *)
+
 val map_reduce :
   ?pool:Pool.t ->
   ?chunk:int ->

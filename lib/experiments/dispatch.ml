@@ -1,0 +1,76 @@
+module Ex = Rv_explore.Explorer
+
+type features = { configs : int; build_rounds : int; probe_rounds : int }
+
+type constants = { build_ns : float; scan_ns : float; sim_ns : float }
+
+(* Calibration kernels: two agents walking clockwise on an oriented ring
+   at constant separation — they never meet, never cross, so every loop
+   runs its full horizon and the measured figure is a clean per-round
+   cost.  8192 rounds keeps the whole thing in cache and under a
+   millisecond; the minimum of three reps discards scheduler noise.
+   Timing uses Rv_obs.Obs.now_us, the tree's one sanctioned clock — the
+   result steers only which byte-equivalent kernel runs, never any
+   result byte, so determinism (lint R1's concern) is preserved. *)
+let calib_rounds = 8192
+
+let time_ns_per_round f =
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = Rv_obs.Obs.now_us () in
+    f ();
+    let dt = Rv_obs.Obs.now_us () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best *. 1000.0 /. float_of_int calib_rounds
+
+let calibrate () =
+  let g = Rv_graph.Ring.oriented 8 in
+  let step _obs = Ex.Move 0 in
+  let ta = Rv_sim.Traj.of_schedule ~g ~start:0 ~rounds:calib_rounds step in
+  let tb = Rv_sim.Traj.of_schedule ~g ~start:4 ~rounds:calib_rounds step in
+  let build_ns =
+    time_ns_per_round (fun () ->
+        ignore (Rv_sim.Traj.of_schedule ~g ~start:0 ~rounds:calib_rounds step))
+  in
+  let scan_ns =
+    time_ns_per_round (fun () ->
+        ignore
+          (Rv_sim.Traj.meet ~a:ta ~b:tb ~delay_a:0 ~delay_b:0 ~max_rounds:calib_rounds))
+  in
+  let sim_ns =
+    time_ns_per_round (fun () ->
+        ignore
+          (Rv_sim.Sim.run ~g ~max_rounds:calib_rounds
+             { Rv_sim.Sim.start = 0; delay = 0; step }
+             { Rv_sim.Sim.start = 4; delay = 0; step }))
+  in
+  { build_ns; scan_ns; sim_ns }
+
+let cache : constants option Atomic.t = Atomic.make None
+
+let constants () =
+  match Atomic.get cache with
+  | Some c -> c
+  | None ->
+      let c = calibrate () in
+      (* First finished measurement wins; a concurrent loser adopts it so
+         every caller in the process applies the same model. *)
+      if Atomic.compare_and_set cache None (Some c) then c
+      else ( match Atomic.get cache with Some c' -> c' | None -> c)
+
+let decide c f =
+  let work = float_of_int (max 1 f.configs) *. float_of_int (max 1 f.probe_rounds) in
+  (c.build_ns *. float_of_int (max 0 f.build_rounds)) +. (c.scan_ns *. work)
+  < c.sim_ns *. work
+
+let use_traj f = decide (constants ()) f
+
+(* Below this many configurations a sweep finishes in tens of
+   microseconds on either kernel, and the probe — one full reference
+   simulation plus the feature computation — is a measurable fraction of
+   the whole sweep: deciding costs more than any decision can save.
+   Callers skip the probe and keep the reference path.  The trajectory
+   path's wins (3x+) all come from sweeps orders of magnitude past the
+   floor. *)
+let small_sweep_configs = 128

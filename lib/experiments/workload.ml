@@ -1,6 +1,8 @@
 module R = Rv_core.Rendezvous
 module Adv = Rv_sim.Adversary
 module Rng = Rv_util.Rng
+module Pg = Rv_graph.Port_graph
+module Sym = Rv_graph.Symmetry
 module Engine_sweep = Rv_engine.Sweep
 module Sink = Rv_engine.Sink
 module Progress = Rv_engine.Progress
@@ -85,17 +87,93 @@ let sample_pairs ~space ~max_pairs =
 
 let expand_positions ~g = function
   | `Pairs l -> l
-  | `Fixed_first -> List.init (Rv_graph.Port_graph.n g - 1) (fun i -> (0, i + 1))
+  | `Fixed_first -> List.init (Pg.n g - 1) (fun i -> (0, i + 1))
   | `All_pairs ->
-      let n = Rv_graph.Port_graph.n g in
+      let n = Pg.n g in
       List.concat_map
         (fun a ->
           List.filter_map (fun b -> if a <> b then Some (a, b) else None)
             (List.init n (fun b -> b)))
         (List.init n (fun a -> a))
 
-let worst_for ?model ?(fast = true) ?pool ?sink ?progress ?graph_spec ~g ~algorithm
-    ~space ~explorer ~pairs ~positions ~delays () =
+type dispatch = [ `Auto | `Fast | `Reference ]
+
+(* --- sweep accounting -------------------------------------------------- *)
+
+module Stats = struct
+  type snapshot = {
+    covered : int;
+    simulated : int;
+    reference_cells : int;
+    traj_cells : int;
+    interval_cells : int;
+    sym_group : string;
+    orbit_size : int;
+  }
+
+  let covered = Atomic.make 0
+
+  let reference_cells = Atomic.make 0
+
+  let traj_cells = Atomic.make 0
+
+  let interval_cells = Atomic.make 0
+
+  let sym_group = Atomic.make "off"
+
+  let orbit = Atomic.make 1
+
+  let snapshot () =
+    let reference_cells = Atomic.get reference_cells in
+    let traj_cells = Atomic.get traj_cells in
+    let interval_cells = Atomic.get interval_cells in
+    {
+      covered = Atomic.get covered;
+      simulated = reference_cells + traj_cells + interval_cells;
+      reference_cells;
+      traj_cells;
+      interval_cells;
+      sym_group = Atomic.get sym_group;
+      orbit_size = Atomic.get orbit;
+    }
+
+  let reset () =
+    Atomic.set covered 0;
+    Atomic.set reference_cells 0;
+    Atomic.set traj_cells 0;
+    Atomic.set interval_cells 0;
+    Atomic.set sym_group "off";
+    Atomic.set orbit 1
+end
+
+(* Per-task cell counts, flushed to the process-wide atomics once per
+   task — the hot loop never touches shared state. *)
+type tally = { mutable ref_c : int; mutable traj_c : int; mutable intv_c : int }
+
+let flush_tally t =
+  if t.ref_c > 0 then ignore (Atomic.fetch_and_add Stats.reference_cells t.ref_c);
+  if t.traj_c > 0 then ignore (Atomic.fetch_and_add Stats.traj_cells t.traj_c);
+  if t.intv_c > 0 then ignore (Atomic.fetch_and_add Stats.interval_cells t.intv_c)
+
+(* Walk-family equivariance: two trajectories of the same label from
+   automorphism-related starts are images of each other iff they take
+   the same port sequence (by induction, port preservation then forces
+   [pos'(r) = phi (pos r)] — see DESIGN.md §3.6).  Integer arrays, no
+   polymorphic compare. *)
+let same_ports (t0 : Rv_sim.Traj.t) (t1 : Rv_sim.Traj.t) =
+  t0.Rv_sim.Traj.rounds = t1.Rv_sim.Traj.rounds
+  && t0.Rv_sim.Traj.first_move = t1.Rv_sim.Traj.first_move
+  &&
+  let ok = ref true and r = ref 0 in
+  let p0 = t0.Rv_sim.Traj.port and p1 = t1.Rv_sim.Traj.port in
+  while !ok && !r <= t0.Rv_sim.Traj.rounds do
+    if Array.unsafe_get p0 !r <> Array.unsafe_get p1 !r then ok := false;
+    incr r
+  done;
+  !ok
+
+let worst_for ?model ?(dispatch = `Auto) ?(sym = true) ?pool ?sink ?progress
+    ?graph_spec ~g ~algorithm ~space ~explorer ~pairs ~positions ~delays () =
   (* Positions vary inside the sweep, and map-based explorers need the
      true start, so expand the position space here instead of going
      through [Adversary.sweep], whose factories are blind to starts. *)
@@ -103,24 +181,171 @@ let worst_for ?model ?(fast = true) ?pool ?sink ?progress ?graph_spec ~g ~algori
   let graph_spec =
     match graph_spec with
     | Some s -> s
-    | None -> Printf.sprintf "n=%d" (Rv_graph.Port_graph.n g)
+    | None -> Printf.sprintf "n=%d" (Pg.n g)
   in
   let algo_name = R.name algorithm in
-  (* Fast path: in the waiting model an agent's walk is a pure function
-     of (algorithm, label, start), so materialize each walk once
-     (Rv_sim.Traj) and find meetings by scanning the arrays under each
-     delay offset, instead of re-running the round-by-round simulator
-     per configuration.  Trajectories are memoized per domain
-     (Rv_sim.Traj_cache), so a label's walk is reused across every
-     partner, position and delay its tasks touch.  The parachute model
-     (presence depends on the wake round — no purity) and deep-trace
-     runs (per-phase spans need the live simulator) keep the reference
-     path, as does RV_NO_TRAJ=1 or [~fast:false]. *)
-  let use_fast =
-    fast
-    && (match model with None | Some Rv_sim.Sim.Waiting -> true | Some Rv_sim.Sim.Parachute -> false)
+  let n = Pg.n g in
+  let model_v = match model with None -> Rv_sim.Sim.Waiting | Some m -> m in
+  let non_empty = function [] -> false | _ :: _ -> true in
+  let have_work = non_empty pairs && non_empty expand && non_empty delays in
+  (* Trajectory-path eligibility.  Deep-trace runs (per-phase spans need
+     the live simulator) keep the reference path, as does RV_NO_TRAJ=1
+     or [~dispatch:`Reference].  The parachute model is served by
+     Traj.meet_intervals — walks are model-independent, presence only
+     gates detection — so it is no longer excluded. *)
+  let traj_allowed =
+    (match dispatch with `Reference -> false | `Fast | `Auto -> true)
     && Sys.getenv_opt "RV_NO_TRAJ" = None
     && not (Rv_obs.Obs.deep ())
+  in
+  let build_traj ~label ~start =
+    let ex = explorer ~start in
+    let sched = R.schedule algorithm ~space ~label ~explorer:ex in
+    Rv_sim.Traj.of_blocks ~g ~start
+      (List.map
+         (function
+           | Rv_core.Schedule.Pause k -> Rv_sim.Traj.Still k
+           | Rv_core.Schedule.Explore e ->
+               Rv_sim.Traj.Run
+                 (e.Rv_explore.Explorer.fresh (), e.Rv_explore.Explorer.bound))
+         sched)
+  in
+  (* --- symmetry reduction ---------------------------------------------
+     Only the full ordered-pair space can be quotiented (Fixed_first is
+     already a rotation transversal; explicit pair lists carry caller
+     intent).  The group is detected from scratch with checked witnesses
+     (Rv_graph.Symmetry), and the walk family is then certified
+     equivariant label by label — an explorer like a global Hamiltonian
+     walk follows node identities, not observations, and silently breaks
+     orbit invariance, so certification failure falls back to the
+     unreduced sweep rather than trusting the graph alone. *)
+  let sym_wanted =
+    sym
+    && Sys.getenv_opt "RV_NO_SYM" = None
+    && (match positions with `All_pairs -> true | `Fixed_first | `Pairs _ -> false)
+    && have_work
+  in
+  let symq =
+    if not sym_wanted then None
+    else
+      let s = Sym.detect g in
+      if not (Sym.reducible s) then begin
+        Atomic.set Stats.sym_group "none";
+        Atomic.set Stats.orbit 1;
+        None
+      end
+      else begin
+        let labels =
+          List.sort_uniq Int.compare (List.concat_map (fun (a, b) -> [ a; b ]) pairs)
+        in
+        let autos = Sym.automorphisms s in
+        let certified =
+          List.for_all
+            (fun label ->
+              let t0 = build_traj ~label ~start:0 in
+              let ok = ref true and i = ref 1 in
+              while !ok && !i < Array.length autos do
+                if not (same_ports t0 (build_traj ~label ~start:autos.(!i).(0))) then
+                  ok := false;
+                incr i
+              done;
+              !ok)
+            labels
+        in
+        if certified then begin
+          Atomic.set Stats.sym_group (Sym.group_name s);
+          Atomic.set Stats.orbit (Sym.orbit_size s);
+          Some s
+        end
+        else begin
+          Atomic.set Stats.sym_group (Sym.group_name s ^ "/uncertified");
+          Atomic.set Stats.orbit 1;
+          None
+        end
+      end
+  in
+  if not sym_wanted then begin
+    Atomic.set Stats.sym_group "off";
+    Atomic.set Stats.orbit 1
+  end;
+  (* Representative cells per label pair: under a certified reduction the
+     canonical pairs are exactly (0, c) for c in 1..n-1 (free transitive
+     action), 1/orbit of the full ordered-pair space. *)
+  let reps_per_pair =
+    match symq with Some _ -> n - 1 | None -> List.length expand
+  in
+  (* --- adaptive dispatch ----------------------------------------------
+     `Auto probes the sweep's first configuration through the reference
+     simulator and feeds the measured cost model (Dispatch): builds plus
+     scans versus simulations.  The probe's outcome is reused as that
+     configuration's result — both paths agree exactly — so probing does
+     no duplicate work. *)
+  let configs = List.length pairs * reps_per_pair * List.length delays in
+  let probes =
+    match (dispatch, have_work) with
+    | `Auto, true when traj_allowed && configs >= Dispatch.small_sweep_configs
+      -> (
+        match (pairs, expand, delays) with
+        | (la, lb) :: _, (pa, pb) :: _, (da, db) :: _ ->
+            let run_one (da, db) =
+              let out =
+                R.run ?model ~g ~explorer ~algorithm ~space
+                  { R.label = la; start = pa; delay = da }
+                  { R.label = lb; start = pb; delay = db }
+              in
+              ( (la, lb, pa, pb, da, db),
+                (out.Rv_sim.Sim.meeting_round, out.Rv_sim.Sim.cost,
+                 out.Rv_sim.Sim.rounds_run) )
+            in
+            (* Two-point probe: the first delay pair and the last one.
+               Delay lists put the adversarial offsets at the end, so a
+               single first-config probe (which usually meets almost
+               immediately) would undersell the reference simulator's
+               cost across the sweep and flip near-pivot decisions on
+               calibration noise.  Both outcomes are reused as those
+               configurations' results, so the extra probe does no
+               duplicate work either. *)
+            let last = List.nth delays (List.length delays - 1) in
+            if last = (da, db) then [ run_one (da, db) ]
+            else [ run_one (da, db); run_one last ]
+        | _ -> [])
+    | _ -> []
+  in
+  let use_fast =
+    traj_allowed
+    &&
+    match dispatch with
+    | `Fast -> true
+    | `Reference -> false
+    | `Auto -> (
+        match probes with
+        | [] -> false
+        | probes ->
+            let uniq side xs = List.sort_uniq Int.compare (List.map side xs) in
+            let labels_a = uniq fst pairs and labels_b = uniq snd pairs in
+            let starts_a, starts_b =
+              match symq with
+              | Some _ -> (1, n - 1)
+              | None ->
+                  (List.length (uniq fst expand), List.length (uniq snd expand))
+            in
+            (* Building a trajectory only pays per *active* round:
+               of_blocks materializes Pause segments with Array.fill, so
+               a label-scaled waiting schedule costs its Explore rounds
+               (the traversal budget), not its duration. *)
+            let active_of label =
+              Rv_core.Schedule.traversal_budget
+                (R.schedule algorithm ~space ~label ~explorer:(explorer ~start:0))
+            in
+            let sum ls = List.fold_left (fun acc l -> acc + active_of l) 0 ls in
+            let build_rounds = (sum labels_a * starts_a) + (sum labels_b * starts_b) in
+            let probe_rounds =
+              let total =
+                List.fold_left (fun acc (_, (_, _, r)) -> acc + r) 0 probes
+              in
+              (total + List.length probes - 1) / List.length probes
+            in
+            Dispatch.use_traj { Dispatch.configs; build_rounds; probe_rounds })
   in
   (* The reference path checks per run that both agents' explorers
      declare the same bound E (Rendezvous.run); replicate the check up
@@ -136,68 +361,79 @@ let worst_for ?model ?(fast = true) ?pool ?sink ?progress ?graph_spec ~g ~algori
       expand;
   let cache =
     if not use_fast then None
-    else
-      Some
-        (Rv_sim.Traj_cache.create
-           ~build:(fun ~label ~start ->
-             let ex = explorer ~start in
-             let sched = R.schedule algorithm ~space ~label ~explorer:ex in
-             Rv_sim.Traj.of_blocks ~g ~start
-               (List.map
-                  (function
-                    | Rv_core.Schedule.Pause k -> Rv_sim.Traj.Still k
-                    | Rv_core.Schedule.Explore e ->
-                        Rv_sim.Traj.Run (e.Rv_explore.Explorer.fresh (), e.Rv_explore.Explorer.bound))
-                  sched))
-           ())
+    else Some (Rv_sim.Traj_cache.create ~build:build_traj ())
   in
   (* Simulate one configuration; returns the outcome fields the sweep
-     consumes.  Both paths agree exactly (property-tested in
-     test/test_traj.ml, re-asserted at bench time and by CI's
-     RV_NO_TRAJ byte comparison). *)
-  let simulate ~la ~lb ~pa ~pb ~da ~db =
-    match cache with
-    | Some cache ->
-        if la = lb then invalid_arg "Rendezvous.run: labels must be distinct";
-        let ta = Rv_sim.Traj_cache.get cache ~label:la ~start:pa in
-        let tb = Rv_sim.Traj_cache.get cache ~label:lb ~start:pb in
-        let max_rounds =
-          max (ta.Rv_sim.Traj.rounds + da) (tb.Rv_sim.Traj.rounds + db) + 1
-        in
-        let m = Rv_sim.Traj.meet ~a:ta ~b:tb ~delay_a:da ~delay_b:db ~max_rounds in
-        (m.Rv_sim.Traj.meeting_round, m.Rv_sim.Traj.cost, m.Rv_sim.Traj.rounds_run)
-    | None ->
-        let out =
-          R.run ?model ~g ~explorer ~algorithm ~space
-            { R.label = la; start = pa; delay = da }
-            { R.label = lb; start = pb; delay = db }
-        in
-        (out.Rv_sim.Sim.meeting_round, out.Rv_sim.Sim.cost, out.Rv_sim.Sim.rounds_run)
+     consumes.  All paths agree exactly (property-tested in
+     test/test_traj.ml for both models, re-asserted at bench time and by
+     CI's RV_NO_TRAJ / RV_NO_SYM byte comparisons). *)
+  let simulate tally ~la ~lb ~pa ~pb ~da ~db =
+    let reused =
+      List.find_opt
+        (fun ((pla, plb, ppa, ppb, pda, pdb), _) ->
+          la = pla && lb = plb && pa = ppa && pb = ppb && da = pda && db = pdb)
+        probes
+    in
+    match reused with
+    | Some (_, out) ->
+        tally.ref_c <- tally.ref_c + 1;
+        out
+    | None -> (
+        match cache with
+        | Some cache ->
+            if la = lb then invalid_arg "Rendezvous.run: labels must be distinct";
+            let ta = Rv_sim.Traj_cache.get cache ~label:la ~start:pa in
+            let tb = Rv_sim.Traj_cache.get cache ~label:lb ~start:pb in
+            let max_rounds =
+              max (ta.Rv_sim.Traj.rounds + da) (tb.Rv_sim.Traj.rounds + db) + 1
+            in
+            let m =
+              match model_v with
+              | Rv_sim.Sim.Waiting ->
+                  tally.traj_c <- tally.traj_c + 1;
+                  Rv_sim.Traj.meet ~a:ta ~b:tb ~delay_a:da ~delay_b:db ~max_rounds
+              | Rv_sim.Sim.Parachute ->
+                  tally.intv_c <- tally.intv_c + 1;
+                  Rv_sim.Traj.meet_intervals ~a:ta ~b:tb ~delay_a:da ~delay_b:db
+                    ~max_rounds
+            in
+            (m.Rv_sim.Traj.meeting_round, m.Rv_sim.Traj.cost, m.Rv_sim.Traj.rounds_run)
+        | None ->
+            tally.ref_c <- tally.ref_c + 1;
+            let out =
+              R.run ?model ~g ~explorer ~algorithm ~space
+                { R.label = la; start = pa; delay = da }
+                { R.label = lb; start = pb; delay = db }
+            in
+            (out.Rv_sim.Sim.meeting_round, out.Rv_sim.Sim.cost, out.Rv_sim.Sim.rounds_run))
   in
-  (* One task per label pair.  A task touches nothing shared: graphs are
-     immutable, explorer state is created fresh per simulation (and the
-     trajectory cache is domain-local), and the task's records are
-     buffered locally and emitted by the caller during the in-order
-     merge — so the sink's byte stream is identical for any pool size. *)
   let obs = Rv_obs.Obs.enabled () in
-  let run_pair (la, lb) =
-    if obs then
-      Rv_obs.Obs.begin_span ~cat:"workload"
-        ~args:[ ("la", Rv_obs.Json.Int la); ("lb", Rv_obs.Json.Int lb) ]
-        "workload.pair";
+  let pair_arr = Array.of_list pairs in
+  let delay_arr = Array.of_list delays in
+  (* Replay one label pair's configuration stream against an outcome
+     lookup, in the exact order the unreduced sweep visits it (positions
+     outer, delays inner, lazily stopped by the first failure), emitting
+     records and folding the worst cell.  The unreduced path passes the
+     live simulator as [outcome_of]; the reduced path passes the
+     representative table — the byte stream is identical either way
+     because every outcome field is orbit-invariant and the failure
+     message embeds the {e actual} starts. *)
+  let replay ~la ~lb ~outcome_of =
     let worst_t = ref 0 and worst_c = ref 0 in
     let failure = ref None in
     let recorded = ref [] in
+    let covered = ref 0 in
     List.iter
       (fun (pa, pb) ->
-        List.iter
-          (fun (da, db) ->
-            if !failure = None then begin
-              let meeting_round, cost, rounds_run = simulate ~la ~lb ~pa ~pb ~da ~db in
+        Array.iteri
+          (fun d (da, db) ->
+            if Option.is_none !failure then begin
+              let meeting_round, cost, rounds_run = outcome_of ~pa ~pb ~d ~da ~db in
+              incr covered;
               (match sink with
               | None -> ()
               | Some _ ->
-                  let met = meeting_round <> None in
+                  let met = Option.is_some meeting_round in
                   recorded :=
                     {
                       Rv_engine.Record.graph = graph_spec;
@@ -225,31 +461,106 @@ let worst_for ?model ?(fast = true) ?pool ?sink ?progress ?graph_spec ~g ~algori
                          "%s: no rendezvous (labels %d/%d, starts %d/%d, delays %d/%d)"
                          algo_name la lb pa pb da db)
             end)
-          delays)
+          delay_arr)
       expand;
     Option.iter Progress.tick progress;
-    if obs then begin
-      Rv_obs.Counter.count "workload.pairs" 1;
-      Rv_obs.Obs.end_span ()
-    end;
+    ignore (Atomic.fetch_and_add Stats.covered !covered);
     let result =
       match !failure with None -> Ok (!worst_t, !worst_c) | Some e -> Error e
     in
     (result, List.rev !recorded)
   in
-  let pair_arr = Array.of_list pairs in
-  let outcomes =
-    Engine_sweep.map_array ?pool ~chunk:1 (Array.length pair_arr) (fun i ->
-        run_pair pair_arr.(i))
+  let merge outcomes =
+    Array.fold_left
+      (fun acc (result, recorded) ->
+        Option.iter (fun s -> List.iter (Sink.emit s) recorded) sink;
+        match (acc, result) with
+        | Error _, _ -> acc
+        | Ok _, Error e -> Error e
+        | Ok (at, ac), Ok (t, c) -> Ok (max at t, max ac c))
+      (Ok (0, 0)) outcomes
   in
-  Array.fold_left
-    (fun acc (result, recorded) ->
-      Option.iter (fun s -> List.iter (Sink.emit s) recorded) sink;
-      match (acc, result) with
-      | Error _, _ -> acc
-      | Ok _, Error e -> Error e
-      | Ok (at, ac), Ok (t, c) -> Ok (max at t, max ac c))
-    (Ok (0, 0)) outcomes
+  match symq with
+  | None ->
+      (* One task per label pair.  A task touches nothing shared: graphs
+         are immutable, explorer state is created fresh per simulation
+         (and the trajectory cache is domain-local), and the task's
+         records are buffered locally and emitted by the caller during
+         the in-order merge — so the sink's byte stream is identical for
+         any pool size. *)
+      let run_pair (la, lb) =
+        if obs then
+          Rv_obs.Obs.begin_span ~cat:"workload"
+            ~args:[ ("la", Rv_obs.Json.Int la); ("lb", Rv_obs.Json.Int lb) ]
+            "workload.pair";
+        let tally = { ref_c = 0; traj_c = 0; intv_c = 0 } in
+        let r =
+          replay ~la ~lb ~outcome_of:(fun ~pa ~pb ~d:_ ~da ~db ->
+              simulate tally ~la ~lb ~pa ~pb ~da ~db)
+        in
+        flush_tally tally;
+        if obs then begin
+          Rv_obs.Counter.count "workload.pairs" 1;
+          Rv_obs.Obs.end_span ()
+        end;
+        r
+      in
+      merge
+        (Engine_sweep.map_array ?pool ~chunk:1 (Array.length pair_arr) (fun i ->
+             run_pair pair_arr.(i)))
+  | Some s ->
+      (* Orbit-reduced sweep: simulate only the canonical representatives
+         (0, c) — 1/orbit of the pair space — then replay the full space
+         through the representative table.  Representative cells are
+         computed eagerly (a pair whose replay fails early may therefore
+         simulate cells the lazy unreduced sweep would have skipped —
+         invisible in the output, which stops at the failure exactly like
+         the unreduced stream), and split into deterministic subtasks so
+         the pool balances inside a pair (Sweep.map_nested: the subtask
+         space depends only on the cell counts, never on the pool). *)
+      let reps = n - 1 in
+      let nd = Array.length delay_arr in
+      let chunks_per_pair = min 8 reps in
+      let base = reps / chunks_per_pair and extra = reps mod chunks_per_pair in
+      let chunk_lo j = (j * base) + min j extra in
+      let counts = Array.make (Array.length pair_arr) chunks_per_pair in
+      let run_chunk o j =
+        let la, lb = pair_arr.(o) in
+        if obs then
+          Rv_obs.Obs.begin_span ~cat:"workload"
+            ~args:[ ("la", Rv_obs.Json.Int la); ("lb", Rv_obs.Json.Int lb) ]
+            "workload.rep_chunk";
+        let tally = { ref_c = 0; traj_c = 0; intv_c = 0 } in
+        let lo = chunk_lo j and hi = chunk_lo (j + 1) in
+        let out = Array.make ((hi - lo) * nd) (None, 0, 0) in
+        for i = lo to hi - 1 do
+          let pb = i + 1 in
+          for d = 0 to nd - 1 do
+            let da, db = delay_arr.(d) in
+            out.(((i - lo) * nd) + d) <- simulate tally ~la ~lb ~pa:0 ~pb ~da ~db
+          done
+        done;
+        flush_tally tally;
+        if obs then Rv_obs.Obs.end_span ();
+        out
+      in
+      let chunked = Engine_sweep.map_nested ?pool ~chunk:1 counts run_chunk in
+      merge
+        (Array.mapi
+           (fun o per_chunk ->
+             let la, lb = pair_arr.(o) in
+             let table = Array.concat (Array.to_list per_chunk) in
+             (* table.((c - 1) * nd + d) is the outcome of representative
+                (0, c) under delay d; canon_pair maps any (pa, pb) to its
+                representative in O(1). *)
+             let r =
+               replay ~la ~lb ~outcome_of:(fun ~pa ~pb ~d ~da:_ ~db:_ ->
+                   let _, c = Sym.canon_pair s pa pb in
+                   table.(((c - 1) * nd) + d))
+             in
+             if obs then Rv_obs.Counter.count "workload.pairs" 1;
+             r)
+           chunked)
 
 let ring_delays ~e =
   let ds = List.sort_uniq Int.compare [ 0; 1; e / 2; e; e + 1 ] in

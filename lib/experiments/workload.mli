@@ -12,9 +12,44 @@ val sample_pairs : space:int -> max_pairs:int -> (int * int) list
     capped at [max_pairs].  All pairs are returned when the space is small
     enough. *)
 
+type dispatch = [ `Auto | `Fast | `Reference ]
+(** Kernel selection for {!worst_for}: [`Reference] forces the
+    round-by-round simulator ({!Rv_sim.Sim.run}); [`Fast] forces the
+    trajectory path; [`Auto] (the default) probes the sweep's first
+    configuration and picks whichever the measured cost model
+    ({!Dispatch}) predicts is cheaper.  The choice never affects
+    results — the paths are byte-equivalent — only how fast they
+    arrive. *)
+
+module Stats : sig
+  type snapshot = {
+    covered : int;
+        (** configurations accounted for in the output stream (each
+            orbit representative counts once per orbit member) *)
+    simulated : int;  (** configurations actually evaluated (sum below) *)
+    reference_cells : int;  (** evaluated by {!Rv_sim.Sim.run} *)
+    traj_cells : int;  (** evaluated by {!Rv_sim.Traj.meet} *)
+    interval_cells : int;  (** evaluated by {!Rv_sim.Traj.meet_intervals} *)
+    sym_group : string;
+        (** the last sweep's symmetry outcome: ["off"] (not attempted),
+            ["none"] (no usable group), ["order-<k>/uncertified"] (group
+            found, walk family failed certification), or ["order-<k>"]
+            (reduction active) *)
+    orbit_size : int;  (** coverage multiplier; 1 unless reduction ran *)
+  }
+
+  val snapshot : unit -> snapshot
+  (** Process-wide counts since start or the last {!reset} (cell
+      counters accumulate across sweeps; the sym fields describe the
+      most recent {!worst_for} call). *)
+
+  val reset : unit -> unit
+end
+
 val worst_for :
   ?model:Rv_sim.Sim.model ->
-  ?fast:bool ->
+  ?dispatch:dispatch ->
+  ?sym:bool ->
   ?pool:Rv_engine.Pool.t ->
   ?sink:Rv_engine.Sink.t ->
   ?progress:Rv_engine.Progress.t ->
@@ -31,26 +66,46 @@ val worst_for :
 (** Worst [(time, cost)] over the cross product of label pairs, starting
     positions and delays.  [Error] on any failed rendezvous.
 
-    [fast] (default [true]) serves waiting-model sweeps from the
-    trajectory cache: each agent walk (a pure function of algorithm,
-    label and start) is materialized once per worker domain
-    ({!Rv_sim.Traj}, {!Rv_sim.Traj_cache}) and every configuration
-    becomes an array scan under a delay offset instead of a full
-    {!Rv_sim.Sim.run}.  Outcomes — including the byte stream written to
-    [sink] — are identical to the reference path; the parachute model
-    and deep-trace runs ({!Rv_obs.Obs.deep}) always use the reference
-    simulator, and setting the [RV_NO_TRAJ] environment variable forces
-    it globally (CI compares the two byte streams).
+    {b Kernel dispatch.}  [dispatch] (default [`Auto]) selects between
+    the reference simulator and the trajectory path, which materializes
+    each agent walk once per worker domain ({!Rv_sim.Traj},
+    {!Rv_sim.Traj_cache}) and turns every configuration into an array
+    scan under a delay offset — {!Rv_sim.Traj.meet} for the waiting
+    model, {!Rv_sim.Traj.meet_intervals} for the parachute model.
+    Outcomes — including the byte stream written to [sink] — are
+    identical on every path; deep-trace runs ({!Rv_obs.Obs.deep}) always
+    use the reference simulator, and setting the [RV_NO_TRAJ]
+    environment variable forces it globally (CI compares the byte
+    streams).
 
-    [pool] parallelizes over label pairs (one task per pair, dynamic
-    chunk scheduling); results — including the byte stream written to
-    [sink] — are bit-for-bit identical to the sequential run because the
-    per-pair outcomes are merged in pair order on the calling domain (see
+    {b Symmetry reduction.}  When [positions] is [`All_pairs], [sym] is
+    [true] (the default) and the [RV_NO_SYM] environment variable is
+    unset, the sweep detects the graph's port-preserving automorphism
+    group ({!Rv_graph.Symmetry}), certifies that every label's walk is
+    equivariant under it (port-sequence comparison per automorphism —
+    explorers that follow node identities rather than observations fail
+    here and fall back to the unreduced sweep), and then evaluates only
+    the canonical representative [(0, c)] of each position-pair orbit —
+    [1/orbit_size] of the space — replaying the full configuration
+    stream through the representative table.  The output — worst cell
+    and every sink byte — is identical to the unreduced sweep (CI
+    byte-compares against [RV_NO_SYM=1]); the only observable difference
+    is eagerness: a failing pair's representatives are all evaluated
+    even though the replayed stream stops at the failure.
+    [`Fixed_first] is never reduced — under a free transitive action it
+    is already an orbit transversal of the [(0, i)] pairs.
+
+    [pool] parallelizes over label pairs (one task per pair; under
+    reduction, deterministic per-pair subtasks via
+    {!Rv_engine.Sweep.map_nested}); results — including the byte stream
+    written to [sink] — are bit-for-bit identical to the sequential run
+    because outcomes are merged in pair order on the calling domain (see
     {!Rv_engine.Sweep}).  [sink] receives one {!Rv_engine.Record.t} per
-    simulated configuration, tagged with [graph_spec] (default:
-    ["n=<nodes>"]).  [progress] counters are updated live from worker
-    domains: one {!Rv_engine.Progress.tick} per pair, one
-    [observe] per meeting. *)
+    covered configuration, tagged with [graph_spec] (default:
+    ["n=<nodes>"]).  [progress] counters: one {!Rv_engine.Progress.tick}
+    per pair, one [observe] per meeting.  Cell counts, cache traffic and
+    the symmetry outcome are reported through {!Stats} and
+    {!Rv_sim.Traj_cache.stats}. *)
 
 val ring_delays : e:int -> (int * int) list
 (** The adversarial delay set used by the delay-tolerant experiments:

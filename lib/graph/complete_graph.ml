@@ -9,4 +9,20 @@ let make n =
   done;
   Build.of_ports ~n !quads
 
+(* Circulant port numbering: port p at node u leads to u + p + 1 (mod n),
+   so the translation x -> x + t preserves every port and the graph
+   carries the full rotation group Z_n.  The rank numbering of [make]
+   (port_of u v = if v < u then v else v - 1) admits no nonidentity
+   port-preserving automorphism at all (Symmetry.detect proves it), so
+   symmetry-reduced sweeps over complete graphs need this constructor. *)
+let circulant n =
+  if n < 3 then invalid_arg "Complete_graph.circulant: need n >= 3";
+  let quads = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      quads := (u, v - u - 1, v, n - (v - u) - 1) :: !quads
+    done
+  done;
+  Build.of_ports ~n !quads
+
 let hamiltonian_cycle n = List.init n (fun i -> i)

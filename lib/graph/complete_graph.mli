@@ -6,5 +6,14 @@ val make : int -> Port_graph.t
     increasing order ([port p] leads to node [p] when [p < u], to [p + 1]
     otherwise). *)
 
+val circulant : int -> Port_graph.t
+(** [circulant n] with [n >= 3]: the same complete graph with circulant
+    port numbering — port [p] at node [u] leads to node [u + p + 1 mod n]
+    (entered through port [n - p - 2]).  Unlike {!make}, whose rank
+    numbering admits no nonidentity port-preserving automorphism, this
+    numbering is preserved by all [n] rotations, so {!Symmetry.detect}
+    finds a full transitive group and sweeps can be orbit-reduced. *)
+
 val hamiltonian_cycle : int -> int list
-(** The cycle [0; 1; ...; n-1]. *)
+(** The cycle [0; 1; ...; n-1] (a Hamiltonian cycle in both port
+    numberings). *)

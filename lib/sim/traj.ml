@@ -127,7 +127,104 @@ let scan_const pos d r1 r2 node =
   done;
   !found
 
-let meet ~a ~b ~delay_a ~delay_b ~max_rounds =
+(* The shared segment scan behind {!meet} and {!meet_intervals}.  [from]
+   is the round the detection window opens: meetings and crossings in
+   rounds [<= from] are invisible.  The waiting model opens at 0 (both
+   agents count from round 1); the parachute model opens at the later
+   normalized delay — before that round the sleeping agent has not been
+   placed, so co-location does not end the run (Sim.present).
+
+   The scan walks segments of constant agent state instead of single
+   rounds.  In absolute rounds, agent [x] is {e pinned} at its start
+   through round [s_x] (asleep, plus any wait prefix of its schedule —
+   for the rendezvous algorithms that prefix is the bulk of the walk),
+   {e active} through round [e_x], and pinned at its final node
+   afterwards.  Within a segment — a maximal interval crossing none of
+   the four boundaries — a pinned pair can only meet at the segment's
+   first detectable round (their nodes are fixed; in the waiting model
+   that round was already compared by an earlier segment, in the
+   parachute model it is the placement round of the later agent), a
+   pinned/active pair reduces to scanning one position array for a
+   constant ([scan_const]) with no crossing possible (the pinned agent
+   takes no port), and only the active/active segments run the full
+   meeting-plus-crossing loop.  Equivalence with the round-by-round
+   reference simulator is property-tested in test/test_traj.ml for both
+   models.
+
+   Returns [(round, node, crossings)] with [node = -1] when no meeting
+   was found (nodes are non-negative; the sentinel keeps the loop free
+   of option allocations — this is the hottest loop in the tree, R8). *)
+let meet_scan ~a ~b ~da ~db ~horizon ~from =
+  let ra = a.rounds and rb = b.rounds in
+  let pos_a = a.pos and pos_b = b.pos in
+  let port_a = a.port and port_b = b.port in
+  let crossings = ref 0 in
+  let meet_node = ref (-1) in
+  let r = ref (if from < horizon then from else horizon) in
+  let sa = da + min (a.first_move - 1) ra and ea = da + ra in
+  let sb = db + min (b.first_move - 1) rb and eb = db + rb in
+  let fin_a = pos_a.(ra) and fin_b = pos_b.(rb) in
+  while !r < horizon && !meet_node < 0 do
+    let lo = !r in
+    let hi = ref horizon in
+    if sa > lo && sa < !hi then hi := sa;
+    if ea > lo && ea < !hi then hi := ea;
+    if sb > lo && sb < !hi then hi := sb;
+    if eb > lo && eb < !hi then hi := eb;
+    let hi = !hi in
+    let a_pinned = lo >= ea || lo < sa and b_pinned = lo >= eb || lo < sb in
+    if a_pinned && b_pinned then begin
+      let na = if lo < sa then a.start else fin_a in
+      let nb = if lo < sb then b.start else fin_b in
+      if na = nb then begin
+        (* With [from = 0] this is unreachable from distinct starts — a
+           pinned pair on the same node was co-located one round earlier,
+           which a previous segment already detected.  With a positive
+           [from] it is the parachute placement meeting: the later agent
+           lands on (or finishes next to) a finished partner. *)
+        r := lo + 1;
+        meet_node := na
+      end
+      else r := hi
+    end
+    else if a_pinned || b_pinned then begin
+      let node =
+        if a_pinned then if lo < sa then a.start else fin_a
+        else if lo < sb then b.start
+        else fin_b
+      in
+      let f =
+        if a_pinned then scan_const pos_b db (lo + 1) hi node
+        else scan_const pos_a da (lo + 1) hi node
+      in
+      if f > 0 then begin
+        r := f;
+        meet_node := node
+      end
+      else r := hi
+    end
+    else begin
+      let prev_a = ref pos_a.(lo - da) and prev_b = ref pos_b.(lo - db) in
+      while !r < hi && !meet_node < 0 do
+        incr r;
+        let la = !r - da and lb = !r - db in
+        let pa = Array.unsafe_get pos_a la and pb = Array.unsafe_get pos_b lb in
+        if
+          pa = !prev_b && pb = !prev_a
+          && Array.unsafe_get port_a la >= 0
+          && Array.unsafe_get port_b lb >= 0
+        then incr crossings;
+        if pa = pb then meet_node := pa
+        else begin
+          prev_a := pa;
+          prev_b := pb
+        end
+      done
+    end
+  done;
+  (!r, !meet_node, !crossings)
+
+let meet_with ~span ~from_of ~a ~b ~delay_a ~delay_b ~max_rounds =
   if a.start = b.start then invalid_arg "Traj.meet: agents must start at distinct nodes";
   if delay_a < 0 || delay_b < 0 then invalid_arg "Traj.meet: negative delay";
   (* Same normalization as Sim.run: the first [min delay] rounds are
@@ -137,106 +234,33 @@ let meet ~a ~b ~delay_a ~delay_b ~max_rounds =
   let da = delay_a - skip and db = delay_b - skip in
   let horizon = max 0 (max_rounds - skip) in
   let scan () =
-    let ra = a.rounds and rb = b.rounds in
-    let pos_a = a.pos and pos_b = b.pos in
-    let port_a = a.port and port_b = b.port in
-    let crossings = ref 0 in
-    let meeting = ref None in
-    let r = ref 0 in
-    (* The scan walks segments of constant agent state instead of single
-       rounds.  In absolute rounds, agent [x] is {e pinned} at its start
-       through round [s_x] (asleep, plus any wait prefix of its schedule
-       — for the rendezvous algorithms that prefix is the bulk of the
-       walk), {e active} through round [e_x], and pinned at its final
-       node afterwards.  Within a segment — a maximal interval crossing
-       none of the four boundaries — a pinned pair cannot meet (their
-       nodes are fixed and, by induction, were already compared when
-       last reachable), a pinned/active pair reduces to scanning one
-       position array for a constant ([scan_const]) with no crossing
-       possible (the pinned agent takes no port), and only the
-       active/active segments run the full meeting-plus-crossing loop.
-       Equivalence with the round-by-round reference simulator is
-       property-tested in test/test_traj.ml. *)
-    let sa = da + min (a.first_move - 1) ra and ea = da + ra in
-    let sb = db + min (b.first_move - 1) rb and eb = db + rb in
-    let fin_a = pos_a.(ra) and fin_b = pos_b.(rb) in
-    while !r < horizon && !meeting = None do
-      let lo = !r in
-      let hi = ref horizon in
-      if sa > lo && sa < !hi then hi := sa;
-      if ea > lo && ea < !hi then hi := ea;
-      if sb > lo && sb < !hi then hi := sb;
-      if eb > lo && eb < !hi then hi := eb;
-      let hi = !hi in
-      let a_pinned = lo >= ea || lo < sa and b_pinned = lo >= eb || lo < sb in
-      if a_pinned && b_pinned then begin
-        let na = if lo < sa then a.start else fin_a in
-        let nb = if lo < sb then b.start else fin_b in
-        if na = nb then begin
-          (* Unreachable from distinct starts — a pinned pair on the same
-             node was co-located one round earlier, which a previous
-             segment already detected — but kept as a safety net. *)
-          r := lo + 1;
-          meeting := Some na
-        end
-        else r := hi
-      end
-      else if a_pinned || b_pinned then begin
-        let mp, md, node =
-          if a_pinned then (pos_b, db, if lo < sa then a.start else fin_a)
-          else (pos_a, da, if lo < sb then b.start else fin_b)
-        in
-        let f = scan_const mp md (lo + 1) hi node in
-        if f > 0 then begin
-          r := f;
-          meeting := Some node
-        end
-        else r := hi
-      end
-      else begin
-        let prev_a = ref pos_a.(lo - da) and prev_b = ref pos_b.(lo - db) in
-        while !r < hi && !meeting = None do
-          incr r;
-          let la = !r - da and lb = !r - db in
-          let pa = Array.unsafe_get pos_a la and pb = Array.unsafe_get pos_b lb in
-          if
-            pa = !prev_b && pb = !prev_a
-            && Array.unsafe_get port_a la >= 0
-            && Array.unsafe_get port_b lb >= 0
-          then incr crossings;
-          if pa = pb then meeting := Some pa
-          else begin
-            prev_a := pa;
-            prev_b := pb
-          end
-        done
-      end
-    done;
-    if Rv_obs.Obs.enabled () then Rv_obs.Histogram.observe "traj.scan_rounds" !r;
-    let cost_a = cost_at a (!r - da) and cost_b = cost_at b (!r - db) in
-    match !meeting with
-    | Some node ->
-        {
-          met = true;
-          meeting_round = Some (!r + skip);
-          meeting_node = Some node;
-          cost = cost_a + cost_b;
-          cost_a;
-          cost_b;
-          rounds_run = !r + skip;
-          crossings = !crossings;
-        }
-    | None ->
-        {
-          met = false;
-          meeting_round = None;
-          meeting_node = None;
-          cost = cost_a + cost_b;
-          cost_a;
-          cost_b;
-          rounds_run = !r + skip;
-          crossings = !crossings;
-        }
+    let r, node, crossings =
+      meet_scan ~a ~b ~da ~db ~horizon ~from:(from_of ~da ~db)
+    in
+    if Rv_obs.Obs.enabled () then Rv_obs.Histogram.observe "traj.scan_rounds" r;
+    let cost_a = cost_at a (r - da) and cost_b = cost_at b (r - db) in
+    if node >= 0 then
+      {
+        met = true;
+        meeting_round = Some (r + skip);
+        meeting_node = Some node;
+        cost = cost_a + cost_b;
+        cost_a;
+        cost_b;
+        rounds_run = r + skip;
+        crossings;
+      }
+    else
+      {
+        met = false;
+        meeting_round = None;
+        meeting_node = None;
+        cost = cost_a + cost_b;
+        cost_a;
+        cost_b;
+        rounds_run = r + skip;
+        crossings;
+      }
   in
   if Rv_obs.Obs.enabled () then
     Rv_obs.Obs.span ~cat:"traj"
@@ -246,5 +270,20 @@ let meet ~a ~b ~delay_a ~delay_b ~max_rounds =
           ("delay_b", Rv_obs.Json.Int delay_b);
           ("max_rounds", Rv_obs.Json.Int max_rounds);
         ]
-      "traj.scan" scan
+      span scan
   else scan ()
+
+let waiting_from ~da:_ ~db:_ = 0
+
+(* Parachute: the later agent is placed at the end of round [max da db]
+   (normalized), and Sim.run's first presence-gated comparison is after
+   the moves of the following round — so the detection window opens at
+   exactly that boundary. *)
+let parachute_from ~da ~db = if da > db then da else db
+
+let meet ~a ~b ~delay_a ~delay_b ~max_rounds =
+  meet_with ~span:"traj.scan" ~from_of:waiting_from ~a ~b ~delay_a ~delay_b ~max_rounds
+
+let meet_intervals ~a ~b ~delay_a ~delay_b ~max_rounds =
+  meet_with ~span:"traj.scan_intervals" ~from_of:parachute_from ~a ~b ~delay_a ~delay_b
+    ~max_rounds

@@ -14,10 +14,16 @@
     model (same meeting round, node, costs, crossings and round cap
     semantics, including the delay normalization documented there); the
     equivalence is property-tested in [test/test_traj.ml] and asserted
-    at bench time on full sweeps.  The {e parachute} model is
-    deliberately out of scope: there an agent's presence depends on its
-    wake round, so a run is not a pure function of the two solo walks
-    (see DESIGN.md, "Trajectory cache"). *)
+    at bench time on full sweeps.
+
+    The {e parachute} model is served by {!meet_intervals}: the walks
+    themselves are model-independent ({!Sim}'s agents wait until their
+    wake round in both models, so position and port arrays are
+    identical), and parachute presence only gates {e detection} — both
+    agents are present exactly from round [max delay_a delay_b + 1]
+    onwards.  The parachute scan is therefore the waiting scan with the
+    detection window opened at that boundary instead of at round 1
+    (see DESIGN.md §3.6). *)
 
 type t = private {
   start : int;  (** starting node; [pos.(0)] *)
@@ -103,3 +109,13 @@ val meet : a:t -> b:t -> delay_a:int -> delay_b:int -> max_rounds:int -> meeting
     When {!Rv_obs.Obs} is enabled, each call emits one ["traj.scan"]
     span and observes the scanned length in the ["traj.scan_rounds"]
     histogram. *)
+
+val meet_intervals :
+  a:t -> b:t -> delay_a:int -> delay_b:int -> max_rounds:int -> meeting
+(** [meet_intervals] is {!meet} for the {e parachute} model: identical
+    walks and delay normalization, but meetings and crossings are only
+    detectable from round [max delay_a delay_b + 1] onwards — before
+    that the later agent has not been placed ({!Sim.run}'s presence
+    gate).  Reproduces {!Sim.run} [~model:Parachute] exactly on every
+    outcome field; property-tested in [test/test_traj.ml].  Emits a
+    ["traj.scan_intervals"] span when observation is enabled. *)

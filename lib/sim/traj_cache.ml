@@ -22,6 +22,22 @@ end)
 
 let default_budget_rounds = 2_000_000
 
+(* Process-wide accounting, always on (unlike the Obs counters below,
+   which only tick when observation is enabled): `rv sweep --stats`
+   reports hit ratios without paying for a trace.  One fetch_and_add
+   per lookup — negligible next to even a memoized scan. *)
+type stats = { hits : int; misses : int }
+
+let hit_count = Atomic.make 0
+
+let miss_count = Atomic.make 0
+
+let stats () = { hits = Atomic.get hit_count; misses = Atomic.get miss_count }
+
+let reset_stats () =
+  Atomic.set hit_count 0;
+  Atomic.set miss_count 0
+
 type ctx = { id : int; budget : int; build : label:int -> start:int -> Traj.t }
 
 let next_id = Atomic.make 0
@@ -60,6 +76,7 @@ let get ctx ~label ~start =
   let key = (label, start) in
   match Tbl.find_opt slot.cur key with
   | Some t ->
+      ignore (Atomic.fetch_and_add hit_count 1);
       if Rv_obs.Obs.enabled () then Rv_obs.Counter.count "traj.cache_hits" 1;
       t
   | None -> (
@@ -69,9 +86,11 @@ let get ctx ~label ~start =
              generation so the next rotation keeps it. *)
           Tbl.remove slot.prev key;
           add_current ctx slot key t;
+          ignore (Atomic.fetch_and_add hit_count 1);
           if Rv_obs.Obs.enabled () then Rv_obs.Counter.count "traj.cache_hits" 1;
           t
       | None ->
+          ignore (Atomic.fetch_and_add miss_count 1);
           if Rv_obs.Obs.enabled () then Rv_obs.Counter.count "traj.cache_misses" 1;
           let t =
             Rv_obs.Obs.span ~cat:"traj"

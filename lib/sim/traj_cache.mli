@@ -35,3 +35,15 @@ val create :
 
 val get : ctx -> label:int -> start:int -> Traj.t
 (** Memoized [build ~label ~start] in the calling domain's table. *)
+
+type stats = { hits : int; misses : int }
+(** Process-wide lookup accounting across all generations and domains.
+    Unlike the Obs counters, these are always on — [rv sweep --stats]
+    reports hit ratios without enabling a trace. *)
+
+val stats : unit -> stats
+(** Counts since process start or the last {!reset_stats}. *)
+
+val reset_stats : unit -> unit
+(** Zero the process-wide counters (sweep entry points call this so
+    [--stats] reports per-invocation ratios). *)

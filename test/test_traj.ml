@@ -86,6 +86,15 @@ let test_of_blocks_matches_of_schedule () =
 
 (* -------------------------------------------- property: meet == Sim.run *)
 
+let scripted actions =
+  let remaining = ref actions in
+  fun (_ : Ex.observation) ->
+    match !remaining with
+    | [] -> Ex.Wait
+    | a :: rest ->
+        remaining := rest;
+        a
+
 let check_meet_matches_run ~id ~g ~explorer ~algorithm ~space ~la ~lb ~pa ~pb ~da
     ~db =
   let out =
@@ -99,6 +108,33 @@ let check_meet_matches_run ~id ~g ~explorer ~algorithm ~space ~la ~lb ~pa ~pb ~d
      uses): schedule duration plus the later wake, plus one. *)
   let max_rounds = max (ta.Traj.rounds + da) (tb.Traj.rounds + db) + 1 in
   let m = Traj.meet ~a:ta ~b:tb ~delay_a:da ~delay_b:db ~max_rounds in
+  Alcotest.(check bool) (id ^ " met") out.Sim.met m.Traj.met;
+  Alcotest.(check (option int))
+    (id ^ " meeting_round") out.Sim.meeting_round m.Traj.meeting_round;
+  Alcotest.(check (option int))
+    (id ^ " meeting_node") out.Sim.meeting_node m.Traj.meeting_node;
+  Alcotest.(check int) (id ^ " cost") out.Sim.cost m.Traj.cost;
+  Alcotest.(check int) (id ^ " cost_a") out.Sim.cost_a m.Traj.cost_a;
+  Alcotest.(check int) (id ^ " cost_b") out.Sim.cost_b m.Traj.cost_b;
+  Alcotest.(check int) (id ^ " rounds_run") out.Sim.rounds_run m.Traj.rounds_run;
+  Alcotest.(check int) (id ^ " crossings") out.Sim.crossings m.Traj.crossings
+
+(* Same property for the parachute model: walks are model-independent
+   (both agents follow their schedules; presence only gates detection),
+   so meet_intervals — the scan with the detection window opened at the
+   later wake — must reproduce Sim.run under ~model:Parachute field for
+   field, including the absent-until-wake boundary cases. *)
+let check_meet_intervals_matches_run ~id ~g ~explorer ~algorithm ~space ~la ~lb
+    ~pa ~pb ~da ~db =
+  let out =
+    R.run ~model:Sim.Parachute ~g ~explorer ~algorithm ~space
+      { R.label = la; start = pa; delay = da }
+      { R.label = lb; start = pb; delay = db }
+  in
+  let ta = traj_of ~g ~algorithm ~space ~explorer ~label:la ~start:pa in
+  let tb = traj_of ~g ~algorithm ~space ~explorer ~label:lb ~start:pb in
+  let max_rounds = max (ta.Traj.rounds + da) (tb.Traj.rounds + db) + 1 in
+  let m = Traj.meet_intervals ~a:ta ~b:tb ~delay_a:da ~delay_b:db ~max_rounds in
   Alcotest.(check bool) (id ^ " met") out.Sim.met m.Traj.met;
   Alcotest.(check (option int))
     (id ^ " meeting_round") out.Sim.meeting_round m.Traj.meeting_round;
@@ -149,16 +185,68 @@ let test_meet_matches_sim_run () =
         [ R.Cheap; R.Fast; R.Fwr 2 ])
     (families ())
 
-(* ------------------------------------------- crossing at the wake boundary *)
+let test_meet_intervals_matches_sim_run () =
+  let rng = Rng.create ~seed:0x9e11 in
+  let space = 16 in
+  List.iter
+    (fun (fam, g, explorer) ->
+      let n = Pg.n g in
+      let e = (explorer ~start:0).Ex.bound in
+      List.iter
+        (fun algorithm ->
+          for draw = 1 to 12 do
+            let la = 1 + Rng.int rng space in
+            let lb =
+              let l = 1 + Rng.int rng (space - 1) in
+              if l >= la then l + 1 else l
+            in
+            let pa = Rng.int rng n in
+            let pb =
+              let p = Rng.int rng (n - 1) in
+              if p >= pa then p + 1 else p
+            in
+            let d () =
+              Rng.choose rng [| 0; 1; 2; e - 1; e; e + 1; (2 * e) + 2 |]
+            in
+            let shift = if Rng.bool rng then d () else 0 in
+            let da = d () + shift and db = d () + shift in
+            let id =
+              Printf.sprintf "%s %s parachute draw%d (l %d/%d, s %d/%d, d %d/%d)"
+                fam (R.name algorithm) draw la lb pa pb da db
+            in
+            check_meet_intervals_matches_run ~id ~g ~explorer ~algorithm ~space
+              ~la ~lb ~pa ~pb ~da ~db
+          done)
+        [ R.Cheap; R.Fast; R.Fwr 2 ])
+    (families ());
+  (* Placement meeting with both agents pinned: A's schedule ends on the
+     sleeper's node, but the sleeper is absent through its delay rounds —
+     the earliest detectable round is its first present round (delay+1),
+     after both schedules have run out.  (The waiting model would meet at
+     round 3.) *)
+  let g = Rv_graph.Ring.oriented 6 in
+  let walker =
+    Traj.of_schedule ~g ~start:0 ~rounds:3
+      (scripted [ Ex.Move 0; Ex.Move 0; Ex.Move 0 ])
+  in
+  let sleeper = Traj.of_schedule ~g ~start:3 ~rounds:0 (scripted []) in
+  let m =
+    Traj.meet_intervals ~a:walker ~b:sleeper ~delay_a:0 ~delay_b:5 ~max_rounds:10
+  in
+  Alcotest.(check bool) "placement meeting" true m.Traj.met;
+  Alcotest.(check (option int)) "at the later wake" (Some 6) m.Traj.meeting_round;
+  let out =
+    Sim.run ~model:Sim.Parachute ~g ~max_rounds:10
+      { Sim.start = 0; delay = 0; step = scripted [ Ex.Move 0; Ex.Move 0; Ex.Move 0 ] }
+      { Sim.start = 3; delay = 5; step = scripted [] }
+  in
+  Alcotest.(check (option int))
+    "sim agrees on placement" out.Sim.meeting_round m.Traj.meeting_round;
+  (* Waiting-model contrast on the same walks. *)
+  let mw = Traj.meet ~a:walker ~b:sleeper ~delay_a:0 ~delay_b:5 ~max_rounds:10 in
+  Alcotest.(check (option int)) "waiting meets at arrival" (Some 3) mw.Traj.meeting_round
 
-let scripted actions =
-  let remaining = ref actions in
-  fun (_ : Ex.observation) ->
-    match !remaining with
-    | [] -> Ex.Wait
-    | a :: rest ->
-        remaining := rest;
-        a
+(* ------------------------------------------- crossing at the wake boundary *)
 
 let test_crossing_at_delay_boundary () =
   (* Ring of 6.  A walks clockwise every round from node 0; B wakes with
@@ -279,21 +367,24 @@ let test_workload_fast_matches_reference () =
       let pairs = W.sample_pairs ~space ~max_pairs:6 in
       let delays = W.ring_delays ~e in
       List.iter
-        (fun algorithm ->
-          let run fast =
-            let sink = Rv_engine.Sink.memory () in
-            let result =
-              W.worst_for ~fast ~g ~algorithm ~space ~explorer ~pairs
-                ~positions:`Fixed_first ~delays ~sink ()
-            in
-            (result, Rv_engine.Sink.records sink)
-          in
-          let rf, recf = run true in
-          let rr, recr = run false in
-          let id = Printf.sprintf "%s %s" fam (R.name algorithm) in
-          Alcotest.(check bool) (id ^ " same worst") true (rf = rr);
-          Alcotest.(check bool) (id ^ " same records") true (recf = recr))
-        [ R.Cheap; R.Fast; R.Fwr 2 ])
+        (fun (mname, model) ->
+          List.iter
+            (fun algorithm ->
+              let run dispatch =
+                let sink = Rv_engine.Sink.memory () in
+                let result =
+                  W.worst_for ~model ~dispatch ~g ~algorithm ~space ~explorer
+                    ~pairs ~positions:`Fixed_first ~delays ~sink ()
+                in
+                (result, Rv_engine.Sink.records sink)
+              in
+              let rf, recf = run `Fast in
+              let rr, recr = run `Reference in
+              let id = Printf.sprintf "%s %s %s" fam mname (R.name algorithm) in
+              Alcotest.(check bool) (id ^ " same worst") true (rf = rr);
+              Alcotest.(check bool) (id ^ " same records") true (recf = recr))
+            [ R.Cheap; R.Fast; R.Fwr 2 ])
+        [ ("waiting", Sim.Waiting); ("parachute", Sim.Parachute) ])
     (families ())
 
 let () =
@@ -304,6 +395,8 @@ let () =
           tc "of_blocks == of_schedule (3 families)" test_of_blocks_matches_of_schedule;
           tc "meet == Sim.run (3 families x 3 algorithms, random draws)"
             test_meet_matches_sim_run;
+          tc "meet_intervals == Sim.run parachute (same sweep + placement)"
+            test_meet_intervals_matches_sim_run;
           tc "crossing at the delay boundary" test_crossing_at_delay_boundary;
           tc "meeting at the wake boundary" test_meeting_at_wake_boundary;
         ] );
