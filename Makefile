@@ -1,6 +1,6 @@
 # Convenience entry points; every target is a thin wrapper over dune.
 
-.PHONY: all build test lint baseline tsan bench clean
+.PHONY: all build test lint baseline tsan bench chaos fuzz clean
 
 all: build
 
@@ -29,6 +29,20 @@ tsan:
 
 bench:
 	dune exec bench/main.exe
+
+# Full fault-injection pass: the scenario catalog against a self-spawned
+# server, then a 60s soak writing BENCH_chaos.json (same as the CI
+# chaos-smoke job's core; scripts/chaos_smoke.sh is the long version).
+chaos:
+	dune build bin/rv.exe
+	dune exec bin/rv.exe -- chaos
+	dune exec bin/rv.exe -- chaos --soak 60
+
+# Quick differential fuzz sweep (Traj vs Sim, serve vs direct, sym
+# on/off); a mismatch shrinks to a fixture under test/fixtures/.
+fuzz:
+	dune build bin/rv.exe
+	dune exec bin/rv.exe -- fuzz --cells 500
 
 clean:
 	dune clean

@@ -13,6 +13,8 @@
      bake     precompute a worst-case index over a parameter lattice
      serve    TCP query server (index, admission control, result cache, drain)
      loadgen  deterministic load harness for a running serve instance
+     chaos    fault-injection scenario catalog / soak mode against rv serve
+     fuzz     differential fuzzing (Traj vs Sim, serve vs direct, sym on/off)
      obs      tail/watch/dump a running serve's anomaly flight recorder
      version  build identity and feature flags *)
 
@@ -1076,10 +1078,10 @@ let serve_cmd =
 (* loadgen *)
 
 let loadgen_cmd =
-  let loadgen port conns requests seed mix dump json =
+  let loadgen port conns requests seed mix churn dump json =
     let mix = or_die (Rv_serve.Loadgen.mix_of_string mix) in
     let s =
-      or_die (Rv_serve.Loadgen.run ~port ~conns ~requests ~seed ~mix ())
+      or_die (Rv_serve.Loadgen.run ~port ~conns ~requests ~seed ~mix ~churn ())
     in
     if dump then List.iter print_endline s.Rv_serve.Loadgen.transcript;
     if json then
@@ -1111,6 +1113,15 @@ let loadgen_cmd =
             "Request mix: cached, mixed, heavy or index (index cycles the \
              canonical bake lattice — see rv bake).")
   in
+  let churn =
+    Arg.(
+      value & opt int 0
+      & info [ "churn" ] ~docv:"N"
+          ~doc:
+            "Additionally run N deterministic connect/one-request/disconnect \
+             cycles from a dedicated thread — reproducible registry churn \
+             mixed into the seeded stream.")
+  in
   let dump =
     Arg.(
       value & flag
@@ -1126,7 +1137,266 @@ let loadgen_cmd =
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:"Drive a running rv serve instance with a seeded deterministic load")
-    Term.(const loadgen $ port_arg $ conns $ requests $ seed $ mix $ dump $ json)
+    Term.(
+      const loadgen $ port_arg $ conns $ requests $ seed $ mix $ churn $ dump
+      $ json)
+
+(* chaos / fuzz — the rv_chaos harness.
+
+   Both spawn an in-process server on an ephemeral port when --port is 0
+   (the default), so `rv chaos` and `rv fuzz` work standalone in CI; a
+   nonzero --port targets an externally started rv serve instead. *)
+
+let chaos_host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Server address.")
+
+let chaos_port_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "p"; "port" ] ~docv:"PORT"
+        ~doc:
+          "Target server port; 0 (the default) spawns an in-process rv \
+           serve on an ephemeral port for the duration of the run.")
+
+let chaos_seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Scenario/cell seed.")
+
+(* Spawn the in-process target when [port = 0]; the returned finalizer
+   drains it.  The queue is kept small so the storm scenario's burst
+   (2 x cap + 4) stays cheap. *)
+let with_chaos_server ~port ~queue ~jobs f =
+  if port <> 0 then f port
+  else begin
+    let jobs = if jobs > 0 then jobs else 1 in
+    let server =
+      Rv_serve.Server.start
+        { Rv_serve.Server.default_config with port = 0; jobs; queue_cap = queue }
+    in
+    Fun.protect
+      ~finally:(fun () -> Rv_serve.Server.stop server)
+      (fun () -> f (Rv_serve.Server.port server))
+  end
+
+let chaos_queue_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "queue" ] ~docv:"N"
+        ~doc:"Admission-queue bound for the spawned in-process server.")
+
+let chaos_cmd =
+  let chaos port host seed only soak sample_period drift_frac out queue jobs =
+    with_chaos_server ~port ~queue ~jobs @@ fun port ->
+    match soak with
+    | Some duration_s ->
+        let r =
+          or_die
+            (Rv_chaos.Soak.run ~sample_period_s:sample_period ~drift_frac
+               ~host ~port ~duration_s ~seed ())
+        in
+        Rv_chaos.Soak.print_report stdout r;
+        Rv_engine.Sink.write_file_atomic out (fun oc ->
+            output_string oc
+              (Rv_obs.Json.to_string (Rv_chaos.Soak.report_json r));
+            output_char oc '\n');
+        Printf.printf "wrote %s\n%!" out;
+        if not r.Rv_chaos.Soak.r_pass then exit 1
+    | None ->
+        let only = match only with [] -> None | l -> Some l in
+        let outcomes =
+          or_die (Rv_chaos.Scenario.run_all ?only ~host ~port ~seed ())
+        in
+        let failed =
+          List.filter (fun o -> not o.Rv_chaos.Scenario.o_passed) outcomes
+        in
+        List.iter
+          (fun o ->
+            Printf.printf "%-24s %s  %s\n" o.Rv_chaos.Scenario.o_name
+              (if o.Rv_chaos.Scenario.o_passed then "ok  " else "FAIL")
+              o.Rv_chaos.Scenario.o_detail)
+          outcomes;
+        Printf.printf "chaos: %d/%d scenarios passed\n%!"
+          (List.length outcomes - List.length failed)
+          (List.length outcomes);
+        (match failed with [] -> () | _ -> exit 1)
+  in
+  let only =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "only" ] ~docv:"NAME"
+          ~doc:
+            ("Run only this scenario (repeatable).  Catalog: "
+            ^ String.concat ", " Rv_chaos.Scenario.names
+            ^ "."))
+  in
+  let soak =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "soak" ] ~docv:"SECONDS"
+          ~doc:
+            "Soak mode: run the mixed hostile+clean workload for this long \
+             while scraping Prometheus gauges, fit a drift line per gauge \
+             and fail on non-flat memory or stuck connections.")
+  in
+  let sample_period =
+    Arg.(
+      value & opt float 1.0
+      & info [ "sample-period" ] ~docv:"SECONDS"
+          ~doc:"Soak telemetry scrape interval.")
+  in
+  let drift_frac =
+    Arg.(
+      value & opt float 0.25
+      & info [ "drift-frac" ] ~docv:"FRAC"
+          ~doc:
+            "Soak flatness tolerance: fitted growth over the window must \
+             stay within this fraction of the gauge's mean (floored above \
+             allocator noise).")
+  in
+  let out =
+    Arg.(
+      value & opt string "BENCH_chaos.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Soak report destination.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the fault-injection scenario catalog (or --soak) against an \
+          rv serve instance and assert the serving contract")
+    Term.(
+      const chaos $ chaos_port_arg $ chaos_host_arg $ chaos_seed_arg $ only
+      $ soak $ sample_period $ drift_frac $ out $ chaos_queue_arg $ jobs_arg)
+
+let fuzz_cmd =
+  let fuzz port seed cells budget plant checks fixture_dir repro no_serve queue
+      jobs =
+    let checks =
+      match checks with
+      | [] -> Rv_chaos.Fuzz.all_checks
+      | l -> List.map (fun s -> or_die (Rv_chaos.Fuzz.check_of_string s)) l
+    in
+    if plant then
+      Rv_chaos.Fuzz.set_planted_fault (Some Rv_chaos.Fuzz.planted_default);
+    let with_server f =
+      if no_serve then f None
+      else with_chaos_server ~port ~queue ~jobs (fun p -> f (Some p))
+    in
+    with_server @@ fun serve_port ->
+    match repro with
+    | Some path ->
+        (* Replay a committed fixture: a clean tree answers "no mismatch";
+           with --plant the planted fixture must still reproduce. *)
+        let check, cell = or_die (Rv_chaos.Shrink.read_fixture path) in
+        (match Rv_chaos.Fuzz.eval ?serve_port check cell with
+        | Ok () ->
+            Printf.printf "fuzz: %s: no mismatch (%s)\n%!" path
+              (Rv_chaos.Fuzz.cell_to_string cell)
+        | Error m ->
+            Printf.printf "fuzz: %s: MISMATCH reproduced (%s)\n  expected %s\n  actual   %s\n%!"
+              path
+              (Rv_chaos.Fuzz.cell_to_string m.Rv_chaos.Fuzz.m_cell)
+              m.Rv_chaos.Fuzz.m_expected m.Rv_chaos.Fuzz.m_actual;
+            exit 1)
+    | None -> (
+        let r =
+          Rv_chaos.Fuzz.run ?serve_port ~checks ~seed ~cells ~budget_s:budget
+            ()
+        in
+        Printf.printf "fuzz: seed %d: %d cells, %d checks\n%!" seed
+          r.Rv_chaos.Fuzz.cells_run r.Rv_chaos.Fuzz.checks_run;
+        match r.Rv_chaos.Fuzz.mismatch with
+        | None -> Printf.printf "fuzz: no mismatches\n%!"
+        | Some m ->
+            let oracle c =
+              match Rv_chaos.Fuzz.eval ?serve_port m.Rv_chaos.Fuzz.m_check c with
+              | Ok () -> false
+              | Error _ -> true
+            in
+            let minimal, stats =
+              Rv_chaos.Shrink.shrink ~oracle m.Rv_chaos.Fuzz.m_cell
+            in
+            (* Re-evaluate the minimum so the fixture's expected/actual
+               context describes the shrunk cell, not the original. *)
+            let m =
+              match Rv_chaos.Fuzz.eval ?serve_port m.Rv_chaos.Fuzz.m_check minimal with
+              | Error m' -> m'
+              | Ok () -> { m with Rv_chaos.Fuzz.m_cell = minimal }
+            in
+            let path = Rv_chaos.Shrink.write_fixture ~dir:fixture_dir m in
+            Printf.printf
+              "fuzz: MISMATCH (%s)\n  cell     %s\n  expected %s\n  actual   %s\n\
+               fuzz: shrunk in %d steps (%d accepted) -> %s\n%!"
+              (Rv_chaos.Fuzz.check_to_string m.Rv_chaos.Fuzz.m_check)
+              (Rv_chaos.Fuzz.cell_to_string m.Rv_chaos.Fuzz.m_cell)
+              m.Rv_chaos.Fuzz.m_expected m.Rv_chaos.Fuzz.m_actual
+              stats.Rv_chaos.Shrink.s_steps stats.Rv_chaos.Shrink.s_accepted
+              path;
+            exit 1)
+  in
+  let cells =
+    Arg.(
+      value & opt int 200
+      & info [ "n"; "cells" ] ~docv:"N"
+          ~doc:"Random cells to draw (0 = unbounded, bounded by --budget).")
+  in
+  let budget =
+    Arg.(
+      value & opt float 0.
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:"Stop after this much wall clock (0 = no time box).")
+  in
+  let plant =
+    Arg.(
+      value & flag
+      & info [ "plant" ]
+          ~doc:
+            "Install the built-in planted fault (test-only perturbation of \
+             the Traj fast path) so the shrinker and fixture pipeline can \
+             be exercised on a clean tree.")
+  in
+  let checks =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "check" ] ~docv:"CHECK"
+          ~doc:
+            "Restrict to this differential check (repeatable): traj_vs_sim, \
+             serve_vs_direct or sym_on_off.  Default: all three.")
+  in
+  let fixture_dir =
+    Arg.(
+      value & opt string "test/fixtures"
+      & info [ "fixture-dir" ] ~docv:"DIR"
+          ~doc:"Where minimized reproducer fixtures are written.")
+  in
+  let repro =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro" ] ~docv:"FILE"
+          ~doc:"Replay one fixture file instead of fuzzing.")
+  in
+  let no_serve =
+    Arg.(
+      value & flag
+      & info [ "no-serve" ]
+          ~doc:
+            "Skip the serve-vs-direct check's server (the check is then \
+             skipped unless --port targets an external one).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: seeded random cells asserting Traj.meet \
+          against Sim.run, symmetry on against off, and serve replies \
+          against direct computation; mismatches are shrunk to committed \
+          reproducer fixtures")
+    Term.(
+      const fuzz $ chaos_port_arg $ chaos_seed_arg $ cells $ budget $ plant
+      $ checks $ fixture_dir $ repro $ no_serve $ chaos_queue_arg $ jobs_arg)
 
 (* obs — flight-recorder client *)
 
@@ -1292,4 +1562,4 @@ let () =
   end;
   let doc = "deterministic rendezvous in networks (Miller & Pelc, PODC 2014)" in
   let info = Cmd.info "rv" ~version:Rv_serve.Build_meta.version ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; trace_cmd; sweep_cmd; explore_cmd; lb_cmd; exp_cmd; selftest_cmd; async_cmd; gather_cmd; lint_cmd; dot_cmd; bake_cmd; serve_cmd; loadgen_cmd; obs_cmd; version_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; trace_cmd; sweep_cmd; explore_cmd; lb_cmd; exp_cmd; selftest_cmd; async_cmd; gather_cmd; lint_cmd; dot_cmd; bake_cmd; serve_cmd; loadgen_cmd; chaos_cmd; fuzz_cmd; obs_cmd; version_cmd ]))

@@ -1,0 +1,97 @@
+module Json = Rv_obs.Json
+
+type sample = {
+  family : string;
+  labels : (string * string) list;
+  value : float;
+}
+
+(* "k1=\"v1\",k2=\"v2\"" — the renderer never escapes quotes inside
+   label values (ours are metric tags: kind/path/window/class), so a
+   simple split is faithful. *)
+let parse_labels s =
+  let parts = String.split_on_char ',' s in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | part :: rest -> (
+        match String.index_opt part '=' with
+        | None -> Error (Printf.sprintf "label without '=': %S" part)
+        | Some i ->
+            let k = String.sub part 0 i in
+            let v = String.sub part (i + 1) (String.length part - i - 1) in
+            let n = String.length v in
+            if n >= 2 && Char.equal v.[0] '"' && Char.equal v.[n - 1] '"' then
+              go ((k, String.sub v 1 (n - 2)) :: acc) rest
+            else Error (Printf.sprintf "unquoted label value: %S" part))
+  in
+  go [] parts
+
+let parse_line line =
+  match String.index_opt line '{' with
+  | Some lb -> (
+      match String.rindex_opt line '}' with
+      | None -> Error "'{' without '}'"
+      | Some rb -> (
+          let family = String.sub line 0 lb in
+          let rest =
+            String.trim (String.sub line (rb + 1) (String.length line - rb - 1))
+          in
+          match parse_labels (String.sub line (lb + 1) (rb - lb - 1)) with
+          | Error e -> Error e
+          | Ok labels -> (
+              match float_of_string_opt rest with
+              | Some value -> Ok { family; labels; value }
+              | None -> Error (Printf.sprintf "bad value: %S" rest))))
+  | None -> (
+      match String.index_opt line ' ' with
+      | None -> Error "no value"
+      | Some sp -> (
+          let family = String.sub line 0 sp in
+          let rest =
+            String.trim (String.sub line (sp + 1) (String.length line - sp - 1))
+          in
+          match float_of_string_opt rest with
+          | Some value -> Ok { family; labels = []; value }
+          | None -> Error (Printf.sprintf "bad value: %S" rest)))
+
+let parse body =
+  let lines = String.split_on_char '\n' body in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let line = String.trim line in
+        if String.length line = 0 || Char.equal line.[0] '#' then go acc rest
+        else (
+          match parse_line line with
+          | Ok s -> go (s :: acc) rest
+          | Error e -> Error (Printf.sprintf "%s (line %S)" e line))
+  in
+  go [] lines
+
+let fetch ~host ~port =
+  match
+    Rv_serve.Loadgen.rpc ~host ~port {|{"type":"metrics","format":"prometheus"}|}
+  with
+  | Error e -> Error e
+  | Ok reply -> (
+      match Json.parse reply with
+      | Error e -> Error ("metrics reply: " ^ e)
+      | Ok j -> (
+          match Option.bind (Json.member "body" j) Json.to_str with
+          | None -> Error "metrics reply has no \"body\" field"
+          | Some body -> parse body))
+
+let value ?(labels = []) samples family =
+  List.find_map
+    (fun s ->
+      if
+        String.equal s.family family
+        && List.for_all
+             (fun (k, v) ->
+               List.exists
+                 (fun (k', v') -> String.equal k k' && String.equal v v')
+                 s.labels)
+             labels
+      then Some s.value
+      else None)
+    samples

@@ -1,0 +1,23 @@
+(** Prometheus exposition scraper for the soak loop.
+
+    Parses the text format rv_serve renders ({!Rv_serve.Server} via
+    {!Rv_obs.Export_prometheus}) back into samples.  Only what that
+    renderer emits is supported: [# HELP]/[# TYPE] comments, bare and
+    labelled samples with simple (unescaped) label values. *)
+
+type sample = {
+  family : string;  (** metric name, e.g. ["rv_serve_gc_heap_words"] *)
+  labels : (string * string) list;  (** in exposition order *)
+  value : float;
+}
+
+val parse : string -> (sample list, string) result
+(** Samples in exposition order; [Error] names the first bad line. *)
+
+val fetch : host:string -> port:int -> (sample list, string) result
+(** One [{"type":"metrics","format":"prometheus"}] round trip, body
+    unwrapped and parsed. *)
+
+val value : ?labels:(string * string) list -> sample list -> string -> float option
+(** First sample of [family] whose labels include every [labels] pair
+    (default: first sample of the family regardless of labels). *)

@@ -1,0 +1,145 @@
+type stats = { s_steps : int; s_accepted : int }
+
+(* Candidates for one integer field, jumping toward [floor]: the floor
+   itself, the midpoint, one step down.  Greedy-accepting these in order
+   is the classic QuickCheck-style integer shrink. *)
+let toward ~floor cur =
+  if cur <= floor then []
+  else
+    List.sort_uniq Rv_util.Ord.int
+      [ floor; floor + ((cur - floor) / 2); cur - 1 ]
+
+let field_candidates (c : Fuzz.cell) =
+  let set_size v = { c with Fuzz.c_size = v } in
+  let set_space v = { c with Fuzz.c_space = v } in
+  let set_la v = { c with Fuzz.c_label_a = v } in
+  let set_lb v = { c with Fuzz.c_label_b = v } in
+  let set_sa v = { c with Fuzz.c_start_a = v } in
+  let set_sb v = { c with Fuzz.c_start_b = v } in
+  let set_da v = { c with Fuzz.c_delay_a = v } in
+  let set_db v = { c with Fuzz.c_delay_b = v } in
+  let ints =
+    [
+      (Fuzz.min_size, c.Fuzz.c_size, set_size);
+      (2, c.Fuzz.c_space, set_space);
+      (1, c.Fuzz.c_label_a, set_la);
+      (1, c.Fuzz.c_label_b, set_lb);
+      (0, c.Fuzz.c_start_a, set_sa);
+      (0, c.Fuzz.c_start_b, set_sb);
+      (0, c.Fuzz.c_delay_a, set_da);
+      (0, c.Fuzz.c_delay_b, set_db);
+    ]
+  in
+  let int_candidates =
+    List.concat_map
+      (fun (floor, cur, set) -> List.map set (toward ~floor cur))
+      ints
+  in
+  let algo_candidates =
+    (* Earlier in the catalog = simpler; try all strictly-earlier ones. *)
+    let rank a =
+      let n = Array.length Fuzz.algorithms in
+      let rec go i = if i >= n then n else if String.equal Fuzz.algorithms.(i) a then i else go (i + 1) in
+      go 0
+    in
+    let r = rank c.Fuzz.c_algorithm in
+    List.filter_map
+      (fun i ->
+        if i < r then Some { c with Fuzz.c_algorithm = Fuzz.algorithms.(i) }
+        else None)
+      [ 0; 1 ]
+  in
+  let model_candidates =
+    if c.Fuzz.c_parachute then [ { c with Fuzz.c_parachute = false } ] else []
+  in
+  List.filter Fuzz.valid (int_candidates @ algo_candidates @ model_candidates)
+
+let shrink ~oracle start =
+  let steps = ref 0 in
+  let accepted = ref 0 in
+  let try_cell c =
+    incr steps;
+    oracle c
+  in
+  let rec fix c =
+    match List.find_opt try_cell (field_candidates c) with
+    | Some c' ->
+        incr accepted;
+        fix c'
+    | None -> c
+  in
+  let minimal = fix start in
+  (minimal, { s_steps = !steps; s_accepted = !accepted })
+
+(* --- fixtures ----------------------------------------------------------- *)
+
+(* FNV-1a over the canonical cell line: stable across runs and OCaml
+   versions, short enough for a filename. *)
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch ->
+      h := Int64.logxor !h (Int64.of_int (Char.code ch));
+      h := Int64.mul !h prime)
+    s;
+  Printf.sprintf "%08Lx" (Int64.logand !h 0xffffffffL)
+
+let fixture_name (m : Fuzz.mismatch) =
+  Printf.sprintf "fuzz_%s_%s.repro"
+    (Fuzz.check_to_string m.Fuzz.m_check)
+    (fnv1a64
+       (Fuzz.check_to_string m.Fuzz.m_check ^ " " ^ Fuzz.cell_to_string m.Fuzz.m_cell))
+
+let write_fixture ~dir (m : Fuzz.mismatch) =
+  (try Unix.mkdir dir 0o755 with
+  | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  | Unix.Unix_error _ -> ());
+  let path = Filename.concat dir (fixture_name m) in
+  Rv_engine.Sink.write_file_atomic path (fun oc ->
+      Printf.fprintf oc
+        "# Minimized differential-fuzz reproducer.  Replay: rv fuzz --repro \
+         %s\n\
+         # (test/test_chaos.ml replays every fixtures/*.repro on dune \
+         runtest)\n"
+        (Filename.basename path);
+      Printf.fprintf oc "check=%s\n" (Fuzz.check_to_string m.Fuzz.m_check);
+      List.iter
+        (fun kv -> Printf.fprintf oc "%s\n" kv)
+        (String.split_on_char ' ' (Fuzz.cell_to_string m.Fuzz.m_cell));
+      Printf.fprintf oc "# expected: %s\n" m.Fuzz.m_expected;
+      Printf.fprintf oc "# actual:   %s\n" m.Fuzz.m_actual);
+  path
+
+let read_fixture path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | body ->
+      let lines = String.split_on_char '\n' body in
+      let kvs =
+        List.filter_map
+          (fun line ->
+            let line = String.trim line in
+            if String.length line = 0 || Char.equal line.[0] '#' then None
+            else
+              match String.index_opt line '=' with
+              | None -> None
+              | Some i ->
+                  Some
+                    ( String.sub line 0 i,
+                      String.sub line (i + 1) (String.length line - i - 1) ))
+          lines
+      in
+      let check_kv, cell_kv =
+        List.partition (fun (k, _) -> String.equal k "check") kvs
+      in
+      match check_kv with
+      | [ (_, ck) ] -> (
+          match Fuzz.check_of_string ck with
+          | Error e -> Error e
+          | Ok check -> (
+              match Fuzz.cell_of_kv cell_kv with
+              | Error e -> Error (path ^ ": " ^ e)
+              | Ok cell -> Ok (check, cell)))
+      | [] -> Error (path ^ ": missing check= line")
+      | _ -> Error (path ^ ": duplicate check= lines")

@@ -1,0 +1,34 @@
+(** Greedy deterministic minimizer for fuzz mismatches, plus the fixture
+    codec that turns a minimized cell into a committed reproducer.
+
+    The shrinker walks the cell's fields in a fixed order and, for each,
+    tries candidates jumping toward that field's floor (floor first,
+    then the midpoint, then one step down).  Any candidate that keeps
+    the oracle failing is accepted and the pass restarts; the result is
+    the fixpoint — no single-field move can shrink it further.  The
+    candidate order is fixed and the oracle is assumed deterministic, so
+    the minimum is a pure function of the starting cell. *)
+
+type stats = {
+  s_steps : int;  (** oracle evaluations *)
+  s_accepted : int;  (** candidates that kept the failure *)
+}
+
+val shrink :
+  oracle:(Fuzz.cell -> bool) -> Fuzz.cell -> Fuzz.cell * stats
+(** [oracle c] must be true iff [c] still exhibits the failure; the
+    input cell must satisfy it.  Only {!Fuzz.valid} candidates are
+    tried, so the oracle never sees an out-of-range cell. *)
+
+val fixture_name : Fuzz.mismatch -> string
+(** ["fuzz_<check>_<hash>.repro"] — the hash is an FNV-1a digest of the
+    canonical cell line, so re-minimizing the same failure lands on the
+    same file. *)
+
+val write_fixture : dir:string -> Fuzz.mismatch -> string
+(** Write the reproducer (atomically) under [dir], creating [dir] if
+    needed; returns the path.  The format is one [key=value] per line
+    with [#] comments carrying the expected/actual context. *)
+
+val read_fixture : string -> (Fuzz.check * Fuzz.cell, string) result
+(** Parse a fixture file back into the check and cell to replay. *)

@@ -37,6 +37,7 @@ type server_stats = {
 
 type summary = {
   requests : int;
+  churned : int;
   ok : int;
   errors : int;
   overloaded : int;
@@ -237,9 +238,50 @@ let classify reply =
           | Some (Json.Str c) -> `Error (Some c)
           | _ -> `Error None))
 
-let run ?(host = "127.0.0.1") ~port ~conns ~requests ~seed ~mix () =
+(* Churn cycles: connect, one request, disconnect — the registry-heavy
+   load pattern.  Ids continue the main stream ([requests + k]) and the
+   request for cycle [k] is [cached_line k], so churn replies are as
+   deterministic as the dealt stream and merge into the same sorted
+   transcript. *)
+let drive_churn ~host ~port ~requests ~churn result =
+  let rec go k =
+    if k < churn && Option.is_none result.failure then begin
+      (match connect ~host ~port with
+      | Error e -> result.failure <- Some ("churn connect: " ^ e)
+      | Ok fd -> (
+          let ic = Unix.in_channel_of_descr fd in
+          let oc = Unix.out_channel_of_descr fd in
+          let finally () =
+            (try close_out oc with Sys_error _ | Unix.Unix_error _ -> ());
+            try close_in ic with Sys_error _ | Unix.Unix_error _ -> ()
+          in
+          Fun.protect ~finally @@ fun () ->
+          let t0 = Clock.now_us () in
+          try
+            output_string oc (cached_line ~id:(requests + k) k);
+            output_char oc '\n';
+            flush oc;
+            match input_line ic with
+            | reply ->
+                let dt = int_of_float (Clock.now_us () -. t0) in
+                result.replies <- (requests + k, reply) :: result.replies;
+                result.latencies <- dt :: result.latencies
+            | exception End_of_file ->
+                result.failure <-
+                  Some
+                    (Printf.sprintf
+                       "churn: connection closed before reply to cycle %d" k)
+          with Sys_error msg | Unix.Unix_error (_, msg, _) ->
+            result.failure <- Some ("churn: " ^ msg)));
+      go (k + 1)
+    end
+  in
+  go 0
+
+let run ?(host = "127.0.0.1") ~port ~conns ~requests ~seed ~mix ?(churn = 0) () =
   if conns < 1 then Error "loadgen: conns must be >= 1"
   else if requests < 1 then Error "loadgen: requests must be >= 1"
+  else if churn < 0 then Error "loadgen: churn must be >= 0"
   else begin
     let lines = generate ~mix ~seed ~requests in
     let conns = min conns requests in
@@ -266,13 +308,28 @@ let run ?(host = "127.0.0.1") ~port ~conns ~requests ~seed ~mix () =
             fds
         in
         let t0 = Clock.now_us () in
+        let churn_result = { replies = []; latencies = []; failure = None } in
         let threads =
           List.mapi
             (fun k (fd, result) ->
               Thread.create (fun () -> drive_conn fd lines (share k) result) ())
             (List.combine fds results)
         in
+        let churn_thread =
+          if churn = 0 then None
+          else
+            Some
+              (Thread.create
+                 (fun () ->
+                   try drive_churn ~host ~port ~requests ~churn churn_result
+                   with exn ->
+                     churn_result.failure <-
+                       Some ("churn: " ^ Printexc.to_string exn))
+                 ())
+        in
         List.iter Thread.join threads;
+        Option.iter Thread.join churn_thread;
+        let results = results @ [ churn_result ] in
         let elapsed_s = (Clock.now_us () -. t0) /. 1_000_000. in
         List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) fds;
         match List.find_map (fun r -> r.failure) results with
@@ -310,6 +367,7 @@ let run ?(host = "127.0.0.1") ~port ~conns ~requests ~seed ~mix () =
             Ok
               {
                 requests;
+                churned = churn;
                 ok = !ok;
                 errors = !errors;
                 overloaded = !over;
@@ -352,6 +410,7 @@ let summary_json s =
   Json.Obj
     ([
       ("requests", Json.Int s.requests);
+      ("churned", Json.Int s.churned);
       ("ok", Json.Int s.ok);
       ("errors", Json.Int s.errors);
       ("overloaded", Json.Int s.overloaded);
@@ -381,11 +440,12 @@ let summary_json s =
 
 let print_summary out s =
   Printf.fprintf out
-    "requests %d  ok %d  errors %d (overloaded %d, deadline %d)\n\
+    "requests %d (+%d churned)  ok %d  errors %d (overloaded %d, deadline %d)\n\
      elapsed %.3fs  throughput %.0f req/s\n\
      client  latency p50 %dus  p90 %dus  p99 %dus  max %dus\n"
-    s.requests s.ok s.errors s.overloaded s.deadline_exceeded s.elapsed_s
-    s.throughput_rps s.lat_p50_us s.lat_p90_us s.lat_p99_us s.lat_max_us;
+    s.requests s.churned s.ok s.errors s.overloaded s.deadline_exceeded
+    s.elapsed_s s.throughput_rps s.lat_p50_us s.lat_p90_us s.lat_p99_us
+    s.lat_max_us;
   match s.server with
   | None ->
       Printf.fprintf out "server  window stats unavailable (scrape failed)\n"

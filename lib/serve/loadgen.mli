@@ -44,6 +44,10 @@ type server_stats = {
 
 type summary = {
   requests : int;
+  churned : int;
+      (** connect/one-request/disconnect cycles run alongside the dealt
+          stream; their replies (ids [requests..requests+churned-1]) are
+          part of [transcript] and the ok/error counts *)
   ok : int;
   errors : int;
   overloaded : int;
@@ -67,11 +71,15 @@ val run :
   requests:int ->
   seed:int ->
   mix:mix ->
+  ?churn:int ->
   unit ->
   (summary, string) result
 (** Drive a server.  Connection failures during setup retry briefly
     (the server may still be binding); a mid-run connection loss aborts
-    with [Error]. *)
+    with [Error].  [churn] (default 0) additionally runs that many
+    deterministic connect/one-request/disconnect cycles from a dedicated
+    thread — reproducible registry churn mixed into any seeded mix; the
+    cycle replies join the sorted transcript after the main stream. *)
 
 val rpc : ?host:string -> port:int -> string -> (string, string) result
 (** Send one request line on a fresh connection and return the reply

@@ -49,6 +49,10 @@ type conn = {
   oc : out_channel;
   wlock : Mutex.t;
   inflight : int Atomic.t;
+  dead : bool Atomic.t;
+      (** set on the first failed reply write (EPIPE / short write after
+          an abrupt client disconnect): later writes are skipped and the
+          reader loop exits at the next frame boundary *)
 }
 
 type job = {
@@ -100,6 +104,7 @@ type t = {
   n_index_hits : int Atomic.t;
   n_index_misses : int Atomic.t;
   n_index_backfilled : int Atomic.t;
+  n_write_failures : int Atomic.t;
   (* Hoisted process-global instruments (exported alongside everything
      else by [rv] metric dumps). *)
   c_requests : Counter.t;
@@ -112,6 +117,7 @@ type t = {
   c_index_hits : Counter.t;
   c_index_misses : Counter.t;
   c_index_backfilled : Counter.t;
+  c_write_failures : Counter.t;
   h_latency : Histogram.t;
   h_queue_wait : Histogram.t;
   (* Always-on telemetry (per-server for the same registry-scoping
@@ -142,18 +148,30 @@ let recorder t = t.recorder
 
 (* --- writing ----------------------------------------------------------- *)
 
-let write_conn conn line =
-  (* rv_lint: allow R7 -- the per-connection write lock exists precisely
-     to serialise whole reply frames onto the socket; holding it across
-     the buffered write + flush is the framing guarantee, and it is
-     per-connection, so one slow client stalls only itself *)
-  Mutex.lock conn.wlock;
-  (try
-     output_string conn.oc line;
-     output_char conn.oc '\n';
-     flush conn.oc
-   with Sys_error _ | Unix.Unix_error _ -> ());
-  Mutex.unlock conn.wlock
+(* A failed reply write is a disconnect, not an error: the client left
+   between request and reply (SIGPIPE is ignored process-wide at
+   [start], so EPIPE and short writes surface here as exceptions).  The
+   connection is marked dead — further replies are skipped, the reader
+   loop exits at its next frame boundary and the normal teardown path
+   unregisters the registry entry — and the write-failure counter
+   records it.  The dispatcher never sees any of this. *)
+let write_conn t conn line =
+  if not (Atomic.get conn.dead) then begin
+    (* rv_lint: allow R7 -- the per-connection write lock exists precisely
+       to serialise whole reply frames onto the socket; holding it across
+       the buffered write + flush is the framing guarantee, and it is
+       per-connection, so one slow client stalls only itself *)
+    Mutex.lock conn.wlock;
+    (try
+       output_string conn.oc line;
+       output_char conn.oc '\n';
+       flush conn.oc
+     with Sys_error _ | Unix.Unix_error _ ->
+       Atomic.set conn.dead true;
+       Atomic.incr t.n_write_failures;
+       Counter.add t.c_write_failures 1);
+    Mutex.unlock conn.wlock
+  end
 
 let new_rspan t =
   Rspan.create
@@ -260,7 +278,7 @@ let reply_ok t conn ~sp ~id fields =
   Counter.add t.c_ok 1;
   finalize t sp ~status:"ok" ~code:None;
   let fields = if Rspan.debug sp then fields @ debug_fields sp else fields in
-  write_conn conn (Proto.ok_line ~id fields)
+  write_conn t conn (Proto.ok_line ~id fields)
 
 let reply_error t conn ~sp ~id ?extra code msg =
   Atomic.incr t.n_errors;
@@ -282,7 +300,7 @@ let reply_error t conn ~sp ~id ?extra code msg =
     if Rspan.debug sp then Option.value extra ~default:[] @ debug_fields sp
     else Option.value extra ~default:[]
   in
-  write_conn conn (Proto.error_line ~id ~extra code msg)
+  write_conn t conn (Proto.error_line ~id ~extra code msg)
 
 let cache_hit t =
   Atomic.incr t.n_cache_hits;
@@ -524,6 +542,7 @@ let metrics_fields t =
     ("bad_request", Json.Int (Atomic.get t.n_bad));
     ("overloaded", Json.Int (Atomic.get t.n_overloaded));
     ("deadline_exceeded", Json.Int (Atomic.get t.n_deadline));
+    ("write_failures", Json.Int (Atomic.get t.n_write_failures));
     ("cache_hits", Json.Int (Atomic.get t.n_cache_hits));
     ("cache_misses", Json.Int (Atomic.get t.n_cache_misses));
     ("index_hits", Json.Int (Atomic.get t.n_index_hits));
@@ -596,6 +615,9 @@ let prometheus_body t =
         (Atomic.get t.n_overloaded);
       counter "deadline_exceeded_total" "Requests past their deadline"
         (Atomic.get t.n_deadline);
+      counter "write_failures_total"
+        "Replies that failed to write (client disconnected first)"
+        (Atomic.get t.n_write_failures);
       counter "cache_hits_total" "LRU result-cache hits"
         (Atomic.get t.n_cache_hits);
       counter "cache_misses_total" "LRU result-cache misses"
@@ -932,16 +954,25 @@ let read_line_bounded ic max_len =
   go ()
 
 let handle_conn t fd =
+  match
+    (* Channels before registration: if the descriptor is unusable there
+       is nothing to serve and nothing may be left in the registry. *)
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    (ic, oc)
+  with
+  | exception _ -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | ic, oc ->
   let token = Registry.register t.registry fd in
   let conn =
     {
       fd;
-      oc = Unix.out_channel_of_descr fd;
+      oc;
       wlock = Mutex.create ();
       inflight = Atomic.make 0;
+      dead = Atomic.make false;
     }
   in
-  let ic = Unix.in_channel_of_descr fd in
   Fun.protect
     ~finally:(fun () ->
       Registry.unregister t.registry token;
@@ -954,10 +985,18 @@ let handle_conn t fd =
         end
       in
       settle 0;
-      (try close_out conn.oc with Sys_error _ | Unix.Unix_error _ -> ());
-      try close_in ic with Sys_error _ | Unix.Unix_error _ -> ())
+      (* Exactly one close for the one descriptor both channels share:
+         close_out followed by close_in is a double close, and under
+         connection churn the kernel reuses the number between the two —
+         the second close would tear down a stranger's brand-new
+         connection (the soak harness catches this as a stuck registry
+         entry on the victim). *)
+      (try flush conn.oc with Sys_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       let rec loop () =
+        if Atomic.get conn.dead then ()
+        else
         match read_line_bounded ic Proto.max_line_len with
         | `Eof -> ()
         | `Too_long ->
@@ -984,7 +1023,16 @@ let accept_loop t =
   let rec loop () =
     match Unix.accept t.lsock with
     | fd, _ ->
-        let th = Thread.create (fun () -> handle_conn t fd) () in
+        let th =
+          Thread.create
+            (fun () ->
+              (* A dying conn thread must not take the runtime's default
+                 uncaught-exception path: it would skip no cleanup (the
+                 handler's [Fun.protect] already ran or never started)
+                 but floods stderr mid-drain. *)
+              try handle_conn t fd with _ -> ())
+            ()
+        in
         Mutex.lock t.conns_lock;
         t.conn_threads <- th :: t.conn_threads;
         Mutex.unlock t.conns_lock;
@@ -1074,6 +1122,8 @@ let start cfg =
       n_index_hits = Atomic.make 0;
       n_index_misses = Atomic.make 0;
       n_index_backfilled = Atomic.make 0;
+      n_write_failures = Atomic.make 0;
+      c_write_failures = Counter.find "serve.write_failures";
       req_seq = Atomic.make 0;
       w_kind_path =
         (* shed/error windows are rarely interesting alone but keep the

@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the rv_chaos harness, as run by the CI
+# chaos-smoke job.
+#
+#   1. boot a server (--queue 4) and run the full fault-injection
+#      scenario catalog against it over real TCP; every scenario and the
+#      shared contract (health up, no stuck registry entries, clean
+#      control reply byte-identical) must pass;
+#   2. run the catalog again against the SAME server: salts must stay
+#      fresh (the result cache cannot defuse the hostile queries) and
+#      the registry must still settle;
+#   3. rv loadgen --churn: the churn cycles must be accounted in the
+#      summary and the run must stay clock-clean;
+#   4. self-spawned catalog run (rv chaos with no --port boots its own
+#      server) — what a developer runs locally with no setup;
+#   5. a 60s mini-soak: mixed hostile+clean workload under telemetry
+#      watch; BENCH_chaos.json must report pass=true, every watched
+#      gauge flat, the queue settled and zero stuck connections;
+#   6. planted-fault fuzzing: two runs at the same seed must emit
+#      byte-identical minimized reproducer fixtures; the fixture must
+#      replay as a mismatch under --plant and as clean without it;
+#   7. a clean fuzz sweep over all three differential checks must find
+#      nothing;
+#   8. SIGINT the external server and require the drained line.
+#
+# Usage: scripts/chaos_smoke.sh [path-to-rv.exe]
+# Runs from the repository root; leaves BENCH_chaos.json in the cwd for
+# the CI artifact.
+
+set -euo pipefail
+
+RV=${1:-_build/default/bin/rv.exe}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+SEED=11
+
+boot() { # boot <logfile> <extra-args...>; echoes "pid port"
+  local log=$1; shift
+  "$RV" serve --port 0 "$@" >"$log" 2>&1 &
+  local pid=$!
+  local port=""
+  for _ in $(seq 1 50); do
+    port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$log")
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  [ -n "$port" ] || { echo "server did not boot; log:" >&2; cat "$log" >&2; exit 1; }
+  echo "$pid $port"
+}
+
+drain() { # drain <pid> <logfile>
+  local pid=$1 log=$2
+  kill -INT "$pid"
+  for _ in $(seq 1 100); do
+    if grep -q "rv serve: drained" "$log"; then return 0; fi
+    sleep 0.1
+  done
+  echo "server did not drain gracefully; log:" >&2; cat "$log" >&2; exit 1
+}
+
+echo "== chaos smoke: scenario catalog against an external server =="
+read -r PID PORT < <(boot "$TMP/serve.log" --jobs 1 --queue 4)
+"$RV" chaos --port "$PORT" --seed $SEED
+
+echo "== chaos smoke: catalog again, same server (cache must not defuse it) =="
+"$RV" chaos --port "$PORT" --seed $((SEED + 1))
+
+echo "== chaos smoke: loadgen churn cycles are accounted =="
+"$RV" loadgen --port "$PORT" --conns 2 --requests 30 --seed $SEED \
+  --mix cached --churn 12 --json >"$TMP/churn.summary"
+python3 - "$TMP/churn.summary" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1]))
+assert s["churned"] == 12, f"expected 12 churned cycles: {s}"
+assert s["errors"] == 0, f"churn run saw errors: {s}"
+assert s["ok"] == s["requests"] + s["churned"], f"ok must count churn replies: {s}"
+print(f"ok: {s['churned']} churn cycles on top of {s['requests']} dealt requests")
+EOF
+drain "$PID" "$TMP/serve.log"
+
+echo "== chaos smoke: self-spawned catalog run =="
+"$RV" chaos --seed $((SEED + 2))
+
+echo "== chaos smoke: 60s mini-soak =="
+"$RV" chaos --soak 60 --seed $SEED --out BENCH_chaos.json
+python3 - BENCH_chaos.json <<'EOF'
+import json
+b = json.load(open("BENCH_chaos.json"))
+assert b["pass"], f"soak failed: {b['failures']}"
+assert b["samples"] >= 30, f"too few telemetry samples: {b['samples']}"
+assert b["queue_settled"], b
+assert b["stuck_connections"] == 0, b
+assert b["failures"] == [], b["failures"]
+for g in b["gauges"]:
+    assert g["flat"], f"gauge drifting: {g}"
+print(f"soak OK: {b['duration_s']:.0f}s, {b['samples']} samples,"
+      f" {b['clean_requests']} clean requests, {b['hostile_runs']} hostile runs,"
+      f" {len(b['gauges'])} gauges flat")
+EOF
+
+echo "== chaos smoke: planted fuzz is deterministic and shrinks =="
+rc=0; "$RV" fuzz --plant --seed 42 --cells 2000 --no-serve \
+  --fixture-dir "$TMP/fx1" >"$TMP/fuzz1.out" || rc=$?
+[ "$rc" -eq 1 ] || { echo "planted fuzz should exit 1, got $rc" >&2; exit 1; }
+cat "$TMP/fuzz1.out"
+rc=0; "$RV" fuzz --plant --seed 42 --cells 2000 --no-serve \
+  --fixture-dir "$TMP/fx2" >"$TMP/fuzz2.out" || rc=$?
+[ "$rc" -eq 1 ] || { echo "second planted fuzz should exit 1, got $rc" >&2; exit 1; }
+FX1=$(ls "$TMP/fx1"); FX2=$(ls "$TMP/fx2")
+[ "$FX1" = "$FX2" ] || { echo "fixture names differ: $FX1 vs $FX2" >&2; exit 1; }
+[ "$(echo "$FX1" | wc -l)" -eq 1 ] || { echo "expected exactly one fixture" >&2; exit 1; }
+cmp "$TMP/fx1/$FX1" "$TMP/fx2/$FX1"
+echo "ok: same seed, byte-identical fixture $FX1"
+
+rc=0; "$RV" fuzz --plant --no-serve --repro "$TMP/fx1/$FX1" || rc=$?
+[ "$rc" -eq 1 ] || { echo "planted replay should reproduce (exit 1), got $rc" >&2; exit 1; }
+"$RV" fuzz --no-serve --repro "$TMP/fx1/$FX1"
+echo "ok: fixture reproduces under --plant and replays clean without it"
+
+echo "== chaos smoke: clean fuzz sweep finds nothing =="
+"$RV" fuzz --seed $SEED --cells 300
+
+echo "chaos smoke: all checks passed"
